@@ -1,0 +1,60 @@
+"""Ablation: oracle channel knowledge vs online learning of p_n.
+
+Section II-A: "p_n can be obtained by either probing or learning from the
+empirical results of past transmissions."  This ablation runs DB-DP with
+the true reliabilities against :class:`EstimatedDBDPPolicy`, which learns
+them from its own attempt/delivery counts.  Expected shape: the learning
+variant converges to oracle-level deficiency (the bias enters Eq. (14)
+only logarithmically, so moderate estimation error is benign).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro import (
+    BernoulliChannel,
+    DBDPPolicy,
+    EstimatedDBDPPolicy,
+    NetworkSpec,
+    run_simulation,
+    video_timing,
+)
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import FigureResult
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def sweep(num_intervals: int) -> FigureResult:
+    # Heterogeneous reliabilities make the estimation problem non-trivial.
+    reliabilities = tuple(0.5 + 0.4 * (i % 5) / 4 for i in range(20))
+    spec = NetworkSpec.from_delivery_ratios(
+        arrivals=BurstyVideoArrivals.symmetric(20, 0.5),
+        channel=BernoulliChannel(success_probs=reliabilities),
+        timing=video_timing(),
+        delivery_ratios=0.9,
+    )
+    result = FigureResult(
+        figure_id="ablation-estimation",
+        title="DB-DP with oracle vs learned channel reliabilities",
+        x_label="seed",
+        x_values=[0.0, 1.0],
+    )
+    for label, factory in [
+        ("oracle", DBDPPolicy),
+        ("learned", EstimatedDBDPPolicy),
+    ]:
+        result.series[label] = [
+            run_simulation(spec, factory(), num_intervals, seed=seed).total_deficiency()
+            for seed in (0, 1)
+        ]
+    return result
+
+
+def test_ablation_reliability_estimation(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=1200)
+    result = run_once(benchmark, sweep, intervals)
+    report(result)
+    for oracle, learned in zip(result.series["oracle"], result.series["learned"]):
+        # Learning costs at most a small additive deficiency.
+        assert learned <= oracle + 0.6

@@ -1,0 +1,63 @@
+"""Ablation: the debt influence function ``f`` in DB-DP (Eq. (14)).
+
+The paper motivates ``f ~ log`` via two-time-scale separation ([13, 17, 18]
+discussion in Section V-A).  This ablation compares the paper's
+``log(max(1, 100(x+1)))`` against linear, quadratic, and plain-log
+influence functions at the video operating point.  Expected shape: every
+valid influence function fulfills the feasible requirement (feasibility
+optimality does not hinge on the choice); the differences are transient /
+convergence effects.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro import (
+    DBDPPolicy,
+    LinearInfluence,
+    LogInfluence,
+    PaperLogInfluence,
+    PowerInfluence,
+    run_simulation,
+)
+from repro.experiments.configs import VIDEO_INTERVALS, video_symmetric_spec
+from repro.experiments.figures import FigureResult
+
+INFLUENCES = {
+    "paper-log": PaperLogInfluence(),
+    "log": LogInfluence(),
+    "linear": LinearInfluence(),
+    "quadratic": PowerInfluence(exponent=2),
+}
+
+
+def sweep(num_intervals: int) -> FigureResult:
+    spec = video_symmetric_spec(0.5, delivery_ratio=0.9)
+    result = FigureResult(
+        figure_id="ablation-influence",
+        title="DB-DP deficiency by debt influence function (alpha* = 0.5)",
+        x_label="seed",
+        x_values=[0.0, 1.0],
+    )
+    for label, influence in INFLUENCES.items():
+        result.series[label] = [
+            run_simulation(
+                spec,
+                DBDPPolicy(influence=influence),
+                num_intervals,
+                seed=seed,
+            ).total_deficiency()
+            for seed in (0, 1)
+        ]
+    return result
+
+
+def test_ablation_influence_function(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=1200)
+    result = run_once(benchmark, sweep, intervals)
+    report(result)
+    # Every influence function sustains the feasible operating point.
+    for label, series in result.series.items():
+        for value in series:
+            assert value < 1.0, (label, value)

@@ -1,0 +1,40 @@
+"""Engine micro-benchmarks: interval engine vs microsecond event engine.
+
+Not a paper figure — measures the cost of the two simulation fidelities on
+the same scenario so users can pick.  The interval engine should be several
+times faster while matching the event engine's delivery statistics (the
+agreement itself is asserted in tests/integration/test_cross_engine.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DBDPPolicy, run_simulation
+from repro.experiments.configs import video_symmetric_spec
+from repro.sim.event_sim import EventDrivenDPSimulator
+
+INTERVALS = 300
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return video_symmetric_spec(0.55, delivery_ratio=0.9)
+
+
+def test_interval_engine_throughput(benchmark, spec):
+    result = benchmark.pedantic(
+        lambda: run_simulation(spec, DBDPPolicy(), INTERVALS, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_intervals == INTERVALS
+
+
+def test_event_engine_throughput(benchmark, spec):
+    result = benchmark.pedantic(
+        lambda: EventDrivenDPSimulator(spec, seed=0).run(INTERVALS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_intervals == INTERVALS

@@ -1,0 +1,38 @@
+"""Extension bench: the full baseline panorama on one stressed scenario.
+
+Not a paper figure — positions every implemented MAC (debt-based,
+contention-based, TDMA, frame-scheduled) on the same axis.  Expected
+shape: debt-based collision-free policies lead; DCF/FCSMA pay for
+collisions; frame CSMA pays for non-adaptive blocks; round-robin pays for
+debt-obliviousness.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.extensions import baseline_panorama
+
+
+def test_ext_baseline_panorama(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=800)
+    result = run_once(
+        benchmark, baseline_panorama, num_intervals=intervals, alpha=0.55
+    )
+    report(result)
+
+    deficiency = {label: series[0] for label, series in result.series.items()}
+    collisions = {label: series[1] for label, series in result.series.items()}
+
+    # Collision-freedom split.
+    for label in ("LDF", "DB-DP", "FrameCSMA", "RoundRobin"):
+        assert collisions[label] == 0.0
+    for label in ("FCSMA", "DCF"):
+        assert collisions[label] > 0.0
+
+    # The debt-based policies beat the contention-based ones.
+    assert deficiency["LDF"] < deficiency["FCSMA"]
+    assert deficiency["DB-DP"] < deficiency["FCSMA"]
+    assert deficiency["LDF"] < deficiency["DCF"]
+    assert deficiency["DB-DP"] < deficiency["DCF"]

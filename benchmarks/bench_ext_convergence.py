@@ -1,0 +1,37 @@
+"""Extension bench: convergence-time scaling with network size.
+
+Quantifies the technical-report topic the paper defers: the bottom link's
+settling time under single-pair DB-DP grows quickly with N (the chain moves
+one adjacent swap per interval), LDF's stays flat, and Remark 6's
+multi-pair variant recovers most of the gap.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.convergence_study import convergence_vs_network_size
+
+
+def test_ext_convergence_scaling(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=2500)
+    result = run_once(
+        benchmark,
+        convergence_vs_network_size,
+        sizes=(8, 20),
+        num_intervals=intervals,
+    )
+    report(result)
+
+    ldf = result.series["LDF"]
+    single = result.series["DB-DP (1 pair)"]
+    multi = result.series["DB-DP (max pairs)"]
+
+    # At the paper's 20-link size: LDF settles fast; single-pair DB-DP
+    # pays a visible warm-up; multi-pair recovers most of it.
+    assert ldf[-1] <= 0.2 * intervals
+    assert single[-1] > 2 * ldf[-1]
+    assert multi[-1] < single[-1]
+    # Warm-up grows with N for the single-pair chain.
+    assert single[-1] >= single[0]

@@ -1,0 +1,38 @@
+"""Extension bench: robustness outside the analyzed model.
+
+Runs DB-DP (and LDF) under bursty Gilbert-Elliott losses and under
+correlated traffic — both beyond the paper's i.i.d. assumptions — and
+checks the algorithm degrades gracefully rather than collapsing.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.extensions import (
+    burst_loss_robustness,
+    correlated_traffic_robustness,
+)
+
+
+def test_ext_burst_loss_robustness(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=1500)
+    result = run_once(benchmark, burst_loss_robustness, num_intervals=intervals)
+    report(result)
+    for label, (iid, bursty) in result.series.items():
+        # Graceful degradation: bounded extra deficiency, no collapse.
+        assert bursty < iid + 2.0, label
+    # DB-DP stays in LDF's neighborhood on the unmodeled channel.
+    assert result.series["DB-DP"][1] <= result.series["LDF"][1] + 1.0
+
+
+def test_ext_correlated_traffic(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=1500)
+    result = run_once(
+        benchmark, correlated_traffic_robustness, num_intervals=intervals
+    )
+    report(result)
+    assert result.series["iid"][0] < 0.5
+    for label, series in result.series.items():
+        assert series[0] < 3.0, label  # graceful under every structure

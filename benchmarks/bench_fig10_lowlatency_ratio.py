@@ -1,0 +1,39 @@
+"""Figure 10: 10-link ultra-low-latency network at lambda* = 0.78, total
+deficiency vs the required delivery ratio.
+
+Paper shape: DB-DP sustains delivery ratios up to 99% like LDF (despite
+losing 1-2 of the 16 transmission opportunities to backoff and empty
+packets); FCSMA carries a large deficiency across the range.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import LOW_LATENCY_INTERVALS
+from repro.experiments.figures import fig10
+
+RATIOS = (0.80, 0.92, 0.99)
+
+
+def test_fig10_lowlatency_ratio_sweep(benchmark, report):
+    intervals = bench_intervals(LOW_LATENCY_INTERVALS, minimum=2000)
+    result = run_once(benchmark, fig10, num_intervals=intervals, ratios=RATIOS)
+    report(result)
+
+    ldf = result.series["LDF"]
+    dbdp = result.series["DB-DP"]
+    fcsma = result.series["FCSMA"]
+
+    # Priority policies sustain even the 99% requirement at lambda* = 0.78.
+    assert ldf[-1] < 0.3
+    assert dbdp[-1] < 0.5
+    # FCSMA gives out as the requirement tightens (the lowest grid point is
+    # feasible even for FCSMA; the high end is not).
+    for ratio, l, d, f in zip(RATIOS, ldf, dbdp, fcsma):
+        if ratio >= 0.9:
+            assert f > 3 * max(d, 0.05)
+            assert f > 3 * max(l, 0.05)
+    # FCSMA's deficiency grows with the requirement.
+    assert fcsma[-1] >= fcsma[0]
+    assert fcsma[-1] > 0.5

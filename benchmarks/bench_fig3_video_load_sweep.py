@@ -1,0 +1,46 @@
+"""Figure 3: symmetric 20-link video network, total deficiency vs alpha*.
+
+Paper shape: DB-DP hugs LDF across the sweep; LDF's admissible boundary is
+near alpha* ~ 0.62; FCSMA supports only ~70% of the admissible load and its
+deficiency dwarfs both priority policies at every stressed point.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import fig3
+
+ALPHAS = (0.40, 0.50, 0.55, 0.62, 0.70)
+
+
+def test_fig3_video_load_sweep(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS)
+    result = run_once(
+        benchmark, fig3, num_intervals=intervals, alphas=ALPHAS
+    )
+    report(result)
+
+    ldf = result.series["LDF"]
+    dbdp = result.series["DB-DP"]
+    fcsma = result.series["FCSMA"]
+
+    # Light load: both priority policies essentially fulfill q.
+    assert ldf[0] < 0.5 and dbdp[0] < 0.8
+    # Stressed points: FCSMA is far worse than both priority policies.
+    for i, alpha in enumerate(ALPHAS):
+        if alpha >= 0.5:
+            assert fcsma[i] > 2 * max(dbdp[i], 0.2)
+    # DB-DP tracks LDF: bounded gap everywhere on the sweep (at reduced
+    # horizons the decentralized chain's warm-up transient inflates the
+    # gap; at the paper's 5000 intervals it shrinks to ~1.25x).
+    for l, d, f in zip(ldf, dbdp, fcsma):
+        assert d <= 2.0 * l + 3.5
+        # ... and is always far closer to LDF than FCSMA is at stressed
+        # points (the gap that actually separates the algorithm classes).
+        if f > 2.0:
+            assert (d - l) < 0.5 * (f - l)
+    # Deficiency grows with load for every algorithm (allowing noise).
+    for series in (ldf, dbdp, fcsma):
+        assert series[-1] >= series[0]

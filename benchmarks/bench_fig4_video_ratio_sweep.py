@@ -1,0 +1,39 @@
+"""Figure 4: symmetric video network at alpha* = 0.55, deficiency vs the
+required delivery ratio.
+
+Paper shape: DB-DP and LDF sustain ratios deep into the 90s; FCSMA's
+deficiency is large across the whole range and grows with the requirement.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import fig4
+
+RATIOS = (0.80, 0.88, 0.93, 0.99)
+
+
+def test_fig4_video_ratio_sweep(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS)
+    result = run_once(benchmark, fig4, num_intervals=intervals, ratios=RATIOS)
+    report(result)
+
+    ldf = result.series["LDF"]
+    dbdp = result.series["DB-DP"]
+    fcsma = result.series["FCSMA"]
+
+    # FCSMA is the clear loser once the requirement is demanding (its
+    # effective capacity at alpha* = 0.55 gives out in the high 80s; the
+    # lowest ratio on the grid is feasible even for FCSMA).
+    for ratio, l, d, f in zip(RATIOS, ldf, dbdp, fcsma):
+        if ratio >= 0.9:
+            assert f > d and f > l
+    assert fcsma[-1] > 2.0  # strongly deficient at the 99% requirement
+    # Deficiency is (noise-tolerantly) nondecreasing in the required ratio.
+    assert fcsma[-1] >= fcsma[0]
+    assert dbdp[-1] >= dbdp[0] - 0.1
+    # The priority policies hold the 99% requirement far better than FCSMA.
+    assert ldf[-1] < 0.5 * fcsma[-1]
+    assert dbdp[-1] < 0.75 * fcsma[-1]

@@ -1,0 +1,49 @@
+"""Figure 5: convergence of the lowest-initial-priority link's running
+timely-throughput (alpha* = 0.55, 93% delivery ratio).
+
+Paper shape: LDF converges quickly; DB-DP reaches a comparable neighborhood
+of the requirement despite starting the watched link at priority 20.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import fig5
+
+
+def test_fig5_convergence(benchmark, report):
+    # Convergence needs the paper-scale horizon to be meaningful: the
+    # watched link starts at priority 20 and the chain moves one adjacent
+    # swap per interval at most.
+    intervals = bench_intervals(VIDEO_INTERVALS, minimum=3000)
+    result = run_once(
+        benchmark, fig5, num_intervals=intervals, sample_every=max(intervals // 40, 10)
+    )
+    report(result)
+
+    # The note records the requirement; recover it for the shape checks.
+    target = float(result.notes.split("=")[1].split()[0])
+    xs = result.x_values
+
+    def last_third_rate(series):
+        """Mean delivery rate over the final third of the run (the running
+        mean still carries the warm-up transient; the instantaneous rate is
+        what converges)."""
+        cut = 2 * len(xs) // 3
+        total_end = series[-1] * xs[-1]
+        total_cut = series[cut] * xs[cut]
+        return (total_end - total_cut) / (xs[-1] - xs[cut])
+
+    # LDF converges quickly: its running mean reaches the requirement.
+    assert result.series["LDF"][-1] >= 0.95 * target
+
+    # DB-DP: the bottom link escapes starvation and its late-run delivery
+    # rate reaches the requirement neighborhood (the paper's convergence
+    # claim); the running mean is still closing the warm-up gap.
+    dbdp = result.series["DB-DP"]
+    assert dbdp[-1] >= 0.6 * target
+    assert last_third_rate(dbdp) >= 0.9 * target
+    # ... and the trace is improving, not stuck.
+    assert dbdp[-1] >= dbdp[len(xs) // 3]

@@ -1,0 +1,37 @@
+"""Figure 7: asymmetric two-group network, group-wide deficiency vs alpha*
+under a 90% delivery ratio.
+
+Paper shape: DB-DP matches LDF per group across the load sweep; under
+FCSMA the weak group (group 1: p = 0.5) suffers a much larger deficiency
+than the strong group once its debts saturate the contention-window map.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import fig7
+
+ALPHAS = (0.45, 0.65, 0.75)
+
+
+def test_fig7_asymmetric_load_sweep(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS)
+    result = run_once(benchmark, fig7, num_intervals=intervals, alphas=ALPHAS)
+    report(result)
+
+    for group in (1, 2):
+        ldf = result.series[f"LDF (group {group})"]
+        dbdp = result.series[f"DB-DP (group {group})"]
+        fcsma = result.series[f"FCSMA (group {group})"]
+        # FCSMA dominates the deficiency at the stressed points.
+        assert fcsma[-1] > dbdp[-1]
+        assert fcsma[-1] > ldf[-1]
+        # DB-DP stays within a bounded gap of LDF per group.
+        for l, d in zip(ldf, dbdp):
+            assert d <= 2.0 * l + 2.5
+
+    # FCSMA's weak group is hit much harder than its strong group at load.
+    weak = result.series["FCSMA (group 1)"]
+    assert weak[-1] > 1.0

@@ -1,0 +1,40 @@
+"""Figure 8: asymmetric two-group network at alpha* = 0.7, group-wide
+deficiency vs the required delivery ratio.
+
+Paper shape: DB-DP ~ LDF per group over the whole requirement range; FCSMA
+exhibits a large group-1 deficiency that grows with the requirement (its
+saturated window map cannot respond to the weak group's mounting debt).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_intervals, run_once
+
+from repro.experiments.configs import VIDEO_INTERVALS
+from repro.experiments.figures import fig8
+
+RATIOS = (0.80, 0.90, 0.99)
+
+
+def test_fig8_asymmetric_ratio_sweep(benchmark, report):
+    intervals = bench_intervals(VIDEO_INTERVALS)
+    result = run_once(benchmark, fig8, num_intervals=intervals, ratios=RATIOS)
+    report(result)
+
+    for group in (1, 2):
+        fcsma = result.series[f"FCSMA (group {group})"]
+        dbdp = result.series[f"DB-DP (group {group})"]
+        ldf = result.series[f"LDF (group {group})"]
+        # FCSMA worst at the top of the requirement range, in both groups.
+        assert fcsma[-1] >= dbdp[-1]
+        assert fcsma[-1] >= ldf[-1]
+        # FCSMA deficiency grows with the requirement.
+        assert fcsma[-1] >= fcsma[0]
+
+    # Group-1 starvation under FCSMA is pronounced at high requirements.
+    assert result.series["FCSMA (group 1)"][-1] > 1.0
+    # DB-DP keeps the weak group close to what LDF achieves.
+    for l, d in zip(
+        result.series["LDF (group 1)"], result.series["DB-DP (group 1)"]
+    ):
+        assert d <= 2.0 * l + 2.5

@@ -1,0 +1,104 @@
+"""Feasibility analysis workflow: decide whether a requirement is servable
+*before* deploying, then verify by simulation.
+
+Walks the repository's analysis toolchain on a small industrial network:
+
+1. the necessary workload bound (``sum q_n / p_n`` vs transmission
+   opportunities),
+2. subset workload inequalities (Monte-Carlo certificates of infeasibility),
+3. the exact LP membership test in the hull of priority policies
+   (one-packet-per-interval networks),
+4. the one-interval Lyapunov drift of DB-DP at a large-debt state
+   (negative drift = the Lemma 2 mechanism that pulls debts back),
+5. empirical confirmation with both LDF and DB-DP.
+
+Run with::
+
+    python examples/feasibility_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    DBDPPolicy,
+    LDFPolicy,
+    NetworkSpec,
+    idealized_timing,
+    run_simulation,
+)
+from repro.analysis.drift import estimate_one_interval_drift
+from repro.analysis.feasibility import (
+    infeasible_by_workload,
+    priority_hull_contains,
+    workload_utilization,
+)
+
+SLOTS = 8
+RELIABILITIES = (0.55, 0.7, 0.85, 0.95)
+
+
+def build(delivery_ratio: float) -> NetworkSpec:
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(4, 1),
+        channel=BernoulliChannel(success_probs=RELIABILITIES),
+        timing=idealized_timing(SLOTS),
+        delivery_ratios=delivery_ratio,
+    )
+
+
+def analyze(delivery_ratio: float) -> None:
+    spec = build(delivery_ratio)
+    print(f"--- required delivery ratio {delivery_ratio:.2f} ---")
+    utilization = workload_utilization(spec)
+    print(f"workload utilization (necessary < 1): {utilization:.3f}")
+
+    certificate = infeasible_by_workload(spec, num_samples=1500)
+    if certificate is not None:
+        print(f"INFEASIBLE: subset {certificate} violates its workload bound")
+    else:
+        print("no workload certificate of infeasibility")
+
+    exact = priority_hull_contains(
+        spec.requirement_vector, RELIABILITIES, SLOTS
+    )
+    print(f"exact hull membership (one-packet case): {exact}")
+
+    drift = estimate_one_interval_drift(
+        spec, DBDPPolicy, debts=[25.0] * 4, num_samples=200
+    )
+    print(
+        f"DB-DP Lyapunov drift at debt 25: {drift.mean_drift:+.2f} "
+        f"(+-{2 * drift.std_error:.2f})"
+    )
+
+    for policy in (LDFPolicy(), DBDPPolicy()):
+        result = run_simulation(spec, policy, 3000, seed=1)
+        print(
+            f"{policy.name:>6s} simulated deficiency: "
+            f"{result.total_deficiency():.4f}"
+        )
+    print()
+
+
+def main() -> None:
+    print(
+        f"network: 4 links, p = {RELIABILITIES}, {SLOTS} transmission "
+        "opportunities per interval, one packet per link per interval\n"
+    )
+    # A comfortably feasible requirement, then an impossible one.
+    analyze(0.80)
+    analyze(0.99)
+    print(
+        "The 0.80 requirement passes every test and both policies fulfill "
+        "it; at 0.99 the weak links' workload certificate, the LP, the "
+        "positive drift, and the persistent simulated deficiency all agree "
+        "it is infeasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

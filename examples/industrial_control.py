@@ -1,0 +1,62 @@
+"""Ultra-low-latency control loops in a factory cell (Section VI-B).
+
+Ten sensor/actuator links exchange 100 B control messages with a hard 2 ms
+deadline and a 99% delivery-ratio requirement over a lossy channel
+(p = 0.7).  This example runs the *event-driven* microsecond simulator —
+the repository's ns-3 substitute — so the protocol is exercised through
+genuine carrier sensing and backoff countdown, then verifies the fast
+interval engine agrees.
+
+Run with::
+
+    python examples/industrial_control.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DBDPPolicy, run_simulation
+from repro.experiments.configs import low_latency_spec
+from repro.sim.event_sim import EventDrivenDPSimulator
+
+INTERVALS = 2000
+SEED = 23
+
+
+def main() -> None:
+    spec = low_latency_spec(arrival_rate=0.78, delivery_ratio=0.99)
+    print(
+        f"control scenario: {spec.num_links} links, 2 ms deadline, "
+        f"{spec.timing.max_transmissions} transmissions per interval, "
+        f"q = {spec.requirements[0]:.3f} packets/interval per link\n"
+    )
+
+    event_sim = EventDrivenDPSimulator(spec, seed=SEED)
+    event_result = event_sim.run(INTERVALS)
+    event_summary = event_result.summary()
+    print(
+        f"event-driven engine ({INTERVALS} intervals = "
+        f"{INTERVALS * 2 / 1000:.0f} s of airtime):"
+    )
+    print(f"  total deficiency      {event_summary.total_deficiency:.4f}")
+    print(f"  mean busy airtime     {event_summary.mean_busy_us:.0f} us / 2000 us")
+    print(f"  per-link throughput   {event_summary.timely_throughput.round(3)}")
+
+    interval_result = run_simulation(spec, DBDPPolicy(), INTERVALS, seed=SEED)
+    gap = abs(
+        interval_result.deliveries.mean()
+        - event_result.deliveries.mean()
+    )
+    print("\nfast interval engine on the same scenario:")
+    print(f"  total deficiency      {interval_result.total_deficiency():.4f}")
+    print(f"  per-interval delivery gap between engines: {gap:.4f} packets")
+
+    ratios = event_result.deliveries.sum(axis=0) / np.maximum(
+        event_result.arrivals.sum(axis=0), 1
+    )
+    print(f"\nachieved delivery ratios: {ratios.round(4)} (target 0.99)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Inside the DP protocol: watch priorities move (Fig. 2's toy example).
+
+A four-link network with perfect channels and one packet per interval —
+small enough to print every interval's candidate pair, coin flips, backoff
+timers, and the resulting priority exchange, exactly as in the paper's
+Example 2 / Figure 2.  The second half verifies the long-run behaviour: the
+empirical distribution over orderings matches the closed-form stationary
+distribution of Proposition 2.
+
+Run with::
+
+    python examples/priority_dynamics.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    DPProtocol,
+    IntervalSimulator,
+    NetworkSpec,
+    PerLinkSwapBias,
+    idealized_timing,
+)
+from repro.analysis.stationary import stationary_distribution
+
+MUS = (0.85, 0.65, 0.45, 0.25)
+
+
+def build_network() -> NetworkSpec:
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(4, 1),
+        channel=BernoulliChannel.symmetric(4, 1.0),
+        timing=idealized_timing(8),
+        delivery_ratios=1.0,
+    )
+
+
+def narrate(num_intervals: int = 12) -> None:
+    """Print the handshake details for the first few intervals."""
+    spec = build_network()
+    policy = DPProtocol(bias=PerLinkSwapBias(MUS))
+    from repro.sim.rng import RngBundle
+
+    rng = RngBundle(2024)
+    policy.bind(spec)
+    from repro.core.debt import DebtLedger
+
+    ledger = DebtLedger(spec.requirements)
+    print("interval | sigma(k-1)   | C | xi(down,up) | backoffs     | committed")
+    print("-" * 72)
+    for k in range(num_intervals):
+        sigma_before = policy.priorities
+        arrivals = spec.arrivals.sample(rng.arrivals)
+        outcome = policy.run_interval(k, arrivals, ledger.positive_debts, rng)
+        ledger.record_interval(outcome.deliveries)
+        (decision,) = outcome.info["swaps"]
+        backoffs = outcome.info["backoffs"]
+        print(
+            f"{k:8d} | {list(sigma_before)} | {decision.candidate_priority} |"
+            f" ({decision.xi_down:+d},{decision.xi_up:+d})      |"
+            f" {[backoffs[i] for i in range(4)]} | {decision.committed}"
+        )
+
+
+def long_run_distribution(num_intervals: int = 40000) -> None:
+    """Empirical ordering frequencies vs Proposition 2's closed form."""
+    spec = build_network()
+    policy = DPProtocol(bias=PerLinkSwapBias(MUS))
+    sim = IntervalSimulator(spec, policy, seed=5)
+    counts: Counter = Counter()
+    for _ in range(num_intervals):
+        sim.step()
+        counts[policy.priorities] += 1
+    theory = stationary_distribution(MUS)
+    print("\ntop orderings (link -> priority), empirical vs Proposition 2:")
+    for sigma, prob in sorted(theory.items(), key=lambda kv: -kv[1])[:6]:
+        print(
+            f"  {list(sigma)}: empirical {counts[sigma] / num_intervals:.4f}  "
+            f"theory {prob:.4f}"
+        )
+
+
+def main() -> None:
+    narrate()
+    long_run_distribution()
+    print(
+        "\nHigh-mu links (mu = "
+        + ", ".join(f"{m:g}" for m in MUS)
+        + ") dominate the high-priority slots, exactly as the product-form "
+        "stationary distribution predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: build a deadline-constrained wireless network, run DB-DP,
+and compare it with the centralized LDF optimum.
+
+The scenario is a small industrial cell: 8 links sharing one channel, one
+control packet per link per interval with probability 0.8, per-attempt
+success probability 0.7, a 2 ms deadline, and a 95% required delivery
+ratio.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    DBDPPolicy,
+    LDFPolicy,
+    NetworkSpec,
+    low_latency_timing,
+    run_simulation,
+)
+
+NUM_LINKS = 8
+INTERVALS = 3000
+SEED = 7
+
+
+def build_network() -> NetworkSpec:
+    """The network tuple (N, A, T, p) plus requirements q."""
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals.symmetric(NUM_LINKS, rate=0.8),
+        channel=BernoulliChannel.symmetric(NUM_LINKS, p=0.7),
+        timing=low_latency_timing(),  # 2 ms deadline, 802.11a airtimes
+        delivery_ratios=0.95,
+    )
+
+
+def main() -> None:
+    spec = build_network()
+    print(
+        f"network: {spec.num_links} links, "
+        f"{spec.timing.max_transmissions} transmission opportunities per "
+        f"{spec.timing.interval_us / 1000:.1f} ms interval, "
+        f"workload utilization {spec.workload_bound_utilization():.2f}"
+    )
+
+    for policy in (DBDPPolicy(), LDFPolicy()):
+        result = run_simulation(spec, policy, INTERVALS, seed=SEED)
+        summary = result.summary()
+        print(
+            f"{policy.name:>6s}: total deficiency "
+            f"{summary.total_deficiency:.4f}  "
+            f"(per-link timely-throughput "
+            f"{summary.timely_throughput.round(3)} vs "
+            f"requirement {spec.requirements[0]:.3f})"
+        )
+    print(
+        "Both deficiencies should be ~0: the requirement vector is strictly "
+        "feasible, DB-DP fulfills it without any central controller."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Real-time video delivery over a shared wireless cell (Section VI-A).
+
+Twenty camera links stream bursty video (1500 B packets, 20 ms per-packet
+deadline) through a fully-interfering channel with 70% per-attempt
+reliability and a 90% required delivery ratio.  The script sweeps the load
+parameter ``alpha*`` and prints the total timely-throughput deficiency of
+the decentralized DB-DP algorithm next to the centralized LDF optimum and
+the FCSMA baseline — a miniature of the paper's Figure 3.
+
+Run with::
+
+    python examples/video_delivery.py            # quick sweep
+    REPRO_SCALE=1.0 python examples/video_delivery.py  # paper horizon
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import scaled_intervals, video_symmetric_spec
+from repro.experiments.figures import fig3
+from repro.experiments.reporting import format_figure
+
+QUICK_ALPHAS = (0.45, 0.55, 0.62, 0.70)
+
+
+def main() -> None:
+    intervals = scaled_intervals(5000)
+    spec = video_symmetric_spec(0.55)
+    print(
+        f"video scenario: {spec.num_links} links, "
+        f"{spec.timing.data_airtime_us:.0f} us per packet exchange, "
+        f"{spec.timing.max_transmissions} transmissions per 20 ms interval\n"
+    )
+    result = fig3(num_intervals=intervals, alphas=QUICK_ALPHAS)
+    print(format_figure(result))
+    lift_off = 0.1 * max(result.series["LDF"])
+    admissible = max(
+        (
+            a
+            for a, d in zip(result.x_values, result.series["LDF"])
+            if d <= lift_off
+        ),
+        default=result.x_values[0],
+    )
+    print(
+        f"LDF sustains alpha* up to ~{admissible:g}; DB-DP tracks it without "
+        "any controller, while FCSMA's contention losses bite much earlier."
+    )
+
+
+if __name__ == "__main__":
+    main()

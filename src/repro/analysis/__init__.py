@@ -1,0 +1,2 @@
+"""Analysis tools: exact priority-chain Markov analysis, feasibility
+bounds, finite-horizon optimality checks, and metric helpers."""

@@ -1,0 +1,97 @@
+"""Capacity estimation: the admissible boundary of a policy.
+
+The paper's Figures 3/7/9 are read through their lift-off points — the
+largest load a policy sustains with (near-)zero deficiency.  This module
+estimates that boundary by bisection over a scenario's load parameter,
+which is how EXPERIMENTS.md quantifies "FCSMA supports only about 70% of
+the maximum admissible alpha*".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.requirements import NetworkSpec
+from ..sim.interval_sim import run_simulation
+from .metrics import total_deficiency
+
+__all__ = ["CapacityEstimate", "admissible_boundary", "relative_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Result of a bisection search for the admissible boundary."""
+
+    boundary: float
+    lower: float  # largest load confirmed sustained
+    upper: float  # smallest load confirmed deficient
+    iterations: int
+    threshold: float
+
+
+def admissible_boundary(
+    spec_builder: Callable[[float], NetworkSpec],
+    policy_factory: Callable[[], object],
+    low: float,
+    high: float,
+    num_intervals: int = 2000,
+    seeds: Sequence[int] = (0,),
+    threshold: float = 0.25,
+    tolerance: float = 0.01,
+    max_iterations: int = 12,
+) -> CapacityEstimate:
+    """Bisect the load parameter for the policy's lift-off point.
+
+    ``spec_builder(load)`` must produce harder instances as ``load`` grows.
+    A load is "sustained" when the seed-averaged total deficiency stays
+    below ``threshold`` after ``num_intervals`` intervals.  ``low`` must be
+    sustained and ``high`` deficient, or the search degenerates to the
+    given endpoint.
+    """
+    if not low < high:
+        raise ValueError(f"need low < high, got {low}, {high}")
+    if threshold <= 0 or tolerance <= 0:
+        raise ValueError("threshold and tolerance must be positive")
+
+    def sustained(load: float) -> bool:
+        totals = []
+        for seed in seeds:
+            spec = spec_builder(load)
+            result = run_simulation(
+                spec, policy_factory(), num_intervals, seed=seed
+            )
+            totals.append(
+                total_deficiency(result.deliveries, spec.requirement_vector)
+            )
+        return sum(totals) / len(totals) < threshold
+
+    if not sustained(low):
+        return CapacityEstimate(low, low, low, 0, threshold)
+    if sustained(high):
+        return CapacityEstimate(high, high, high, 0, threshold)
+
+    iterations = 0
+    while high - low > tolerance and iterations < max_iterations:
+        mid = (low + high) / 2.0
+        if sustained(mid):
+            low = mid
+        else:
+            high = mid
+        iterations += 1
+    return CapacityEstimate(
+        boundary=(low + high) / 2.0,
+        lower=low,
+        upper=high,
+        iterations=iterations,
+        threshold=threshold,
+    )
+
+
+def relative_capacity(
+    estimate: CapacityEstimate, reference: CapacityEstimate
+) -> float:
+    """Boundary ratio (e.g. FCSMA / LDF — the paper's ~0.7)."""
+    if reference.boundary <= 0:
+        raise ValueError("reference boundary must be positive")
+    return estimate.boundary / reference.boundary

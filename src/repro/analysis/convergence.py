@@ -1,0 +1,78 @@
+"""Convergence-time analysis (the Fig. 5 study).
+
+The paper measures how fast the running timely-throughput of the link that
+*starts* at the lowest priority approaches its requirement — LDF converges
+quickly by construction, and DB-DP's priority chain is shown to reach a
+comparable neighborhood.  These helpers turn delivery traces into
+convergence times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "running_mean",
+    "time_to_neighborhood",
+    "relative_convergence_time",
+]
+
+
+def running_mean(series: Sequence[float]) -> np.ndarray:
+    """Cumulative mean of a per-interval series."""
+    x = np.asarray(series, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("series must be a non-empty 1-D sequence")
+    return np.cumsum(x) / np.arange(1, x.size + 1)
+
+
+def time_to_neighborhood(
+    series: Sequence[float],
+    target: float,
+    relative_tolerance: float = 0.01,
+) -> Optional[int]:
+    """First interval after which the running mean *stays* near ``target``.
+
+    "Near" means within ``relative_tolerance * target`` (the paper's "1%
+    neighborhood of the timely-throughput requirement"); "stays" means every
+    later interval of the trace also qualifies.  Returns the 0-based
+    interval index, or ``None`` if the trace never settles.
+    """
+    if target <= 0:
+        raise ValueError(f"target must be positive, got {target}")
+    if relative_tolerance <= 0:
+        raise ValueError(
+            f"relative tolerance must be positive, got {relative_tolerance}"
+        )
+    mean = running_mean(series)
+    inside = np.abs(mean - target) <= relative_tolerance * target
+    # The settle point is right after the last outside sample.
+    outside = np.flatnonzero(~inside)
+    if outside.size == 0:
+        return 0
+    settle = int(outside[-1]) + 1
+    if settle >= mean.size:
+        return None
+    return settle
+
+
+def relative_convergence_time(
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+    target: float,
+    relative_tolerance: float = 0.01,
+) -> Optional[float]:
+    """Ratio of the two traces' convergence times (a / b).
+
+    Returns ``None`` when either trace fails to settle.  Used to quantify
+    "DB-DP achieves a convergence time comparable to LDF".
+    """
+    time_a = time_to_neighborhood(series_a, target, relative_tolerance)
+    time_b = time_to_neighborhood(series_b, target, relative_tolerance)
+    if time_a is None or time_b is None:
+        return None
+    if time_b == 0:
+        return float("inf") if time_a > 0 else 1.0
+    return time_a / time_b

@@ -1,0 +1,238 @@
+"""Feasibility analysis of timely-throughput requirement vectors (Section II-C).
+
+Three complementary tools:
+
+* **Workload outer bounds** (necessary conditions): every delivery by link
+  ``n`` costs ``1 / p_n`` attempts in expectation, the interval offers at
+  most ``T`` attempts, and a subset ``S`` of links can usefully absorb at
+  most ``E[min(drain_S, T)]`` attempts where ``drain_S`` is the attempt
+  count needed to clear all of ``S``'s arrivals.  Violating any subset
+  inequality certifies ``q`` infeasible.
+* **Exact hull membership** for one-packet-per-interval networks: priority
+  policies are the extreme points of the achievable region, each ordering's
+  expected delivery vector is computed in closed form, and an LP decides
+  whether ``q`` is dominated by a convex combination — exact (up to the
+  ordering enumeration limit) for the classical Hou-Borkar-Kumar setting.
+* **Empirical feasibility**: run the feasibility-optimal ELDF policy and
+  check the deficiency converges — the practical oracle for large networks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.eldf import LDFPolicy
+from ..core.requirements import NetworkSpec
+from ..sim.interval_sim import run_simulation
+
+__all__ = [
+    "workload_utilization",
+    "subset_workload_slack",
+    "infeasible_by_workload",
+    "one_packet_delivery_vector",
+    "priority_hull_contains",
+    "empirical_feasibility",
+    "FeasibilityVerdict",
+]
+
+
+def workload_utilization(spec: NetworkSpec) -> float:
+    """``sum_n q_n / p_n`` over the interval's transmission opportunities.
+
+    Above 1 certifies infeasibility; below 1 is necessary, not sufficient.
+    """
+    return spec.workload_bound_utilization()
+
+
+def subset_workload_slack(
+    spec: NetworkSpec,
+    subset: Sequence[int],
+    num_samples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo slack of the subset workload inequality.
+
+    Estimates ``E[min(drain_S, T)] - sum_{n in S} q_n / p_n`` where
+    ``drain_S = sum_{n in S} sum over arrivals of Geometric(p_n)`` is the
+    attempt count needed to deliver every arrival of the subset.  Negative
+    slack (beyond MC noise) certifies infeasibility.
+    """
+    subset = tuple(sorted(set(int(i) for i in subset)))
+    if not subset:
+        raise ValueError("subset must be non-empty")
+    n = spec.num_links
+    if subset[0] < 0 or subset[-1] >= n:
+        raise ValueError(f"subset {subset} out of range for {n} links")
+    rng = np.random.default_rng(seed)
+    slots = spec.timing.max_transmissions
+    p = spec.reliabilities
+    total = 0.0
+    for _ in range(num_samples):
+        arrivals = spec.arrivals.sample(rng)
+        drain = 0
+        for link in subset:
+            count = int(arrivals[link])
+            if count:
+                drain += int(rng.geometric(p[link], size=count).sum())
+            if drain >= slots:
+                drain = slots
+                break
+        total += min(drain, slots)
+    capacity = total / num_samples
+    demand = float(
+        sum(spec.requirement_vector[link] / p[link] for link in subset)
+    )
+    return capacity - demand
+
+
+def infeasible_by_workload(
+    spec: NetworkSpec,
+    max_subset_size: Optional[int] = None,
+    num_samples: int = 2000,
+    seed: int = 0,
+    noise_margin: float = 0.0,
+) -> Optional[Tuple[int, ...]]:
+    """Search subsets for a violated workload inequality.
+
+    Returns the first violating subset (a certificate of infeasibility) or
+    ``None`` if no inequality is violated.  Checks the full-set inequality
+    first, then subsets up to ``max_subset_size`` (default: min(N, 4) to
+    bound the combinatorics).
+    """
+    n = spec.num_links
+    if workload_utilization(spec) > 1.0:
+        return tuple(range(n))
+    limit = min(n, 4) if max_subset_size is None else min(n, max_subset_size)
+    for size in range(1, limit + 1):
+        for subset in itertools.combinations(range(n), size):
+            slack = subset_workload_slack(
+                spec, subset, num_samples=num_samples, seed=seed
+            )
+            if slack < -abs(noise_margin):
+                return subset
+    return None
+
+
+def one_packet_delivery_vector(
+    order: Sequence[int],
+    reliabilities: Sequence[float],
+    slots: int,
+) -> np.ndarray:
+    """Exact expected deliveries per link under a fixed priority ordering.
+
+    One packet per link per interval; the head link retries until success
+    or interval end (LDF semantics).  Computed by propagating the exact
+    distribution of slots remaining when each position starts:
+
+    * delivered within ``t`` slots w.p. ``1 - (1-p)^t``;
+    * consumes ``a`` slots w.p. ``p (1-p)^(a-1)`` on success at attempt
+      ``a``, or all ``t`` slots on failure.
+    """
+    n = len(reliabilities)
+    if sorted(order) != list(range(n)):
+        raise ValueError(f"{order!r} is not an ordering of links 0..{n - 1}")
+    if slots < 0:
+        raise ValueError(f"slots must be nonnegative, got {slots}")
+    deliveries = np.zeros(n)
+    # dist[t] = probability the current position starts with t slots left.
+    dist = np.zeros(slots + 1)
+    dist[slots] = 1.0
+    for link in order:
+        p = float(reliabilities[link])
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"reliabilities must lie in (0, 1], got {p}")
+        next_dist = np.zeros(slots + 1)
+        delivered = 0.0
+        # t = 0: nothing happens, the interval is over.
+        next_dist[0] += dist[0]
+        for t in range(1, slots + 1):
+            mass = dist[t]
+            if mass == 0.0:
+                continue
+            # Success at attempt a consumes a slots (a = 1..t).
+            for a in range(1, t + 1):
+                prob = p * (1.0 - p) ** (a - 1)
+                delivered += mass * prob
+                next_dist[t - a] += mass * prob
+            # Failure for all t attempts consumes everything.
+            next_dist[0] += mass * (1.0 - p) ** t
+        deliveries[link] = delivered
+        dist = next_dist
+    return deliveries
+
+
+def priority_hull_contains(
+    requirements: Sequence[float],
+    reliabilities: Sequence[float],
+    slots: int,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Is ``q`` dominated by a convex combination of priority orderings?
+
+    Exact feasibility test for the one-packet-per-interval network: solves
+    the LP ``exists theta >= 0, sum theta = 1, sum_o theta_o E_o >= q``.
+    Enumerates all ``N!`` orderings — intended for ``N <= 6``.
+    """
+    n = len(reliabilities)
+    if n > 7:
+        raise ValueError(f"ordering enumeration supports at most 7 links, got {n}")
+    q = np.asarray(requirements, dtype=float)
+    if q.shape != (n,):
+        raise ValueError(f"expected {n} requirements, got shape {q.shape}")
+
+    vectors = [
+        one_packet_delivery_vector(order, reliabilities, slots)
+        for order in itertools.permutations(range(n))
+    ]
+    matrix = np.column_stack(vectors)  # (n, n!)
+    num_vars = matrix.shape[1]
+    # linprog: minimize 0 subject to -E theta <= -q (i.e. E theta >= q),
+    # sum theta = 1, theta >= 0.
+    result = linprog(
+        c=np.zeros(num_vars),
+        A_ub=-matrix,
+        b_ub=-(q - tolerance),
+        A_eq=np.ones((1, num_vars)),
+        b_eq=np.array([1.0]),
+        bounds=[(0.0, None)] * num_vars,
+        method="highs",
+    )
+    return bool(result.success)
+
+
+@dataclass(frozen=True)
+class FeasibilityVerdict:
+    """Outcome of an empirical feasibility run."""
+
+    fulfilled: bool
+    total_deficiency: float
+    num_intervals: int
+    tolerance: float
+
+
+def empirical_feasibility(
+    spec: NetworkSpec,
+    num_intervals: int = 5000,
+    seed: int = 0,
+    tolerance: float = 0.05,
+) -> FeasibilityVerdict:
+    """Run the feasibility-optimal LDF policy and judge the deficiency.
+
+    ``q`` strictly inside the feasible region drives the deficiency to 0
+    (Proposition 1); a residual above ``tolerance`` after ``num_intervals``
+    intervals is evidence (not proof) of infeasibility.
+    """
+    result = run_simulation(spec, LDFPolicy(), num_intervals, seed=seed)
+    total = result.total_deficiency()
+    return FeasibilityVerdict(
+        fulfilled=total <= tolerance,
+        total_deficiency=total,
+        num_intervals=num_intervals,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,187 @@
+"""Exact analysis of the priority chain ``{sigma(k)}`` (Section IV-D).
+
+For fixed swap biases ``mu_n`` the priority vector evolves as a Markov chain
+on the symmetric group ``S_N`` with transition probabilities (Eq. (9))
+
+    X[sigma, sigma'] = (1 - mu_i) mu_j / (N - 1) * P{R_i + R_j >= 1}
+
+whenever ``sigma'`` is ``sigma`` with an adjacent priority pair exchanged
+(``i`` the link moving down, ``j`` the link moving up), and 0 for any other
+off-diagonal entry.  This module builds the full ``N! x N!`` matrix for
+small ``N`` and checks the paper's structural claims: irreducibility and
+aperiodicity (Lemma 4), time-reversibility and the product-form stationary
+distribution (Proposition 2), plus spectral-gap/mixing-time diagnostics used
+in the convergence study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.permutations import enumerate_priority_vectors
+
+__all__ = [
+    "SigmaChain",
+    "build_sigma_chain",
+    "stationary_from_matrix",
+    "detailed_balance_residual",
+    "spectral_gap",
+    "mixing_time_upper_bound",
+]
+
+#: Type of the optional handshake-success model: maps (sigma, candidate c)
+#: to P{R_i + R_j >= 1}, the probability that the swap handshake is
+#: observable on the channel.  The default (1.0 everywhere) models condition
+#: C1 with ample spare airtime.
+HandshakeModel = Callable[[Tuple[int, ...], int], float]
+
+MAX_EXACT_LINKS = 7  # 7! = 5040 states; beyond this the matrix is impractical.
+
+
+@dataclass(frozen=True)
+class SigmaChain:
+    """The exact chain: ordered state list and transition matrix."""
+
+    states: Tuple[Tuple[int, ...], ...]
+    matrix: np.ndarray
+    mus: Tuple[float, ...]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def index(self, sigma: Sequence[int]) -> int:
+        return self.states.index(tuple(sigma))
+
+    def is_irreducible(self) -> bool:
+        """Lemma 4 (first half): one communicating class."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_states))
+        rows, cols = np.nonzero(self.matrix > 0)
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        return nx.is_strongly_connected(graph)
+
+    def is_aperiodic(self) -> bool:
+        """Lemma 4 (second half).
+
+        Sufficient check: an irreducible chain with any positive self-loop
+        is aperiodic, and the sigma-chain always has self-loops (a swap
+        attempt fails with positive probability since ``mu in (0, 1)``).
+        """
+        return bool(np.any(np.diag(self.matrix) > 0))
+
+    def stationary(self) -> np.ndarray:
+        return stationary_from_matrix(self.matrix)
+
+
+def build_sigma_chain(
+    mus: Sequence[float],
+    handshake: Optional[HandshakeModel] = None,
+) -> SigmaChain:
+    """Construct the exact transition matrix of Eq. (9).
+
+    Parameters
+    ----------
+    mus:
+        Per-link swap biases ``mu_n in (0, 1)`` (fixed, i.e. the
+        quasi-stationary regime of Section V-A).
+    handshake:
+        Optional ``P{R_i + R_j >= 1}`` model; defaults to 1.
+    """
+    n = len(mus)
+    if n < 2:
+        raise ValueError(f"the sigma chain needs at least 2 links, got {n}")
+    if n > MAX_EXACT_LINKS:
+        raise ValueError(
+            f"exact analysis supports at most {MAX_EXACT_LINKS} links "
+            f"({MAX_EXACT_LINKS}! states), got {n}"
+        )
+    for mu in mus:
+        if not 0.0 < mu < 1.0:
+            raise ValueError(f"each mu must lie in (0, 1), got {mu}")
+
+    states = tuple(enumerate_priority_vectors(n))
+    index = {sigma: s for s, sigma in enumerate(states)}
+    size = len(states)
+    matrix = np.zeros((size, size))
+
+    for s, sigma in enumerate(states):
+        row_total = 0.0
+        for c in range(1, n):  # candidate priority index C(k)
+            link_down = sigma.index(c)
+            link_up = sigma.index(c + 1)
+            success = 1.0 if handshake is None else handshake(sigma, c)
+            if not 0.0 <= success <= 1.0:
+                raise ValueError(
+                    f"handshake model returned {success} outside [0, 1]"
+                )
+            prob = (
+                (1.0 - mus[link_down]) * mus[link_up] / (n - 1) * success
+            )
+            if prob == 0.0:
+                continue
+            swapped = list(sigma)
+            swapped[link_down], swapped[link_up] = (
+                swapped[link_up],
+                swapped[link_down],
+            )
+            matrix[s, index[tuple(swapped)]] = prob
+            row_total += prob
+        matrix[s, s] = 1.0 - row_total
+
+    return SigmaChain(states=states, matrix=matrix, mus=tuple(mus))
+
+
+def stationary_from_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Solve ``pi X = pi`` by linear algebra (unique for irreducible X)."""
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    # (X^T - I) pi = 0 with sum(pi) = 1: replace one equation by the
+    # normalization to get a nonsingular system.
+    a = matrix.T - np.eye(size)
+    a[-1, :] = 1.0
+    b = np.zeros(size)
+    b[-1] = 1.0
+    pi = np.linalg.solve(a, b)
+    if np.any(pi < -1e-9):
+        raise ArithmeticError(
+            "stationary solve produced negative mass; chain may be reducible"
+        )
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+def detailed_balance_residual(chain: SigmaChain, pi: np.ndarray) -> float:
+    """Max ``|pi_s X_st - pi_t X_ts|`` — 0 iff the chain is reversible."""
+    flows = pi[:, None] * chain.matrix
+    return float(np.abs(flows - flows.T).max())
+
+
+def spectral_gap(matrix: np.ndarray) -> float:
+    """``1 - |lambda_2|`` for the transition matrix (eigen decomposition)."""
+    eigenvalues = np.linalg.eigvals(matrix)
+    magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+    # The leading eigenvalue of a stochastic matrix is 1.
+    second = magnitudes[1] if magnitudes.size > 1 else 0.0
+    return float(1.0 - second)
+
+
+def mixing_time_upper_bound(chain: SigmaChain, epsilon: float = 0.01) -> float:
+    """Standard reversible-chain bound on the eps-mixing time (in intervals).
+
+    ``t_mix(eps) <= log(1 / (eps * pi_min)) / gap``.  Interpreted loosely —
+    it is a diagnostic for the convergence experiments, not a tight result.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    pi = chain.stationary()
+    gap = spectral_gap(chain.matrix)
+    if gap <= 0:
+        return float("inf")
+    pi_min = float(pi[pi > 0].min())
+    return float(np.log(1.0 / (epsilon * pi_min)) / gap)

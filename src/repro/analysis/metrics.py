@@ -1,0 +1,112 @@
+"""Standalone metric helpers (Definition 1 and friends).
+
+These operate on raw delivery matrices so they can be applied to traces
+from either simulator (or imported traces), independent of
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "per_link_deficiency",
+    "total_deficiency",
+    "deficiency_series",
+    "group_deficiency",
+    "empirical_delivery_ratio",
+    "jains_fairness_index",
+]
+
+
+def _as_matrix(deliveries: np.ndarray) -> np.ndarray:
+    m = np.asarray(deliveries, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"deliveries must be (K, N), got shape {m.shape}")
+    return m
+
+
+def per_link_deficiency(
+    deliveries: np.ndarray, requirements: Sequence[float]
+) -> np.ndarray:
+    """``(q_n - mean_k S_n(k))^+`` per link (Definition 1)."""
+    m = _as_matrix(deliveries)
+    q = np.asarray(requirements, dtype=float)
+    if q.shape != (m.shape[1],):
+        raise ValueError(
+            f"expected {m.shape[1]} requirements, got shape {q.shape}"
+        )
+    if m.shape[0] == 0:
+        return q.copy()
+    return np.maximum(q - m.mean(axis=0), 0.0)
+
+
+def total_deficiency(
+    deliveries: np.ndarray, requirements: Sequence[float]
+) -> float:
+    """Total timely-throughput deficiency (Definition 1, second part)."""
+    return float(per_link_deficiency(deliveries, requirements).sum())
+
+
+def deficiency_series(
+    deliveries: np.ndarray, requirements: Sequence[float]
+) -> np.ndarray:
+    """Total deficiency after each interval — the convergence curve."""
+    m = _as_matrix(deliveries)
+    q = np.asarray(requirements, dtype=float)
+    cumulative = np.cumsum(m, axis=0)
+    ks = np.arange(1, m.shape[0] + 1)[:, None]
+    return np.maximum(q[None, :] - cumulative / ks, 0.0).sum(axis=1)
+
+
+def group_deficiency(
+    deliveries: np.ndarray,
+    requirements: Sequence[float],
+    groups: Sequence[int],
+) -> np.ndarray:
+    """Per-group sums of per-link deficiency (Figs. 7-8 report these).
+
+    ``groups[n]`` is the 0-based group id of link ``n``; the result has one
+    entry per group id in ``0..max(groups)``.
+    """
+    link_deficiency = per_link_deficiency(deliveries, requirements)
+    group_ids = np.asarray(groups, dtype=int)
+    if group_ids.shape != link_deficiency.shape:
+        raise ValueError("groups must have one id per link")
+    num_groups = int(group_ids.max()) + 1
+    out = np.zeros(num_groups)
+    for gid in range(num_groups):
+        out[gid] = link_deficiency[group_ids == gid].sum()
+    return out
+
+
+def empirical_delivery_ratio(
+    deliveries: np.ndarray, arrivals: np.ndarray
+) -> np.ndarray:
+    """Delivered / arrived per link over the whole trace (0 if no arrivals)."""
+    d = _as_matrix(deliveries).sum(axis=0)
+    a = _as_matrix(arrivals).sum(axis=0)
+    out = np.zeros_like(d)
+    nonzero = a > 0
+    out[nonzero] = d[nonzero] / a[nonzero]
+    return out
+
+
+def jains_fairness_index(values: Sequence[float]) -> float:
+    """Jain's index ``(sum x)^2 / (n sum x^2)`` in ``(0, 1]``.
+
+    Used to quantify the starvation-mitigation claim (Section I): under a
+    fixed priority ordering, DP-style service keeps the index well above the
+    ``1/n`` floor of a fully starving allocation.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(x < 0):
+        raise ValueError(f"values must be nonnegative, got {x}")
+    denom = x.size * float(np.square(x).sum())
+    if denom == 0:
+        return 1.0  # all-zero allocation is (vacuously) perfectly fair
+    return float(np.square(x.sum()) / denom)

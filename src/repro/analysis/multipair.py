@@ -1,0 +1,107 @@
+"""Exact analysis of the multi-pair reordering chain (Remark 6).
+
+The paper generalizes the DP protocol to several non-consecutive candidate
+indices per interval and defers the analysis to its technical report.  This
+module builds the exact transition matrix of that generalized chain so the
+claim implicit in Remark 6 — the product-form stationary distribution of
+Proposition 2 survives the extension — can be *verified* numerically:
+
+* Candidate sets: all size-``P`` subsets of ``{1, .., N-1}`` with pairwise
+  gaps >= 2, drawn uniformly (matching
+  :func:`repro.core.dp_protocol.draw_candidate_indices`).
+* Given a candidate set, each pair independently commits with probability
+  ``(1 - mu_down) mu_up`` (both coins aligned; handshake assumed to
+  complete, i.e. ample spare airtime).
+* A transition applies the commits of *all* committed pairs — the pairs
+  act on disjoint priority slots, so the swaps commute.
+
+The chain remains reversible w.r.t. Proposition 2's product form: each
+committed pair contributes exactly the single-pair detailed-balance factor,
+and the factors multiply.  ``tests/analysis/test_multipair.py`` checks this
+by brute force for several ``(N, P)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.permutations import enumerate_priority_vectors
+from .markov import SigmaChain
+
+__all__ = ["non_consecutive_candidate_sets", "build_multipair_chain"]
+
+
+def non_consecutive_candidate_sets(
+    num_links: int, num_pairs: int
+) -> List[Tuple[int, ...]]:
+    """All admissible candidate sets: size-P, gaps >= 2, within [1, N-1]."""
+    if num_links < 2:
+        return []
+    if num_pairs < 1:
+        raise ValueError(f"num_pairs must be >= 1, got {num_pairs}")
+    sets = [
+        combo
+        for combo in itertools.combinations(range(1, num_links), num_pairs)
+        if all(b - a >= 2 for a, b in zip(combo, combo[1:]))
+    ]
+    if not sets:
+        raise ValueError(
+            f"{num_pairs} non-consecutive pairs do not fit in a "
+            f"{num_links}-link priority range"
+        )
+    return sets
+
+
+def build_multipair_chain(
+    mus: Sequence[float], num_pairs: int
+) -> SigmaChain:
+    """Exact transition matrix of the Remark-6 chain (small N only).
+
+    With ``num_pairs = 1`` this reduces to
+    :func:`repro.analysis.markov.build_sigma_chain` with handshake
+    probability 1 (verified in tests).
+    """
+    n = len(mus)
+    if n < 2:
+        raise ValueError(f"need at least 2 links, got {n}")
+    if n > 6:
+        raise ValueError(f"exact multi-pair analysis supports N <= 6, got {n}")
+    for mu in mus:
+        if not 0.0 < mu < 1.0:
+            raise ValueError(f"each mu must lie in (0, 1), got {mu}")
+
+    candidate_sets = non_consecutive_candidate_sets(n, num_pairs)
+    set_probability = 1.0 / len(candidate_sets)
+
+    states = tuple(enumerate_priority_vectors(n))
+    index = {sigma: s for s, sigma in enumerate(states)}
+    size = len(states)
+    matrix = np.zeros((size, size))
+
+    for s, sigma in enumerate(states):
+        for candidates in candidate_sets:
+            # Each pair commits independently; enumerate every commit mask.
+            pair_links = []
+            pair_probs = []
+            for c in candidates:
+                down = sigma.index(c)
+                up = sigma.index(c + 1)
+                pair_links.append((down, up))
+                pair_probs.append((1.0 - mus[down]) * mus[up])
+            for mask in itertools.product((False, True), repeat=num_pairs):
+                probability = set_probability
+                target = list(sigma)
+                for commit, (down, up), p_commit in zip(
+                    mask, pair_links, pair_probs
+                ):
+                    probability *= p_commit if commit else (1.0 - p_commit)
+                    if commit:
+                        target[down], target[up] = target[up], target[down]
+                if probability == 0.0:
+                    continue
+                matrix[s, index[tuple(target)]] += probability
+
+    return SigmaChain(states=states, matrix=matrix, mus=tuple(mus))

@@ -1,0 +1,120 @@
+"""Contention-overhead model for the DP protocol (Section IV-C).
+
+The paper quantifies DP's overhead as (i) at most ``N + 1`` backoff slots
+and (ii) at most two empty packets per interval.  This module computes the
+*expected* overhead — tighter than the worst case — by sampling only the
+protocol-level randomness (arrivals, candidate pair, coins), with no
+channel or debt simulation needed:
+
+* idle backoff time = (largest backoff among links that transmit) x slot;
+* empty packets = candidates without arrivals.
+
+The estimate assumes every transmission fits in the interval (light/medium
+load), which upper-bounds the true overhead: saturated intervals cut the
+backoff tail.  ``tests/analysis/test_overhead.py`` validates the model
+against full simulations and the paper's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.dp_protocol import compute_backoffs, draw_candidate_indices
+from ..core.requirements import NetworkSpec
+
+__all__ = ["OverheadModel", "expected_dp_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Expected per-interval DP contention overhead."""
+
+    mean_idle_slots: float
+    mean_empty_packets: float
+    mean_overhead_us: float
+    worst_case_us: float  # the paper's (N+1) slots + 2 empty packets bound
+    samples: int
+
+    @property
+    def lost_transmissions(self) -> float:
+        """Overhead expressed in equivalent data transmissions (needs the
+        caller to divide by airtime); kept raw here for clarity."""
+        return self.mean_overhead_us
+
+
+def expected_dp_overhead(
+    spec: NetworkSpec,
+    mu: float = 0.5,
+    num_pairs: int = 1,
+    num_samples: int = 4000,
+    seed: int = 0,
+) -> OverheadModel:
+    """Monte-Carlo expectation of DP's per-interval overhead.
+
+    ``mu`` is the (assumed common) coin bias — overhead is insensitive to
+    it, since it only shifts which band slot a candidate occupies.
+    Priorities are drawn uniformly (the long-run behaviour under symmetric
+    biases); heterogeneous-bias stationary weighting would change which
+    *link* sits where but not the backoff geometry, so the estimate applies
+    broadly.
+    """
+    if not 0.0 < mu < 1.0:
+        raise ValueError(f"mu must lie in (0, 1), got {mu}")
+    if num_samples < 1:
+        raise ValueError(f"need at least one sample, got {num_samples}")
+    n = spec.num_links
+    timing = spec.timing
+    rng = np.random.default_rng(seed)
+
+    idle_slots = np.empty(num_samples)
+    empty_packets = np.empty(num_samples)
+    for i in range(num_samples):
+        arrivals = spec.arrivals.sample(rng)
+        sigma = tuple(int(v) for v in rng.permutation(n) + 1)
+        if n >= 2:
+            candidates = draw_candidate_indices(n, num_pairs, rng)
+        else:
+            candidates = ()
+        xi = {}
+        candidate_links = set()
+        for c in candidates:
+            for link in (sigma.index(c), sigma.index(c + 1)):
+                xi[link] = 1 if rng.random() < mu else -1
+                candidate_links.add(link)
+        backoffs = (
+            compute_backoffs(sigma, candidates, xi)
+            if candidates
+            else {link: sigma[link] - 1 for link in range(n)}
+        )
+        transmitters = [
+            link
+            for link in range(n)
+            if arrivals[link] > 0 or link in candidate_links
+        ]
+        idle_slots[i] = max(
+            (backoffs[link] for link in transmitters), default=0
+        )
+        empty_packets[i] = sum(
+            1 for link in candidate_links if arrivals[link] == 0
+        )
+
+    mean_idle = float(idle_slots.mean())
+    mean_empty = float(empty_packets.mean())
+    mean_overhead = (
+        mean_idle * timing.backoff_slot_us
+        + mean_empty * timing.empty_airtime_us
+    )
+    worst = (
+        (n + 2 * num_pairs - 1) * timing.backoff_slot_us
+        + 2 * num_pairs * timing.empty_airtime_us
+    )
+    return OverheadModel(
+        mean_idle_slots=mean_idle,
+        mean_empty_packets=mean_empty,
+        mean_overhead_us=mean_overhead,
+        worst_case_us=worst,
+        samples=num_samples,
+    )

@@ -1,0 +1,118 @@
+"""Exact timely-throughput region exploration (Definitions 3-5).
+
+For one-packet-per-interval networks the achievable region ``Q`` is the
+convex hull (plus free disposal) of the priority orderings' expected
+delivery vectors; this module exposes the region through its support
+function and implements the paper's feasibility taxonomy:
+
+* :func:`support_point` — the delivery vector maximizing ``<w, E[S]>``,
+  computed exactly (Lemma 3 makes a priority ordering optimal for any
+  nonnegative weights, so the maximizer is the ``w p``-sorted ordering).
+* :func:`region_vertices` — expected delivery vectors of all ``N!``
+  orderings (the extreme candidates).
+* :func:`is_feasible` / :func:`is_strictly_feasible` — Definitions 3's two
+  notions: hull membership, and hull membership of ``(1 + alpha) q``.
+* :func:`feasibility_margin` — the largest ``alpha`` with
+  ``(1 + alpha) q`` feasible (bisection), quantifying how deep inside
+  ``Q*`` a requirement sits — the quantity the Lyapunov drift scales with.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .feasibility import one_packet_delivery_vector, priority_hull_contains
+from .optimal_value import eldf_order
+
+__all__ = [
+    "support_point",
+    "region_vertices",
+    "is_feasible",
+    "is_strictly_feasible",
+    "feasibility_margin",
+]
+
+
+def support_point(
+    weights: Sequence[float],
+    reliabilities: Sequence[float],
+    slots: int,
+) -> np.ndarray:
+    """The achievable delivery vector maximizing ``<weights, E[S]>``.
+
+    Lemma 3: the maximizer over *all* policies is the priority ordering
+    sorted by ``w_n p_n`` descending, so the support function of the region
+    is computed exactly from one ordering evaluation.
+    """
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError(f"weights must be nonnegative, got {w}")
+    order = eldf_order(w, reliabilities)
+    return one_packet_delivery_vector(order, reliabilities, slots)
+
+
+def region_vertices(
+    reliabilities: Sequence[float], slots: int
+) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
+    """(ordering, expected deliveries) for every priority ordering."""
+    n = len(reliabilities)
+    if n > 7:
+        raise ValueError(f"vertex enumeration supports at most 7 links, got {n}")
+    return [
+        (order, one_packet_delivery_vector(order, reliabilities, slots))
+        for order in itertools.permutations(range(n))
+    ]
+
+
+def is_feasible(
+    q: Sequence[float],
+    reliabilities: Sequence[float],
+    slots: int,
+) -> bool:
+    """Definition 3 (first part): ``q`` is dominated by a hull point."""
+    return priority_hull_contains(q, reliabilities, slots)
+
+
+def is_strictly_feasible(
+    q: Sequence[float],
+    reliabilities: Sequence[float],
+    slots: int,
+    alpha: float = 0.01,
+) -> bool:
+    """Definition 3 (second part): ``q > 0`` and ``(1 + alpha) q`` feasible."""
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    q = np.asarray(q, dtype=float)
+    if np.any(q <= 0):
+        return False
+    return priority_hull_contains((1.0 + alpha) * q, reliabilities, slots)
+
+
+def feasibility_margin(
+    q: Sequence[float],
+    reliabilities: Sequence[float],
+    slots: int,
+    upper: float = 4.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest ``alpha`` such that ``(1 + alpha) q`` remains feasible.
+
+    Returns -1 if ``q`` itself is infeasible (outside the region), 0 if it
+    sits exactly on the boundary (within tolerance).
+    """
+    q = np.asarray(q, dtype=float)
+    if not priority_hull_contains(q, reliabilities, slots):
+        return -1.0
+    low, high = 0.0, upper
+    if priority_hull_contains((1.0 + high) * q, reliabilities, slots):
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if priority_hull_contains((1.0 + mid) * q, reliabilities, slots):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,134 @@
+"""Closed-form stationary distributions (Propositions 2 and 3).
+
+Proposition 2: for fixed biases ``mu_n`` the sigma-chain is reversible with
+
+    pi*(sigma) = prod_n (mu_n / (1 - mu_n)) ** g(sigma_n) / Z,
+    g(j) = N - j for 1 <= j <= N.
+
+Proposition 3 (DB-DP, quasi-stationary regime): substituting Eq. (14),
+
+    pi*(sigma; k) = exp( sum_n g(sigma_n) f(d_n^+(k)) p_n ) / Z(d(k))
+                    -- when the Glauber constant R = 1.
+
+Note the ``R = 1`` caveat: with ``mu = e^E / (R + e^E)`` the odds ratio is
+``mu / (1 - mu) = e^E / R``, so the generic product form picks up a factor
+``R^{-g(sigma_n)}`` per link.  Since ``sum_n g(sigma_n) = N (N - 1) / 2`` is
+permutation-invariant, the factor cancels in the normalization and Eq. (15)
+holds *verbatim for every R* — a small fact the paper leaves implicit, which
+:func:`dbdp_stationary` exploits and the test-suite verifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.influence import DebtInfluenceFunction
+from ..core.permutations import enumerate_priority_vectors
+
+__all__ = [
+    "priority_weight_exponent",
+    "stationary_distribution",
+    "dbdp_stationary",
+    "most_probable_ordering",
+    "ordering_probability",
+]
+
+
+def priority_weight_exponent(priority_index: int, num_links: int) -> int:
+    """The exponent ``g(j) = N - j`` of Eqs. (12)/(17) (0 outside 1..N)."""
+    if 1 <= priority_index <= num_links:
+        return num_links - priority_index
+    return 0
+
+
+def stationary_distribution(
+    mus: Sequence[float],
+) -> Dict[Tuple[int, ...], float]:
+    """Proposition 2's product form over all of ``S_N``.
+
+    Only for small ``N`` (the distribution has ``N!`` atoms).
+    """
+    n = len(mus)
+    if n < 1:
+        raise ValueError("need at least one link")
+    for mu in mus:
+        if not 0.0 < mu < 1.0:
+            raise ValueError(f"each mu must lie in (0, 1), got {mu}")
+    log_odds = [math.log(mu / (1.0 - mu)) for mu in mus]
+    log_weights = {}
+    for sigma in enumerate_priority_vectors(n):
+        log_weights[sigma] = sum(
+            priority_weight_exponent(s, n) * lo for s, lo in zip(sigma, log_odds)
+        )
+    # Normalize in log space for numerical robustness.
+    max_log = max(log_weights.values())
+    weights = {s: math.exp(lw - max_log) for s, lw in log_weights.items()}
+    z = sum(weights.values())
+    return {s: w / z for s, w in weights.items()}
+
+
+def dbdp_stationary(
+    positive_debts: Sequence[float],
+    reliabilities: Sequence[float],
+    influence: DebtInfluenceFunction,
+) -> Dict[Tuple[int, ...], float]:
+    """Proposition 3's quasi-stationary distribution, Eq. (15).
+
+    ``pi*(sigma) = exp(sum_n g(sigma_n) f(d_n^+) p_n) / Z(d)``.  Valid for
+    any Glauber constant ``R`` (see the module docstring).
+    """
+    if len(positive_debts) != len(reliabilities):
+        raise ValueError("debts and reliabilities must have equal length")
+    n = len(positive_debts)
+    energies = [
+        influence(float(d)) * float(p)
+        for d, p in zip(positive_debts, reliabilities)
+    ]
+    log_weights = {}
+    for sigma in enumerate_priority_vectors(n):
+        log_weights[sigma] = sum(
+            priority_weight_exponent(s, n) * e for s, e in zip(sigma, energies)
+        )
+    max_log = max(log_weights.values())
+    weights = {s: math.exp(lw - max_log) for s, lw in log_weights.items()}
+    z = sum(weights.values())
+    return {s: w / z for s, w in weights.items()}
+
+
+def most_probable_ordering(
+    positive_debts: Sequence[float],
+    reliabilities: Sequence[float],
+    influence: DebtInfluenceFunction,
+) -> Tuple[int, ...]:
+    """The mode of Eq. (15): links sorted by ``f(d^+) p`` descending.
+
+    This is exactly the ELDF ordering (Algorithm 1) — the structural link
+    between the decentralized stationary distribution and the centralized
+    optimum that drives the proof of Proposition 4.  Ties broken by link
+    index, mirroring :meth:`repro.core.eldf.ELDFPolicy.priority_order`.
+    """
+    energies = np.array(
+        [
+            influence(float(d)) * float(p)
+            for d, p in zip(positive_debts, reliabilities)
+        ]
+    )
+    order = np.argsort(-energies, kind="stable")
+    sigma = [0] * len(energies)
+    for position, link in enumerate(order):
+        sigma[int(link)] = position + 1
+    return tuple(sigma)
+
+
+def ordering_probability(
+    sigma: Sequence[int],
+    positive_debts: Sequence[float],
+    reliabilities: Sequence[float],
+    influence: DebtInfluenceFunction,
+) -> float:
+    """``pi*(sigma)`` under Eq. (15) for one specific ordering."""
+    distribution = dbdp_stationary(positive_debts, reliabilities, influence)
+    return distribution[tuple(sigma)]

@@ -1,0 +1,2 @@
+"""Core algorithms: debt bookkeeping, influence functions, the DP/DB-DP
+protocol, and the centralized / contention-based baseline policies."""

@@ -1,0 +1,144 @@
+"""Delivery debt bookkeeping (Section III-A, Eq. (1)) and deficiency metrics.
+
+The *delivery debt* of link ``n`` at the beginning of interval ``k`` is
+
+    d_n(k + 1) = d_n(k) - S_n(k) + q_n,        d_n(0) = 0,
+
+equivalently ``d_n(k) = k * q_n - sum_{j<k} S_n(j)``.  The positive part
+``d_n^+`` feeds both the centralized ELDF weights (Algorithm 1) and the
+decentralized swap bias ``mu_n`` (Eq. 14).
+
+The *timely-throughput deficiency* up to interval ``K`` (Definition 1) is
+
+    (q_n - (sum_{k<K} S_n(k)) / K)^+   per link, summed for the total.
+
+Note ``deficiency_n(K) == max(0, d_n(K)) / K`` — the ledger exposes both
+views and the identity is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["DebtLedger", "DebtSnapshot"]
+
+
+@dataclass(frozen=True)
+class DebtSnapshot:
+    """Immutable view of ledger state at the start of one interval."""
+
+    interval: int
+    debts: np.ndarray
+    delivered_totals: np.ndarray
+
+    @property
+    def positive_debts(self) -> np.ndarray:
+        return np.maximum(self.debts, 0.0)
+
+
+class DebtLedger:
+    """Tracks per-link delivery debt and cumulative deliveries.
+
+    Parameters
+    ----------
+    requirements:
+        Per-link timely-throughput requirements ``q_n`` (packets/interval).
+    """
+
+    def __init__(self, requirements: Sequence[float]):
+        q = np.asarray(requirements, dtype=float)
+        if q.ndim != 1 or q.size == 0:
+            raise ValueError("requirements must be a non-empty 1-D sequence")
+        if np.any(q < 0):
+            raise ValueError(f"requirements must be nonnegative, got {q}")
+        self._q = q
+        self._debts = np.zeros_like(q)
+        self._delivered = np.zeros_like(q)
+        self._interval = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return self._q.size
+
+    @property
+    def requirements(self) -> np.ndarray:
+        return self._q.copy()
+
+    @property
+    def interval(self) -> int:
+        """Index of the interval about to run (number of completed updates)."""
+        return self._interval
+
+    @property
+    def debts(self) -> np.ndarray:
+        """Current debt vector ``d(k)`` (copy)."""
+        return self._debts.copy()
+
+    @property
+    def positive_debts(self) -> np.ndarray:
+        """``d^+(k) = max(d(k), 0)`` element-wise (copy)."""
+        return np.maximum(self._debts, 0.0)
+
+    @property
+    def delivered_totals(self) -> np.ndarray:
+        """Cumulative on-time deliveries per link (copy)."""
+        return self._delivered.copy()
+
+    def snapshot(self) -> DebtSnapshot:
+        return DebtSnapshot(
+            interval=self._interval,
+            debts=self._debts.copy(),
+            delivered_totals=self._delivered.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def record_interval(self, deliveries: Sequence[int]) -> None:
+        """Apply Eq. (1) for one completed interval.
+
+        ``deliveries[n]`` is ``S_n(k)``, the count of packets link ``n``
+        delivered before the deadline in the interval that just ended.
+        """
+        s = np.asarray(deliveries, dtype=float)
+        if s.shape != self._q.shape:
+            raise ValueError(
+                f"expected {self._q.size} delivery counts, got shape {s.shape}"
+            )
+        if np.any(s < 0):
+            raise ValueError(f"deliveries must be nonnegative, got {s}")
+        self._debts += self._q - s
+        self._delivered += s
+        self._interval += 1
+
+    # ------------------------------------------------------------------
+    # Metrics (Definition 1)
+    # ------------------------------------------------------------------
+    def per_link_deficiency(self) -> np.ndarray:
+        """``(q_n - delivered_n / K)^+`` for the K intervals recorded so far."""
+        if self._interval == 0:
+            return self._q.copy()
+        empirical = self._delivered / self._interval
+        return np.maximum(self._q - empirical, 0.0)
+
+    def total_deficiency(self) -> float:
+        """Total timely-throughput deficiency up to the current interval."""
+        return float(self.per_link_deficiency().sum())
+
+    def empirical_timely_throughput(self) -> np.ndarray:
+        """Average deliveries per interval per link so far."""
+        if self._interval == 0:
+            return np.zeros_like(self._q)
+        return self._delivered / self._interval
+
+    def reset(self) -> None:
+        """Zero all debts and delivery counts (fresh run, same q)."""
+        self._debts[:] = 0.0
+        self._delivered[:] = 0.0
+        self._interval = 0

@@ -1,0 +1,304 @@
+"""Debt influence functions (Definition 6 of the paper).
+
+A *debt influence function* ``f`` maps a nonnegative delivery debt to a
+nonnegative scheduling weight.  Definition 6 requires:
+
+1. ``f`` is nondecreasing, continuous, Riemann integrable, and
+   ``f(x) -> inf`` as ``x -> inf``.
+2. For any finite shift ``c``, ``f(x + c) / f(x) -> 1`` as ``x -> inf``
+   (sub-exponential growth; ``a**x`` violates this, ``x**m`` and ``log`` obey
+   it).
+
+This module provides the influence functions used in the paper and in the
+evaluation (``f(x) = log(max(1, 100 (x + 1)))`` with the paper's constants),
+plus a numerical validity checker used by the test-suite to confirm the
+membership examples given after Definition 6.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "DebtInfluenceFunction",
+    "LinearInfluence",
+    "PowerInfluence",
+    "LogInfluence",
+    "PaperLogInfluence",
+    "ScaledInfluence",
+    "CallableInfluence",
+    "ExponentialInfluence",
+    "check_influence_properties",
+    "InfluenceCheckReport",
+]
+
+
+class DebtInfluenceFunction(ABC):
+    """Abstract debt influence function ``f: R>=0 -> R>=0``.
+
+    Instances are callables; subclasses implement :meth:`value`.  All provided
+    implementations are stateless and hashable so policies can use them as
+    configuration values.
+    """
+
+    @abstractmethod
+    def value(self, x: float) -> float:
+        """Return ``f(x)`` for a nonnegative debt ``x``."""
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            raise ValueError(f"debt influence functions are defined on x >= 0, got {x}")
+        result = self.value(x)
+        if result < 0:
+            raise ValueError(
+                f"{type(self).__name__} produced a negative weight {result} at x={x}"
+            )
+        return result
+
+    def describe(self) -> str:
+        """Human-readable formula, used in experiment reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class LinearInfluence(DebtInfluenceFunction):
+    """``f(x) = scale * x``.
+
+    With ``scale = 1`` this turns ELDF into the classical LDF policy
+    (Remark 2) and recovers Theorem 2 of Hou (2014) from Lemma 2 (Remark 1).
+    """
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def value(self, x: float) -> float:
+        return self.scale * x
+
+    def describe(self) -> str:
+        return f"f(x) = {self.scale:g} * x"
+
+
+@dataclass(frozen=True)
+class PowerInfluence(DebtInfluenceFunction):
+    """``f(x) = x ** m`` with ``m >= 0`` (valid per the paper's examples)."""
+
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ValueError(f"exponent must be nonnegative, got {self.exponent}")
+
+    def value(self, x: float) -> float:
+        return x**self.exponent
+
+    def describe(self) -> str:
+        return f"f(x) = x**{self.exponent:g}"
+
+
+@dataclass(frozen=True)
+class LogInfluence(DebtInfluenceFunction):
+    """``f(x) = log_base(1 + scale * x)``.
+
+    The paper's examples list ``log_a(x)`` with ``a > 1`` as a valid influence
+    function; we shift by one so that the function is finite and nonnegative
+    at ``x = 0`` (the raw logarithm is negative below ``x = 1``, which is fine
+    mathematically once clipped but awkward as a scheduling weight).
+    """
+
+    base: float = math.e
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 1:
+            raise ValueError(f"base must exceed 1, got {self.base}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def value(self, x: float) -> float:
+        return math.log1p(self.scale * x) / math.log(self.base)
+
+    def describe(self) -> str:
+        return f"f(x) = log_{self.base:g}(1 + {self.scale:g} x)"
+
+
+@dataclass(frozen=True)
+class PaperLogInfluence(DebtInfluenceFunction):
+    """``f(x) = log(max(1, coefficient * (x + 1)))``.
+
+    This is the exact influence function used throughout the paper's NS-3
+    evaluation (Section VI) with ``coefficient = 100``.
+    """
+
+    coefficient: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0:
+            raise ValueError(f"coefficient must be positive, got {self.coefficient}")
+
+    def value(self, x: float) -> float:
+        return math.log(max(1.0, self.coefficient * (x + 1.0)))
+
+    def describe(self) -> str:
+        return f"f(x) = log(max(1, {self.coefficient:g}(x+1)))"
+
+
+@dataclass(frozen=True)
+class ScaledInfluence(DebtInfluenceFunction):
+    """``f(x) = scale * inner(x)`` — positive scaling preserves Definition 6."""
+
+    inner: DebtInfluenceFunction
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def value(self, x: float) -> float:
+        return self.scale * self.inner.value(x)
+
+    def describe(self) -> str:
+        return f"{self.scale:g} * [{self.inner.describe()}]"
+
+
+@dataclass(frozen=True)
+class ExponentialInfluence(DebtInfluenceFunction):
+    """``f(x) = base ** x`` — deliberately **invalid** per Definition 6.
+
+    Included so tests (and users) can confirm the validity checker rejects
+    exponential growth, mirroring the paper's counterexample ``a**x``.
+    """
+
+    base: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 1:
+            raise ValueError(f"base must exceed 1, got {self.base}")
+
+    def value(self, x: float) -> float:
+        return self.base**x
+
+    def describe(self) -> str:
+        return f"f(x) = {self.base:g}**x"
+
+
+class CallableInfluence(DebtInfluenceFunction):
+    """Wrap an arbitrary callable as an influence function.
+
+    Useful for ad-hoc experimentation; the callable is trusted to satisfy
+    Definition 6 (use :func:`check_influence_properties` to sanity-check it).
+    """
+
+    def __init__(self, func: Callable[[float], float], description: str = "custom"):
+        self._func = func
+        self._description = description
+
+    def value(self, x: float) -> float:
+        return float(self._func(x))
+
+    def describe(self) -> str:
+        return self._description
+
+
+@dataclass(frozen=True)
+class InfluenceCheckReport:
+    """Outcome of a numerical Definition 6 check.
+
+    The check is necessarily finite-sample: it evaluates ``f`` on a grid and
+    verifies monotonicity, nonnegativity, divergence trend, and the
+    asymptotic-ratio property ``f(x + c)/f(x) -> 1``.
+    """
+
+    nondecreasing: bool
+    nonnegative: bool
+    diverges: bool
+    ratio_property: bool
+    worst_ratio_gap: float
+
+    @property
+    def is_valid(self) -> bool:
+        return (
+            self.nondecreasing
+            and self.nonnegative
+            and self.diverges
+            and self.ratio_property
+        )
+
+
+def check_influence_properties(
+    func: DebtInfluenceFunction,
+    *,
+    grid: Sequence[float] | None = None,
+    shifts: Iterable[float] = (1.0, 10.0, -5.0),
+    ratio_tolerance: float = 0.05,
+    probe_points: Sequence[float] = (1e4, 1e6, 1e8),
+) -> InfluenceCheckReport:
+    """Numerically vet ``func`` against Definition 6.
+
+    Parameters
+    ----------
+    func:
+        Candidate influence function.
+    grid:
+        Points used for the monotonicity / nonnegativity scan. Defaults to a
+        mixed linear + geometric grid over ``[0, 1e6]``.
+    shifts:
+        Finite shifts ``c`` for the ratio property. Negative shifts are
+        clipped so arguments stay nonnegative.
+    ratio_tolerance:
+        Maximum allowed ``|f(x+c)/f(x) - 1|`` at the largest probe point.
+    probe_points:
+        Increasingly large arguments at which the ratio property and
+        divergence trend are probed.
+    """
+    if grid is None:
+        linear = [i * 0.5 for i in range(200)]
+        geometric = [10.0**e for e in range(7)]
+        grid = sorted(set(linear + geometric))
+
+    def evaluate(x: float) -> float:
+        # Fast-growing candidates (the very functions the check should
+        # reject) can overflow float; treat overflow as +inf so the scan
+        # completes and the ratio property fails as it should.
+        try:
+            return func(x)
+        except OverflowError:
+            return float("inf")
+
+    values = [evaluate(x) for x in grid]
+    nonnegative = all(v >= 0 for v in values)
+    nondecreasing = all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    # Divergence trend: f at the largest probe must dominate f at the
+    # smallest probe by a clear margin (log(1e8/1e4) ~ 9.2 even for slow
+    # logarithmic growth, so a factor-of-1.5 margin is safe for valid f).
+    low, high = evaluate(probe_points[0]), evaluate(probe_points[-1])
+    diverges = high > max(1.5 * low, low + 1.0)
+
+    worst_gap = 0.0
+    for c in shifts:
+        for x in probe_points:
+            arg = max(0.0, x + c)
+            fx = evaluate(x)
+            if fx == 0:
+                continue
+            ratio = evaluate(arg) / fx
+            gap = abs(ratio - 1.0) if ratio == ratio else float("inf")
+            # The property is asymptotic: only the largest probe point is
+            # binding, earlier probes must merely not blow up.
+            if x == probe_points[-1]:
+                worst_gap = max(worst_gap, gap)
+    ratio_property = worst_gap <= ratio_tolerance
+
+    return InfluenceCheckReport(
+        nondecreasing=nondecreasing,
+        nonnegative=nonnegative,
+        diverges=diverges,
+        ratio_property=ratio_property,
+        worst_ratio_gap=worst_gap,
+    )

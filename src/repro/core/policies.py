@@ -1,0 +1,162 @@
+"""Policy framework: the interface every MAC policy implements.
+
+A *policy* (transmission policy, Section II-C) decides which link transmits
+at each instant of an interval.  All policies in this library operate on the
+interval timeline abstraction provided by :class:`~repro.phy.timing.IntervalTiming`
+and report an :class:`IntervalOutcome` per interval; the simulator owns the
+debt ledger and metric collection.
+
+The module also provides the shared service primitive
+:func:`serve_link_attempts` — "link ``n`` holds the channel and keeps
+(re)transmitting until its buffer empties or its attempt budget runs out"
+(Step 6 of Algorithm 2 / Step 2 of Algorithm 1) — with a fast geometric
+path for i.i.d. Bernoulli channels and a faithful per-attempt path for
+stateful channel models.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..phy.channel import BernoulliChannel, ChannelModel
+from ..sim.rng import RngBundle
+from .requirements import NetworkSpec
+
+__all__ = ["IntervalOutcome", "IntervalMac", "serve_link_attempts"]
+
+
+@dataclass
+class IntervalOutcome:
+    """What happened during one interval.
+
+    Attributes
+    ----------
+    deliveries:
+        ``S_n(k)`` per link — on-time packet deliveries.
+    attempts:
+        Transmission attempts per link (data packets only; excludes empty
+        priority-claiming packets).
+    busy_time_us:
+        Channel time occupied by transmissions (data + empty + collisions).
+    overhead_time_us:
+        Channel time lost to contention: backoff slots, empty packets, and
+        collided airtime.
+    collisions:
+        Number of collision events (0 for collision-free policies).
+    priorities:
+        The 1-based priority vector in force during the interval, for
+        priority-based policies; ``None`` otherwise.
+    info:
+        Policy-specific extras (swap decisions, candidate pair, ...).
+    """
+
+    deliveries: np.ndarray
+    attempts: np.ndarray
+    busy_time_us: float = 0.0
+    overhead_time_us: float = 0.0
+    collisions: int = 0
+    priorities: Optional[Tuple[int, ...]] = None
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class IntervalMac(ABC):
+    """Base class for interval-structured MAC policies.
+
+    Lifecycle: the simulator calls :meth:`bind` once with the network spec,
+    then :meth:`run_interval` for ``k = 0, 1, 2, ...``.  Policies must not
+    mutate the spec and must draw randomness only from the provided streams
+    (``rng.shared`` for network-wide coordination, ``rng.policy`` for local
+    decisions, ``rng.channel`` for transmission outcomes) so runs are
+    reproducible and decentralization is auditable.
+    """
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._spec: Optional[NetworkSpec] = None
+
+    @property
+    def spec(self) -> NetworkSpec:
+        if self._spec is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not bound to a network; call bind()"
+            )
+        return self._spec
+
+    def bind(self, spec: NetworkSpec) -> None:
+        """Attach the policy to a network and reset internal state."""
+        self._spec = spec
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to (re)initialize per-network state."""
+
+    @abstractmethod
+    def run_interval(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: RngBundle,
+    ) -> IntervalOutcome:
+        """Simulate one interval and return its outcome.
+
+        Parameters
+        ----------
+        k:
+            Interval index (0-based).
+        arrivals:
+            ``A_n(k)`` per link.
+        positive_debts:
+            ``d_n^+(k)`` per link at the interval start.
+        rng:
+            The simulation's random streams.
+        """
+
+
+def serve_link_attempts(
+    link: int,
+    num_packets: int,
+    max_attempts: int,
+    channel: ChannelModel,
+    rng: np.random.Generator,
+) -> Tuple[int, int]:
+    """Serve ``link`` holding the channel: retry until done or out of budget.
+
+    Each attempt transmits the head-of-line packet and succeeds per the
+    channel model.  Returns ``(delivered, attempts_used)``.
+
+    For a :class:`BernoulliChannel` the attempt count per delivery is
+    geometric, so the whole run is sampled in one vectorized draw; stateful
+    channels fall back to per-attempt sampling.
+    """
+    if num_packets <= 0 or max_attempts <= 0:
+        return 0, 0
+
+    if isinstance(channel, BernoulliChannel):
+        p = channel.success_probs[link]
+        if p >= 1.0:
+            delivered = min(num_packets, max_attempts)
+            return delivered, delivered
+        # Attempts needed per packet ~ Geometric(p) (support 1, 2, ...).
+        needed = rng.geometric(p, size=num_packets)
+        cumulative = np.cumsum(needed)
+        delivered = int(np.searchsorted(cumulative, max_attempts, side="right"))
+        if delivered == num_packets:
+            attempts = int(cumulative[-1])
+        else:
+            attempts = max_attempts
+        return delivered, attempts
+
+    delivered = 0
+    attempts = 0
+    while delivered < num_packets and attempts < max_attempts:
+        attempts += 1
+        if channel.attempt(link, rng):
+            delivered += 1
+    return delivered, attempts

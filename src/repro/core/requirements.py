@@ -1,0 +1,131 @@
+"""Network specification: links, arrivals, channel, timing, requirements.
+
+A network in the paper is the tuple ``(N, A, T, p)`` plus a timely-throughput
+requirement vector ``q`` (equivalently per-link delivery ratios
+``rho_n = q_n / lambda_n``, Section II-C).  :class:`NetworkSpec` bundles all
+of it and validates cross-component consistency (same link count everywhere,
+``q_n <= lambda_n`` since ``S_n(k) <= A_n(k)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..phy.channel import ChannelModel
+from ..phy.timing import IntervalTiming
+from ..traffic.arrivals import ArrivalProcess
+
+__all__ = ["NetworkSpec"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Complete description of one simulated network.
+
+    Parameters
+    ----------
+    arrivals:
+        The arrival process ``A`` (defines the number of links).
+    channel:
+        The unreliable channel model ``p``.
+    timing:
+        Interval timing ``T`` plus airtime bookkeeping.
+    requirements:
+        Timely-throughput requirements ``q_n`` (packets per interval).
+        Build from delivery ratios with :meth:`from_delivery_ratios`.
+    """
+
+    arrivals: ArrivalProcess
+    channel: ChannelModel
+    timing: IntervalTiming
+    requirements: tuple
+
+    def __post_init__(self) -> None:
+        n = self.arrivals.num_links
+        if self.channel.num_links != n:
+            raise ValueError(
+                f"channel covers {self.channel.num_links} links but arrivals "
+                f"cover {n}"
+            )
+        q = tuple(float(v) for v in self.requirements)
+        if len(q) != n:
+            raise ValueError(f"expected {n} requirements, got {len(q)}")
+        rates = self.arrivals.mean_rates
+        for i, (qi, lam) in enumerate(zip(q, rates)):
+            if qi < 0:
+                raise ValueError(f"q_{i} must be nonnegative, got {qi}")
+            if qi > lam + 1e-12:
+                raise ValueError(
+                    f"q_{i}={qi} exceeds arrival rate lambda_{i}={lam}; "
+                    "S_n(k) <= A_n(k) makes this unfulfillable"
+                )
+        object.__setattr__(self, "requirements", q)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_delivery_ratios(
+        cls,
+        arrivals: ArrivalProcess,
+        channel: ChannelModel,
+        timing: IntervalTiming,
+        delivery_ratios: Sequence[float] | float,
+    ) -> "NetworkSpec":
+        """Build requirements as ``q_n = rho_n * lambda_n``."""
+        rates = arrivals.mean_rates
+        if np.isscalar(delivery_ratios):
+            rhos = np.full(arrivals.num_links, float(delivery_ratios))
+        else:
+            rhos = np.asarray(delivery_ratios, dtype=float)
+        if rhos.shape != rates.shape:
+            raise ValueError(
+                f"expected {rates.size} delivery ratios, got shape {rhos.shape}"
+            )
+        if np.any(rhos < 0) or np.any(rhos > 1):
+            raise ValueError(f"delivery ratios must lie in [0, 1], got {rhos}")
+        return cls(
+            arrivals=arrivals,
+            channel=channel,
+            timing=timing,
+            requirements=tuple(rhos * rates),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return self.arrivals.num_links
+
+    @property
+    def reliabilities(self) -> np.ndarray:
+        return self.channel.reliabilities
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        return self.arrivals.mean_rates
+
+    @property
+    def requirement_vector(self) -> np.ndarray:
+        return np.asarray(self.requirements, dtype=float)
+
+    @property
+    def delivery_ratios(self) -> np.ndarray:
+        """``rho_n = q_n / lambda_n`` (0 where ``lambda_n = 0``)."""
+        rates = self.mean_rates
+        out = np.zeros_like(rates)
+        nonzero = rates > 0
+        out[nonzero] = self.requirement_vector[nonzero] / rates[nonzero]
+        return out
+
+    def workload_bound_utilization(self) -> float:
+        """``sum_n q_n / p_n`` divided by transmission opportunities.
+
+        A value above 1 certifies infeasibility (each delivery by link ``n``
+        costs ``1/p_n`` attempts in expectation and the interval offers at
+        most ``T`` attempts); below 1 is necessary but not sufficient.
+        """
+        attempts_needed = float(
+            np.sum(self.requirement_vector / self.reliabilities)
+        )
+        return attempts_needed / self.timing.max_transmissions

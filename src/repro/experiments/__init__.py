@@ -1,0 +1,2 @@
+"""Reproduction experiments: one entry point per paper figure plus the
+sweep runner and reporting helpers."""

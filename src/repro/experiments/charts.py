@@ -1,0 +1,98 @@
+"""ASCII line charts for figure results.
+
+The paper's figures are line plots; :func:`ascii_chart` renders a
+:class:`~repro.experiments.figures.FigureResult` as a terminal plot so the
+CLI can show the *shape* (lift-off points, crossovers) at a glance, not
+just the numbers.  Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List
+
+from .figures import FigureResult
+
+__all__ = ["ascii_chart"]
+
+#: Plot glyph per curve, cycled in series order.
+GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the figure's series on one shared-axis character grid."""
+    if width < 16 or height < 6:
+        raise ValueError(f"chart needs width >= 16, height >= 6, got {width}x{height}")
+    if not result.series:
+        raise ValueError("figure has no series to plot")
+    xs = result.x_values
+    if len(xs) < 2:
+        raise ValueError("need at least two x values to draw a chart")
+
+    y_max = max(max(s) for s in result.series.values())
+    y_min = min(min(s) for s in result.series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def cell(x: float, y: float):
+        col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+        return height - 1 - row, col
+
+    for index, (label, series) in enumerate(result.series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        # Linear interpolation between consecutive points for a line feel.
+        for (x0, y0), (x1, y1) in zip(zip(xs, series), zip(xs[1:], series[1:])):
+            steps = max(
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]),
+                abs(cell(x1, y1)[0] - cell(x0, y0)[0]),
+                1,
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = glyph
+        # Data points override interpolated cells.
+        for x, y in zip(xs, series):
+            row, col = cell(x, y)
+            grid[row][col] = glyph
+
+    out = io.StringIO()
+    out.write(f"{result.figure_id}: {result.title}\n")
+    label_width = 9
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:.3g}".rjust(label_width)
+        elif r == height - 1:
+            label = f"{y_min:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        out.write(label + " |" + "".join(row) + "\n")
+    out.write(" " * label_width + " +" + "-" * width + "\n")
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    out.write(
+        " " * (label_width + 2)
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+        + "\n"
+    )
+    out.write(
+        " " * (label_width + 2)
+        + f"x: {result.x_label}   y: {result.y_label}\n"
+    )
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {label}"
+        for i, label in enumerate(result.series)
+    )
+    out.write(" " * (label_width + 2) + legend + "\n")
+    return out.getvalue()

@@ -1,0 +1,137 @@
+"""Paper scenario configurations (Section VI).
+
+Two applications drive the evaluation:
+
+* **Real-time video delivery** (VI-A): 20 links, 1500 B packets, 20 ms
+  deadline, bursty arrivals (``Uniform{1..6}`` w.p. ``alpha``),
+  ``p = 0.7`` symmetric or a 0.5/0.8 two-group asymmetric split,
+  5000 intervals (100 s).
+* **Ultra-low-latency control** (VI-B): 10 links, 100 B packets, 2 ms
+  deadline, Bernoulli arrivals, ``p = 0.7``, 99% delivery ratio,
+  20000 intervals (40 s).
+
+``REPRO_SCALE`` (environment variable, default 1.0) multiplies interval
+counts everywhere so benchmarks can run shape-preserving reduced versions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.dbdp import DBDPPolicy
+from ..core.dcf import DCFPolicy
+from ..core.eldf import LDFPolicy
+from ..core.fcsma import FCSMAPolicy
+from ..core.policies import IntervalMac
+from ..core.requirements import NetworkSpec
+from ..phy.channel import BernoulliChannel
+from ..phy.timing import low_latency_timing, video_timing
+from ..traffic.arrivals import BernoulliArrivals, BurstyVideoArrivals
+
+__all__ = [
+    "VIDEO_INTERVALS",
+    "LOW_LATENCY_INTERVALS",
+    "VIDEO_NUM_LINKS",
+    "LOW_LATENCY_NUM_LINKS",
+    "ASYMMETRIC_GROUPS",
+    "scaled_intervals",
+    "video_symmetric_spec",
+    "video_asymmetric_spec",
+    "low_latency_spec",
+    "paper_policies",
+    "PolicyFactory",
+]
+
+#: Simulation horizons used in the paper (Section VI).
+VIDEO_INTERVALS = 5000  # 100 s of 20 ms intervals
+LOW_LATENCY_INTERVALS = 20000  # 40 s of 2 ms intervals
+
+VIDEO_NUM_LINKS = 20
+LOW_LATENCY_NUM_LINKS = 10
+
+#: Group id per link in the asymmetric scenario (first half group 0).
+ASYMMETRIC_GROUPS: Tuple[int, ...] = (0,) * 10 + (1,) * 10
+
+PolicyFactory = Callable[[], IntervalMac]
+
+
+def scaled_intervals(default: int, minimum: int = 50) -> int:
+    """Apply the ``REPRO_SCALE`` environment scaling to a horizon."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return max(minimum, int(round(default * scale)))
+
+
+def video_symmetric_spec(
+    alpha: float,
+    delivery_ratio: float = 0.9,
+    num_links: int = VIDEO_NUM_LINKS,
+    reliability: float = 0.7,
+) -> NetworkSpec:
+    """Fully-symmetric video network (Figs. 3-6)."""
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BurstyVideoArrivals.symmetric(num_links, alpha),
+        channel=BernoulliChannel.symmetric(num_links, reliability),
+        timing=video_timing(),
+        delivery_ratios=delivery_ratio,
+    )
+
+
+def video_asymmetric_spec(
+    alpha_star: float,
+    delivery_ratio: float = 0.9,
+) -> NetworkSpec:
+    """Two-group asymmetric video network (Figs. 7-8).
+
+    Group 1 (links 0-9): ``p = 0.5``, ``alpha = 0.5 alpha*``.
+    Group 2 (links 10-19): ``p = 0.8``, ``alpha = alpha*``.
+    """
+    alphas = (0.5 * alpha_star,) * 10 + (alpha_star,) * 10
+    reliabilities = (0.5,) * 10 + (0.8,) * 10
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BurstyVideoArrivals(alphas=alphas),
+        channel=BernoulliChannel(success_probs=reliabilities),
+        timing=video_timing(),
+        delivery_ratios=delivery_ratio,
+    )
+
+
+def low_latency_spec(
+    arrival_rate: float,
+    delivery_ratio: float = 0.99,
+    num_links: int = LOW_LATENCY_NUM_LINKS,
+    reliability: float = 0.7,
+) -> NetworkSpec:
+    """Ultra-low-latency control network (Figs. 9-10)."""
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals.symmetric(num_links, arrival_rate),
+        channel=BernoulliChannel.symmetric(num_links, reliability),
+        timing=low_latency_timing(),
+        delivery_ratios=delivery_ratio,
+    )
+
+
+def paper_policies(include_dcf: bool = False) -> Dict[str, PolicyFactory]:
+    """The algorithms compared throughout Section VI.
+
+    Fresh factories (policies are stateful): DB-DP with the paper's
+    ``f(x) = log(max(1, 100(x+1)))`` and ``R = 10``, the centralized LDF
+    baseline, and the discretized FCSMA baseline.  ``include_dcf`` adds the
+    DCF reference point used by the collision-loss discussion.
+    """
+    policies: Dict[str, PolicyFactory] = {
+        "DB-DP": DBDPPolicy,
+        "LDF": LDFPolicy,
+        "FCSMA": FCSMAPolicy,
+    }
+    if include_dcf:
+        policies["DCF"] = DCFPolicy
+    return policies

@@ -1,0 +1,172 @@
+"""Extension studies beyond the paper's figures.
+
+Three add-on experiments the paper motivates but does not plot:
+
+* :func:`baseline_panorama` — every implemented MAC on one stressed video
+  scenario: the two debt-based policies (LDF, DB-DP), the three
+  contention/TDMA references (FCSMA, DCF, round-robin), and frame-based
+  CSMA ([23]).  Orders the design space in one table.
+* :func:`burst_loss_robustness` — DB-DP vs LDF on a Gilbert-Elliott
+  bursty-loss channel (violating the i.i.d. channel assumption both
+  policies were analyzed under); both are configured with the channel's
+  *stationary* reliability, as a deployment would.
+* :func:`correlated_traffic_robustness` — DB-DP under cross-link
+  correlated arrivals (allowed by the model) and Markov-modulated arrivals
+  (outside the model), versus the i.i.d. Bernoulli base case at equal mean
+  load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.dbdp import DBDPPolicy
+from ..core.dcf import DCFPolicy
+from ..core.eldf import LDFPolicy
+from ..core.fcsma import FCSMAPolicy
+from ..core.frame_csma import FrameCSMAPolicy
+from ..core.requirements import NetworkSpec
+from ..core.round_robin import RoundRobinPolicy
+from ..phy.channel import GilbertElliottChannel
+from ..phy.timing import low_latency_timing
+from ..sim.interval_sim import run_simulation
+from ..traffic.arrivals import (
+    BernoulliArrivals,
+    CorrelatedBurstArrivals,
+    MarkovModulatedArrivals,
+)
+from .configs import VIDEO_INTERVALS, scaled_intervals, video_symmetric_spec
+from .figures import FigureResult
+
+__all__ = [
+    "baseline_panorama",
+    "burst_loss_robustness",
+    "correlated_traffic_robustness",
+]
+
+
+def baseline_panorama(
+    num_intervals: Optional[int] = None,
+    alpha: float = 0.55,
+    seed: int = 0,
+) -> FigureResult:
+    """Total deficiency of every implemented MAC on the video scenario."""
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    spec = video_symmetric_spec(alpha, delivery_ratio=0.9)
+    policies = {
+        "LDF": LDFPolicy(),
+        "DB-DP": DBDPPolicy(),
+        "FrameCSMA": FrameCSMAPolicy(),
+        "RoundRobin": RoundRobinPolicy(),
+        "FCSMA": FCSMAPolicy(),
+        "DCF": DCFPolicy(),
+    }
+    result = FigureResult(
+        figure_id="ext-baselines",
+        title=f"All baselines, symmetric video network (alpha* = {alpha:g})",
+        x_label="metric",
+        x_values=[0.0, 1.0, 2.0],
+        notes="rows: total deficiency / collisions per interval / "
+        "overhead us per interval",
+    )
+    for label, policy in policies.items():
+        run = run_simulation(spec, policy, intervals, seed=seed)
+        summary = run.summary()
+        result.series[label] = [
+            summary.total_deficiency,
+            summary.total_collisions / intervals,
+            summary.mean_overhead_us,
+        ]
+    return result
+
+
+def burst_loss_robustness(
+    num_intervals: Optional[int] = None,
+    arrival_rate: float = 0.6,
+    seed: int = 0,
+) -> FigureResult:
+    """DB-DP vs LDF under i.i.d. versus Gilbert-Elliott channels.
+
+    Both channels have the same long-run reliability (~0.7); the
+    Gilbert-Elliott one delivers it in bursts.  Policies use the stationary
+    reliability in their weights, as the paper's "p_n obtained by probing
+    or learning" prescription implies.
+    """
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    n = 10
+    ge_channel = GilbertElliottChannel(
+        n, p_good=0.95, p_bad=0.2, p_stay_good=0.9, p_stay_bad=0.8
+    )
+    stationary_p = float(ge_channel.reliabilities[0])
+    from ..phy.channel import BernoulliChannel
+
+    iid_channel = BernoulliChannel.symmetric(n, stationary_p)
+    arrivals = BernoulliArrivals.symmetric(n, arrival_rate)
+
+    result = FigureResult(
+        figure_id="ext-burst-loss",
+        title="Robustness to bursty losses (equal stationary reliability)",
+        x_label="channel",
+        x_values=[0.0, 1.0],
+        notes=f"x = 0: i.i.d. Bernoulli({stationary_p:.3f}); "
+        "x = 1: Gilbert-Elliott with the same stationary reliability",
+    )
+    for label, policy_factory in [("DB-DP", DBDPPolicy), ("LDF", LDFPolicy)]:
+        values = []
+        for channel in (iid_channel, ge_channel):
+            if isinstance(channel, GilbertElliottChannel):
+                # Fresh channel state per run.
+                channel = GilbertElliottChannel(
+                    n, p_good=0.95, p_bad=0.2, p_stay_good=0.9, p_stay_bad=0.8
+                )
+            spec = NetworkSpec.from_delivery_ratios(
+                arrivals=arrivals,
+                channel=channel,
+                timing=low_latency_timing(),
+                delivery_ratios=0.9,
+            )
+            run = run_simulation(spec, policy_factory(), intervals, seed=seed)
+            values.append(run.total_deficiency())
+        result.series[label] = values
+    return result
+
+
+def correlated_traffic_robustness(
+    num_intervals: Optional[int] = None,
+    mean_rate: float = 0.5,
+    seed: int = 0,
+) -> FigureResult:
+    """DB-DP under three traffic correlation structures at equal mean load."""
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    n = 8
+    processes = {
+        "iid": BernoulliArrivals.symmetric(n, mean_rate),
+        "cross-correlated": CorrelatedBurstArrivals(
+            num_links_=n, event_prob=mean_rate, burst_max=1
+        ),
+        "markov-modulated": MarkovModulatedArrivals(
+            n, on_rate=min(1.0, 2 * mean_rate), off_rate=0.0,
+            p_stay_on=0.9, p_stay_off=0.9,
+        ),
+    }
+    from ..phy.channel import BernoulliChannel
+
+    result = FigureResult(
+        figure_id="ext-correlated-traffic",
+        title="DB-DP deficiency under correlated traffic (equal mean load)",
+        x_label="policy",
+        x_values=[0.0],
+        notes="mean arrivals per link per interval matched across processes",
+    )
+    for label, process in processes.items():
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=process,
+            channel=BernoulliChannel.symmetric(n, 0.7),
+            timing=low_latency_timing(),
+            delivery_ratios=0.9,
+        )
+        run = run_simulation(spec, DBDPPolicy(), intervals, seed=seed)
+        result.series[label] = [run.total_deficiency()]
+    return result

@@ -1,0 +1,337 @@
+"""One entry point per figure of the paper's evaluation (Figs. 3-10).
+
+Each ``figN()`` regenerates the series the corresponding figure plots and
+returns a :class:`FigureResult` (or :class:`SweepResult`-backed result)
+that the reporting module renders as a text table.  Interval counts default
+to the paper's horizons scaled by ``REPRO_SCALE``.
+
+Expected qualitative shapes (checked by the benchmark suite):
+
+* Figs. 3/4/9/10: DB-DP's deficiency curve hugs LDF's; FCSMA lifts off at a
+  markedly smaller load / delivery ratio.
+* Fig. 5: DB-DP's lowest-priority link converges to its requirement on a
+  timescale comparable to LDF.
+* Fig. 6: under a fixed ordering, timely-throughput decreases with priority
+  index but stays positive at the bottom (no starvation).
+* Figs. 7/8: per-group deficiencies — FCSMA starves the weak group once
+  debts saturate its window map; DB-DP and LDF serve both groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dbdp import DBDPPolicy
+from ..core.eldf import LDFPolicy
+from ..core.static_priority import StaticPriorityPolicy
+from ..sim.interval_sim import run_simulation
+from .configs import (
+    ASYMMETRIC_GROUPS,
+    LOW_LATENCY_INTERVALS,
+    VIDEO_INTERVALS,
+    VIDEO_NUM_LINKS,
+    low_latency_spec,
+    paper_policies,
+    scaled_intervals,
+    video_asymmetric_spec,
+    video_symmetric_spec,
+)
+from .runner import SweepResult, run_sweep
+
+__all__ = [
+    "FigureResult",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ALL_FIGURES",
+]
+
+#: Default sweep grids, chosen to bracket the paper's plotted ranges.
+FIG3_ALPHAS = (0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70)
+FIG4_RATIOS = (0.80, 0.84, 0.88, 0.90, 0.93, 0.96, 0.99)
+FIG7_ALPHAS = (0.45, 0.55, 0.65, 0.70, 0.75, 0.85)
+FIG8_RATIOS = (0.80, 0.84, 0.88, 0.90, 0.93, 0.96, 0.99)
+FIG9_LAMBDAS = (0.60, 0.66, 0.72, 0.78, 0.84, 0.90, 0.96)
+FIG10_RATIOS = (0.80, 0.84, 0.88, 0.92, 0.96, 0.99)
+
+
+@dataclass
+class FigureResult:
+    """Generic container: labelled x-axis plus one series per curve."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    y_label: str = "total timely-throughput deficiency"
+    notes: str = ""
+
+    def row(self, x: float) -> Dict[str, float]:
+        i = self.x_values.index(x)
+        return {label: values[i] for label, values in self.series.items()}
+
+
+def _sweep_to_figure(
+    sweep: SweepResult,
+    figure_id: str,
+    title: str,
+    x_label: str,
+    groups: Optional[Sequence[int]] = None,
+    notes: str = "",
+) -> FigureResult:
+    result = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        x_values=list(sweep.values),
+        notes=notes,
+    )
+    for policy in sweep.policies:
+        if groups is None:
+            result.series[policy] = sweep.series(policy)
+        else:
+            for gid in sorted(set(groups)):
+                result.series[f"{policy} (group {gid + 1})"] = (
+                    sweep.group_series(policy, gid)
+                )
+    return result
+
+
+def fig3(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    alphas: Sequence[float] = FIG3_ALPHAS,
+) -> FigureResult:
+    """Fig. 3: symmetric video network, deficiency vs arrival parameter.
+
+    20 links, ``p = 0.7``, 90% delivery ratio.  LDF's admissible boundary
+    sits near ``alpha* ~ 0.62``; FCSMA supports only ~70% of that.
+    """
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="alpha*",
+        values=alphas,
+        spec_builder=lambda a: video_symmetric_spec(a, delivery_ratio=0.9),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig3",
+        "Symmetric video network under 90% delivery ratio",
+        "alpha*",
+    )
+
+
+def fig4(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    ratios: Sequence[float] = FIG4_RATIOS,
+) -> FigureResult:
+    """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
+    required delivery ratio."""
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="delivery ratio",
+        values=ratios,
+        spec_builder=lambda r: video_symmetric_spec(0.55, delivery_ratio=r),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig4",
+        "Symmetric video network under fixed arrival rate alpha* = 0.55",
+        "delivery ratio",
+    )
+
+
+def fig5(
+    num_intervals: Optional[int] = None,
+    seed: int = 0,
+    sample_every: int = 50,
+) -> FigureResult:
+    """Fig. 5: convergence of the link with the lowest initial priority.
+
+    ``alpha* = 0.55``, 93% delivery ratio; plots the running
+    timely-throughput of the link that starts at priority index 20 under
+    DB-DP and under LDF, against time (intervals).
+    """
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    spec = video_symmetric_spec(0.55, delivery_ratio=0.93)
+    watched = VIDEO_NUM_LINKS - 1  # identity initial ordering: last = lowest
+
+    series: Dict[str, List[float]] = {}
+    for label, policy in [("DB-DP", DBDPPolicy()), ("LDF", LDFPolicy())]:
+        result = run_simulation(spec, policy, intervals, seed=seed)
+        running = result.running_timely_throughput(watched)
+        series[label] = [float(v) for v in running[sample_every - 1 :: sample_every]]
+
+    x_values = [float(k) for k in range(sample_every, intervals + 1, sample_every)]
+    out = FigureResult(
+        figure_id="fig5",
+        title=(
+            "Convergence of the lowest-initial-priority link "
+            "(alpha* = 0.55, 93% delivery ratio)"
+        ),
+        x_label="interval",
+        x_values=x_values,
+        y_label="running timely-throughput (packets/interval)",
+        notes=f"requirement q = {spec.requirements[watched]:.4f} packets/interval",
+    )
+    out.series = series
+    return out
+
+
+def fig6(
+    num_intervals: Optional[int] = None,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 6: average timely-throughput per link under a *fixed* priority
+    ordering, ``alpha* = 0.6``.
+
+    Demonstrates the no-starvation property of the priority structure: the
+    x-axis is the priority index (1 = highest), and even index 20 receives
+    non-zero timely-throughput.
+    """
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    spec = video_symmetric_spec(0.60, delivery_ratio=0.9)
+    policy = StaticPriorityPolicy()  # identity: link n has priority n + 1
+    result = run_simulation(spec, policy, intervals, seed=seed)
+    throughput = result.timely_throughput()
+    out = FigureResult(
+        figure_id="fig6",
+        title="Average timely-throughput under a fixed priority ordering (alpha* = 0.6)",
+        x_label="priority index",
+        x_values=[float(i) for i in range(1, spec.num_links + 1)],
+        y_label="timely-throughput (packets/interval)",
+        notes=f"common requirement q = {spec.requirements[0]:.4f} packets/interval",
+    )
+    out.series = {"StaticPriority": [float(v) for v in throughput]}
+    return out
+
+
+def fig7(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    alphas: Sequence[float] = FIG7_ALPHAS,
+) -> FigureResult:
+    """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
+    delivery ratio."""
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="alpha*",
+        values=alphas,
+        spec_builder=lambda a: video_asymmetric_spec(a, delivery_ratio=0.9),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+        groups=ASYMMETRIC_GROUPS,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig7",
+        "Asymmetric network, group-wide deficiency under 90% delivery ratio",
+        "alpha*",
+        groups=ASYMMETRIC_GROUPS,
+        notes="group 1: p = 0.5, alpha = 0.5 alpha*; group 2: p = 0.8, alpha = alpha*",
+    )
+
+
+def fig8(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    ratios: Sequence[float] = FIG8_RATIOS,
+) -> FigureResult:
+    """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
+    ``alpha* = 0.7``."""
+    intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="delivery ratio",
+        values=ratios,
+        spec_builder=lambda r: video_asymmetric_spec(0.7, delivery_ratio=r),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+        groups=ASYMMETRIC_GROUPS,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig8",
+        "Asymmetric network, group-wide deficiency under alpha* = 0.7",
+        "delivery ratio",
+        groups=ASYMMETRIC_GROUPS,
+        notes="group 1: p = 0.5, alpha = 0.35; group 2: p = 0.8, alpha = 0.7",
+    )
+
+
+def fig9(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    lambdas: Sequence[float] = FIG9_LAMBDAS,
+) -> FigureResult:
+    """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
+    delivery ratio (10 links, 2 ms deadline)."""
+    intervals = num_intervals or scaled_intervals(LOW_LATENCY_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="lambda*",
+        values=lambdas,
+        spec_builder=lambda lam: low_latency_spec(lam, delivery_ratio=0.99),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig9",
+        "Low-latency network under 99% delivery ratio",
+        "lambda*",
+    )
+
+
+def fig10(
+    num_intervals: Optional[int] = None,
+    seeds: Sequence[int] = (0,),
+    ratios: Sequence[float] = FIG10_RATIOS,
+) -> FigureResult:
+    """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
+    ``lambda* = 0.78``."""
+    intervals = num_intervals or scaled_intervals(LOW_LATENCY_INTERVALS)
+    sweep = run_sweep(
+        parameter_name="delivery ratio",
+        values=ratios,
+        spec_builder=lambda r: low_latency_spec(0.78, delivery_ratio=r),
+        policies=paper_policies(),
+        num_intervals=intervals,
+        seeds=seeds,
+    )
+    return _sweep_to_figure(
+        sweep,
+        "fig10",
+        "Low-latency network under fixed lambda* = 0.78",
+        "delivery ratio",
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+ALL_FIGURES = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}

@@ -1,0 +1,54 @@
+"""Render figure results as aligned text tables / CSV.
+
+The paper's figures are line plots; the reproduction prints the same series
+as tables (one row per x value, one column per curve) so results are
+diffable and greppable in CI logs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .figures import FigureResult
+
+__all__ = ["format_figure", "figure_to_csv"]
+
+
+def format_figure(result: FigureResult, precision: int = 4) -> str:
+    """Aligned text table for one figure."""
+    labels = list(result.series)
+    header = [result.x_label] + labels
+    rows = []
+    for i, x in enumerate(result.x_values):
+        row = [f"{x:g}"]
+        for label in labels:
+            row.append(f"{result.series[label][i]:.{precision}f}")
+        rows.append(row)
+
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    out = io.StringIO()
+    out.write(f"== {result.figure_id}: {result.title} ==\n")
+    if result.notes:
+        out.write(f"   {result.notes}\n")
+    out.write(f"   y: {result.y_label}\n")
+    out.write(
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)) + "\n"
+    )
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write("  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Comma-separated dump (header row then data rows)."""
+    labels = list(result.series)
+    lines = [",".join([result.x_label] + labels)]
+    for i, x in enumerate(result.x_values):
+        values = [f"{result.series[label][i]!r}" for label in labels]
+        lines.append(",".join([repr(float(x))] + values))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Sweep runner: evaluate policies across a parameter grid with seeds.
+
+Every figure in the paper is a sweep of one scenario parameter (arrival
+rate or delivery ratio) against total timely-throughput deficiency for 2-3
+algorithms.  :func:`run_sweep` is the shared engine; figure modules supply
+the spec builder and grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.requirements import NetworkSpec
+from ..sim.interval_sim import run_simulation
+from .configs import PolicyFactory
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "run_single"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated measurements for one (parameter value, policy) cell."""
+
+    parameter: float
+    policy: str
+    total_deficiency: float  # mean across seeds
+    deficiency_std: float
+    group_deficiency: Optional[Tuple[float, ...]] = None
+    collisions: float = 0.0
+    mean_overhead_us: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, indexed for reporting."""
+
+    parameter_name: str
+    values: List[float] = field(default_factory=list)
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, policy: str) -> List[float]:
+        """Deficiency series (aligned with ``values``) for one policy."""
+        by_value = {
+            p.parameter: p.total_deficiency
+            for p in self.points
+            if p.policy == policy
+        }
+        return [by_value[v] for v in self.values]
+
+    def group_series(self, policy: str, group: int) -> List[float]:
+        by_value = {}
+        for p in self.points:
+            if p.policy == policy and p.group_deficiency is not None:
+                by_value[p.parameter] = p.group_deficiency[group]
+        return [by_value[v] for v in self.values]
+
+    @property
+    def policies(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.policy not in seen:
+                seen.append(p.policy)
+        return seen
+
+
+def run_single(
+    spec: NetworkSpec,
+    factory: PolicyFactory,
+    num_intervals: int,
+    seeds: Sequence[int],
+    groups: Optional[Sequence[int]] = None,
+) -> SweepPoint:
+    """Average one policy's deficiency on one spec across seeds."""
+    totals: List[float] = []
+    group_totals: List[np.ndarray] = []
+    collisions: List[float] = []
+    overheads: List[float] = []
+    name = ""
+    for seed in seeds:
+        policy = factory()
+        name = policy.name
+        result = run_simulation(spec, policy, num_intervals, seed=seed)
+        totals.append(result.total_deficiency())
+        summary = result.summary()
+        collisions.append(float(summary.total_collisions))
+        overheads.append(summary.mean_overhead_us)
+        if groups is not None:
+            from ..analysis.metrics import group_deficiency
+
+            group_totals.append(
+                group_deficiency(
+                    result.deliveries, spec.requirement_vector, groups
+                )
+            )
+    group_mean = (
+        tuple(float(x) for x in np.mean(group_totals, axis=0))
+        if group_totals
+        else None
+    )
+    return SweepPoint(
+        parameter=float("nan"),  # filled by run_sweep
+        policy=name,
+        total_deficiency=float(np.mean(totals)),
+        deficiency_std=float(np.std(totals)),
+        group_deficiency=group_mean,
+        collisions=float(np.mean(collisions)),
+        mean_overhead_us=float(np.mean(overheads)),
+    )
+
+
+def run_sweep(
+    parameter_name: str,
+    values: Sequence[float],
+    spec_builder: Callable[[float], NetworkSpec],
+    policies: Dict[str, PolicyFactory],
+    num_intervals: int,
+    seeds: Sequence[int] = (0,),
+    groups: Optional[Sequence[int]] = None,
+) -> SweepResult:
+    """Run every (value, policy) cell and aggregate across seeds."""
+    if num_intervals <= 0:
+        raise ValueError(f"num_intervals must be positive, got {num_intervals}")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = SweepResult(parameter_name=parameter_name, values=list(values))
+    for value in values:
+        spec = spec_builder(value)
+        for label, factory in policies.items():
+            point = run_single(spec, factory, num_intervals, seeds, groups)
+            result.points.append(
+                SweepPoint(
+                    parameter=float(value),
+                    policy=label,
+                    total_deficiency=point.total_deficiency,
+                    deficiency_std=point.deficiency_std,
+                    group_deficiency=point.group_deficiency,
+                    collisions=point.collisions,
+                    mean_overhead_us=point.mean_overhead_us,
+                )
+            )
+    return result

@@ -1,0 +1,2 @@
+"""PHY-layer substrate: 802.11a airtime accounting and unreliable-channel
+models."""

@@ -1,0 +1,133 @@
+"""Unreliable-channel models (Section II-A).
+
+The paper's model: if link ``n`` transmits without interference, the attempt
+succeeds with probability ``p_n > 0``, independently across attempts
+(:class:`BernoulliChannel`).  If multiple links transmit simultaneously a
+collision occurs and *all* transmissions fail — collision semantics live in
+the simulators; channel models only answer "did this interference-free
+attempt succeed?".
+
+:class:`GilbertElliottChannel` is an extension (burst losses) used by
+robustness experiments; it deliberately violates the i.i.d. assumption and
+says so.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ChannelModel", "BernoulliChannel", "GilbertElliottChannel"]
+
+
+class ChannelModel(ABC):
+    """Per-attempt success model for interference-free transmissions."""
+
+    @property
+    @abstractmethod
+    def num_links(self) -> int:
+        """Number of links the model covers."""
+
+    @property
+    @abstractmethod
+    def reliabilities(self) -> np.ndarray:
+        """Long-run per-attempt success probability ``p_n`` of each link."""
+
+    @abstractmethod
+    def attempt(self, link: int, rng: np.random.Generator) -> bool:
+        """Draw the outcome of one interference-free attempt by ``link``."""
+
+
+@dataclass(frozen=True)
+class BernoulliChannel(ChannelModel):
+    """The paper's static unreliable channel: i.i.d. Bernoulli(``p_n``)."""
+
+    success_probs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.success_probs:
+            raise ValueError("need at least one link")
+        for p in self.success_probs:
+            if not 0.0 < p <= 1.0:
+                raise ValueError(
+                    f"the paper requires p_n in (0, 1], got {p}"
+                )
+
+    @classmethod
+    def symmetric(cls, num_links: int, p: float) -> "BernoulliChannel":
+        return cls(success_probs=(p,) * num_links)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.success_probs)
+
+    @property
+    def reliabilities(self) -> np.ndarray:
+        return np.asarray(self.success_probs, dtype=float)
+
+    def attempt(self, link: int, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.success_probs[link])
+
+
+class GilbertElliottChannel(ChannelModel):
+    """Two-state burst-loss channel (GOOD/BAD) per link.
+
+    **Extension beyond the paper's model** — attempts are correlated in time.
+    ``reliabilities`` reports each link's stationary success probability so
+    debt-based policies can still be configured consistently.
+    """
+
+    def __init__(
+        self,
+        num_links: int,
+        p_good: float = 0.95,
+        p_bad: float = 0.2,
+        p_stay_good: float = 0.95,
+        p_stay_bad: float = 0.8,
+    ):
+        if num_links < 1:
+            raise ValueError("need at least one link")
+        for name, value in [
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+            ("p_stay_good", p_stay_good),
+            ("p_stay_bad", p_stay_bad),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        if p_good <= 0 and p_bad <= 0:
+            raise ValueError("at least one state must allow success (p_n > 0)")
+        self._n = num_links
+        self._p_good = p_good
+        self._p_bad = p_bad
+        self._p_stay_good = p_stay_good
+        self._p_stay_bad = p_stay_bad
+        self._good = np.ones(num_links, dtype=bool)
+
+    @property
+    def num_links(self) -> int:
+        return self._n
+
+    @property
+    def reliabilities(self) -> np.ndarray:
+        leave_good = 1.0 - self._p_stay_good
+        leave_bad = 1.0 - self._p_stay_bad
+        if leave_good + leave_bad == 0:
+            pi_good = 1.0  # frozen in the GOOD start state
+        else:
+            pi_good = leave_bad / (leave_good + leave_bad)
+        p = pi_good * self._p_good + (1.0 - pi_good) * self._p_bad
+        return np.full(self._n, p)
+
+    def attempt(self, link: int, rng: np.random.Generator) -> bool:
+        if not 0 <= link < self._n:
+            raise IndexError(f"link {link} out of range [0, {self._n})")
+        # Evolve this link's state, then draw the outcome in the new state.
+        stay = self._p_stay_good if self._good[link] else self._p_stay_bad
+        if rng.random() >= stay:
+            self._good[link] = not self._good[link]
+        p = self._p_good if self._good[link] else self._p_bad
+        return bool(rng.random() < p)

@@ -1,0 +1,2 @@
+"""Simulators: the fast interval-level engine and the microsecond
+event-driven engine (ns-3 substitute), plus RNG and result containers."""

@@ -1,0 +1,120 @@
+"""A small discrete-event simulation core.
+
+The event-driven wireless simulator (:mod:`repro.sim.event_sim`) runs on
+this engine: a time-ordered event queue with stable FIFO ordering for
+simultaneous events, cancellable handles, and a monotonic clock.  Kept
+deliberately generic — nothing wireless-specific lives here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "EventScheduler"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback; cancel with :meth:`cancel`."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Time-ordered event queue with a monotonic clock.
+
+    Events scheduled for the same instant run in scheduling (FIFO) order.
+    Scheduling in the past raises — simulations with causality bugs should
+    fail loudly, not silently reorder history.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.handle.cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._counter), handle))
+        return handle
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Run the next pending event; False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.handle.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Process events up to and including ``end_time``.
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        budget = max_events
+        while self._queue:
+            head = self._queue[0]
+            if head.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            if budget is not None:
+                if budget == 0:
+                    raise RuntimeError(
+                        f"event budget exhausted at t={self._now} "
+                        f"({self._processed} events processed)"
+                    )
+                budget -= 1
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"event budget {max_events} exhausted")

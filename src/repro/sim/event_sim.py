@@ -1,0 +1,432 @@
+"""Microsecond event-driven simulator of the DP protocol (ns-3 substitute).
+
+Unlike the closed-form interval engine (:mod:`repro.sim.interval_sim`),
+this simulator realizes the protocol the way a radio would experience it:
+
+* a :class:`WirelessChannel` with a busy/idle state that every device senses,
+* per-device backoff counters that decrement **only at idle slot
+  boundaries** and freeze while the channel is busy,
+* transmissions as timed events (data and empty-packet airtimes),
+* the swap handshake read off the *channel state* at the instant a
+  candidate's counter reaches 1 (Eqs. (7)-(8)) — each device acts purely on
+  its own priority index, its own coin, and carrier sensing.
+
+The two engines are statistically equivalent; the test-suite cross-checks
+delivery distributions and swap dynamics between them.  Requires a
+realistic timing model (``backoff_slot_us > 0``); the idealized protocol of
+Definition 10 collapses slot boundaries and is only meaningful analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dbdp import GlauberDebtBias
+from ..core.debt import DebtLedger
+from ..core.dp_protocol import SwapBias, draw_candidate_indices
+from ..core.influence import PaperLogInfluence
+from ..core.permutations import validate_priority_vector
+from ..core.policies import IntervalOutcome
+from ..core.requirements import NetworkSpec
+from .engine import EventScheduler
+from .results import SimulationResult
+from .rng import RngBundle
+from .tracing import (
+    IntervalEvent,
+    SwapEvent,
+    TraceRecorder,
+    TransmissionEvent,
+)
+
+__all__ = ["WirelessChannel", "DPDevice", "EventDrivenDPSimulator"]
+
+
+class WirelessChannel:
+    """Fully-interfering shared medium with carrier sensing.
+
+    One transmission at a time (the DP protocol is collision-free by
+    construction; an overlapping ``begin_transmission`` raises, which the
+    tests rely on to prove collision-freedom holds in the event timeline).
+    """
+
+    def __init__(self, scheduler: EventScheduler):
+        self._scheduler = scheduler
+        self._busy_until = -1.0
+        self._transmitter: Optional[int] = None
+        self.total_busy_us = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self._scheduler.now < self._busy_until
+
+    @property
+    def transmitter(self) -> Optional[int]:
+        return self._transmitter if self.busy else None
+
+    def begin_transmission(self, link: int, duration_us: float) -> float:
+        """Occupy the medium; returns the end time."""
+        now = self._scheduler.now
+        if self.busy:
+            raise RuntimeError(
+                f"collision: link {link} began transmitting at t={now} while "
+                f"link {self._transmitter} holds the channel"
+            )
+        self._busy_until = now + duration_us
+        self._transmitter = link
+        self.total_busy_us += duration_us
+        return self._busy_until
+
+
+@dataclass
+class DPDevice:
+    """One link's protocol state — knows only its own priority index."""
+
+    link: int
+    priority: int  # sigma_n (1-based)
+    backoff: int = 0
+    buffered_packets: int = 0
+    has_empty_packet: bool = False
+    is_candidate: bool = False
+    candidate_role: str = ""  # "down" (at C) or "up" (at C + 1)
+    xi: int = 0
+    observed_at_one: Optional[bool] = None  # channel busy when counter hit 1
+    transmitted_this_interval: bool = False
+    service_start_us: Optional[float] = None
+    deliveries: int = 0
+    attempts: int = 0
+
+    def reset_for_interval(self) -> None:
+        self.buffered_packets = 0
+        self.has_empty_packet = False
+        self.is_candidate = False
+        self.candidate_role = ""
+        self.xi = 0
+        self.observed_at_one = None
+        self.transmitted_this_interval = False
+        self.service_start_us = None
+        self.deliveries = 0
+        self.attempts = 0
+
+    @property
+    def wants_channel(self) -> bool:
+        return self.buffered_packets > 0 or self.has_empty_packet
+
+
+class EventDrivenDPSimulator:
+    """Run DP / DB-DP at microsecond resolution on the event engine.
+
+    Parameters mirror :class:`~repro.core.dp_protocol.DPProtocol`; the debt
+    ledger lives here (as in the interval simulator) and feeds the swap
+    bias each interval.
+    """
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        bias: Optional[SwapBias] = None,
+        num_pairs: int = 1,
+        seed: int = 0,
+        initial_priorities: Optional[Sequence[int]] = None,
+        record_priorities: bool = False,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        if spec.timing.backoff_slot_us <= 0:
+            raise ValueError(
+                "the event-driven simulator needs a positive backoff slot "
+                "time; use the interval engine for idealized timing"
+            )
+        self.spec = spec
+        self.bias = bias or GlauberDebtBias(influence=PaperLogInfluence())
+        if num_pairs < 1:
+            raise ValueError(f"num_pairs must be >= 1, got {num_pairs}")
+        self.num_pairs = num_pairs
+        self.rng = RngBundle(seed)
+        self.ledger = DebtLedger(spec.requirements)
+        self.result = SimulationResult(
+            policy_name="DB-DP(event)",
+            requirements=spec.requirement_vector,
+            record_priorities=record_priorities,
+        )
+        n = spec.num_links
+        if initial_priorities is None:
+            sigma = tuple(range(1, n + 1))
+        else:
+            sigma = validate_priority_vector(initial_priorities)
+            if len(sigma) != n:
+                raise ValueError("initial priority vector length mismatch")
+        self.devices = [
+            DPDevice(link=link, priority=sigma[link]) for link in range(n)
+        ]
+        self._scheduler = EventScheduler()
+        self._channel = WirelessChannel(self._scheduler)
+        self._interval_end = 0.0
+        self._arrivals: Optional[np.ndarray] = None
+        self._idle_slots = 0
+        self._candidate_pairs: List[Tuple[int, int, int]] = []  # (c, down, up)
+        self._interval_index = 0
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    @property
+    def priorities(self) -> Tuple[int, ...]:
+        return tuple(device.priority for device in self.devices)
+
+    # ------------------------------------------------------------------
+    # Interval lifecycle
+    # ------------------------------------------------------------------
+    def _start_interval(self) -> None:
+        spec = self.spec
+        n = spec.num_links
+        arrivals = spec.arrivals.sample(self.rng.arrivals)
+        self._arrivals = arrivals
+        debts = self.ledger.positive_debts
+        reliabilities = spec.reliabilities
+
+        if self.trace is not None:
+            self.trace.record(
+                IntervalEvent(
+                    time_us=self._scheduler.now,
+                    interval=self._interval_index,
+                    priorities=self.priorities,
+                )
+            )
+        for device in self.devices:
+            device.reset_for_interval()
+            device.buffered_packets = int(arrivals[device.link])
+
+        # Step 1: shared random seed -> candidate priority indices.
+        candidates = (
+            draw_candidate_indices(n, self.num_pairs, self.rng.shared)
+            if n >= 2
+            else ()
+        )
+        self._candidate_pairs = []
+        sigma = self.priorities
+        for pair_index, c in enumerate(candidates):
+            down = sigma.index(c)
+            up = sigma.index(c + 1)
+            self._candidate_pairs.append((c, down, up))
+            for link, role in ((down, "down"), (up, "up")):
+                device = self.devices[link]
+                device.is_candidate = True
+                device.candidate_role = role
+                mu = self.bias.mu(
+                    link, float(debts[link]), float(reliabilities[link])
+                )
+                device.xi = 1 if self.rng.policy.random() < mu else -1
+                # Step 2: claim priority with an empty packet if needed.
+                if device.buffered_packets == 0:
+                    device.has_empty_packet = True
+
+        # Step 4: collision-free backoff values.
+        offsets = {c: 2 * i for i, c in enumerate(candidates)}
+        for device in self.devices:
+            s = device.priority
+            if device.is_candidate:
+                c = s if device.candidate_role == "down" else s - 1
+                device.backoff = s - device.xi + offsets[c]
+            else:
+                pairs_below = sum(1 for c in candidates if c + 1 < s)
+                device.backoff = s - 1 + 2 * pairs_below
+
+        self._idle_slots = 0
+        # Treat the interval start as an idle-slot boundary: devices with
+        # backoff 0 transmit immediately, devices at 1 observe (see
+        # DESIGN.md on swap atomicity).
+        self._boundary()
+
+    def _boundary(self) -> None:
+        """One idle-slot boundary: pick the transmitter, record observations."""
+        now = self._scheduler.now
+        if now >= self._interval_end:
+            return
+        transmitter: Optional[DPDevice] = None
+        for device in self.devices:
+            if device.backoff == self._idle_slots and device.wants_channel:
+                if transmitter is not None:
+                    raise RuntimeError(
+                        "backoff collision between links "
+                        f"{transmitter.link} and {device.link}"
+                    )
+                transmitter = device
+
+        starts = False
+        if transmitter is not None:
+            starts = self._begin_service(transmitter)
+
+        # Candidates whose counter just reached 1 sense the channel now.
+        for device in self.devices:
+            if (
+                device.is_candidate
+                and device.backoff == self._idle_slots + 1
+                and device.observed_at_one is None
+            ):
+                device.observed_at_one = starts
+
+        if transmitter is None or not starts:
+            # Channel stays idle: next slot boundary.
+            self._idle_slots += 1
+            next_tick = now + self.spec.timing.backoff_slot_us
+            if next_tick <= self._interval_end:
+                self._scheduler.schedule_at(next_tick, self._boundary)
+
+    def _begin_service(self, device: DPDevice) -> bool:
+        """Start the device's transmission run; False if nothing fits."""
+        timing = self.spec.timing
+        now = self._scheduler.now
+        if device.buffered_packets > 0:
+            if now + timing.data_airtime_us > self._interval_end:
+                return False  # Remark 4: stay idle.
+            end = self._channel.begin_transmission(
+                device.link, timing.data_airtime_us
+            )
+            device.transmitted_this_interval = True
+            device.service_start_us = now
+            self._scheduler.schedule_at(end, lambda d=device: self._attempt_done(d))
+            return True
+        if device.has_empty_packet:
+            if now + timing.empty_airtime_us > self._interval_end:
+                return False
+            end = self._channel.begin_transmission(
+                device.link, timing.empty_airtime_us
+            )
+            device.transmitted_this_interval = True
+            device.service_start_us = now
+            device.has_empty_packet = False
+            if self.trace is not None:
+                self.trace.record(
+                    TransmissionEvent(
+                        time_us=now,
+                        interval=self._interval_index,
+                        link=device.link,
+                        duration_us=timing.empty_airtime_us,
+                        kind="empty",
+                    )
+                )
+            self._scheduler.schedule_at(end, lambda d=device: self._service_done(d))
+            return True
+        return False
+
+    def _attempt_done(self, device: DPDevice) -> None:
+        device.attempts += 1
+        delivered = self.spec.channel.attempt(device.link, self.rng.channel)
+        if self.trace is not None:
+            airtime = self.spec.timing.data_airtime_us
+            self.trace.record(
+                TransmissionEvent(
+                    time_us=self._scheduler.now - airtime,
+                    interval=self._interval_index,
+                    link=device.link,
+                    duration_us=airtime,
+                    kind="data",
+                    delivered=delivered,
+                )
+            )
+        if delivered:
+            device.deliveries += 1
+            device.buffered_packets -= 1
+        if (
+            device.buffered_packets > 0
+            and self._scheduler.now + self.spec.timing.data_airtime_us
+            <= self._interval_end
+        ):
+            end = self._channel.begin_transmission(
+                device.link, self.spec.timing.data_airtime_us
+            )
+            self._scheduler.schedule_at(end, lambda d=device: self._attempt_done(d))
+        else:
+            self._service_done(device)
+
+    def _service_done(self, device: DPDevice) -> None:
+        """The channel went idle; resume slot ticking for everyone else."""
+        next_tick = self._scheduler.now + self.spec.timing.backoff_slot_us
+        self._idle_slots += 1
+        if next_tick <= self._interval_end:
+            self._scheduler.schedule_at(next_tick, self._boundary)
+
+    def _finish_interval(self) -> IntervalOutcome:
+        """Step 7: flush buffers, commit swaps, update the ledger."""
+        sigma_used = self.priorities
+        timing = self.spec.timing
+        swaps_committed = []
+        for c, down, up in self._candidate_pairs:
+            down_device = self.devices[down]
+            up_device = self.devices[up]
+            # Commit rule (DESIGN.md, "swap atomicity"): both coins align
+            # and the up-mover's transmission starts early enough to leave a
+            # full data airtime before the deadline — the same condition the
+            # interval engine applies.
+            committed = (
+                down_device.xi == -1
+                and up_device.xi == 1
+                and up_device.transmitted_this_interval
+                and up_device.service_start_us is not None
+                and up_device.service_start_us + timing.data_airtime_us
+                <= self._interval_end
+            )
+            # Handshake consistency: whenever the commit fires, the
+            # down-mover must in fact have sensed the channel busy when its
+            # counter reached 1 (that instant *is* the up-mover's
+            # transmission start).  A violation would mean the decentralized
+            # detection desynchronized — fail loudly.
+            if committed and down_device.observed_at_one is not True:
+                raise RuntimeError(
+                    f"swap handshake desynchronized at pair C={c}: up link "
+                    f"{up} transmitted but down link {down} observed "
+                    f"{down_device.observed_at_one!r}"
+                )
+            if self.trace is not None:
+                self.trace.record(
+                    SwapEvent(
+                        time_us=self._interval_end,
+                        interval=self._interval_index,
+                        candidate_priority=c,
+                        down_link=down,
+                        up_link=up,
+                        committed=committed,
+                    )
+                )
+            if committed:
+                swaps_committed.append((c, down, up))
+                down_device.priority, up_device.priority = (
+                    up_device.priority,
+                    down_device.priority,
+                )
+        deliveries = np.array(
+            [device.deliveries for device in self.devices], dtype=np.int64
+        )
+        attempts = np.array(
+            [device.attempts for device in self.devices], dtype=np.int64
+        )
+        return IntervalOutcome(
+            deliveries=deliveries,
+            attempts=attempts,
+            busy_time_us=0.0,  # filled by run() from channel accounting
+            overhead_time_us=0.0,
+            collisions=0,
+            priorities=sigma_used,
+            info={"swaps": swaps_committed},
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, num_intervals: int) -> SimulationResult:
+        """Simulate ``num_intervals`` intervals; returns the result trace."""
+        if num_intervals < 0:
+            raise ValueError(f"num_intervals must be >= 0, got {num_intervals}")
+        timing = self.spec.timing
+        for _ in range(num_intervals):
+            interval_start = self._scheduler.now
+            self._interval_end = interval_start + timing.interval_us
+            busy_before = self._channel.total_busy_us
+            self._start_interval()
+            self._scheduler.run_until(self._interval_end)
+            outcome = self._finish_interval()
+            outcome.busy_time_us = self._channel.total_busy_us - busy_before
+            assert self._arrivals is not None
+            self.ledger.record_interval(outcome.deliveries)
+            self.result.record(self._arrivals, outcome)
+            self._interval_index += 1
+        return self.result

@@ -1,0 +1,178 @@
+"""Simulation results: per-interval traces, summaries, deficiency curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SimulationResult", "SimulationSummary"]
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """Headline numbers of one run."""
+
+    policy: str
+    num_links: int
+    num_intervals: int
+    total_deficiency: float
+    per_link_deficiency: np.ndarray
+    timely_throughput: np.ndarray
+    requirements: np.ndarray
+    total_collisions: int
+    mean_overhead_us: float
+    mean_busy_us: float
+    fulfilled: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "num_links": self.num_links,
+            "num_intervals": self.num_intervals,
+            "total_deficiency": self.total_deficiency,
+            "total_collisions": self.total_collisions,
+            "mean_overhead_us": self.mean_overhead_us,
+            "mean_busy_us": self.mean_busy_us,
+            "fulfilled": self.fulfilled,
+        }
+
+
+class SimulationResult:
+    """Accumulates per-interval data during a run; exposes analysis views.
+
+    All arrays are ``(K, N)`` for ``K`` recorded intervals and ``N`` links,
+    except scalar per-interval series which are ``(K,)``.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        requirements: np.ndarray,
+        record_priorities: bool = False,
+    ):
+        self.policy_name = policy_name
+        self.requirements = np.asarray(requirements, dtype=float)
+        self.record_priorities = record_priorities
+        self._arrivals: List[np.ndarray] = []
+        self._deliveries: List[np.ndarray] = []
+        self._attempts: List[np.ndarray] = []
+        self._busy: List[float] = []
+        self._overhead: List[float] = []
+        self._collisions: List[int] = []
+        self._priorities: List[Optional[tuple]] = []
+
+    # ------------------------------------------------------------------
+    def record(self, arrivals: np.ndarray, outcome) -> None:
+        self._arrivals.append(np.asarray(arrivals, dtype=np.int64))
+        self._deliveries.append(np.asarray(outcome.deliveries, dtype=np.int64))
+        self._attempts.append(np.asarray(outcome.attempts, dtype=np.int64))
+        self._busy.append(float(outcome.busy_time_us))
+        self._overhead.append(float(outcome.overhead_time_us))
+        self._collisions.append(int(outcome.collisions))
+        if self.record_priorities:
+            self._priorities.append(outcome.priorities)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_intervals(self) -> int:
+        return len(self._deliveries)
+
+    @property
+    def num_links(self) -> int:
+        return self.requirements.size
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        return np.array(self._arrivals, dtype=np.int64).reshape(
+            self.num_intervals, self.num_links
+        )
+
+    @property
+    def deliveries(self) -> np.ndarray:
+        return np.array(self._deliveries, dtype=np.int64).reshape(
+            self.num_intervals, self.num_links
+        )
+
+    @property
+    def attempts(self) -> np.ndarray:
+        return np.array(self._attempts, dtype=np.int64).reshape(
+            self.num_intervals, self.num_links
+        )
+
+    @property
+    def busy_time_us(self) -> np.ndarray:
+        return np.asarray(self._busy)
+
+    @property
+    def overhead_time_us(self) -> np.ndarray:
+        return np.asarray(self._overhead)
+
+    @property
+    def collisions(self) -> np.ndarray:
+        return np.asarray(self._collisions, dtype=np.int64)
+
+    @property
+    def priorities(self) -> List[Optional[tuple]]:
+        if not self.record_priorities:
+            raise RuntimeError("run was not configured to record priorities")
+        return list(self._priorities)
+
+    # ------------------------------------------------------------------
+    # Definition 1 metrics
+    # ------------------------------------------------------------------
+    def per_link_deficiency(self, upto: Optional[int] = None) -> np.ndarray:
+        """``(q_n - mean deliveries)^+`` over the first ``upto`` intervals."""
+        k = self.num_intervals if upto is None else upto
+        if k <= 0:
+            return self.requirements.copy()
+        mean = self.deliveries[:k].mean(axis=0)
+        return np.maximum(self.requirements - mean, 0.0)
+
+    def total_deficiency(self, upto: Optional[int] = None) -> float:
+        return float(self.per_link_deficiency(upto).sum())
+
+    def deficiency_trajectory(self, stride: int = 1) -> np.ndarray:
+        """Total deficiency after each ``stride``-th interval (shape (K//stride,))."""
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        deliveries = self.deliveries
+        cumulative = np.cumsum(deliveries, axis=0, dtype=float)
+        ks = np.arange(1, self.num_intervals + 1)[:, None]
+        deficiency = np.maximum(self.requirements[None, :] - cumulative / ks, 0.0)
+        totals = deficiency.sum(axis=1)
+        return totals[stride - 1 :: stride]
+
+    def running_timely_throughput(self, link: int) -> np.ndarray:
+        """Running mean deliveries/interval for one link (Fig. 5's series)."""
+        deliveries = self.deliveries[:, link].astype(float)
+        ks = np.arange(1, self.num_intervals + 1)
+        return np.cumsum(deliveries) / ks
+
+    def timely_throughput(self) -> np.ndarray:
+        if self.num_intervals == 0:
+            return np.zeros(self.num_links)
+        return self.deliveries.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    def summary(self, fulfilled_tolerance: float = 1e-3) -> SimulationSummary:
+        deficiency = self.per_link_deficiency()
+        total = float(deficiency.sum())
+        return SimulationSummary(
+            policy=self.policy_name,
+            num_links=self.num_links,
+            num_intervals=self.num_intervals,
+            total_deficiency=total,
+            per_link_deficiency=deficiency,
+            timely_throughput=self.timely_throughput(),
+            requirements=self.requirements.copy(),
+            total_collisions=int(self.collisions.sum()),
+            mean_overhead_us=float(self.overhead_time_us.mean())
+            if self.num_intervals
+            else 0.0,
+            mean_busy_us=float(self.busy_time_us.mean())
+            if self.num_intervals
+            else 0.0,
+            fulfilled=total <= fulfilled_tolerance,
+        )

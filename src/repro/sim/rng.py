@@ -1,0 +1,66 @@
+"""Random-stream management for reproducible simulations.
+
+The DP protocol needs one *shared* random stream (Step 1 of Algorithm 2:
+every device derives the same candidate index ``C(k)`` from a common seed,
+e.g. coarse-synchronized system time) plus *local* streams per component
+(arrivals, channel outcomes, per-link coin flips).  :class:`RngBundle`
+derives all of them from one master seed via ``numpy.random.SeedSequence``
+spawning, so any simulation is reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngBundle"]
+
+
+class RngBundle:
+    """Named, independent ``numpy.random.Generator`` streams from one seed.
+
+    Streams are created lazily and deterministically: the stream named
+    ``"channel"`` is the same generator sequence for a given master seed no
+    matter how many other streams exist or in what order they were first
+    requested (each name hashes to a fixed spawn key).
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``name``."""
+        if name not in self._streams:
+            # Derive a per-name child seed from the master seed and a stable
+            # hash of the name; SeedSequence mixes both into a full-entropy
+            # state, so distinct names give independent streams.
+            name_key = [ord(c) for c in name]
+            seq = np.random.SeedSequence(entropy=self._seed, spawn_key=name_key)
+            self._streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._streams[name]
+
+    # Convenience accessors for the streams every simulation uses. ---------
+    @property
+    def arrivals(self) -> np.random.Generator:
+        return self.stream("arrivals")
+
+    @property
+    def channel(self) -> np.random.Generator:
+        return self.stream("channel")
+
+    @property
+    def policy(self) -> np.random.Generator:
+        """Local policy randomness (per-link coin flips, backoff draws)."""
+        return self.stream("policy")
+
+    @property
+    def shared(self) -> np.random.Generator:
+        """The network-wide shared stream (candidate index ``C(k)``)."""
+        return self.stream("shared")

@@ -1,0 +1,96 @@
+"""ASCII timeline rendering of an interval's channel occupancy.
+
+Turns a traced event-simulator run into a human-readable Gantt strip —
+useful in examples and when debugging protocol behaviour:
+
+    interval 3 | sigma = (2, 1, 3)
+    t(us)    0        500       1000      1500      2000
+    link 0   ....XXXXXX✓.................................
+    link 1   XXX✓......................................
+    ...
+
+Each rendered cell covers ``resolution_us`` of the interval; transmissions
+are drawn as runs of ``X`` terminated by the attempt outcome (``✓``
+delivered, ``x`` lost, ``o`` empty packet).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .tracing import TraceRecorder, TransmissionEvent
+
+__all__ = ["render_interval", "render_intervals"]
+
+
+def render_interval(
+    trace: TraceRecorder,
+    interval: int,
+    interval_us: float,
+    num_links: int,
+    width: int = 72,
+) -> str:
+    """Render one interval as an ASCII strip (one row per link)."""
+    if width < 10:
+        raise ValueError(f"width must be at least 10, got {width}")
+    if interval_us <= 0:
+        raise ValueError(f"interval length must be positive, got {interval_us}")
+    start_us = None
+    priorities = None
+    for event in trace.interval_events():
+        if event.interval == interval:
+            start_us = event.time_us
+            priorities = event.priorities
+            break
+    if start_us is None:
+        # Fall back to the tiling convention (intervals are contiguous).
+        start_us = interval * interval_us
+
+    resolution = interval_us / width
+    rows = [["." for _ in range(width)] for _ in range(num_links)]
+    for event in trace.transmissions():
+        if event.interval != interval:
+            continue
+        begin = int((event.time_us - start_us) // resolution)
+        end = int((event.end_us - start_us - 1e-9) // resolution)
+        begin = max(0, min(width - 1, begin))
+        end = max(0, min(width - 1, end))
+        for cell in range(begin, end + 1):
+            rows[event.link][cell] = "X"
+        if event.kind == "empty":
+            marker = "o"
+        else:
+            marker = "+" if event.delivered else "x"
+        rows[event.link][end] = marker
+
+    lines = [
+        f"interval {interval}"
+        + (f" | sigma = {tuple(priorities)}" if priorities else "")
+    ]
+    # Time ruler: ticks every width // 4 cells.
+    ruler = [" "] * width
+    labels: List[str] = []
+    tick_step = max(1, width // 4)
+    header = "t(us)".ljust(9)
+    ruler_line = ""
+    for cell in range(0, width, tick_step):
+        t = cell * resolution
+        ruler_line += f"{t:<{tick_step * 1}.0f}"[: tick_step]
+    lines.append(header + ruler_line)
+    for link, row in enumerate(rows):
+        lines.append(f"link {link:<3d} " + "".join(row))
+    return "\n".join(lines)
+
+
+def render_intervals(
+    trace: TraceRecorder,
+    intervals: List[int],
+    interval_us: float,
+    num_links: int,
+    width: int = 72,
+) -> str:
+    """Render several intervals separated by blank lines."""
+    return "\n\n".join(
+        render_interval(trace, k, interval_us, num_links, width)
+        for k in intervals
+    )

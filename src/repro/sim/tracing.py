@@ -1,0 +1,186 @@
+"""Structured event tracing for the event-driven simulator.
+
+A :class:`TraceRecorder` captures a typed, queryable log of what happened
+on the channel: transmission starts/ends, per-attempt outcomes, swap
+handshakes, and interval boundaries.  Useful for debugging protocol
+behaviour and for the examples that narrate the timeline; disabled by
+default (tracing a 20 k-interval run would dominate memory).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "TransmissionEvent",
+    "SwapEvent",
+    "IntervalEvent",
+    "TraceRecorder",
+    "dump_jsonl",
+    "load_jsonl",
+]
+
+#: JSONL type tags <-> event classes (populated below the definitions).
+_EVENT_TYPES = {}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: everything carries a timestamp and interval index."""
+
+    time_us: float
+    interval: int
+
+
+@dataclass(frozen=True)
+class TransmissionEvent(TraceEvent):
+    """One channel occupancy by one link."""
+
+    link: int
+    duration_us: float
+    kind: str  # "data" or "empty"
+    delivered: Optional[bool] = None  # None for empty packets
+
+    @property
+    def end_us(self) -> float:
+        return self.time_us + self.duration_us
+
+
+@dataclass(frozen=True)
+class SwapEvent(TraceEvent):
+    """A committed (or refused) priority exchange at an interval boundary."""
+
+    candidate_priority: int
+    down_link: int
+    up_link: int
+    committed: bool
+
+
+@dataclass(frozen=True)
+class IntervalEvent(TraceEvent):
+    """Interval boundary marker with the priority vector entering it."""
+
+    priorities: Tuple[int, ...]
+
+
+class TraceRecorder:
+    """Appends events and answers simple queries over them."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """``capacity`` caps the stored events (oldest dropped) if set."""
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[type] = None) -> List[TraceEvent]:
+        """All events, optionally filtered by event class."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if isinstance(e, kind)]
+
+    def transmissions(self, link: Optional[int] = None) -> List[TransmissionEvent]:
+        out = [e for e in self._events if isinstance(e, TransmissionEvent)]
+        if link is not None:
+            out = [e for e in out if e.link == link]
+        return out
+
+    def swaps(self, committed_only: bool = False) -> List[SwapEvent]:
+        out = [e for e in self._events if isinstance(e, SwapEvent)]
+        if committed_only:
+            out = [e for e in out if e.committed]
+        return out
+
+    def interval_events(self) -> List[IntervalEvent]:
+        return [e for e in self._events if isinstance(e, IntervalEvent)]
+
+    # ------------------------------------------------------------------
+    def channel_utilization(self, interval: int, interval_us: float) -> float:
+        """Fraction of one interval's time the channel was busy."""
+        if interval_us <= 0:
+            raise ValueError(f"interval length must be positive, got {interval_us}")
+        busy = sum(
+            e.duration_us
+            for e in self.transmissions()
+            if e.interval == interval
+        )
+        return busy / interval_us
+
+    def verify_no_overlap(self) -> None:
+        """Assert no two transmissions overlap (collision-freedom audit)."""
+        spans = sorted(
+            ((e.time_us, e.end_us, e.link) for e in self.transmissions()),
+        )
+        for (s1, e1, l1), (s2, e2, l2) in zip(spans, spans[1:]):
+            if s2 < e1 - 1e-9:
+                raise AssertionError(
+                    f"overlapping transmissions: link {l1} [{s1}, {e1}) and "
+                    f"link {l2} [{s2}, {e2})"
+                )
+
+
+_EVENT_TYPES.update(
+    {
+        "transmission": TransmissionEvent,
+        "swap": SwapEvent,
+        "interval": IntervalEvent,
+    }
+)
+_TYPE_TAGS = {cls: tag for tag, cls in _EVENT_TYPES.items()}
+
+
+def _to_record(event: TraceEvent) -> dict:
+    record = asdict(event)
+    record["type"] = _TYPE_TAGS[type(event)]
+    if isinstance(event, IntervalEvent):
+        record["priorities"] = list(event.priorities)
+    return record
+
+
+def _from_record(record: dict) -> TraceEvent:
+    data = dict(record)
+    tag = data.pop("type")
+    try:
+        cls = _EVENT_TYPES[tag]
+    except KeyError as exc:
+        raise ValueError(f"unknown trace event type {tag!r}") from exc
+    if cls is IntervalEvent:
+        data["priorities"] = tuple(data["priorities"])
+    return cls(**data)
+
+
+def dump_jsonl(recorder: TraceRecorder, stream: IO[str]) -> int:
+    """Write the recorder's events as JSON lines; returns the count."""
+    count = 0
+    for event in recorder:
+        stream.write(json.dumps(_to_record(event)) + "\n")
+        count += 1
+    return count
+
+
+def load_jsonl(stream: IO[str]) -> TraceRecorder:
+    """Rebuild a recorder from :func:`dump_jsonl` output."""
+    recorder = TraceRecorder()
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        recorder.record(_from_record(json.loads(line)))
+    return recorder

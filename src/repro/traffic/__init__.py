@@ -1,0 +1,1 @@
+"""Arrival-process substrate (Section II-B of the paper)."""

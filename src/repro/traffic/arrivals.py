@@ -1,0 +1,344 @@
+"""Arrival processes (Section II-B).
+
+Packets arrive at the beginning of each interval; the arrival vector
+``A(k)`` is i.i.d. across intervals with per-link mean ``lambda_n`` and a
+uniform bound ``A_max``.  Arrivals of different links *within* one interval
+may be correlated (the model allows it; the paper's evaluation uses
+independent links).
+
+Processes used in the paper's evaluation:
+
+* :class:`BurstyVideoArrivals` — ``A_n ~ Uniform{1..6}`` w.p. ``alpha_n``,
+  else 0, so ``lambda_n = 3.5 * alpha_n`` (Section VI-A).
+* :class:`BernoulliArrivals` — ``A_n ~ Bernoulli(lambda_n)``
+  (Section VI-B).
+
+Additional processes (:class:`ConstantArrivals`,
+:class:`TruncatedPoissonArrivals`, :class:`CorrelatedBurstArrivals`,
+:class:`MarkovModulatedArrivals`) exercise the general model — bounded
+support, possibly cross-link-correlated — beyond the paper's two workloads.
+Note :class:`MarkovModulatedArrivals` deliberately violates temporal
+independence (for robustness experiments); its docstring says so.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "BurstyVideoArrivals",
+    "ConstantArrivals",
+    "TruncatedPoissonArrivals",
+    "CorrelatedBurstArrivals",
+    "MarkovModulatedArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Per-network arrival process: one ``sample`` per interval.
+
+    Implementations must guarantee ``0 <= A_n <= max_per_link`` and expose
+    the mean vector ``lambda`` for requirement bookkeeping.
+    """
+
+    @property
+    @abstractmethod
+    def num_links(self) -> int:
+        """Number of links this process feeds."""
+
+    @property
+    @abstractmethod
+    def mean_rates(self) -> np.ndarray:
+        """``lambda_n`` — expected packets per interval per link."""
+
+    @property
+    @abstractmethod
+    def max_per_link(self) -> int:
+        """The uniform bound ``A_max`` on any single link's arrivals."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one interval's arrival vector ``A(k)`` (integer array)."""
+
+    def _check(self, arrivals: np.ndarray) -> np.ndarray:
+        if arrivals.shape != (self.num_links,):
+            raise AssertionError(
+                f"arrival vector shape {arrivals.shape} != ({self.num_links},)"
+            )
+        if np.any(arrivals < 0) or np.any(arrivals > self.max_per_link):
+            raise AssertionError(
+                f"arrivals {arrivals} outside [0, {self.max_per_link}]"
+            )
+        return arrivals
+
+
+@dataclass(frozen=True)
+class BernoulliArrivals(ArrivalProcess):
+    """Independent ``A_n ~ Bernoulli(rate_n)`` per interval (Section VI-B)."""
+
+    rates: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValueError("need at least one link")
+        for r in self.rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"Bernoulli rate must lie in [0, 1], got {r}")
+
+    @classmethod
+    def symmetric(cls, num_links: int, rate: float) -> "BernoulliArrivals":
+        return cls(rates=(rate,) * num_links)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.rates)
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        return np.asarray(self.rates, dtype=float)
+
+    @property
+    def max_per_link(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.random(self.num_links) < np.asarray(self.rates)
+        return self._check(draws.astype(np.int64))
+
+
+@dataclass(frozen=True)
+class BurstyVideoArrivals(ArrivalProcess):
+    """The paper's bursty video model (Section VI-A).
+
+    With probability ``alpha_n`` link ``n`` receives a burst uniform on
+    ``{1, ..., burst_max}`` (6 in the paper), else 0 packets; so
+    ``lambda_n = alpha_n * (burst_max + 1) / 2 = 3.5 alpha_n``.
+    """
+
+    alphas: Tuple[float, ...]
+    burst_max: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.alphas:
+            raise ValueError("need at least one link")
+        for a in self.alphas:
+            if not 0.0 <= a <= 1.0:
+                raise ValueError(f"alpha must lie in [0, 1], got {a}")
+        if self.burst_max < 1:
+            raise ValueError(f"burst_max must be >= 1, got {self.burst_max}")
+
+    @classmethod
+    def symmetric(cls, num_links: int, alpha: float, burst_max: int = 6):
+        return cls(alphas=(alpha,) * num_links, burst_max=burst_max)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.alphas)
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        return np.asarray(self.alphas) * (self.burst_max + 1) / 2.0
+
+    @property
+    def max_per_link(self) -> int:
+        return self.burst_max
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        active = rng.random(self.num_links) < np.asarray(self.alphas)
+        bursts = rng.integers(1, self.burst_max + 1, size=self.num_links)
+        return self._check(np.where(active, bursts, 0).astype(np.int64))
+
+
+@dataclass(frozen=True)
+class ConstantArrivals(ArrivalProcess):
+    """Deterministic ``A_n = counts_n`` every interval.
+
+    The classical Hou-Borkar-Kumar setting (exactly one packet per client
+    per interval) is ``ConstantArrivals.symmetric(n, 1)``; with it,
+    timely-throughput equals delivery ratio (Section II-C).
+    """
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("need at least one link")
+        for c in self.counts:
+            if c < 0:
+                raise ValueError(f"counts must be nonnegative, got {c}")
+
+    @classmethod
+    def symmetric(cls, num_links: int, count: int = 1) -> "ConstantArrivals":
+        return cls(counts=(count,) * num_links)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.counts)
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        return np.asarray(self.counts, dtype=float)
+
+    @property
+    def max_per_link(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return self._check(np.asarray(self.counts, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class TruncatedPoissonArrivals(ArrivalProcess):
+    """Poisson arrivals truncated at ``cap`` to respect the ``A_max`` bound.
+
+    The mean rates are computed exactly for the truncated distribution, not
+    approximated by the raw Poisson rate.
+    """
+
+    poisson_rates: Tuple[float, ...]
+    cap: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.poisson_rates:
+            raise ValueError("need at least one link")
+        for r in self.poisson_rates:
+            if r < 0:
+                raise ValueError(f"rates must be nonnegative, got {r}")
+        if self.cap < 1:
+            raise ValueError(f"cap must be >= 1, got {self.cap}")
+
+    @property
+    def num_links(self) -> int:
+        return len(self.poisson_rates)
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        from scipy import stats
+
+        means = []
+        for lam in self.poisson_rates:
+            ks = np.arange(self.cap + 1)
+            pmf = stats.poisson.pmf(ks, lam)
+            # All mass above the cap collapses onto the cap.
+            pmf[-1] += stats.poisson.sf(self.cap, lam)
+            means.append(float(np.dot(ks, pmf)))
+        return np.asarray(means)
+
+    @property
+    def max_per_link(self) -> int:
+        return self.cap
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        raw = rng.poisson(np.asarray(self.poisson_rates))
+        return self._check(np.minimum(raw, self.cap).astype(np.int64))
+
+
+@dataclass(frozen=True)
+class CorrelatedBurstArrivals(ArrivalProcess):
+    """Cross-link-correlated arrivals (allowed by the model, Section II-B).
+
+    A single network-wide Bernoulli(``event_prob``) event decides whether
+    *every* link receives a burst this interval; burst sizes are then drawn
+    independently per link uniform on ``{1, ..., burst_max}``.  Temporally
+    i.i.d., spatially fully correlated — the adversarial extreme of the
+    paper's "arrivals of different links might still be correlated".
+    """
+
+    num_links_: int
+    event_prob: float
+    burst_max: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_links_ < 1:
+            raise ValueError("need at least one link")
+        if not 0.0 <= self.event_prob <= 1.0:
+            raise ValueError(f"event_prob must lie in [0, 1], got {self.event_prob}")
+        if self.burst_max < 1:
+            raise ValueError(f"burst_max must be >= 1, got {self.burst_max}")
+
+    @property
+    def num_links(self) -> int:
+        return self.num_links_
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        mean_burst = (self.burst_max + 1) / 2.0
+        return np.full(self.num_links_, self.event_prob * mean_burst)
+
+    @property
+    def max_per_link(self) -> int:
+        return self.burst_max
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() >= self.event_prob:
+            return self._check(np.zeros(self.num_links_, dtype=np.int64))
+        bursts = rng.integers(1, self.burst_max + 1, size=self.num_links_)
+        return self._check(bursts.astype(np.int64))
+
+
+class MarkovModulatedArrivals(ArrivalProcess):
+    """Two-state (ON/OFF) Markov-modulated Bernoulli arrivals.
+
+    **Deliberately violates the paper's temporal-independence assumption** —
+    used only in robustness experiments to probe DB-DP's behaviour outside
+    its analyzed regime.  ``mean_rates`` reports the stationary mean.
+    """
+
+    def __init__(
+        self,
+        num_links: int,
+        on_rate: float,
+        off_rate: float = 0.0,
+        p_stay_on: float = 0.9,
+        p_stay_off: float = 0.9,
+    ):
+        if num_links < 1:
+            raise ValueError("need at least one link")
+        for name, value in [
+            ("on_rate", on_rate),
+            ("off_rate", off_rate),
+            ("p_stay_on", p_stay_on),
+            ("p_stay_off", p_stay_off),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        self._n = num_links
+        self._on_rate = on_rate
+        self._off_rate = off_rate
+        self._p_stay_on = p_stay_on
+        self._p_stay_off = p_stay_off
+        # Per-link modulating state; starts ON.
+        self._state_on = np.ones(num_links, dtype=bool)
+
+    @property
+    def num_links(self) -> int:
+        return self._n
+
+    @property
+    def mean_rates(self) -> np.ndarray:
+        leave_on = 1.0 - self._p_stay_on
+        leave_off = 1.0 - self._p_stay_off
+        if leave_on + leave_off == 0:
+            pi_on = 1.0  # chain frozen in its start state (ON)
+        else:
+            pi_on = leave_off / (leave_on + leave_off)
+        mean = pi_on * self._on_rate + (1.0 - pi_on) * self._off_rate
+        return np.full(self._n, mean)
+
+    @property
+    def max_per_link(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        stay = np.where(self._state_on, self._p_stay_on, self._p_stay_off)
+        flip = rng.random(self._n) >= stay
+        self._state_on = np.where(flip, ~self._state_on, self._state_on)
+        rates = np.where(self._state_on, self._on_rate, self._off_rate)
+        draws = rng.random(self._n) < rates
+        return self._check(draws.astype(np.int64))

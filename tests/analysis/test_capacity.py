@@ -1,0 +1,87 @@
+"""Tests for admissible-boundary estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BernoulliChannel, ConstantArrivals, LDFPolicy, NetworkSpec, idealized_timing
+from repro.analysis.capacity import (
+    CapacityEstimate,
+    admissible_boundary,
+    relative_capacity,
+)
+
+
+def spec_builder(rho: float) -> NetworkSpec:
+    """One-packet, 2-link network stressed through the delivery ratio."""
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(2, 1),
+        channel=BernoulliChannel.symmetric(2, 0.5),
+        timing=idealized_timing(3),
+        delivery_ratios=min(rho, 1.0),
+    )
+
+
+class TestBisection:
+    def test_finds_a_boundary_between_endpoints(self):
+        estimate = admissible_boundary(
+            spec_builder,
+            LDFPolicy,
+            low=0.3,
+            high=0.99,
+            num_intervals=800,
+            tolerance=0.02,
+        )
+        assert 0.3 < estimate.boundary < 0.99
+        assert estimate.lower <= estimate.boundary <= estimate.upper
+        assert estimate.iterations > 0
+
+    def test_boundary_is_consistent_with_workload_math(self):
+        """2 links, p = 0.5, 3 slots: the usable attempts per interval are
+        E[min(G1 + G2, 3)] = 2.75 (a quarter of the time both packets land
+        in two attempts), so the true boundary is 2 rho / 0.5 <= 2.75, i.e.
+        rho ~ 0.69; a tight threshold should bisect near it, and certainly
+        below the naive 3-attempt bound's 0.75."""
+        estimate = admissible_boundary(
+            spec_builder,
+            LDFPolicy,
+            low=0.3,
+            high=0.99,
+            num_intervals=2500,
+            threshold=0.05,
+            tolerance=0.02,
+        )
+        assert 0.6 < estimate.boundary < 0.76
+
+    def test_degenerate_low_endpoint(self):
+        estimate = admissible_boundary(
+            spec_builder, LDFPolicy, low=0.98, high=0.99, num_intervals=400
+        )
+        assert estimate.boundary == 0.98  # low already deficient
+
+    def test_degenerate_high_endpoint(self):
+        estimate = admissible_boundary(
+            spec_builder, LDFPolicy, low=0.05, high=0.10, num_intervals=400
+        )
+        assert estimate.boundary == 0.10  # high still sustained
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            admissible_boundary(spec_builder, LDFPolicy, low=0.9, high=0.5)
+        with pytest.raises(ValueError):
+            admissible_boundary(
+                spec_builder, LDFPolicy, low=0.1, high=0.9, threshold=0.0
+            )
+
+
+class TestRelativeCapacity:
+    def test_ratio(self):
+        a = CapacityEstimate(0.42, 0.4, 0.44, 5, 0.25)
+        b = CapacityEstimate(0.60, 0.58, 0.62, 5, 0.25)
+        assert relative_capacity(a, b) == pytest.approx(0.7)
+
+    def test_zero_reference_rejected(self):
+        a = CapacityEstimate(0.42, 0.4, 0.44, 5, 0.25)
+        z = CapacityEstimate(0.0, 0.0, 0.0, 0, 0.25)
+        with pytest.raises(ValueError):
+            relative_capacity(a, z)

@@ -1,0 +1,83 @@
+"""Tests for convergence-time helpers (Fig. 5 analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    relative_convergence_time,
+    running_mean,
+    time_to_neighborhood,
+)
+
+
+class TestRunningMean:
+    def test_values(self):
+        np.testing.assert_allclose(
+            running_mean([1.0, 0.0, 2.0]), [1.0, 0.5, 1.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            running_mean([])
+
+
+class TestTimeToNeighborhood:
+    def test_immediately_inside(self):
+        series = [1.0] * 20
+        assert time_to_neighborhood(series, 1.0) == 0
+
+    def test_settles_after_transient(self):
+        # First 10 intervals deliver 0, then 1.0 forever: the running mean
+        # (k - 10)/k crosses into the 5% band around 1.0 at k = 200.
+        series = [0.0] * 10 + [1.0] * 400
+        settle = time_to_neighborhood(series, 1.0, relative_tolerance=0.05)
+        assert settle is not None
+        mean = running_mean(series)
+        assert np.all(np.abs(mean[settle:] - 1.0) <= 0.05)
+        # And the point just before is outside the band.
+        assert abs(mean[settle - 1] - 1.0) > 0.05
+        assert settle == pytest.approx(200, abs=2)
+
+    def test_never_settles(self):
+        series = [0.0] * 50
+        assert time_to_neighborhood(series, 1.0) is None
+
+    def test_excursion_resets_settle_point(self):
+        """'Stays' means stays: a late excursion pushes the time out.
+
+        A burst of 3 at interval 100 lifts the running mean to (k + 2)/k,
+        which re-enters the 1% band only at k = 200.
+        """
+        stable = [1.0] * 100
+        settle_stable = time_to_neighborhood(stable, 1.0)
+        spiky = [1.0] * 99 + [3.0] + [1.0] * 900
+        settle_spiky = time_to_neighborhood(spiky, 1.0)
+        assert settle_stable == 0
+        assert settle_spiky is not None and settle_spiky >= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_neighborhood([1.0], 0.0)
+        with pytest.raises(ValueError):
+            time_to_neighborhood([1.0], 1.0, relative_tolerance=0.0)
+
+
+class TestRelativeConvergence:
+    def test_ratio(self):
+        fast = [1.0] * 400
+        slow = [0.0] * 20 + [1.0] * 380
+        ratio = relative_convergence_time(
+            slow, fast, target=1.0, relative_tolerance=0.1
+        )
+        # fast settles at 0, slow at (k - 20)/k >= 0.9 -> k = 200.
+        assert ratio == float("inf")
+
+    def test_none_when_either_fails(self):
+        assert relative_convergence_time([0.0] * 10, [1.0] * 10, 1.0) is None
+
+    def test_equal_traces(self):
+        series = [0.0] * 5 + [1.0] * 200
+        ratio = relative_convergence_time(series, series, target=0.97)
+        assert ratio == pytest.approx(1.0)

@@ -1,0 +1,110 @@
+"""Tests for the Lyapunov-drift machinery (Lemma 2, numerically)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    DBDPPolicy,
+    LDFPolicy,
+    LinearInfluence,
+    LogInfluence,
+    NetworkSpec,
+    StaticPriorityPolicy,
+    idealized_timing,
+)
+from repro.analysis.drift import (
+    estimate_one_interval_drift,
+    lyapunov_value,
+)
+
+
+def feasible_spec():
+    """3 links, ample capacity: q is strictly feasible with a wide margin."""
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals.symmetric(3, 0.9),
+        channel=BernoulliChannel.symmetric(3, 0.8),
+        timing=idealized_timing(8),
+        delivery_ratios=0.8,
+    )
+
+
+class TestLyapunovValue:
+    def test_linear_is_half_square(self):
+        assert lyapunov_value([3.0], LinearInfluence()) == pytest.approx(4.5, rel=1e-3)
+        assert lyapunov_value([3.0, 4.0], LinearInfluence()) == pytest.approx(
+            12.5, rel=1e-3
+        )
+
+    def test_negative_debts_contribute_nothing(self):
+        assert lyapunov_value([-5.0, -1.0]) == 0.0
+
+    def test_monotone_in_debt(self):
+        f = LogInfluence()
+        assert lyapunov_value([10.0], f) > lyapunov_value([5.0], f) > 0.0
+
+    def test_zero_state(self):
+        assert lyapunov_value([0.0, 0.0]) == 0.0
+
+
+class TestDriftEstimates:
+    def test_ldf_negative_drift_at_large_debt(self):
+        """Lemma 2's conclusion: strictly feasible q + (near-)max-weight
+        policy => negative drift outside a ball."""
+        spec = feasible_spec()
+        estimate = estimate_one_interval_drift(
+            spec, LDFPolicy, debts=[30.0, 30.0, 30.0], num_samples=300
+        )
+        assert estimate.is_negative
+
+    def test_dbdp_negative_drift_at_large_debt(self):
+        spec = feasible_spec()
+        estimate = estimate_one_interval_drift(
+            spec, DBDPPolicy, debts=[30.0, 25.0, 35.0], num_samples=300
+        )
+        assert estimate.is_negative
+
+    def test_drift_positive_when_infeasible(self):
+        """q beyond capacity: even LDF's drift is positive — debts diverge."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(4, 1.0),
+            channel=BernoulliChannel.symmetric(4, 0.4),
+            timing=idealized_timing(4),
+            delivery_ratios=0.95,
+        )
+        estimate = estimate_one_interval_drift(
+            spec, LDFPolicy, debts=[20.0] * 4, num_samples=300
+        )
+        assert estimate.mean_drift > 0.0
+
+    def test_starving_policy_has_worse_drift_than_ldf(self):
+        """A fixed ordering ignores who is behind: planting all the debt on
+        the bottom-priority link shows a strictly worse drift than LDF's."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(3, 1.0),
+            channel=BernoulliChannel.symmetric(3, 0.9),
+            timing=idealized_timing(2),  # capacity for ~2 of 3 links
+            delivery_ratios=0.6,
+        )
+        debts = [0.0, 0.0, 40.0]  # all debt on the statically-last link
+        static = estimate_one_interval_drift(
+            spec, StaticPriorityPolicy, debts=debts, num_samples=400
+        )
+        ldf = estimate_one_interval_drift(
+            spec, LDFPolicy, debts=debts, num_samples=400
+        )
+        assert ldf.mean_drift < static.mean_drift
+        assert ldf.is_negative
+        assert not static.is_negative
+
+    def test_validation(self):
+        spec = feasible_spec()
+        with pytest.raises(ValueError):
+            estimate_one_interval_drift(spec, LDFPolicy, debts=[1.0])
+        with pytest.raises(ValueError):
+            estimate_one_interval_drift(
+                spec, LDFPolicy, debts=[1.0, 1.0, 1.0], num_samples=1
+            )

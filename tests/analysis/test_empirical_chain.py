@@ -1,0 +1,101 @@
+"""Tests for empirical chain estimation against Eq. (9) / Prop. 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    DPProtocol,
+    IntervalSimulator,
+    NetworkSpec,
+    PerLinkSwapBias,
+    idealized_timing,
+)
+from repro.analysis.empirical_chain import (
+    estimate_chain,
+    occupancy_distribution,
+    total_variation_distance,
+)
+from repro.analysis.markov import build_sigma_chain
+from repro.analysis.stationary import stationary_distribution
+
+MUS = (0.7, 0.5, 0.3)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(3, 1),
+        channel=BernoulliChannel.symmetric(3, 1.0),
+        timing=idealized_timing(6),
+        delivery_ratios=1.0,
+    )
+    sim = IntervalSimulator(
+        spec,
+        DPProtocol(bias=PerLinkSwapBias(MUS)),
+        seed=17,
+        record_priorities=True,
+    )
+    sim.run(40000)
+    return sim.result.priorities
+
+
+class TestEstimation:
+    def test_counts_structure(self, trace):
+        chain = estimate_chain(trace)
+        assert chain.counts.sum() == len(trace) - 1
+        assert chain.visits.sum() == len(trace) - 1
+
+    def test_matrix_rows_normalized(self, trace):
+        chain = estimate_chain(trace)
+        matrix = chain.matrix
+        visited = chain.visits > 0
+        np.testing.assert_allclose(matrix[visited].sum(axis=1), 1.0)
+
+    def test_transitions_match_equation_9(self, trace):
+        """Empirical transition frequencies approach Eq. (9) with the
+        handshake always completing (light load, perfect channels)."""
+        empirical = estimate_chain(trace)
+        exact = build_sigma_chain(MUS)
+        checked = 0
+        for s, sigma in enumerate(exact.states):
+            if empirical.visits[empirical.states.index(sigma)] < 3000:
+                continue  # rarely-visited rows are too noisy to pin down
+            for t, target in enumerate(exact.states):
+                theory = exact.matrix[s, t]
+                measured = empirical.transition_probability(sigma, target)
+                assert measured == pytest.approx(theory, abs=0.03)
+                checked += 1
+        assert checked >= 12  # the frequent states cover many transitions
+
+    def test_occupancy_matches_proposition_2(self, trace):
+        empirical = occupancy_distribution(trace)
+        theory = stationary_distribution(MUS)
+        assert total_variation_distance(empirical, theory) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_chain([(1, 2, 3)])
+        with pytest.raises(ValueError):
+            occupancy_distribution([])
+        with pytest.raises(ValueError):
+            estimate_chain([tuple(range(1, 8))] * 3)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        d = {(1, 2): 0.5, (2, 1): 0.5}
+        assert total_variation_distance(d, d) == 0.0
+
+    def test_disjoint_supports(self):
+        a = {(1, 2): 1.0}
+        b = {(2, 1): 1.0}
+        assert total_variation_distance(a, b) == 1.0
+
+    def test_symmetry(self):
+        a = {(1, 2): 0.7, (2, 1): 0.3}
+        b = {(1, 2): 0.4, (2, 1): 0.6}
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)

@@ -1,0 +1,167 @@
+"""Tests for feasibility analysis (workload bounds, hull membership)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    ConstantArrivals,
+    NetworkSpec,
+    idealized_timing,
+)
+from repro.analysis.feasibility import (
+    empirical_feasibility,
+    infeasible_by_workload,
+    one_packet_delivery_vector,
+    priority_hull_contains,
+    subset_workload_slack,
+    workload_utilization,
+)
+
+
+def one_packet_spec(n, p, slots, rho):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(n, 1),
+        channel=BernoulliChannel.symmetric(n, p),
+        timing=idealized_timing(slots),
+        delivery_ratios=rho,
+    )
+
+
+class TestWorkloadBounds:
+    def test_utilization_value(self):
+        spec = one_packet_spec(2, 0.5, 10, 1.0)
+        assert workload_utilization(spec) == pytest.approx(0.4)
+
+    def test_overloaded_network_flagged(self):
+        spec = one_packet_spec(4, 0.5, 4, 0.9)  # needs 7.2 of 4 attempts
+        assert infeasible_by_workload(spec) == (0, 1, 2, 3)
+
+    def test_feasible_network_not_flagged(self):
+        spec = one_packet_spec(2, 0.9, 10, 0.9)
+        assert infeasible_by_workload(spec) is None
+
+    def test_subset_slack_sign(self):
+        spec = one_packet_spec(3, 0.8, 10, 0.9)
+        assert subset_workload_slack(spec, (0,), num_samples=500) > 0
+        tight = one_packet_spec(1, 0.2, 2, 0.3)
+        # Demand 0.3/0.2 = 1.5 attempts; capacity E[min(Geom, 2)] = 1.8.
+        slack = subset_workload_slack(tight, (0,), num_samples=4000)
+        assert slack == pytest.approx(1.8 - 1.5, abs=0.05)
+
+    def test_subset_validation(self):
+        spec = one_packet_spec(2, 0.5, 4, 0.5)
+        with pytest.raises(ValueError):
+            subset_workload_slack(spec, ())
+        with pytest.raises(ValueError):
+            subset_workload_slack(spec, (5,))
+
+    def test_bursty_subset_can_certify_infeasibility(self):
+        """A single link whose requirement exceeds what its own arrivals can
+        absorb in the interval, even though total utilization looks fine."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals(rates=(1.0, 0.05)),
+            channel=BernoulliChannel(success_probs=(0.3, 0.9)),
+            timing=idealized_timing(3),
+            delivery_ratios=(0.75, 0.5),
+        )
+        # Total utilization (0.75/0.3 + 0.025/0.9)/3 ~ 0.84 < 1 passes the
+        # aggregate bound, but link 0 alone needs 2.5 expected attempts while
+        # E[min(Geom(0.3), 3)] ~ 2.19: infeasible via subset {0}.
+        assert spec.workload_bound_utilization() < 1.0
+        assert infeasible_by_workload(spec, noise_margin=0.1) == (0,)
+
+
+class TestOnePacketDeliveryVector:
+    def test_perfect_channels(self):
+        vector = one_packet_delivery_vector((0, 1, 2), [1.0, 1.0, 1.0], 2)
+        np.testing.assert_allclose(vector, [1.0, 1.0, 0.0])
+
+    def test_single_link_geometric(self):
+        vector = one_packet_delivery_vector((0,), [0.3], 4)
+        assert vector[0] == pytest.approx(1 - 0.7**4)
+
+    def test_blocking_head(self):
+        """Matches the hand computation from the Lemma-3 test."""
+        p, q = 0.01, 0.99
+        vector = one_packet_delivery_vector((0, 1), [p, 1.0], 3)
+        assert vector[0] == pytest.approx(1 - q**3)
+        assert vector[1] == pytest.approx(p + q * p)
+
+    def test_total_mass_conserved_under_reordering(self):
+        """With symmetric links, total expected deliveries are
+        order-invariant."""
+        ps = [0.6, 0.6, 0.6]
+        a = one_packet_delivery_vector((0, 1, 2), ps, 5).sum()
+        b = one_packet_delivery_vector((2, 0, 1), ps, 5).sum()
+        assert a == pytest.approx(b)
+
+    def test_monte_carlo_agreement(self):
+        """The closed form matches a brute-force simulation."""
+        rng = np.random.default_rng(0)
+        ps = [0.5, 0.8]
+        slots = 4
+        counts = np.zeros(2)
+        trials = 20000
+        for _ in range(trials):
+            t = slots
+            for link in (0, 1):
+                while t > 0:
+                    t -= 1
+                    if rng.random() < ps[link]:
+                        counts[link] += 1
+                        break
+        np.testing.assert_allclose(
+            one_packet_delivery_vector((0, 1), ps, slots),
+            counts / trials,
+            atol=0.01,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_packet_delivery_vector((0, 0), [0.5, 0.5], 2)
+        with pytest.raises(ValueError):
+            one_packet_delivery_vector((0,), [0.0], 2)
+
+
+class TestPriorityHull:
+    def test_symmetric_feasible_point(self):
+        """Uniform mixing of the two orderings dominates the symmetric q."""
+        ps = [0.8, 0.8]
+        vector = one_packet_delivery_vector((0, 1), ps, 4)
+        symmetric_q = [(vector[0] + vector[1]) / 2] * 2
+        assert priority_hull_contains(symmetric_q, ps, 4)
+
+    def test_vertex_is_contained(self):
+        ps = [0.5, 0.9]
+        vector = one_packet_delivery_vector((1, 0), ps, 3)
+        assert priority_hull_contains(vector * 0.999, ps, 3)
+
+    def test_outside_point_rejected(self):
+        ps = [0.8, 0.8]
+        assert not priority_hull_contains([0.99, 0.99], ps, 2)
+
+    def test_dominance_allowed(self):
+        """Points strictly below an achievable vector are feasible."""
+        ps = [0.9, 0.9]
+        assert priority_hull_contains([0.1, 0.1], ps, 4)
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            priority_hull_contains([0.1] * 8, [0.5] * 8, 4)
+
+
+class TestEmpiricalFeasibility:
+    def test_feasible_case(self):
+        spec = one_packet_spec(3, 0.9, 8, 0.9)
+        verdict = empirical_feasibility(spec, num_intervals=800, seed=0)
+        assert verdict.fulfilled
+
+    def test_infeasible_case(self):
+        spec = one_packet_spec(4, 0.4, 4, 0.9)
+        verdict = empirical_feasibility(spec, num_intervals=800, seed=0)
+        assert not verdict.fulfilled
+        assert verdict.total_deficiency > 0.1

@@ -1,0 +1,132 @@
+"""Tests for the exact sigma-chain analysis (Eq. (9), Lemma 4, Prop. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    build_sigma_chain,
+    detailed_balance_residual,
+    mixing_time_upper_bound,
+    spectral_gap,
+    stationary_from_matrix,
+)
+from repro.analysis.stationary import stationary_distribution
+
+
+class TestChainConstruction:
+    def test_rows_are_stochastic(self):
+        chain = build_sigma_chain((0.3, 0.6, 0.8))
+        np.testing.assert_allclose(chain.matrix.sum(axis=1), 1.0)
+        assert np.all(chain.matrix >= 0)
+
+    def test_transition_formula(self):
+        """Spot-check Eq. (9) on N = 2: one pair, C = 1 always."""
+        mus = (0.3, 0.8)
+        chain = build_sigma_chain(mus)
+        s12 = chain.index((1, 2))
+        s21 = chain.index((2, 1))
+        # From (1,2): link 0 at priority 1 moves down w.p. (1 - mu_0),
+        # link 1 at priority 2 moves up w.p. mu_1; N - 1 = 1.
+        assert chain.matrix[s12, s21] == pytest.approx((1 - 0.3) * 0.8)
+        assert chain.matrix[s21, s12] == pytest.approx((1 - 0.8) * 0.3)
+
+    def test_off_adjacent_transitions_are_zero(self):
+        chain = build_sigma_chain((0.4, 0.5, 0.6))
+        s = chain.index((1, 2, 3))
+        t = chain.index((3, 2, 1))  # exchanging priorities 1 and 3: not adjacent
+        assert chain.matrix[s, t] == 0.0
+
+    def test_handshake_model_scales_transitions(self):
+        plain = build_sigma_chain((0.4, 0.6))
+        damped = build_sigma_chain((0.4, 0.6), handshake=lambda sigma, c: 0.5)
+        s, t = plain.index((1, 2)), plain.index((2, 1))
+        assert damped.matrix[s, t] == pytest.approx(0.5 * plain.matrix[s, t])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_sigma_chain((0.5,))
+        with pytest.raises(ValueError):
+            build_sigma_chain((0.5, 1.0))
+        with pytest.raises(ValueError):
+            build_sigma_chain((0.5,) * 8)  # exceeds exact-analysis cap
+        with pytest.raises(ValueError):
+            build_sigma_chain((0.4, 0.6), handshake=lambda s, c: 2.0)
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("mus", [(0.5, 0.5), (0.2, 0.9, 0.6), (0.3, 0.4, 0.5, 0.6)])
+    def test_irreducible_and_aperiodic(self, mus):
+        chain = build_sigma_chain(mus)
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+
+    def test_zero_handshake_breaks_irreducibility(self):
+        """P{R_i + R_j >= 1} = 0 everywhere (condition C1 violated) freezes
+        the chain."""
+        chain = build_sigma_chain((0.5, 0.5), handshake=lambda s, c: 0.0)
+        assert not chain.is_irreducible()
+
+
+class TestProposition2:
+    @pytest.mark.parametrize(
+        "mus",
+        [(0.3, 0.8), (0.5, 0.5, 0.5), (0.2, 0.9, 0.6), (0.15, 0.35, 0.55, 0.75)],
+    )
+    def test_stationary_matches_closed_form(self, mus):
+        """pi solved from pi X = pi equals the product form of Eq. (10)."""
+        chain = build_sigma_chain(mus)
+        pi = chain.stationary()
+        closed = stationary_distribution(mus)
+        for state, index in zip(chain.states, range(len(chain.states))):
+            assert pi[index] == pytest.approx(closed[state], abs=1e-10)
+
+    @pytest.mark.parametrize("mus", [(0.3, 0.8), (0.2, 0.9, 0.6)])
+    def test_detailed_balance(self, mus):
+        """Time-reversibility: pi_s X_st == pi_t X_ts for every pair."""
+        chain = build_sigma_chain(mus)
+        pi = chain.stationary()
+        assert detailed_balance_residual(chain, pi) < 1e-12
+
+    def test_closed_form_invariant_to_handshake_probability(self):
+        """Eq. (10) does not depend on P{R_i + R_j >= 1} as long as it is
+        positive and ordering-independent given the shared prefix."""
+        chain_a = build_sigma_chain((0.3, 0.7, 0.5))
+        chain_b = build_sigma_chain(
+            (0.3, 0.7, 0.5), handshake=lambda s, c: 0.25
+        )
+        np.testing.assert_allclose(
+            chain_a.stationary(), chain_b.stationary(), atol=1e-12
+        )
+
+    def test_uniform_mus_give_uniform_distribution(self):
+        chain = build_sigma_chain((0.5, 0.5, 0.5))
+        np.testing.assert_allclose(chain.stationary(), 1.0 / 6.0, atol=1e-12)
+
+
+class TestSpectralDiagnostics:
+    def test_gap_positive_for_ergodic_chain(self):
+        chain = build_sigma_chain((0.4, 0.6, 0.5))
+        assert 0.0 < spectral_gap(chain.matrix) < 1.0
+
+    def test_mixing_time_decreases_with_gap(self):
+        slow = build_sigma_chain((0.9, 0.9, 0.9), handshake=lambda s, c: 0.05)
+        fast = build_sigma_chain((0.5, 0.5, 0.5))
+        assert mixing_time_upper_bound(fast) < mixing_time_upper_bound(slow)
+
+    def test_mixing_time_epsilon_validated(self):
+        chain = build_sigma_chain((0.4, 0.6))
+        with pytest.raises(ValueError):
+            mixing_time_upper_bound(chain, epsilon=0.0)
+
+
+class TestStationaryFromMatrix:
+    def test_simple_two_state(self):
+        matrix = np.array([[0.9, 0.1], [0.3, 0.7]])
+        pi = stationary_from_matrix(matrix)
+        np.testing.assert_allclose(pi, [0.75, 0.25])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_from_matrix(np.ones((2, 3)))

@@ -1,0 +1,99 @@
+"""Tests for standalone metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    deficiency_series,
+    empirical_delivery_ratio,
+    group_deficiency,
+    jains_fairness_index,
+    per_link_deficiency,
+    total_deficiency,
+)
+
+
+class TestDeficiency:
+    def test_definition_1(self):
+        deliveries = np.array([[1, 0], [1, 0], [1, 2]])
+        q = [0.5, 1.0]
+        np.testing.assert_allclose(
+            per_link_deficiency(deliveries, q), [0.0, 1.0 - 2 / 3]
+        )
+        assert total_deficiency(deliveries, q) == pytest.approx(1 / 3)
+
+    def test_empty_trace(self):
+        deliveries = np.zeros((0, 2))
+        np.testing.assert_allclose(
+            per_link_deficiency(deliveries, [0.3, 0.4]), [0.3, 0.4]
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            per_link_deficiency(np.zeros(3), [1.0])
+        with pytest.raises(ValueError):
+            per_link_deficiency(np.zeros((3, 2)), [1.0])
+
+    def test_series_is_prefix_consistent(self):
+        rng = np.random.default_rng(1)
+        deliveries = rng.integers(0, 2, size=(30, 2))
+        q = [0.6, 0.7]
+        series = deficiency_series(deliveries, q)
+        assert series.shape == (30,)
+        for k in (1, 10, 30):
+            assert series[k - 1] == pytest.approx(
+                total_deficiency(deliveries[:k], q)
+            )
+
+
+class TestGroupDeficiency:
+    def test_two_groups(self):
+        deliveries = np.array([[1, 1, 0, 0]] * 4)
+        q = [0.5, 0.5, 0.5, 0.5]
+        groups = [0, 0, 1, 1]
+        np.testing.assert_allclose(
+            group_deficiency(deliveries, q, groups), [0.0, 1.0]
+        )
+
+    def test_group_shape_validated(self):
+        with pytest.raises(ValueError):
+            group_deficiency(np.zeros((2, 3)), [0.1] * 3, [0, 1])
+
+
+class TestDeliveryRatio:
+    def test_basic(self):
+        deliveries = np.array([[1, 0], [1, 1]])
+        arrivals = np.array([[2, 1], [1, 1]])
+        np.testing.assert_allclose(
+            empirical_delivery_ratio(deliveries, arrivals), [2 / 3, 0.5]
+        )
+
+    def test_zero_arrivals(self):
+        ratios = empirical_delivery_ratio(np.zeros((3, 1)), np.zeros((3, 1)))
+        assert ratios[0] == 0.0
+
+
+class TestJainsIndex:
+    def test_perfectly_fair(self):
+        assert jains_fairness_index([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_fully_unfair(self):
+        assert jains_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            x = rng.random(6)
+            index = jains_fairness_index(x)
+            assert 1 / 6 <= index <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+        with pytest.raises(ValueError):
+            jains_fairness_index([-1.0, 1.0])
+
+    def test_all_zero(self):
+        assert jains_fairness_index([0.0, 0.0]) == 1.0

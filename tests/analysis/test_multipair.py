@@ -1,0 +1,162 @@
+"""Tests for the multi-pair chain analysis (Remark 6 verification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    build_sigma_chain,
+    detailed_balance_residual,
+    spectral_gap,
+)
+from repro.analysis.multipair import (
+    build_multipair_chain,
+    non_consecutive_candidate_sets,
+)
+from repro.analysis.stationary import stationary_distribution
+
+
+class TestCandidateSets:
+    def test_single_pair_enumeration(self):
+        assert non_consecutive_candidate_sets(4, 1) == [(1,), (2,), (3,)]
+
+    def test_two_pair_enumeration(self):
+        assert non_consecutive_candidate_sets(5, 2) == [(1, 3), (1, 4), (2, 4)]
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            non_consecutive_candidate_sets(4, 3)
+
+    def test_matches_sampler_support(self):
+        """The exact enumeration equals the support of the protocol's
+        rejection sampler."""
+        from repro.core.dp_protocol import draw_candidate_indices
+
+        rng = np.random.default_rng(0)
+        sampled = {draw_candidate_indices(6, 2, rng) for _ in range(2000)}
+        assert sampled == set(non_consecutive_candidate_sets(6, 2))
+
+
+class TestMultipairChain:
+    def test_rows_stochastic(self):
+        chain = build_multipair_chain((0.3, 0.6, 0.8, 0.5), num_pairs=2)
+        np.testing.assert_allclose(chain.matrix.sum(axis=1), 1.0)
+        assert np.all(chain.matrix >= 0)
+
+    def test_reduces_to_single_pair_chain(self):
+        mus = (0.4, 0.7, 0.55)
+        single = build_sigma_chain(mus)  # handshake = 1
+        multi = build_multipair_chain(mus, num_pairs=1)
+        np.testing.assert_allclose(multi.matrix, single.matrix, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "mus,num_pairs",
+        [
+            ((0.3, 0.6, 0.8, 0.5), 2),
+            ((0.2, 0.5, 0.7, 0.9, 0.4), 2),
+            ((0.35, 0.65, 0.45, 0.75, 0.55, 0.25), 3),
+        ],
+    )
+    def test_remark_6_preserves_product_form(self, mus, num_pairs):
+        """The Remark-6 chain keeps Proposition 2's stationary
+        distribution — the claim the paper defers to its technical report."""
+        chain = build_multipair_chain(mus, num_pairs=num_pairs)
+        closed = stationary_distribution(mus)
+        pi = np.array([closed[s] for s in chain.states])
+        np.testing.assert_allclose(pi @ chain.matrix, pi, atol=1e-12)
+
+    @pytest.mark.parametrize("num_pairs", [1, 2])
+    def test_remark_6_preserves_reversibility(self, num_pairs):
+        mus = (0.3, 0.6, 0.8, 0.5)
+        chain = build_multipair_chain(mus, num_pairs=num_pairs)
+        closed = stationary_distribution(mus)
+        pi = np.array([closed[s] for s in chain.states])
+        assert detailed_balance_residual(chain, pi) < 1e-12
+
+    def test_more_pairs_mix_faster(self):
+        """The motivation for Remark 6: a larger spectral gap."""
+        mus = (0.3, 0.6, 0.8, 0.5, 0.45)
+        single = build_multipair_chain(mus, num_pairs=1)
+        double = build_multipair_chain(mus, num_pairs=2)
+        assert spectral_gap(double.matrix) > spectral_gap(single.matrix)
+
+    def test_ergodic_within_the_pair_bound(self):
+        """P <= max_swap_pairs(N) keeps the chain irreducible."""
+        chain = build_multipair_chain((0.3, 0.6, 0.8, 0.5, 0.45), num_pairs=2)
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+
+    def test_reducible_beyond_the_pair_bound(self):
+        """The finding behind max_swap_pairs: N = 4 with 2 pairs admits only
+        the candidate set {1, 3}, so priorities 2 and 3 can never swap and
+        the chain is reducible (the product form is still invariant, but no
+        longer the unique stationary distribution)."""
+        assert non_consecutive_candidate_sets(4, 2) == [(1, 3)]
+        chain = build_multipair_chain((0.3, 0.6, 0.8, 0.5), num_pairs=2)
+        assert not chain.is_irreducible()
+        from repro.core.dp_protocol import max_swap_pairs
+
+        assert max_swap_pairs(4) == 1  # the protocol refuses this config
+
+    def test_max_swap_pairs_matches_coverage_exactly(self):
+        """Exhaustive check of the irreducibility bound for N <= 12: P is
+        admissible iff every candidate index is covered by some set."""
+        from repro.core.dp_protocol import max_swap_pairs
+
+        for n in range(2, 13):
+            for p in range(1, n // 2 + 1):
+                try:
+                    sets = non_consecutive_candidate_sets(n, p)
+                except ValueError:
+                    covered = False
+                else:
+                    covered = set().union(*map(set, sets)) == set(
+                        range(1, n)
+                    )
+                assert covered == (p <= max_swap_pairs(n)), (n, p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_multipair_chain((0.5,), 1)
+        with pytest.raises(ValueError):
+            build_multipair_chain((0.5, 0.5), 0)
+        with pytest.raises(ValueError):
+            build_multipair_chain((0.5,) * 7, 1)
+
+
+class TestEmpiricalAgreement:
+    def test_simulated_multipair_occupancy_matches_product_form(self):
+        """End-to-end: the simulated Remark-6 protocol realizes the same
+        stationary distribution."""
+        from repro import (
+            BernoulliChannel,
+            ConstantArrivals,
+            DPProtocol,
+            IntervalSimulator,
+            NetworkSpec,
+            PerLinkSwapBias,
+            idealized_timing,
+        )
+        from repro.analysis.empirical_chain import (
+            occupancy_distribution,
+            total_variation_distance,
+        )
+
+        mus = (0.7, 0.5, 0.3, 0.6, 0.45)
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(5, 1),
+            channel=BernoulliChannel.symmetric(5, 1.0),
+            timing=idealized_timing(10),
+            delivery_ratios=1.0,
+        )
+        sim = IntervalSimulator(
+            spec,
+            DPProtocol(bias=PerLinkSwapBias(mus), num_pairs=2),
+            seed=23,
+            record_priorities=True,
+        )
+        sim.run(60000)
+        empirical = occupancy_distribution(sim.result.priorities)
+        theory = stationary_distribution(mus)
+        assert total_variation_distance(empirical, theory) < 0.04

@@ -1,0 +1,120 @@
+"""Tests for the finite-horizon optimum (Lemma 3 verification)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.optimal_value import (
+    eldf_order,
+    max_expected_weighted_deliveries,
+    priority_order_value,
+)
+
+
+class TestBaseCases:
+    def test_no_slots(self):
+        assert max_expected_weighted_deliveries([1.0], [1], [0.5], 0) == 0.0
+
+    def test_no_packets(self):
+        assert max_expected_weighted_deliveries([1.0], [0], [0.5], 5) == 0.0
+
+    def test_single_link_single_slot(self):
+        value = max_expected_weighted_deliveries([2.0], [1], [0.7], 1)
+        assert value == pytest.approx(2.0 * 0.7)
+
+    def test_single_link_two_slots(self):
+        """1 - (1-p)^2 chance to deliver the single packet."""
+        value = max_expected_weighted_deliveries([1.0], [1], [0.6], 2)
+        assert value == pytest.approx(1 - 0.4**2)
+
+    def test_perfect_channel_counts_slots(self):
+        value = max_expected_weighted_deliveries([1.0, 1.0], [2, 2], [1.0, 1.0], 3)
+        assert value == pytest.approx(3.0)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize(
+        "weights,packets,ps,slots",
+        [
+            ((1.0, 2.0), (1, 1), (0.9, 0.4), 2),
+            ((1.0, 1.5, 0.5), (1, 1, 1), (0.5, 0.7, 0.9), 3),
+            ((3.0, 1.0), (2, 2), (0.4, 0.9), 4),
+            ((1.0, 1.0, 1.0), (2, 1, 1), (0.3, 0.6, 0.9), 5),
+            ((0.5, 2.5, 1.0), (1, 2, 1), (0.8, 0.5, 0.6), 4),
+        ],
+    )
+    def test_eldf_ordering_achieves_the_optimum(self, weights, packets, ps, slots):
+        """Lemma 3: serving in decreasing f(d+) p order maximizes
+        E[sum w_n S_n] among ALL policies, not just priority ones."""
+        optimum = max_expected_weighted_deliveries(weights, packets, ps, slots)
+        order = eldf_order(weights, ps)
+        achieved = priority_order_value(order, weights, packets, ps, slots)
+        assert achieved == pytest.approx(optimum, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "weights,packets,ps,slots",
+        [
+            ((1.0, 2.0), (1, 1), (0.9, 0.4), 2),
+            ((1.0, 1.5, 0.5), (1, 1, 1), (0.5, 0.7, 0.9), 3),
+        ],
+    )
+    def test_no_ordering_beats_the_dp_optimum(self, weights, packets, ps, slots):
+        optimum = max_expected_weighted_deliveries(weights, packets, ps, slots)
+        for order in itertools.permutations(range(len(weights))):
+            value = priority_order_value(order, weights, packets, ps, slots)
+            assert value <= optimum + 1e-9
+
+    def test_bad_ordering_is_strictly_suboptimal(self):
+        """Scarce slots + a strongly better link: reversing the order loses
+        value, so Lemma 3's equality is not vacuous."""
+        weights, packets, ps, slots = (5.0, 0.5), (1, 1), (0.9, 0.9), 1
+        good = priority_order_value((0, 1), weights, packets, ps, slots)
+        bad = priority_order_value((1, 0), weights, packets, ps, slots)
+        assert good > bad
+
+
+class TestPriorityOrderValue:
+    def test_skips_empty_head(self):
+        value = priority_order_value((0, 1), (1.0, 1.0), (0, 1), (0.5, 0.5), 2)
+        assert value == pytest.approx(1 - 0.5**2)
+
+    def test_all_empty(self):
+        assert priority_order_value((0, 1), (1.0, 1.0), (0, 0), (0.5, 0.5), 3) == 0.0
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            priority_order_value((0, 0), (1.0, 1.0), (1, 1), (0.5, 0.5), 2)
+
+    def test_head_blocks_until_interval_end(self):
+        """LDF semantics: an unlucky head link keeps retrying and blocks the
+        tail.  Exact hand computation for p = (0.01, 1.0), 3 slots:
+
+        * head succeeds at slot 1 (w.p. p) or slot 2 (w.p. qp): the perfect
+          tail link also delivers -> 2 deliveries;
+        * head succeeds at slot 3 (w.p. q^2 p): no slot left for the tail
+          -> 1 delivery;
+        * head fails all three attempts (w.p. q^3) -> 0 deliveries.
+        """
+        p, q = 0.01, 0.99
+        value = priority_order_value((0, 1), (1.0, 1.0), (1, 1), (p, 1.0), 3)
+        expected = 2 * (p + q * p) + q * q * p
+        assert value == pytest.approx(expected, rel=1e-12)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            max_expected_weighted_deliveries([1.0], [1, 1], [0.5], 2)
+
+    def test_negative_inputs(self):
+        with pytest.raises(ValueError):
+            max_expected_weighted_deliveries([-1.0], [1], [0.5], 2)
+        with pytest.raises(ValueError):
+            max_expected_weighted_deliveries([1.0], [-1], [0.5], 2)
+        with pytest.raises(ValueError):
+            max_expected_weighted_deliveries([1.0], [1], [0.0], 2)
+        with pytest.raises(ValueError):
+            max_expected_weighted_deliveries([1.0], [1], [0.5], -1)

@@ -1,0 +1,66 @@
+"""Tests for the DP overhead model against simulation and the paper bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBDPPolicy, run_simulation
+from repro.analysis.overhead import expected_dp_overhead
+from repro.experiments.configs import video_symmetric_spec
+
+
+@pytest.fixture(scope="module")
+def video_spec():
+    return video_symmetric_spec(0.5, delivery_ratio=0.9)
+
+
+class TestModel:
+    def test_within_paper_worst_case(self, video_spec):
+        model = expected_dp_overhead(video_spec, num_samples=2000)
+        assert model.mean_overhead_us <= model.worst_case_us
+        # The paper's single-pair bound: (N + 1) slots + 2 empty packets.
+        expected_worst = 21 * 9.0 + 2 * video_spec.timing.empty_airtime_us
+        assert model.worst_case_us == pytest.approx(expected_worst)
+
+    def test_idle_slots_bounded_by_max_backoff(self, video_spec):
+        model = expected_dp_overhead(video_spec, num_samples=1500)
+        assert 0 <= model.mean_idle_slots <= video_spec.num_links + 1
+
+    def test_empty_packets_bounded_by_pair_size(self, video_spec):
+        model = expected_dp_overhead(video_spec, num_samples=1500)
+        assert 0 <= model.mean_empty_packets <= 2.0
+
+    def test_matches_full_simulation(self, video_spec):
+        """The protocol-randomness-only model predicts the simulated mean
+        overhead within a modest relative margin (it ignores interval
+        truncation, which only lowers the true value)."""
+        model = expected_dp_overhead(video_spec, num_samples=4000)
+        run = run_simulation(video_spec, DBDPPolicy(), 1500, seed=0)
+        simulated = float(run.overhead_time_us.mean())
+        assert simulated <= model.mean_overhead_us * 1.15 + 5.0
+        assert simulated >= model.mean_overhead_us * 0.6 - 5.0
+
+    def test_more_pairs_more_overhead(self, video_spec):
+        single = expected_dp_overhead(video_spec, num_pairs=1, num_samples=1500)
+        triple = expected_dp_overhead(video_spec, num_pairs=3, num_samples=1500)
+        assert triple.mean_overhead_us > single.mean_overhead_us
+        assert triple.worst_case_us > single.worst_case_us
+
+    def test_denser_traffic_more_idle_slots(self):
+        sparse = expected_dp_overhead(
+            video_symmetric_spec(0.1), num_samples=1500
+        )
+        dense = expected_dp_overhead(
+            video_symmetric_spec(0.9), num_samples=1500
+        )
+        # More active links push the largest transmitting backoff higher.
+        assert dense.mean_idle_slots > sparse.mean_idle_slots
+        # ... but fewer empty packets (candidates usually have traffic).
+        assert dense.mean_empty_packets < sparse.mean_empty_packets
+
+    def test_validation(self, video_spec):
+        with pytest.raises(ValueError):
+            expected_dp_overhead(video_spec, mu=0.0)
+        with pytest.raises(ValueError):
+            expected_dp_overhead(video_spec, num_samples=0)

@@ -1,0 +1,103 @@
+"""Tests for the achievable-region explorer (Definitions 3-5)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.feasibility import one_packet_delivery_vector
+from repro.analysis.region import (
+    feasibility_margin,
+    is_feasible,
+    is_strictly_feasible,
+    region_vertices,
+    support_point,
+)
+
+PS = (0.6, 0.8)
+SLOTS = 4
+
+
+class TestSupportPoint:
+    def test_maximizes_over_all_orderings(self):
+        """The Lemma-3 shortcut agrees with brute force for random w."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = rng.random(2) * 3
+            best = max(
+                float(
+                    w @ one_packet_delivery_vector(order, PS, SLOTS)
+                )
+                for order in itertools.permutations(range(2))
+            )
+            point = support_point(w, PS, SLOTS)
+            assert float(w @ point) == pytest.approx(best, rel=1e-12)
+
+    def test_weight_direction_picks_the_right_link(self):
+        favored = support_point([10.0, 0.1], PS, SLOTS)
+        unfavored = support_point([0.1, 10.0], PS, SLOTS)
+        assert favored[0] > unfavored[0]
+        assert unfavored[1] > favored[1]
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            support_point([-1.0, 1.0], PS, SLOTS)
+
+
+class TestRegion:
+    def test_vertices_count(self):
+        assert len(region_vertices(PS, SLOTS)) == 2
+        assert len(region_vertices((0.5, 0.5, 0.5), SLOTS)) == 6
+
+    def test_vertices_are_feasible(self):
+        for _, vector in region_vertices(PS, SLOTS):
+            assert is_feasible(vector * 0.999, PS, SLOTS)
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            region_vertices((0.5,) * 8, SLOTS)
+
+
+class TestFeasibilityTaxonomy:
+    def test_interior_point_strictly_feasible(self):
+        q = [0.3, 0.3]
+        assert is_feasible(q, PS, SLOTS)
+        assert is_strictly_feasible(q, PS, SLOTS, alpha=0.05)
+
+    def test_boundary_point_not_strictly_feasible(self):
+        """A vertex is feasible but has (almost) no inflation margin."""
+        _, vertex = region_vertices(PS, SLOTS)[0]
+        assert is_feasible(vertex * 0.999, PS, SLOTS)
+        assert not is_strictly_feasible(vertex * 0.999, PS, SLOTS, alpha=0.2)
+
+    def test_zero_component_never_strictly_feasible(self):
+        """Definition 3 requires q_n > 0 for strict feasibility."""
+        assert not is_strictly_feasible([0.0, 0.2], PS, SLOTS)
+
+    def test_outside_point(self):
+        assert not is_feasible([0.99, 0.99], PS, SLOTS)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            is_strictly_feasible([0.1, 0.1], PS, SLOTS, alpha=0.0)
+
+
+class TestMargin:
+    def test_infeasible_returns_negative(self):
+        assert feasibility_margin([0.99, 0.99], PS, SLOTS) == -1.0
+
+    def test_margin_shrinks_toward_boundary(self):
+        inner = feasibility_margin([0.2, 0.2], PS, SLOTS)
+        outer = feasibility_margin([0.55, 0.55], PS, SLOTS)
+        assert inner > outer >= 0.0
+
+    def test_margin_consistent_with_strict_feasibility(self):
+        q = [0.4, 0.4]
+        margin = feasibility_margin(q, PS, SLOTS)
+        assert is_strictly_feasible(q, PS, SLOTS, alpha=max(margin / 2, 1e-4))
+        if margin < 3.9:
+            assert not is_strictly_feasible(
+                q, PS, SLOTS, alpha=margin + 0.05
+            )

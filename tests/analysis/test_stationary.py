@@ -1,0 +1,121 @@
+"""Tests for the closed-form stationary distributions (Props. 2 and 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import GlauberDebtBias, LinearInfluence, PaperLogInfluence
+from repro.analysis.stationary import (
+    dbdp_stationary,
+    most_probable_ordering,
+    ordering_probability,
+    priority_weight_exponent,
+    stationary_distribution,
+)
+
+
+class TestWeightExponent:
+    def test_inside_range(self):
+        assert priority_weight_exponent(1, 4) == 3
+        assert priority_weight_exponent(4, 4) == 0
+
+    def test_outside_range_is_zero(self):
+        assert priority_weight_exponent(0, 4) == 0
+        assert priority_weight_exponent(5, 4) == 0
+
+
+class TestProposition2ClosedForm:
+    def test_normalization(self):
+        dist = stationary_distribution((0.3, 0.6, 0.8))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(p > 0 for p in dist.values())
+
+    def test_two_link_hand_computation(self):
+        """N = 2: pi(sigma) proportional to (mu/(1-mu))^{g} per link."""
+        mu0, mu1 = 0.3, 0.8
+        dist = stationary_distribution((mu0, mu1))
+        w_01 = (mu0 / (1 - mu0)) ** 1  # link 0 at priority 1
+        w_10 = (mu1 / (1 - mu1)) ** 1  # link 1 at priority 1
+        assert dist[(1, 2)] == pytest.approx(w_01 / (w_01 + w_10))
+        assert dist[(2, 1)] == pytest.approx(w_10 / (w_01 + w_10))
+
+    def test_high_mu_prefers_high_priority(self):
+        dist = stationary_distribution((0.9, 0.1))
+        assert dist[(1, 2)] > dist[(2, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(())
+        with pytest.raises(ValueError):
+            stationary_distribution((0.5, 1.0))
+
+
+class TestProposition3:
+    def test_matches_equation_15(self):
+        """Direct evaluation of exp(sum g(sigma_n) f(d+) p_n)/Z."""
+        debts = (2.0, 0.0, 5.0)
+        ps = (0.7, 0.9, 0.5)
+        influence = PaperLogInfluence()
+        dist = dbdp_stationary(debts, ps, influence)
+        energies = [influence(d) * p for d, p in zip(debts, ps)]
+
+        def weight(sigma):
+            return math.exp(
+                sum((3 - s) * e for s, e in zip(sigma, energies))
+            )
+
+        z = sum(weight(s) for s in dist)
+        for sigma, prob in dist.items():
+            assert prob == pytest.approx(weight(sigma) / z, rel=1e-9)
+
+    def test_consistent_with_generic_form_for_any_r(self):
+        """Substituting Eq. (14) into Prop. 2 must give Eq. (15) for every
+        R (the R factors cancel in normalization)."""
+        debts = (1.0, 3.0, 0.5)
+        ps = (0.6, 0.8, 0.9)
+        influence = LinearInfluence()
+        expected = dbdp_stationary(debts, ps, influence)
+        for r in (1.0, 10.0, 250.0):
+            bias = GlauberDebtBias(influence=influence, glauber_r=r)
+            mus = tuple(
+                bias.mu(link, debts[link], ps[link]) for link in range(3)
+            )
+            generic = stationary_distribution(mus)
+            for sigma in expected:
+                assert generic[sigma] == pytest.approx(
+                    expected[sigma], rel=1e-6
+                )
+
+    def test_mode_is_eldf_ordering(self):
+        """The most probable ordering under Eq. (15) sorts by f(d+) p —
+        exactly Algorithm 1's priority rule."""
+        debts = (4.0, 1.0, 9.0, 2.5)
+        ps = (0.5, 0.9, 0.7, 0.6)
+        influence = PaperLogInfluence()
+        dist = dbdp_stationary(debts, ps, influence)
+        mode = max(dist, key=dist.get)
+        assert mode == most_probable_ordering(debts, ps, influence)
+
+    def test_concentration_grows_with_debt_scale(self):
+        """Larger debts concentrate the distribution on the ELDF ordering —
+        the mechanism behind Proposition 4."""
+        ps = (0.7, 0.7, 0.7)
+        influence = LinearInfluence()
+
+        def mode_mass(scale):
+            debts = (3.0 * scale, 2.0 * scale, 1.0 * scale)
+            return ordering_probability(
+                most_probable_ordering(debts, ps, influence),
+                debts,
+                ps,
+                influence,
+            )
+
+        assert mode_mass(10.0) > mode_mass(1.0) > mode_mass(0.1)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dbdp_stationary((1.0,), (0.5, 0.6), LinearInfluence())

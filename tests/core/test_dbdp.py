@@ -1,0 +1,141 @@
+"""Tests for DB-DP (Eq. (14) bias and the full algorithm)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    DBDPPolicy,
+    GlauberDebtBias,
+    LinearInfluence,
+    NetworkSpec,
+    PAPER_R,
+    PaperLogInfluence,
+    idealized_timing,
+    run_simulation,
+)
+
+
+class TestGlauberDebtBias:
+    def test_matches_equation_14(self):
+        """mu = exp(f(d+) p) / (R + exp(f(d+) p)) exactly."""
+        influence = PaperLogInfluence()
+        bias = GlauberDebtBias(influence=influence, glauber_r=10.0)
+        for debt, p in [(0.0, 0.7), (3.0, 0.5), (50.0, 1.0)]:
+            energy = influence(debt) * p
+            expected = math.exp(energy) / (10.0 + math.exp(energy))
+            assert bias.mu(0, debt, p) == pytest.approx(expected, rel=1e-9)
+
+    def test_monotone_in_debt(self):
+        bias = GlauberDebtBias(influence=PaperLogInfluence())
+        mus = [bias.mu(0, d, 0.7) for d in [0, 1, 5, 50, 500]]
+        assert all(b > a for a, b in zip(mus, mus[1:]))
+
+    def test_monotone_in_reliability(self):
+        bias = GlauberDebtBias(influence=PaperLogInfluence())
+        assert bias.mu(0, 2.0, 0.9) > bias.mu(0, 2.0, 0.3)
+
+    def test_large_debt_stays_in_open_interval(self):
+        """Numerical stability: even astronomical debts give mu < 1."""
+        bias = GlauberDebtBias(influence=LinearInfluence(), glauber_r=10.0)
+        mu = bias.mu(0, 1e9, 1.0)
+        assert 0.0 < mu < 1.0
+
+    def test_rejects_nonpositive_r(self):
+        with pytest.raises(ValueError):
+            GlauberDebtBias(influence=PaperLogInfluence(), glauber_r=0.0)
+
+    def test_r_shifts_baseline(self):
+        """Larger R lowers every mu (harder to claim priority)."""
+        small = GlauberDebtBias(influence=PaperLogInfluence(), glauber_r=1.0)
+        large = GlauberDebtBias(influence=PaperLogInfluence(), glauber_r=100.0)
+        assert small.mu(0, 1.0, 0.7) > large.mu(0, 1.0, 0.7)
+
+
+class TestDBDPPolicy:
+    def test_paper_defaults(self):
+        policy = DBDPPolicy()
+        assert isinstance(policy.influence, PaperLogInfluence)
+        assert policy.glauber_r == PAPER_R == 10.0
+        assert policy.num_pairs == 1
+        assert policy.name == "DB-DP"
+
+    def test_fulfills_feasible_requirement(self, lossy_spec):
+        result = run_simulation(lossy_spec, DBDPPolicy(), 3000, seed=0)
+        assert result.total_deficiency() < 0.05
+
+    def test_indebted_link_climbs(self):
+        """A link with a large head-start debt must reach high priority."""
+        n = 5
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(n, 0.9),
+            channel=BernoulliChannel.symmetric(n, 0.8),
+            timing=idealized_timing(4),
+            delivery_ratios=0.8,
+        )
+        policy = DBDPPolicy()
+        from repro.core.debt import DebtLedger
+        from repro.sim.rng import RngBundle
+
+        policy.bind(spec)
+        rng = RngBundle(3)
+        # Link 4 starts with a huge debt; everyone else none.
+        debts = np.array([0.0, 0.0, 0.0, 0.0, 60.0])
+        for k in range(400):
+            arrivals = spec.arrivals.sample(rng.arrivals)
+            policy.run_interval(k, arrivals, debts, rng)
+        # With mu_4 ~ 1 the chain should have carried link 4 upward.
+        assert policy.priorities[4] <= 2
+
+    def test_unserved_links_gain_priority_over_time(self):
+        """Debt feedback under condition (C1): the bottom links rise.
+
+        Arrivals must leave spare attempts with non-zero probability (C1) or
+        the bottom pairs can never complete the handshake — see
+        test_c1_violation_freezes_bottom_priorities.
+        """
+        n = 6
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(n, 0.8),
+            channel=BernoulliChannel.symmetric(n, 1.0),
+            timing=idealized_timing(4),  # mean demand 4.8 > 4, but P(A<4)>0
+            delivery_ratios=0.5,
+        )
+        result = run_simulation(spec, DBDPPolicy(), 4000, seed=1)
+        throughput = result.timely_throughput()
+        # Capacity 4 shared by 6 symmetric links; requirement 0.4 each.
+        assert throughput.min() > 0.3
+        assert result.total_deficiency() < 0.15
+
+    def test_c1_violation_freezes_bottom_priorities(self):
+        """Faithful protocol behaviour outside condition (C1).
+
+        With deterministic arrivals saturating every interval, the up-mover
+        of any bottom pair never gets a transmission opportunity, so
+        P{R_i + R_j >= 1} = 0 there: the sigma-chain is NOT irreducible
+        (Lemma 4's hypothesis fails) and the bottom links starve forever.
+        """
+        n = 6
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(n, 1.0),  # A_n(k) = 1 always
+            channel=BernoulliChannel.symmetric(n, 1.0),
+            timing=idealized_timing(3),  # demand 6 > 3 deterministically
+            delivery_ratios=0.5,
+        )
+        result = run_simulation(spec, DBDPPolicy(), 1500, seed=1)
+        throughput = result.timely_throughput()
+        # The two lowest initial priorities can never be vacated.
+        assert throughput[4] == 0.0
+        assert throughput[5] == 0.0
+        # Links in the reachable top region do share service.
+        assert throughput[:4].min() > 0.3
+
+    def test_custom_influence_and_r(self):
+        policy = DBDPPolicy(influence=LinearInfluence(), glauber_r=2.0)
+        assert isinstance(policy.bias, GlauberDebtBias)
+        assert policy.bias.glauber_r == 2.0

@@ -1,0 +1,90 @@
+"""Tests for the DCF (binary exponential backoff) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    DCFPolicy,
+    NetworkSpec,
+    run_simulation,
+    video_timing,
+)
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def make_spec(n=8, alpha=0.7):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BurstyVideoArrivals.symmetric(n, alpha),
+        channel=BernoulliChannel.symmetric(n, 0.7),
+        timing=video_timing(),
+        delivery_ratios=0.9,
+    )
+
+
+class TestConfiguration:
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            DCFPolicy(cw_min=0)
+        with pytest.raises(ValueError):
+            DCFPolicy(cw_min=32, cw_max=16)
+
+
+class TestBehaviour:
+    def test_deliveries_bounded_by_arrivals(self):
+        result = run_simulation(make_spec(), DCFPolicy(), 200, seed=0)
+        assert np.all(result.deliveries <= result.arrivals)
+
+    def test_collisions_occur_at_scale(self):
+        result = run_simulation(make_spec(n=12), DCFPolicy(), 200, seed=1)
+        assert int(result.collisions.sum()) > 0
+
+    def test_single_link_is_collision_free(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(1, 2),
+            channel=BernoulliChannel.symmetric(1, 1.0),
+            timing=video_timing(),
+            delivery_ratios=1.0,
+        )
+        result = run_simulation(spec, DCFPolicy(), 100, seed=2)
+        assert int(result.collisions.sum()) == 0
+
+    def test_backoff_window_state_resets_per_bind(self):
+        policy = DCFPolicy()
+        spec = make_spec(n=4)
+        policy.bind(spec)
+        policy._cw[:] = 999
+        policy.bind(spec)
+        assert np.all(policy._cw == policy.cw_min)
+
+    def test_debt_oblivious(self):
+        """DCF ignores debts entirely: identical seeds, different debts,
+        identical deliveries."""
+        from repro.sim.rng import RngBundle
+
+        spec = make_spec(n=4)
+        outcomes = []
+        for debts in (np.zeros(4), np.full(4, 50.0)):
+            policy = DCFPolicy()
+            policy.bind(spec)
+            rng = RngBundle(7)
+            outcome = policy.run_interval(
+                0, np.array([2, 2, 2, 2]), debts, rng
+            )
+            outcomes.append(outcome.deliveries.copy())
+        np.testing.assert_array_equal(outcomes[0], outcomes[1])
+
+    def test_loses_capacity_versus_collision_free(self):
+        """Bianchi's point (reference [24]): DCF's contention losses are
+        significant at moderate size; the DP protocol loses nothing."""
+        from repro import ConstantSwapBias, DPProtocol
+
+        spec = make_spec(n=12, alpha=0.8)
+        dcf = run_simulation(spec, DCFPolicy(), 300, seed=3)
+        dp = run_simulation(
+            spec, DPProtocol(bias=ConstantSwapBias(0.5)), 300, seed=3
+        )
+        assert dp.deliveries.sum() > dcf.deliveries.sum()

@@ -1,0 +1,118 @@
+"""Tests for the delivery-debt ledger (Eq. (1), Definition 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.debt import DebtLedger
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        ledger = DebtLedger([0.5, 1.0])
+        assert ledger.num_links == 2
+        assert ledger.interval == 0
+        np.testing.assert_array_equal(ledger.debts, [0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DebtLedger([])
+
+    def test_rejects_negative_requirement(self):
+        with pytest.raises(ValueError):
+            DebtLedger([0.5, -0.1])
+
+    def test_requirements_copy_is_defensive(self):
+        ledger = DebtLedger([0.5, 1.0])
+        ledger.requirements[0] = 99.0
+        assert ledger.requirements[0] == 0.5
+
+
+class TestEvolution:
+    def test_single_interval_update(self):
+        """d(k+1) = d(k) - S(k) + q."""
+        ledger = DebtLedger([0.9, 0.9])
+        ledger.record_interval([1, 0])
+        np.testing.assert_allclose(ledger.debts, [-0.1, 0.9])
+        assert ledger.interval == 1
+
+    def test_closed_form_identity(self):
+        """d_n(k) == k q_n - sum_{j<k} S_n(j)."""
+        rng = np.random.default_rng(0)
+        q = [0.7, 1.3, 0.2]
+        ledger = DebtLedger(q)
+        deliveries = rng.integers(0, 3, size=(50, 3))
+        for row in deliveries:
+            ledger.record_interval(row)
+        expected = 50 * np.asarray(q) - deliveries.sum(axis=0)
+        np.testing.assert_allclose(ledger.debts, expected)
+
+    def test_positive_debts_clip(self):
+        ledger = DebtLedger([0.5, 0.5])
+        ledger.record_interval([2, 0])
+        assert ledger.debts[0] < 0
+        np.testing.assert_allclose(ledger.positive_debts, [0.0, 0.5])
+
+    def test_rejects_wrong_shape(self):
+        ledger = DebtLedger([1.0, 1.0])
+        with pytest.raises(ValueError):
+            ledger.record_interval([1])
+
+    def test_rejects_negative_deliveries(self):
+        ledger = DebtLedger([1.0])
+        with pytest.raises(ValueError):
+            ledger.record_interval([-1])
+
+
+class TestDeficiency:
+    def test_deficiency_equals_positive_debt_over_k(self):
+        """Definition 1's metric equals d^+(K)/K — the structural identity."""
+        rng = np.random.default_rng(7)
+        ledger = DebtLedger([0.8, 1.5])
+        for _ in range(37):
+            ledger.record_interval(rng.integers(0, 3, size=2))
+        np.testing.assert_allclose(
+            ledger.per_link_deficiency(),
+            np.maximum(ledger.debts, 0.0) / ledger.interval,
+        )
+
+    def test_zero_intervals_deficiency_is_q(self):
+        ledger = DebtLedger([0.4, 0.6])
+        np.testing.assert_allclose(ledger.per_link_deficiency(), [0.4, 0.6])
+        assert ledger.total_deficiency() == pytest.approx(1.0)
+
+    def test_fulfilled_requirement_gives_zero_deficiency(self):
+        ledger = DebtLedger([0.5])
+        for _ in range(100):
+            ledger.record_interval([1])
+        assert ledger.total_deficiency() == 0.0
+
+    def test_empirical_timely_throughput(self):
+        ledger = DebtLedger([1.0, 1.0])
+        ledger.record_interval([1, 2])
+        ledger.record_interval([0, 2])
+        np.testing.assert_allclose(
+            ledger.empirical_timely_throughput(), [0.5, 2.0]
+        )
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_immutable_view(self):
+        ledger = DebtLedger([1.0])
+        ledger.record_interval([0])
+        snap = ledger.snapshot()
+        assert snap.interval == 1
+        np.testing.assert_allclose(snap.debts, [1.0])
+        np.testing.assert_allclose(snap.positive_debts, [1.0])
+        # Mutating the snapshot arrays must not touch the ledger.
+        snap.debts[0] = -5
+        np.testing.assert_allclose(ledger.debts, [1.0])
+
+    def test_reset(self):
+        ledger = DebtLedger([1.0, 2.0])
+        ledger.record_interval([1, 1])
+        ledger.reset()
+        assert ledger.interval == 0
+        np.testing.assert_array_equal(ledger.debts, [0.0, 0.0])
+        np.testing.assert_array_equal(ledger.delivered_totals, [0.0, 0.0])

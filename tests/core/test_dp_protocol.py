@@ -1,0 +1,361 @@
+"""Tests for the generic DP protocol (Algorithm 2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    ConstantSwapBias,
+    DPProtocol,
+    IntervalSimulator,
+    NetworkSpec,
+    PerLinkSwapBias,
+    RngBundle,
+    idealized_timing,
+    video_timing,
+)
+from repro.core.dp_protocol import compute_backoffs, draw_candidate_indices
+from repro.core.permutations import is_priority_vector
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def make_spec(n=4, slots=8, p=1.0, count=1):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(n, count),
+        channel=BernoulliChannel.symmetric(n, p),
+        timing=idealized_timing(slots),
+        delivery_ratios=0.5,
+    )
+
+
+class TestSwapBiases:
+    def test_constant_bias_bounds(self):
+        with pytest.raises(ValueError):
+            ConstantSwapBias(0.0)
+        with pytest.raises(ValueError):
+            ConstantSwapBias(1.0)
+        assert ConstantSwapBias(0.5).mu(0, 0.0, 1.0) == 0.5
+
+    def test_per_link_bias(self):
+        bias = PerLinkSwapBias((0.2, 0.8))
+        assert bias.mu(0, 0.0, 1.0) == 0.2
+        assert bias.mu(1, 5.0, 0.5) == 0.8
+        with pytest.raises(ValueError):
+            PerLinkSwapBias((0.2, 1.0))
+
+
+class TestCandidateDraw:
+    def test_single_pair_range(self):
+        rng = np.random.default_rng(0)
+        draws = {draw_candidate_indices(5, 1, rng)[0] for _ in range(500)}
+        assert draws == {1, 2, 3, 4}
+
+    def test_single_pair_uniform(self):
+        rng = np.random.default_rng(1)
+        counts = np.zeros(5)
+        for _ in range(8000):
+            counts[draw_candidate_indices(5, 1, rng)[0]] += 1
+        # Each of C in {1,..,4} should get ~2000.
+        assert counts[1:].min() > 1700
+
+    def test_multi_pair_non_consecutive(self):
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            draw = draw_candidate_indices(8, 3, rng)
+            assert len(draw) == 3
+            assert all(b - a >= 2 for a, b in zip(draw, draw[1:]))
+            assert all(1 <= c <= 7 for c in draw)
+
+    def test_too_many_pairs_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            draw_candidate_indices(4, 3, rng)
+
+    def test_single_link_network(self):
+        rng = np.random.default_rng(4)
+        assert draw_candidate_indices(1, 1, rng) == ()
+
+
+class TestBackoffAssignment:
+    def test_paper_example_2(self):
+        """Fig. 2 / Example 2: sigma = [1,2,3,4], C = 2, down xi=-1, up
+        xi=+1 gives beta_2 = 3, beta_3 = 2 (links 1 and 2, 0-based)."""
+        sigma = (1, 2, 3, 4)
+        xi = {1: -1, 2: 1}
+        backoffs = compute_backoffs(sigma, (2,), xi)
+        assert backoffs[1] == 3  # link 2 in the paper (priority 2 = C)
+        assert backoffs[2] == 2  # link 3 in the paper (priority 3 = C + 1)
+        assert backoffs[0] == 0
+        assert backoffs[3] == 5
+
+    def test_collision_freedom_exhaustive_single_pair(self):
+        """All (sigma, C, xi) combinations give distinct backoffs (N = 4)."""
+        for sigma in itertools.permutations(range(1, 5)):
+            for c in range(1, 4):
+                down = sigma.index(c)
+                up = sigma.index(c + 1)
+                for xi_down in (-1, 1):
+                    for xi_up in (-1, 1):
+                        backoffs = compute_backoffs(
+                            sigma, (c,), {down: xi_down, up: xi_up}
+                        )
+                        values = list(backoffs.values())
+                        assert len(set(values)) == len(values)
+                        assert max(values) <= 5  # N + 1
+
+    def test_collision_freedom_multi_pair(self):
+        """Non-consecutive pairs keep distinct backoffs (N = 6, 2 pairs)."""
+        for sigma in itertools.permutations(range(1, 7)):
+            for candidates in [(1, 3), (2, 4), (1, 5), (3, 5)]:
+                xi = {}
+                for c in candidates:
+                    xi[sigma.index(c)] = 1
+                    xi[sigma.index(c + 1)] = -1
+                backoffs = compute_backoffs(sigma, candidates, xi)
+                values = list(backoffs.values())
+                assert len(set(values)) == len(values)
+
+    def test_max_backoff_bound(self):
+        """Section IV-C: the backoff timer is at most N + 1 (single pair)."""
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(2, 9))
+            sigma = tuple(rng.permutation(n) + 1)
+            c = int(rng.integers(1, n))
+            xi = {sigma.index(c): -1, sigma.index(c + 1): 1}
+            backoffs = compute_backoffs(sigma, (c,), xi)
+            assert max(backoffs.values()) <= n + 1
+
+
+class TestProtocolInvariants:
+    def test_priorities_always_permutation(self):
+        spec = make_spec(n=5, slots=10, p=0.6)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=0)
+        for _ in range(500):
+            sim.step()
+            assert is_priority_vector(policy.priorities)
+
+    def test_priorities_permutation_under_saturation(self):
+        """Saturated intervals (tiny slot budget) must not corrupt sigma."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(5, 3),
+            channel=BernoulliChannel.symmetric(5, 0.5),
+            timing=idealized_timing(4),  # far below demand
+            delivery_ratios=0.2,
+        )
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=1)
+        for _ in range(500):
+            sim.step()
+            assert is_priority_vector(policy.priorities)
+
+    def test_at_most_one_adjacent_swap_per_interval(self):
+        spec = make_spec(n=5)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=2)
+        previous = policy.priorities
+        for _ in range(300):
+            sim.step()
+            current = policy.priorities
+            diff = [i for i in range(5) if previous[i] != current[i]]
+            assert len(diff) in (0, 2)
+            if diff:
+                i, j = diff
+                assert abs(previous[i] - previous[j]) == 1
+            previous = current
+
+    def test_swap_changes_match_decisions(self):
+        spec = make_spec(n=4)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=3)
+        for _ in range(200):
+            before = policy.priorities
+            arrivals = spec.arrivals.sample(sim.rng.arrivals)
+            outcome = policy.run_interval(
+                sim.ledger.interval, arrivals, sim.ledger.positive_debts, sim.rng
+            )
+            sim.ledger.record_interval(outcome.deliveries)
+            (decision,) = outcome.info["swaps"]
+            after = policy.priorities
+            if decision.committed:
+                assert before != after
+                assert decision.xi_down == -1 and decision.xi_up == 1
+            else:
+                assert before == after
+
+    def test_non_candidates_never_move(self):
+        spec = make_spec(n=6)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=4)
+        for _ in range(200):
+            before = policy.priorities
+            arrivals = spec.arrivals.sample(sim.rng.arrivals)
+            outcome = policy.run_interval(
+                sim.ledger.interval, arrivals, sim.ledger.positive_debts, sim.rng
+            )
+            sim.ledger.record_interval(outcome.deliveries)
+            (decision,) = outcome.info["swaps"]
+            after = policy.priorities
+            for link in range(6):
+                if link not in (decision.down_link, decision.up_link):
+                    assert before[link] == after[link]
+
+    def test_collision_free_no_collisions_reported(self):
+        spec = make_spec(n=5, p=0.7)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=5)
+        result = sim.run(300)
+        assert int(result.collisions.sum()) == 0
+
+
+class TestServiceSemantics:
+    def test_all_served_with_ample_capacity(self):
+        spec = make_spec(n=3, slots=10, p=1.0)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=6)
+        result = sim.run(100)
+        np.testing.assert_array_equal(
+            result.deliveries, np.ones((100, 3), dtype=np.int64)
+        )
+
+    def test_priority_order_decides_scarce_capacity(self):
+        """One slot, perfect channels: exactly the top-priority link wins."""
+        spec = make_spec(n=3, slots=1, p=1.0)
+        policy = DPProtocol(
+            bias=ConstantSwapBias(0.5), initial_priorities=(2, 1, 3)
+        )
+        policy.bind(spec)
+        rng = RngBundle(7)
+        outcome = policy.run_interval(
+            0, np.array([1, 1, 1]), np.zeros(3), rng
+        )
+        # sigma = (2, 1, 3): link 1 holds priority 1.  Unless the candidate
+        # pair reshuffled the transmission order, the winner is the link
+        # whose backoff is 0.
+        backoffs = outcome.info["backoffs"]
+        winner = min(range(3), key=lambda l: backoffs[l])
+        assert outcome.deliveries[winner] == 1
+        assert outcome.deliveries.sum() == 1
+
+    def test_overhead_accounting_realistic_timing(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(6, 0.5),
+            channel=BernoulliChannel.symmetric(6, 0.7),
+            timing=video_timing(),
+            delivery_ratios=0.9,
+        )
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=8)
+        result = sim.run(200)
+        overhead = result.overhead_time_us
+        # Backoff overhead is bounded by (N + 1) slots plus two empty
+        # packets per interval (Section IV-C).
+        bound = 7 * spec.timing.backoff_slot_us + 2 * spec.timing.empty_airtime_us
+        assert np.all(overhead <= bound + 1e-9)
+        assert overhead.max() > 0  # some overhead does occur
+
+    def test_idealized_timing_has_zero_overhead(self):
+        spec = make_spec(n=4)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=9)
+        result = sim.run(100)
+        assert float(result.overhead_time_us.max()) == 0.0
+
+
+class TestMultiPair:
+    def test_multi_pair_swaps_disjoint(self):
+        spec = make_spec(n=8, slots=16)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5), num_pairs=3)
+        sim = IntervalSimulator(spec, policy, seed=10)
+        for _ in range(300):
+            before = policy.priorities
+            sim.step()
+            after = policy.priorities
+            assert is_priority_vector(after)
+            moved = [i for i in range(8) if before[i] != after[i]]
+            assert len(moved) <= 6  # at most 3 disjoint swaps
+
+    def test_num_pairs_validation(self):
+        with pytest.raises(ValueError):
+            DPProtocol(bias=ConstantSwapBias(0.5), num_pairs=0)
+        spec = make_spec(n=4)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5), num_pairs=3)
+        with pytest.raises(ValueError):
+            policy.bind(spec)
+
+    def test_multi_pair_mixes_faster(self):
+        """More pairs per interval -> more committed swaps per interval."""
+
+        def committed_swaps(num_pairs: int) -> int:
+            spec = make_spec(n=8, slots=16)
+            policy = DPProtocol(
+                bias=ConstantSwapBias(0.5), num_pairs=num_pairs
+            )
+            sim = IntervalSimulator(spec, policy, seed=11)
+            total = 0
+            for _ in range(400):
+                arrivals = spec.arrivals.sample(sim.rng.arrivals)
+                outcome = policy.run_interval(
+                    sim.ledger.interval,
+                    arrivals,
+                    sim.ledger.positive_debts,
+                    sim.rng,
+                )
+                sim.ledger.record_interval(outcome.deliveries)
+                total += sum(d.committed for d in outcome.info["swaps"])
+            return total
+
+        assert committed_swaps(3) > 1.5 * committed_swaps(1)
+
+
+class TestStateControls:
+    def test_initial_priorities_respected(self):
+        spec = make_spec(n=4)
+        policy = DPProtocol(
+            bias=ConstantSwapBias(0.5), initial_priorities=(4, 3, 2, 1)
+        )
+        policy.bind(spec)
+        assert policy.priorities == (4, 3, 2, 1)
+
+    def test_initial_priorities_length_checked(self):
+        spec = make_spec(n=4)
+        policy = DPProtocol(
+            bias=ConstantSwapBias(0.5), initial_priorities=(2, 1, 3)
+        )
+        with pytest.raises(ValueError):
+            policy.bind(spec)
+
+    def test_set_priorities(self):
+        spec = make_spec(n=3)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        policy.bind(spec)
+        policy.set_priorities((3, 1, 2))
+        assert policy.priorities == (3, 1, 2)
+        with pytest.raises(ValueError):
+            policy.set_priorities((1, 2))
+
+    def test_bad_bias_output_detected(self):
+        class BrokenBias(ConstantSwapBias):
+            def mu(self, link, positive_debt, reliability):
+                return 1.5
+
+        spec = make_spec(n=3)
+        policy = DPProtocol(bias=BrokenBias(0.5))
+        policy.bind(spec)
+        rng = RngBundle(0)
+        with pytest.raises(ValueError, match="mu"):
+            policy.run_interval(0, np.array([1, 1, 1]), np.zeros(3), rng)
+
+    def test_single_link_network_trivial(self):
+        spec = make_spec(n=1, slots=3)
+        policy = DPProtocol(bias=ConstantSwapBias(0.5))
+        sim = IntervalSimulator(spec, policy, seed=12)
+        result = sim.run(50)
+        np.testing.assert_array_equal(result.deliveries, np.ones((50, 1)))
+        assert policy.priorities == (1,)

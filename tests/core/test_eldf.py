@@ -1,0 +1,143 @@
+"""Tests for the centralized ELDF / LDF policy (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    ELDFPolicy,
+    LDFPolicy,
+    NetworkSpec,
+    PowerInfluence,
+    RngBundle,
+    idealized_timing,
+    run_simulation,
+)
+
+
+def make_spec(reliabilities, timing_slots=6, counts=1):
+    n = len(reliabilities)
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(n, counts),
+        channel=BernoulliChannel(success_probs=tuple(reliabilities)),
+        timing=idealized_timing(timing_slots),
+        delivery_ratios=0.5,
+    )
+
+
+class TestPriorityOrder:
+    def test_sorts_by_weighted_debt(self):
+        policy = ELDFPolicy()
+        policy.bind(make_spec([0.5, 1.0, 0.8]))
+        # Weights: f(d) * p with f = identity.
+        order = policy.priority_order(np.array([2.0, 2.0, 2.0]))
+        # 2*0.5=1.0, 2*1.0=2.0, 2*0.8=1.6 -> links (1, 2, 0).
+        assert order == (1, 2, 0)
+
+    def test_tie_break_by_link_index(self):
+        policy = ELDFPolicy()
+        policy.bind(make_spec([0.7, 0.7, 0.7]))
+        order = policy.priority_order(np.array([1.0, 1.0, 1.0]))
+        assert order == (0, 1, 2)
+
+    def test_influence_function_changes_order(self):
+        """With f(x) = x^2, a large debt can outweigh a reliability gap."""
+        linear = ELDFPolicy()
+        quadratic = ELDFPolicy(influence=PowerInfluence(exponent=2))
+        spec = make_spec([1.0, 0.5])
+        linear.bind(spec)
+        quadratic.bind(spec)
+        debts = np.array([1.0, 3.0])
+        # linear: 1*1.0 = 1.0 vs 3*0.5 = 1.5 -> link 1 first.
+        assert linear.priority_order(debts) == (1, 0)
+        # quadratic: 1 vs 9*0.5 = 4.5 -> link 1 still first.
+        assert quadratic.priority_order(debts) == (1, 0)
+        # but at debts (2, 2): linear 2.0 vs 1.0; quadratic 4 vs 2 — same
+        # order, both favor the reliable link.
+        assert linear.priority_order(np.array([2.0, 2.0])) == (0, 1)
+        assert quadratic.priority_order(np.array([2.0, 2.0])) == (0, 1)
+
+
+class TestIntervalExecution:
+    def test_perfect_channel_serves_everything(self, tiny_spec):
+        policy = LDFPolicy()
+        policy.bind(tiny_spec)
+        rng = RngBundle(0)
+        outcome = policy.run_interval(
+            0, np.array([1, 1, 1]), np.zeros(3), rng
+        )
+        np.testing.assert_array_equal(outcome.deliveries, [1, 1, 1])
+        assert outcome.collisions == 0
+        assert outcome.overhead_time_us == 0.0
+
+    def test_budget_exhaustion_cuts_low_priority(self):
+        """With 2 slots, perfect channels and 3 one-packet links, the
+        lowest-priority link gets nothing."""
+        spec = make_spec([1.0, 1.0, 1.0], timing_slots=2)
+        policy = LDFPolicy()
+        policy.bind(spec)
+        rng = RngBundle(0)
+        outcome = policy.run_interval(
+            0, np.array([1, 1, 1]), np.array([3.0, 2.0, 1.0]), rng
+        )
+        np.testing.assert_array_equal(outcome.deliveries, [1, 1, 0])
+
+    def test_deliveries_never_exceed_arrivals(self):
+        spec = make_spec([0.6, 0.9], timing_slots=20, counts=2)
+        policy = LDFPolicy()
+        policy.bind(spec)
+        rng = RngBundle(3)
+        for k in range(100):
+            arrivals = np.array([2, 2])
+            outcome = policy.run_interval(k, arrivals, np.zeros(2), rng)
+            assert np.all(outcome.deliveries <= arrivals)
+
+    def test_skips_empty_links_without_consuming_time(self):
+        spec = make_spec([1.0, 1.0], timing_slots=1)
+        policy = LDFPolicy()
+        policy.bind(spec)
+        rng = RngBundle(0)
+        # Link 0 has higher debt but no arrivals; link 1 must still be served.
+        outcome = policy.run_interval(
+            0, np.array([0, 1]), np.array([5.0, 0.0]), rng
+        )
+        np.testing.assert_array_equal(outcome.deliveries, [0, 1])
+
+    def test_priorities_reported(self):
+        spec = make_spec([1.0, 1.0])
+        policy = LDFPolicy()
+        policy.bind(spec)
+        rng = RngBundle(0)
+        outcome = policy.run_interval(
+            0, np.array([1, 1]), np.array([0.0, 1.0]), rng
+        )
+        # Link 1 has the larger debt -> priority 1.
+        assert outcome.priorities == (2, 1)
+
+
+class TestLongRunBehaviour:
+    def test_fulfills_feasible_symmetric_requirement(self, lossy_spec):
+        result = run_simulation(lossy_spec, LDFPolicy(), 2000, seed=1)
+        assert result.total_deficiency() < 0.02
+
+    def test_debt_balancing_under_scarcity(self):
+        """Two identical links, capacity for one packet per interval: LDF
+        alternates and both get ~half service."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(2, 1),
+            channel=BernoulliChannel.symmetric(2, 1.0),
+            timing=idealized_timing(1),
+            delivery_ratios=0.5,
+        )
+        result = run_simulation(spec, LDFPolicy(), 500, seed=0)
+        throughput = result.timely_throughput()
+        np.testing.assert_allclose(throughput, [0.5, 0.5], atol=0.01)
+
+    def test_ldf_is_eldf_with_linear_influence(self, lossy_spec):
+        """Remark 2: same seeds, same trajectories."""
+        a = run_simulation(lossy_spec, LDFPolicy(), 300, seed=9)
+        b = run_simulation(lossy_spec, ELDFPolicy(), 300, seed=9)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)

@@ -1,0 +1,118 @@
+"""Tests for online reliability estimation and the learning DB-DP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    DBDPPolicy,
+    NetworkSpec,
+    idealized_timing,
+    run_simulation,
+)
+from repro.core.estimation import EstimatedDBDPPolicy, ReliabilityEstimator
+
+
+class TestReliabilityEstimator:
+    def test_beta_converges_to_truth(self, rng):
+        estimator = ReliabilityEstimator(2, mode="beta")
+        ps = np.array([0.3, 0.8])
+        for _ in range(400):
+            attempts = rng.integers(1, 5, size=2)
+            deliveries = rng.binomial(attempts, ps)
+            estimator.update(attempts, deliveries)
+        np.testing.assert_allclose(estimator.estimates(), ps, atol=0.05)
+
+    def test_prior_before_observations(self):
+        estimator = ReliabilityEstimator(3, prior_mean=0.6)
+        np.testing.assert_allclose(estimator.estimates(), [0.6] * 3)
+
+    def test_untouched_link_keeps_prior(self, rng):
+        estimator = ReliabilityEstimator(2, mode="beta", prior_mean=0.5)
+        for _ in range(50):
+            estimator.update([4, 0], [4, 0])
+        estimates = estimator.estimates()
+        assert estimates[0] > 0.95
+        assert estimates[1] == pytest.approx(0.5, abs=0.01)
+
+    def test_ewma_tracks_change(self, rng):
+        estimator = ReliabilityEstimator(1, mode="ewma", ewma_alpha=0.2)
+        for _ in range(60):
+            estimator.update([5], [5])  # perfect phase
+        high = estimator.estimates()[0]
+        for _ in range(60):
+            estimator.update([5], [0])  # outage phase
+        low = estimator.estimates()[0]
+        assert high > 0.95 and low < 0.05
+
+    def test_beta_is_sluggish_versus_ewma_after_change(self):
+        beta = ReliabilityEstimator(1, mode="beta")
+        ewma = ReliabilityEstimator(1, mode="ewma", ewma_alpha=0.2)
+        for est in (beta, ewma):
+            for _ in range(200):
+                est.update([3], [3])
+            for _ in range(20):
+                est.update([3], [0])
+        assert ewma.estimates()[0] < beta.estimates()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityEstimator(0)
+        with pytest.raises(ValueError):
+            ReliabilityEstimator(1, mode="other")
+        with pytest.raises(ValueError):
+            ReliabilityEstimator(1, prior_mean=1.0)
+        estimator = ReliabilityEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.update([1], [1])
+        with pytest.raises(ValueError):
+            estimator.update([1, 1], [2, 0])
+
+    def test_estimates_clipped_into_open_interval(self):
+        estimator = ReliabilityEstimator(1, mode="ewma", ewma_alpha=1.0)
+        estimator.update([10], [0])
+        assert 0.0 < estimator.estimates()[0] < 1.0
+
+
+class TestEstimatedDBDP:
+    def make_spec(self):
+        return NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(4, 0.8),
+            channel=BernoulliChannel(success_probs=(0.4, 0.6, 0.8, 0.95)),
+            timing=idealized_timing(8),
+            delivery_ratios=0.85,
+        )
+
+    def test_estimates_converge_during_operation(self):
+        spec = self.make_spec()
+        policy = EstimatedDBDPPolicy()
+        run_simulation(spec, policy, 2500, seed=0)
+        np.testing.assert_allclose(
+            policy.estimator.estimates(),
+            spec.reliabilities,
+            atol=0.08,
+        )
+
+    def test_fulfills_like_oracle_dbdp(self):
+        spec = self.make_spec()
+        learned = run_simulation(spec, EstimatedDBDPPolicy(), 2500, seed=1)
+        oracle = run_simulation(spec, DBDPPolicy(), 2500, seed=1)
+        assert learned.total_deficiency() <= oracle.total_deficiency() + 0.1
+
+    def test_unbound_estimator_raises(self):
+        policy = EstimatedDBDPPolicy()
+        with pytest.raises(RuntimeError):
+            _ = policy.estimator
+
+    def test_outcome_carries_estimates(self):
+        from repro.sim.rng import RngBundle
+
+        spec = self.make_spec()
+        policy = EstimatedDBDPPolicy()
+        policy.bind(spec)
+        arrivals = np.array([1, 1, 1, 1])
+        outcome = policy.run_interval(0, arrivals, np.zeros(4), RngBundle(0))
+        assert "reliability_estimates" in outcome.info

@@ -1,0 +1,115 @@
+"""Tests for the frame-based CSMA baseline (reference [23])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    FrameCSMAPolicy,
+    LDFPolicy,
+    NetworkSpec,
+    RngBundle,
+    idealized_timing,
+    run_simulation,
+    video_timing,
+)
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def make_spec(n=6, p=0.7, alpha=0.55, rho=0.9):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BurstyVideoArrivals.symmetric(n, alpha),
+        channel=BernoulliChannel.symmetric(n, p),
+        timing=video_timing(),
+        delivery_ratios=rho,
+    )
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameCSMAPolicy(control_slots=-1)
+        with pytest.raises(ValueError):
+            FrameCSMAPolicy(headroom=0.0)
+
+
+class TestScheduleSemantics:
+    def test_deliveries_bounded_by_arrivals(self):
+        result = run_simulation(make_spec(), FrameCSMAPolicy(), 300, seed=0)
+        assert np.all(result.deliveries <= result.arrivals)
+
+    def test_collision_free(self):
+        result = run_simulation(make_spec(), FrameCSMAPolicy(), 200, seed=0)
+        assert int(result.collisions.sum()) == 0
+
+    def test_control_phase_costs_airtime(self):
+        spec = make_spec()
+        with_control = run_simulation(
+            spec, FrameCSMAPolicy(control_slots=50), 200, seed=1
+        )
+        without_control = run_simulation(
+            spec, FrameCSMAPolicy(control_slots=0), 200, seed=1
+        )
+        assert (
+            with_control.overhead_time_us.mean()
+            > without_control.overhead_time_us.mean()
+        )
+
+    def test_perfect_channels_match_debt_order_service(self):
+        """With p = 1 block sizes are exact, so frame scheduling delivers
+        everything deliverable — the reliable-channel optimality of [23]."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(4, 2),
+            channel=BernoulliChannel.symmetric(4, 1.0),
+            timing=idealized_timing(8),
+            delivery_ratios=1.0,
+        )
+        result = run_simulation(
+            spec, FrameCSMAPolicy(control_slots=0), 100, seed=2
+        )
+        np.testing.assert_array_equal(
+            result.deliveries, np.full((100, 4), 2)
+        )
+
+    def test_blocks_do_not_exceed_budget(self):
+        spec = make_spec(n=10, alpha=0.9)
+        policy = FrameCSMAPolicy()
+        policy.bind(spec)
+        rng = RngBundle(3)
+        arrivals = spec.arrivals.sample(rng.arrivals)
+        outcome = policy.run_interval(0, arrivals, np.zeros(10), rng)
+        budget = int(
+            (spec.timing.interval_us - 16 * spec.timing.backoff_slot_us)
+            // spec.timing.data_airtime_us
+        )
+        assert sum(outcome.info["blocks"].values()) <= budget
+
+
+class TestSuboptimalityUnderUnreliableChannels:
+    """The paper's Section I argument: frame-based schedules cannot adapt
+    to losses within the frame, so they trail the adaptive policies."""
+
+    def test_unused_block_slack_exists(self):
+        result = run_simulation(make_spec(p=0.5), FrameCSMAPolicy(), 300, seed=4)
+        # Idle slack inside blocks shows up as overhead.
+        assert result.overhead_time_us.mean() > 0
+
+    def test_trails_ldf_at_load(self):
+        spec = make_spec(n=8, p=0.6, alpha=0.8, rho=0.9)
+        frame = run_simulation(spec, FrameCSMAPolicy(), 1200, seed=5)
+        ldf = run_simulation(spec, LDFPolicy(), 1200, seed=5)
+        assert frame.total_deficiency() > ldf.total_deficiency()
+
+    def test_matches_ldf_more_closely_with_reliable_channels(self):
+        """The deficiency gap shrinks as p -> 1 (where [23] is optimal)."""
+
+        def gap(p):
+            spec = make_spec(n=8, p=p, alpha=0.55, rho=0.9)
+            frame = run_simulation(spec, FrameCSMAPolicy(control_slots=0), 800, seed=6)
+            ldf = run_simulation(spec, LDFPolicy(), 800, seed=6)
+            return frame.total_deficiency() - ldf.total_deficiency()
+
+        assert gap(1.0) <= gap(0.5) + 0.05

@@ -1,0 +1,163 @@
+"""Tests for debt influence functions (Definition 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.influence import (
+    CallableInfluence,
+    ExponentialInfluence,
+    LinearInfluence,
+    LogInfluence,
+    PaperLogInfluence,
+    PowerInfluence,
+    ScaledInfluence,
+    check_influence_properties,
+)
+
+
+class TestLinearInfluence:
+    def test_identity_values(self):
+        f = LinearInfluence()
+        assert f(0.0) == 0.0
+        assert f(3.5) == 3.5
+
+    def test_scaling(self):
+        f = LinearInfluence(scale=2.5)
+        assert f(4.0) == 10.0
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            LinearInfluence(scale=0.0)
+        with pytest.raises(ValueError):
+            LinearInfluence(scale=-1.0)
+
+    def test_rejects_negative_argument(self):
+        with pytest.raises(ValueError):
+            LinearInfluence()(-0.1)
+
+    def test_satisfies_definition_6(self):
+        assert check_influence_properties(LinearInfluence()).is_valid
+
+
+class TestPowerInfluence:
+    @pytest.mark.parametrize("m", [0.5, 1.0, 2.0, 3.0])
+    def test_valid_for_positive_exponents(self, m):
+        assert check_influence_properties(PowerInfluence(exponent=m)).is_valid
+
+    def test_exponent_zero_fails_divergence(self):
+        """The paper lists x**m with m >= 0 as valid, but m = 0 gives the
+        constant 1, which violates Definition 6's own requirement
+        f(x) -> inf; the checker follows the definition."""
+        report = check_influence_properties(PowerInfluence(exponent=0.0))
+        assert not report.diverges
+        assert report.nondecreasing and report.ratio_property
+
+    def test_values(self):
+        assert PowerInfluence(exponent=2)(3.0) == 9.0
+        assert PowerInfluence(exponent=0)(7.0) == 1.0
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            PowerInfluence(exponent=-1)
+
+
+class TestLogInfluence:
+    def test_zero_at_origin(self):
+        assert LogInfluence()(0.0) == 0.0
+
+    def test_base_conversion(self):
+        f = LogInfluence(base=10.0)
+        assert f(9.0) == pytest.approx(1.0)  # log10(1 + 9) = 1
+
+    def test_satisfies_definition_6(self):
+        assert check_influence_properties(LogInfluence()).is_valid
+
+    def test_rejects_base_at_most_one(self):
+        with pytest.raises(ValueError):
+            LogInfluence(base=1.0)
+
+
+class TestPaperLogInfluence:
+    """The paper's evaluation function f(x) = log(max(1, 100(x+1)))."""
+
+    def test_value_at_zero(self):
+        assert PaperLogInfluence()(0.0) == pytest.approx(math.log(100.0))
+
+    def test_matches_formula(self):
+        f = PaperLogInfluence()
+        for x in [0.0, 0.5, 3.0, 100.0]:
+            assert f(x) == pytest.approx(math.log(max(1.0, 100.0 * (x + 1.0))))
+
+    def test_clipping_branch_active_for_tiny_coefficient(self):
+        f = PaperLogInfluence(coefficient=0.01)
+        # 0.01 * (0 + 1) < 1, so the max(1, .) clip produces log(1) = 0.
+        assert f(0.0) == 0.0
+
+    def test_nondecreasing(self):
+        f = PaperLogInfluence()
+        values = [f(x * 0.1) for x in range(200)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_satisfies_definition_6(self):
+        assert check_influence_properties(PaperLogInfluence()).is_valid
+
+
+class TestExponentialCounterexample:
+    def test_exponential_violates_ratio_property(self):
+        """The paper: a**x with a > 1 is NOT a debt influence function."""
+        report = check_influence_properties(
+            ExponentialInfluence(base=1.05), probe_points=(100.0, 500.0, 1000.0)
+        )
+        assert not report.ratio_property
+        assert not report.is_valid
+
+    def test_exponential_is_otherwise_well_behaved(self):
+        report = check_influence_properties(
+            ExponentialInfluence(base=1.001),
+            grid=[x * 0.5 for x in range(100)],
+            probe_points=(100.0, 500.0, 1000.0),
+        )
+        assert report.nondecreasing
+        assert report.diverges
+
+
+class TestScaledAndCallable:
+    def test_scaled_preserves_validity(self):
+        f = ScaledInfluence(inner=LogInfluence(), scale=5.0)
+        assert check_influence_properties(f).is_valid
+        assert f(10.0) == pytest.approx(5.0 * LogInfluence()(10.0))
+
+    def test_callable_wrapping(self):
+        f = CallableInfluence(lambda x: math.sqrt(x), description="sqrt")
+        assert f(16.0) == 4.0
+        assert f.describe() == "sqrt"
+        assert check_influence_properties(f).is_valid
+
+    def test_constant_function_fails_divergence(self):
+        f = CallableInfluence(lambda x: 1.0, description="const")
+        report = check_influence_properties(f)
+        assert not report.diverges
+        assert not report.is_valid
+
+    def test_negative_output_rejected(self):
+        f = CallableInfluence(lambda x: -1.0)
+        with pytest.raises(ValueError):
+            f(1.0)
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "func",
+        [
+            LinearInfluence(),
+            PowerInfluence(exponent=2),
+            LogInfluence(),
+            PaperLogInfluence(),
+            ExponentialInfluence(),
+        ],
+    )
+    def test_describe_is_nonempty(self, func):
+        assert func.describe()

@@ -1,0 +1,146 @@
+"""Tests for permutation / priority-vector algebra (Definitions 7-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.permutations import (
+    adjacent_swap_partners,
+    apply_adjacent_swap,
+    enumerate_priority_vectors,
+    identity_priorities,
+    inversions,
+    is_adjacent_transposition,
+    is_priority_vector,
+    link_order_to_priorities,
+    priority_to_link_order,
+    random_priority_vector,
+    symmetric_difference,
+    validate_priority_vector,
+)
+
+
+class TestValidation:
+    def test_accepts_valid_vectors(self):
+        assert is_priority_vector([1])
+        assert is_priority_vector([2, 1, 4, 3])
+
+    def test_rejects_invalid(self):
+        assert not is_priority_vector([])
+        assert not is_priority_vector([0, 1, 2])
+        assert not is_priority_vector([1, 1, 2])
+        assert not is_priority_vector([1, 2, 4])
+
+    def test_validate_raises(self):
+        with pytest.raises(ValueError):
+            validate_priority_vector([1, 3])
+
+    def test_identity(self):
+        assert identity_priorities(4) == (1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            identity_priorities(0)
+
+
+class TestConversions:
+    def test_priority_to_link_order(self):
+        # Link 0 has priority 2, link 1 priority 1, link 2 priority 3.
+        assert priority_to_link_order([2, 1, 3]) == (1, 0, 2)
+
+    def test_round_trip(self):
+        for sigma in enumerate_priority_vectors(4):
+            order = priority_to_link_order(sigma)
+            assert link_order_to_priorities(order) == sigma
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            link_order_to_priorities([0, 0, 1])
+
+
+class TestSymmetricDifference:
+    def test_paper_example_1(self):
+        """Example 1: sigma = [2,1,4,3], sigma' = [2,4,1,3].
+
+        The example is written in the priority-slot representation
+        (entry j = which link holds priority j); this library stores the
+        link-indexed inverse (entry n = link n's priority).  Converting
+        sigma' = [2,4,1,3] gives the link-indexed vector [3,1,4,2]:
+        links 1 and 4 (1-based) exchanged the adjacent priorities 2 and 3.
+        """
+        sigma_links = [2, 1, 4, 3]  # self-inverse, same in both forms
+        sigma_prime_links = [3, 1, 4, 2]
+        assert symmetric_difference(sigma_links, sigma_prime_links) == (0, 3)
+        assert is_adjacent_transposition(sigma_links, sigma_prime_links)
+
+    def test_identical_vectors(self):
+        assert symmetric_difference([1, 2], [1, 2]) == ()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            symmetric_difference([1, 2], [1, 2, 3])
+
+    def test_non_adjacent_swap_detected(self):
+        # Exchanging priorities 1 and 3 is a transposition but not adjacent.
+        assert not is_adjacent_transposition([1, 2, 3], [3, 2, 1])
+
+    def test_three_way_difference_is_not_transposition(self):
+        assert not is_adjacent_transposition([1, 2, 3], [2, 3, 1])
+
+
+class TestAdjacentSwap:
+    def test_partners(self):
+        down, up = adjacent_swap_partners([2, 1, 4, 3], c=1)
+        assert down == 1 and up == 0
+
+    def test_apply(self):
+        assert apply_adjacent_swap([1, 2, 3, 4], c=2) == (1, 3, 2, 4)
+
+    def test_apply_twice_is_identity(self):
+        sigma = (3, 1, 4, 2)
+        for c in range(1, 4):
+            assert apply_adjacent_swap(apply_adjacent_swap(sigma, c), c) == sigma
+
+    def test_candidate_range(self):
+        with pytest.raises(ValueError):
+            adjacent_swap_partners([1, 2, 3], c=3)
+        with pytest.raises(ValueError):
+            adjacent_swap_partners([1, 2, 3], c=0)
+
+    def test_swap_is_adjacent_transposition(self):
+        for sigma in enumerate_priority_vectors(4):
+            for c in range(1, 4):
+                swapped = apply_adjacent_swap(sigma, c)
+                assert is_adjacent_transposition(sigma, swapped)
+
+
+class TestEnumerationAndRandom:
+    def test_enumeration_size(self):
+        assert len(list(enumerate_priority_vectors(4))) == 24
+
+    def test_enumeration_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            enumerate_priority_vectors(0)
+
+    def test_random_vector_is_valid(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            assert is_priority_vector(random_priority_vector(6, rng))
+
+    def test_random_vector_is_roughly_uniform(self):
+        rng = np.random.default_rng(5)
+        first_slot = [random_priority_vector(3, rng)[0] for _ in range(3000)]
+        counts = np.bincount(first_slot)[1:]
+        assert counts.min() > 800  # each of 3 values ~1000
+
+
+class TestInversions:
+    def test_identity_has_none(self):
+        assert inversions([1, 2, 3, 4]) == 0
+
+    def test_reverse_is_maximal(self):
+        assert inversions([4, 3, 2, 1]) == 6
+
+    def test_single_adjacent_swap_changes_by_one(self):
+        sigma = (1, 2, 3, 4)
+        swapped = apply_adjacent_swap(sigma, c=2)
+        assert abs(inversions(swapped) - inversions(sigma)) == 1

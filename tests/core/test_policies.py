@@ -1,0 +1,94 @@
+"""Tests for the policy framework and the shared service primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BernoulliChannel, GilbertElliottChannel, LDFPolicy
+from repro.core.policies import serve_link_attempts
+
+
+class TestBindLifecycle:
+    def test_unbound_policy_raises(self):
+        policy = LDFPolicy()
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = policy.spec
+
+    def test_bind_exposes_spec(self, tiny_spec):
+        policy = LDFPolicy()
+        policy.bind(tiny_spec)
+        assert policy.spec is tiny_spec
+
+
+class TestServeLinkAttempts:
+    def test_zero_packets(self, rng):
+        channel = BernoulliChannel.symmetric(1, 0.5)
+        assert serve_link_attempts(0, 0, 10, channel, rng) == (0, 0)
+
+    def test_zero_budget(self, rng):
+        channel = BernoulliChannel.symmetric(1, 0.5)
+        assert serve_link_attempts(0, 3, 0, channel, rng) == (0, 0)
+
+    def test_perfect_channel(self, rng):
+        channel = BernoulliChannel.symmetric(1, 1.0)
+        delivered, attempts = serve_link_attempts(0, 5, 10, channel, rng)
+        assert delivered == 5 and attempts == 5
+
+    def test_perfect_channel_budget_limited(self, rng):
+        channel = BernoulliChannel.symmetric(1, 1.0)
+        delivered, attempts = serve_link_attempts(0, 5, 3, channel, rng)
+        assert delivered == 3 and attempts == 3
+
+    def test_attempts_never_exceed_budget(self, rng):
+        channel = BernoulliChannel.symmetric(1, 0.3)
+        for _ in range(200):
+            delivered, attempts = serve_link_attempts(0, 4, 7, channel, rng)
+            assert attempts <= 7
+            assert delivered <= 4
+            assert delivered <= attempts
+
+    def test_full_delivery_uses_exactly_needed_attempts(self, rng):
+        channel = BernoulliChannel.symmetric(1, 0.9)
+        for _ in range(200):
+            delivered, attempts = serve_link_attempts(0, 2, 100, channel, rng)
+            if delivered == 2:
+                assert attempts >= 2
+
+    def test_geometric_fast_path_statistics(self):
+        """Mean attempts per delivery must approach 1/p."""
+        channel = BernoulliChannel.symmetric(1, 0.4)
+        rng = np.random.default_rng(1)
+        total_attempts = 0
+        total_delivered = 0
+        for _ in range(3000):
+            delivered, attempts = serve_link_attempts(0, 1, 1000, channel, rng)
+            total_attempts += attempts
+            total_delivered += delivered
+        assert total_delivered == 3000  # budget is effectively unlimited
+        assert total_attempts / total_delivered == pytest.approx(2.5, rel=0.1)
+
+    def test_stateful_channel_path(self):
+        """Gilbert-Elliott falls back to per-attempt sampling."""
+        channel = GilbertElliottChannel(1, p_good=1.0, p_bad=1.0)
+        rng = np.random.default_rng(2)
+        delivered, attempts = serve_link_attempts(0, 3, 10, channel, rng)
+        assert delivered == 3 and attempts == 3
+
+    def test_stateful_channel_budget(self):
+        channel = GilbertElliottChannel(
+            1, p_good=0.5, p_bad=0.1, p_stay_good=0.5, p_stay_bad=0.5
+        )
+        rng = np.random.default_rng(3)
+        delivered, attempts = serve_link_attempts(0, 100, 20, channel, rng)
+        assert attempts <= 20
+        assert delivered <= attempts
+
+    def test_delivery_rate_matches_reliability(self):
+        """Over a single-attempt budget the success rate is exactly p."""
+        channel = BernoulliChannel.symmetric(1, 0.7)
+        rng = np.random.default_rng(4)
+        wins = sum(
+            serve_link_attempts(0, 1, 1, channel, rng)[0] for _ in range(5000)
+        )
+        assert wins / 5000 == pytest.approx(0.7, abs=0.02)

@@ -1,0 +1,122 @@
+"""Tests for NetworkSpec validation and derived quantities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    BurstyVideoArrivals,
+    ConstantArrivals,
+    NetworkSpec,
+    idealized_timing,
+    video_timing,
+)
+
+
+class TestConstruction:
+    def test_basic(self, tiny_spec):
+        assert tiny_spec.num_links == 3
+        np.testing.assert_allclose(tiny_spec.requirement_vector, [1.0] * 3)
+
+    def test_link_count_mismatch_channel(self):
+        with pytest.raises(ValueError, match="channel covers"):
+            NetworkSpec(
+                arrivals=ConstantArrivals.symmetric(3, 1),
+                channel=BernoulliChannel.symmetric(2, 0.5),
+                timing=idealized_timing(4),
+                requirements=(0.5, 0.5, 0.5),
+            )
+
+    def test_requirement_count_mismatch(self):
+        with pytest.raises(ValueError, match="expected 2 requirements"):
+            NetworkSpec(
+                arrivals=ConstantArrivals.symmetric(2, 1),
+                channel=BernoulliChannel.symmetric(2, 0.5),
+                timing=idealized_timing(4),
+                requirements=(0.5,),
+            )
+
+    def test_requirement_above_arrival_rate_rejected(self):
+        """q_n > lambda_n can never be met since S <= A."""
+        with pytest.raises(ValueError, match="exceeds arrival rate"):
+            NetworkSpec(
+                arrivals=BernoulliArrivals.symmetric(2, 0.5),
+                channel=BernoulliChannel.symmetric(2, 0.9),
+                timing=idealized_timing(4),
+                requirements=(0.6, 0.4),
+            )
+
+    def test_negative_requirement_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(
+                arrivals=ConstantArrivals.symmetric(1, 1),
+                channel=BernoulliChannel.symmetric(1, 0.9),
+                timing=idealized_timing(4),
+                requirements=(-0.1,),
+            )
+
+
+class TestFromDeliveryRatios:
+    def test_scalar_ratio(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(4, 0.6),
+            channel=BernoulliChannel.symmetric(4, 0.7),
+            timing=video_timing(),
+            delivery_ratios=0.9,
+        )
+        # lambda = 3.5 * 0.6 = 2.1; q = 0.9 * 2.1.
+        np.testing.assert_allclose(spec.requirement_vector, [1.89] * 4)
+        np.testing.assert_allclose(spec.delivery_ratios, [0.9] * 4)
+
+    def test_vector_ratio(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals(rates=(0.5, 1.0)),
+            channel=BernoulliChannel.symmetric(2, 0.7),
+            timing=idealized_timing(4),
+            delivery_ratios=[0.8, 0.6],
+        )
+        np.testing.assert_allclose(spec.requirement_vector, [0.4, 0.6])
+
+    def test_ratio_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec.from_delivery_ratios(
+                arrivals=ConstantArrivals.symmetric(1, 1),
+                channel=BernoulliChannel.symmetric(1, 1.0),
+                timing=idealized_timing(4),
+                delivery_ratios=1.1,
+            )
+
+    def test_zero_rate_link_gets_zero_ratio(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals(rates=(0.0, 0.5)),
+            channel=BernoulliChannel.symmetric(2, 0.7),
+            timing=idealized_timing(4),
+            delivery_ratios=0.9,
+        )
+        assert spec.delivery_ratios[0] == 0.0
+
+
+class TestWorkloadBound:
+    def test_matches_hand_computation(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(2, 1),
+            channel=BernoulliChannel.symmetric(2, 0.5),
+            timing=idealized_timing(10),
+            delivery_ratios=1.0,
+        )
+        # Each link needs 1 / 0.5 = 2 attempts; 4 needed of 10 available.
+        assert spec.workload_bound_utilization() == pytest.approx(0.4)
+
+    def test_paper_video_scenario_utilization(self):
+        """At alpha* = 0.55 the paper's symmetric network sits below 1."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(20, 0.55),
+            channel=BernoulliChannel.symmetric(20, 0.7),
+            timing=video_timing(),
+            delivery_ratios=0.9,
+        )
+        # 20 * 0.9 * 3.5 * 0.55 / 0.7 / 60 = 0.825
+        assert spec.workload_bound_utilization() == pytest.approx(0.825, abs=1e-3)

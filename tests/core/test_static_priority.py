@@ -1,0 +1,71 @@
+"""Tests for the fixed-priority policy (the Fig. 6 setup)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliChannel,
+    ConstantArrivals,
+    NetworkSpec,
+    StaticPriorityPolicy,
+    idealized_timing,
+    run_simulation,
+)
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def make_spec(n=4, slots=2):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=ConstantArrivals.symmetric(n, 1),
+        channel=BernoulliChannel.symmetric(n, 1.0),
+        timing=idealized_timing(slots),
+        delivery_ratios=0.4,
+    )
+
+
+class TestConfiguration:
+    def test_identity_default(self):
+        policy = StaticPriorityPolicy()
+        policy.bind(make_spec())
+        assert policy._sigma == (1, 2, 3, 4)
+
+    def test_custom_ordering(self):
+        policy = StaticPriorityPolicy(priorities=(4, 3, 2, 1))
+        policy.bind(make_spec())
+        result = run_simulation(
+            make_spec(), StaticPriorityPolicy(priorities=(4, 3, 2, 1)), 50, seed=0
+        )
+        # Two slots, perfect channels: links 3 and 2 are always served.
+        np.testing.assert_array_equal(
+            result.timely_throughput(), [0.0, 0.0, 1.0, 1.0]
+        )
+
+    def test_invalid_vector_rejected_early(self):
+        with pytest.raises(ValueError):
+            StaticPriorityPolicy(priorities=(1, 1, 2))
+
+    def test_length_mismatch_at_bind(self):
+        policy = StaticPriorityPolicy(priorities=(1, 2, 3))
+        with pytest.raises(ValueError):
+            policy.bind(make_spec(n=4))
+
+
+class TestNoStarvationShape:
+    def test_throughput_decreases_with_priority_index_but_stays_positive(self):
+        """The Fig. 6 claim on a small network: monotone-ish decline, no
+        total starvation at the bottom."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(8, 0.55),
+            channel=BernoulliChannel.symmetric(8, 0.7),
+            timing=idealized_timing(22),
+            delivery_ratios=0.9,
+        )
+        result = run_simulation(spec, StaticPriorityPolicy(), 2500, seed=1)
+        throughput = result.timely_throughput()
+        # Top links nearly fully served, bottom visibly below, but nonzero.
+        assert throughput[0] > throughput[-1]
+        assert throughput[-1] > 0.2
+        # The top half should not be starved at all.
+        assert throughput[:4].min() > 0.9 * spec.mean_rates[0]

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.charts import ascii_chart
+from repro.experiments.figures import FigureResult
+
+
+def sample(series=None):
+    return FigureResult(
+        figure_id="figX",
+        title="chart test",
+        x_label="alpha",
+        x_values=[0.0, 0.5, 1.0],
+        series=series
+        or {"A": [0.0, 1.0, 4.0], "B": [4.0, 2.0, 0.0]},
+    )
+
+
+class TestAsciiChart:
+    def test_contains_metadata(self):
+        text = ascii_chart(sample())
+        assert "figX" in text
+        assert "x: alpha" in text
+        assert "o A" in text and "x B" in text
+
+    def test_grid_dimensions(self):
+        text = ascii_chart(sample(), width=40, height=10)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_lines)
+
+    def test_axis_labels(self):
+        text = ascii_chart(sample())
+        assert "4" in text  # y max
+        assert "0" in text  # y min / x min
+        assert "1" in text  # x max
+
+    def test_curves_reach_their_extremes(self):
+        text = ascii_chart(sample(), width=30, height=8)
+        lines = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        top, bottom = lines[0], lines[-1]
+        # A ends high (top-right), B starts high (top-left).
+        assert top.rstrip().endswith("o")
+        assert top.lstrip().startswith("x")
+
+    def test_flat_series_handled(self):
+        text = ascii_chart(sample(series={"flat": [1.0, 1.0, 1.0]}))
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart(sample(), width=5)
+        empty = sample()
+        empty.series = {}
+        with pytest.raises(ValueError):
+            ascii_chart(empty)
+        short = sample()
+        short.x_values = [1.0]
+        short.series = {"A": [1.0]}
+        with pytest.raises(ValueError):
+            ascii_chart(short)

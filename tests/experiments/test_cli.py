@@ -1,0 +1,73 @@
+"""Tests for the command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3"])
+        assert args.figure == "fig3"
+        assert args.seeds == [0]
+
+    def test_rejects_unknown_figure(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--intervals", "123", "--seeds", "1", "2", "--csv"]
+        )
+        assert args.intervals == 123
+        assert args.seeds == [1, 2]
+        assert args.csv
+
+
+class TestMain:
+    def test_runs_one_figure(self, capsys):
+        exit_code = main(["fig6", "--intervals", "60"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "priority index" in out
+
+    def test_csv_output(self, capsys):
+        main(["fig6", "--intervals", "60", "--csv"])
+        out = capsys.readouterr().out
+        assert "priority index,StaticPriority" in out
+
+    def test_fig5_uses_scalar_seed(self, capsys):
+        exit_code = main(["fig5", "--intervals", "100", "--seeds", "3"])
+        assert exit_code == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_outdir_writes_csv(self, tmp_path, capsys):
+        outdir = tmp_path / "csv"
+        exit_code = main(
+            ["fig6", "--intervals", "60", "--outdir", str(outdir)]
+        )
+        assert exit_code == 0
+        content = (outdir / "fig6.csv").read_text()
+        assert content.startswith("priority index,StaticPriority")
+
+    def test_chart_flag(self, capsys):
+        main(["fig6", "--intervals", "60", "--chart"])
+        out = capsys.readouterr().out
+        assert "y: timely-throughput" in out
+        assert "+---" in out or "|" in out
+
+    def test_summary_target(self, capsys):
+        # Tiny horizon: only checks wiring, not the verdicts themselves.
+        main(["summary", "--intervals", "200"])
+        out = capsys.readouterr().out
+        assert "claim" in out and "holds" in out
+
+    def test_extension_target(self, capsys):
+        main(["ext-baselines", "--intervals", "60"])
+        out = capsys.readouterr().out
+        assert "ext-baselines" in out

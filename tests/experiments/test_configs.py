@@ -1,0 +1,81 @@
+"""Tests for the paper scenario configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import (
+    ASYMMETRIC_GROUPS,
+    low_latency_spec,
+    paper_policies,
+    scaled_intervals,
+    video_asymmetric_spec,
+    video_symmetric_spec,
+)
+
+
+class TestScaledIntervals:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled_intervals(5000) == 5000
+
+    def test_scaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        assert scaled_intervals(5000) == 1000
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert scaled_intervals(5000) == 50
+
+    def test_invalid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "abc")
+        with pytest.raises(ValueError):
+            scaled_intervals(100)
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scaled_intervals(100)
+
+
+class TestVideoSymmetric:
+    def test_paper_parameters(self):
+        spec = video_symmetric_spec(0.55)
+        assert spec.num_links == 20
+        np.testing.assert_allclose(spec.reliabilities, [0.7] * 20)
+        np.testing.assert_allclose(spec.mean_rates, [3.5 * 0.55] * 20)
+        np.testing.assert_allclose(spec.delivery_ratios, [0.9] * 20)
+        assert spec.timing.max_transmissions == 60
+
+
+class TestVideoAsymmetric:
+    def test_group_structure(self):
+        spec = video_asymmetric_spec(0.7)
+        assert spec.num_links == 20
+        np.testing.assert_allclose(spec.reliabilities[:10], [0.5] * 10)
+        np.testing.assert_allclose(spec.reliabilities[10:], [0.8] * 10)
+        np.testing.assert_allclose(spec.mean_rates[:10], [3.5 * 0.35] * 10)
+        np.testing.assert_allclose(spec.mean_rates[10:], [3.5 * 0.7] * 10)
+        assert len(ASYMMETRIC_GROUPS) == 20
+        assert ASYMMETRIC_GROUPS[0] == 0 and ASYMMETRIC_GROUPS[19] == 1
+
+
+class TestLowLatency:
+    def test_paper_parameters(self):
+        spec = low_latency_spec(0.78)
+        assert spec.num_links == 10
+        assert spec.timing.max_transmissions == 16
+        np.testing.assert_allclose(spec.mean_rates, [0.78] * 10)
+        np.testing.assert_allclose(
+            spec.requirement_vector, [0.78 * 0.99] * 10
+        )
+
+
+class TestPaperPolicies:
+    def test_default_three(self):
+        policies = paper_policies()
+        assert set(policies) == {"DB-DP", "LDF", "FCSMA"}
+        # Factories must create fresh instances each call.
+        assert policies["LDF"]() is not policies["LDF"]()
+
+    def test_dcf_optional(self):
+        assert "DCF" in paper_policies(include_dcf=True)

@@ -1,0 +1,57 @@
+"""Tests for the convergence-time study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.convergence_study import (
+    convergence_vs_network_size,
+    settling_time,
+)
+
+
+class TestSettlingTime:
+    def test_immediately_settled(self):
+        deliveries = np.ones((50, 2), dtype=int)
+        assert settling_time(deliveries, 0, target=1.0) == 0
+
+    def test_settles_after_warmup(self):
+        deliveries = np.zeros((300, 1), dtype=int)
+        deliveries[30:, 0] = 1
+        settle = settling_time(deliveries, 0, target=0.8)
+        assert settle is not None and settle > 30
+
+    def test_never_settles(self):
+        deliveries = np.zeros((100, 1), dtype=int)
+        assert settling_time(deliveries, 0, target=1.0) is None
+
+    def test_overshoot_counts_as_settled(self):
+        """Serving above target is fine (the paper's links routinely do)."""
+        deliveries = np.full((50, 1), 3, dtype=int)
+        assert settling_time(deliveries, 0, target=1.0) == 0
+
+
+class TestStudy:
+    def test_structure_and_ordering(self):
+        result = convergence_vs_network_size(
+            sizes=(6, 14), num_intervals=1500, seed=0
+        )
+        assert set(result.series) == {
+            "LDF",
+            "DB-DP (1 pair)",
+            "DB-DP (max pairs)",
+        }
+        assert result.x_values == [6.0, 14.0]
+        for series in result.series.values():
+            assert len(series) == 2
+            assert all(0 <= v <= 1500 for v in series)
+
+    def test_ldf_no_slower_than_single_pair_dbdp_at_scale(self):
+        result = convergence_vs_network_size(
+            sizes=(20,), num_intervals=2500, seed=0
+        )
+        assert (
+            result.series["LDF"][0]
+            <= result.series["DB-DP (1 pair)"][0]
+        )

@@ -1,0 +1,72 @@
+"""Tests for the extension studies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    baseline_panorama,
+    burst_loss_robustness,
+    correlated_traffic_robustness,
+)
+
+
+class TestBaselinePanorama:
+    @pytest.fixture(scope="class")
+    def panorama(self):
+        return baseline_panorama(num_intervals=400, alpha=0.55, seed=0)
+
+    def test_all_policies_present(self, panorama):
+        assert set(panorama.series) == {
+            "LDF",
+            "DB-DP",
+            "FrameCSMA",
+            "RoundRobin",
+            "FCSMA",
+            "DCF",
+        }
+
+    def test_collision_free_policies_report_zero_collisions(self, panorama):
+        for label in ("LDF", "DB-DP", "FrameCSMA", "RoundRobin"):
+            assert panorama.series[label][1] == 0.0, label
+
+    def test_contention_policies_collide(self, panorama):
+        for label in ("FCSMA", "DCF"):
+            assert panorama.series[label][1] > 0.0, label
+
+    def test_debt_based_policies_lead(self, panorama):
+        """LDF and DB-DP have the lowest deficiencies of the panorama."""
+        deficiency = {k: v[0] for k, v in panorama.series.items()}
+        leaders = sorted(deficiency, key=deficiency.get)[:3]
+        assert "LDF" in leaders
+        assert "DB-DP" in leaders
+
+
+class TestBurstLossRobustness:
+    def test_structure_and_degradation_direction(self):
+        result = burst_loss_robustness(num_intervals=1500, seed=1)
+        assert set(result.series) == {"DB-DP", "LDF"}
+        for label, (iid, bursty) in result.series.items():
+            # Bursty losses (violating the analyzed model) cannot make
+            # things better; some degradation is expected and tolerated.
+            assert bursty >= iid - 0.05, label
+        # The debt mechanism keeps DB-DP in LDF's neighborhood even under
+        # the unmodeled channel.
+        assert (
+            result.series["DB-DP"][1]
+            <= result.series["LDF"][1] + 1.0
+        )
+
+
+class TestCorrelatedTrafficRobustness:
+    def test_all_processes_run_and_iid_is_benign(self):
+        result = correlated_traffic_robustness(num_intervals=1500, seed=2)
+        assert set(result.series) == {
+            "iid",
+            "cross-correlated",
+            "markov-modulated",
+        }
+        for label, series in result.series.items():
+            assert series[0] >= 0.0
+        assert result.series["iid"][0] < 0.5

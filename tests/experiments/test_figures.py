@@ -1,0 +1,77 @@
+"""Tests for the figure entry points (reduced horizons)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+)
+
+
+class TestRegistry:
+    def test_all_eight_figures_present(self):
+        assert set(ALL_FIGURES) == {
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+        }
+
+
+class TestSweepFigures:
+    def test_fig3_structure(self):
+        result = fig3(num_intervals=60, alphas=(0.4, 0.7))
+        assert result.figure_id == "fig3"
+        assert set(result.series) == {"DB-DP", "LDF", "FCSMA"}
+        assert result.x_values == [0.4, 0.7]
+        assert all(len(s) == 2 for s in result.series.values())
+        assert all(v >= 0 for s in result.series.values() for v in s)
+
+    def test_fig7_has_group_series(self):
+        result = fig7(num_intervals=60, alphas=(0.7,))
+        labels = set(result.series)
+        assert "LDF (group 1)" in labels and "LDF (group 2)" in labels
+        assert "FCSMA (group 1)" in labels
+
+    def test_fig9_uses_low_latency_grid(self):
+        result = fig9(num_intervals=60, lambdas=(0.6, 0.9))
+        assert result.x_label == "lambda*"
+        assert result.x_values == [0.6, 0.9]
+
+
+class TestSingleRunFigures:
+    def test_fig5_running_throughput(self):
+        result = fig5(num_intervals=200, sample_every=50)
+        assert set(result.series) == {"DB-DP", "LDF"}
+        assert len(result.x_values) == 4
+        assert result.x_values[0] == 50.0
+        # Running throughput is a packets/interval quantity.
+        assert all(0 <= v <= 6 for v in result.series["LDF"])
+        assert "requirement" in result.notes
+
+    def test_fig6_per_priority_throughput(self):
+        result = fig6(num_intervals=300)
+        series = result.series["StaticPriority"]
+        assert len(series) == 20
+        # Top priority markedly better than bottom; bottom non-zero.
+        assert series[0] > series[-1]
+        assert series[-1] >= 0.0
+        top_half = np.mean(series[:10])
+        bottom_half = np.mean(series[10:])
+        assert top_half > bottom_half
+
+    def test_row_accessor(self):
+        result = fig3(num_intervals=50, alphas=(0.5,))
+        row = result.row(0.5)
+        assert set(row) == {"DB-DP", "LDF", "FCSMA"}

@@ -1,0 +1,57 @@
+"""Tests for the parallel sweep runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBDPPolicy, LDFPolicy
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.parallel import run_sweep_parallel
+from repro.experiments.runner import run_sweep
+
+
+def small_builder(alpha: float):
+    return video_symmetric_spec(alpha, num_links=6)
+
+
+class TestParallelSweep:
+    def test_matches_sequential_exactly(self):
+        """Same seeds -> bit-identical deficiencies."""
+        kwargs = dict(
+            parameter_name="alpha",
+            values=[0.4, 0.7],
+            spec_builder=small_builder,
+            policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy},
+            num_intervals=120,
+            seeds=(0, 1),
+        )
+        sequential = run_sweep(**kwargs)
+        parallel = run_sweep_parallel(max_workers=2, **kwargs)
+        for label in ("LDF", "DB-DP"):
+            np.testing.assert_array_equal(
+                sequential.series(label), parallel.series(label)
+            )
+
+    def test_group_support(self):
+        result = run_sweep_parallel(
+            "alpha",
+            [0.5],
+            small_builder,
+            {"LDF": LDFPolicy},
+            num_intervals=60,
+            seeds=(0,),
+            groups=(0, 0, 0, 1, 1, 1),
+            max_workers=2,
+        )
+        assert len(result.group_series("LDF", 0)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep_parallel(
+                "x", [1.0], small_builder, {"LDF": LDFPolicy}, 0
+            )
+        with pytest.raises(ValueError):
+            run_sweep_parallel(
+                "x", [1.0], small_builder, {"LDF": LDFPolicy}, 10, seeds=()
+            )

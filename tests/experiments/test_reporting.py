@@ -1,0 +1,51 @@
+"""Tests for table / CSV rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import figure_to_csv, format_figure
+
+
+def sample_result():
+    return FigureResult(
+        figure_id="figX",
+        title="A test figure",
+        x_label="alpha",
+        x_values=[0.5, 0.7],
+        series={"LDF": [0.0, 1.25], "DB-DP": [0.1, 1.5]},
+        notes="note line",
+    )
+
+
+class TestFormatFigure:
+    def test_contains_all_cells(self):
+        text = format_figure(sample_result())
+        assert "figX" in text and "A test figure" in text
+        assert "note line" in text
+        for token in ("alpha", "LDF", "DB-DP", "0.5", "0.7", "1.2500", "1.5000"):
+            assert token in text
+
+    def test_alignment_rows_have_equal_width(self):
+        lines = [
+            line
+            for line in format_figure(sample_result()).splitlines()
+            if line and not line.startswith(("==", "   "))
+        ]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_precision(self):
+        text = format_figure(sample_result(), precision=1)
+        assert "1.2" in text and "1.2500" not in text
+
+
+class TestCsv:
+    def test_round_trippable(self):
+        csv = figure_to_csv(sample_result())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "alpha,LDF,DB-DP"
+        assert len(lines) == 3
+        first_row = lines[1].split(",")
+        assert float(first_row[0]) == 0.5
+        assert float(first_row[1]) == 0.0
+        assert float(first_row[2]) == 0.1

@@ -1,0 +1,81 @@
+"""Tests for the sweep runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LDFPolicy, StaticPriorityPolicy
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.runner import run_single, run_sweep
+
+
+def tiny_builder(alpha):
+    return video_symmetric_spec(alpha, num_links=4)
+
+
+class TestRunSingle:
+    def test_seed_averaging(self):
+        spec = tiny_builder(0.5)
+        point = run_single(spec, LDFPolicy, 100, seeds=(0, 1, 2))
+        assert point.total_deficiency >= 0.0
+        assert point.deficiency_std >= 0.0
+        assert point.policy == "LDF"
+
+    def test_group_deficiency(self):
+        spec = tiny_builder(0.5)
+        point = run_single(
+            spec, LDFPolicy, 100, seeds=(0,), groups=(0, 0, 1, 1)
+        )
+        assert point.group_deficiency is not None
+        assert len(point.group_deficiency) == 2
+
+
+class TestRunSweep:
+    def test_structure(self):
+        sweep = run_sweep(
+            "alpha",
+            [0.3, 0.6],
+            tiny_builder,
+            {"LDF": LDFPolicy, "Static": StaticPriorityPolicy},
+            num_intervals=80,
+            seeds=(0,),
+        )
+        assert sweep.values == [0.3, 0.6]
+        assert sweep.policies == ["LDF", "Static"]
+        assert len(sweep.points) == 4
+        assert len(sweep.series("LDF")) == 2
+
+    def test_deficiency_monotone_in_load_for_ldf(self):
+        """Sanity: higher load cannot decrease deficiency much."""
+        sweep = run_sweep(
+            "alpha",
+            [0.3, 0.95],
+            tiny_builder,
+            {"LDF": LDFPolicy},
+            num_intervals=400,
+            seeds=(0,),
+        )
+        series = sweep.series("LDF")
+        assert series[1] >= series[0] - 0.05
+
+    def test_group_series(self):
+        sweep = run_sweep(
+            "alpha",
+            [0.5],
+            tiny_builder,
+            {"LDF": LDFPolicy},
+            num_intervals=50,
+            seeds=(0,),
+            groups=(0, 1, 1, 1),
+        )
+        assert len(sweep.group_series("LDF", 0)) == 1
+        assert len(sweep.group_series("LDF", 1)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep("x", [1.0], tiny_builder, {"LDF": LDFPolicy}, 0)
+        with pytest.raises(ValueError):
+            run_sweep(
+                "x", [1.0], tiny_builder, {"LDF": LDFPolicy}, 10, seeds=()
+            )

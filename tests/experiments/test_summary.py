@@ -1,0 +1,61 @@
+"""Tests for the programmatic paper-claims summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.summary import (
+    ClaimVerdict,
+    evaluate_paper_claims,
+    format_verdicts,
+)
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    # Short horizon: structure and the horizon-robust claims are asserted;
+    # the DB-DP boundary-ratio claim needs the paper horizon to hold and is
+    # exempted below (its short-horizon "NO" is the documented warm-up
+    # effect, see EXPERIMENTS.md).
+    return evaluate_paper_claims(num_intervals=700, seed=0)
+
+
+class TestEvaluate:
+    def test_all_claims_present(self, verdicts):
+        claims = [v.claim for v in verdicts]
+        assert len(claims) == 8
+        assert any("admissible" in c for c in claims)
+        assert any("FCSMA" in c for c in claims)
+        assert any("collision-free" in c for c in claims)
+
+    def test_horizon_robust_claims_hold(self, verdicts):
+        robust = [
+            "LDF admissible alpha* (Fig. 3 boundary)",
+            "FCSMA supports only ~70% of LDF's load",
+            "DB-DP overhead <= (N+1) slots + 2 empty packets",
+            "DB-DP loses 1-2 transmissions per interval",
+            "DP protocol is collision-free",
+            "DB-DP ~ LDF at the 2 ms deadline (lambda* = 0.78)",
+            "lowest fixed priority still served (Fig. 6)",
+        ]
+        by_claim = {v.claim: v for v in verdicts}
+        for claim in robust:
+            assert by_claim[claim].holds, by_claim[claim]
+
+    def test_measured_strings_populated(self, verdicts):
+        for v in verdicts:
+            assert v.measured and v.paper
+
+
+class TestFormat:
+    def test_table_contains_every_claim(self, verdicts):
+        text = format_verdicts(verdicts)
+        for v in verdicts:
+            assert v.claim in text
+        assert "holds" in text
+
+    def test_no_marker_rendered(self):
+        text = format_verdicts(
+            [ClaimVerdict("c", "p", "m", False), ClaimVerdict("d", "p", "m", True)]
+        )
+        assert "NO" in text and "yes" in text

@@ -1,0 +1,69 @@
+"""End-to-end runs over the Gilbert-Elliott burst-loss channel.
+
+The stateful channel exercises the per-attempt (non-geometric) service
+path in every policy; these tests pin that path's invariants and the
+qualitative robustness story from the extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    DBDPPolicy,
+    GilbertElliottChannel,
+    LDFPolicy,
+    NetworkSpec,
+    idealized_timing,
+    run_simulation,
+)
+
+
+def ge_spec(n=4, rho=0.8):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals.symmetric(n, 0.8),
+        channel=GilbertElliottChannel(
+            n, p_good=0.95, p_bad=0.2, p_stay_good=0.9, p_stay_bad=0.7
+        ),
+        timing=idealized_timing(10),
+        delivery_ratios=rho,
+    )
+
+
+class TestStatefulChannelPath:
+    def test_invariants_hold(self):
+        spec = ge_spec()
+        result = run_simulation(spec, DBDPPolicy(), 500, seed=0)
+        assert np.all(result.deliveries <= result.arrivals)
+        assert np.all(result.attempts >= result.deliveries)
+        assert int(result.collisions.sum()) == 0
+
+    def test_reproducible(self):
+        a = run_simulation(ge_spec(), LDFPolicy(), 300, seed=7)
+        b = run_simulation(ge_spec(), LDFPolicy(), 300, seed=7)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+
+    def test_moderate_requirement_fulfilled(self):
+        """Stationary reliability ~0.77 with ample slots: a 0.8 ratio on
+        Bernoulli(0.8) arrivals is sustainable despite the bursts."""
+        spec = ge_spec(rho=0.8)
+        result = run_simulation(spec, LDFPolicy(), 3000, seed=1)
+        assert result.total_deficiency() < 0.05
+
+    def test_attempt_cost_reflects_stationary_reliability(self):
+        spec = ge_spec()
+        result = run_simulation(spec, LDFPolicy(), 2000, seed=2)
+        attempts = result.attempts.sum()
+        deliveries = result.deliveries.sum()
+        empirical_p = deliveries / attempts
+        stationary = float(spec.reliabilities[0])
+        # Deliveries per attempt track the stationary success probability.
+        assert empirical_p == pytest.approx(stationary, abs=0.06)
+
+    def test_dbdp_tracks_ldf_on_bursty_channel(self):
+        spec = ge_spec(rho=0.8)
+        dbdp = run_simulation(spec, DBDPPolicy(), 2500, seed=3)
+        ldf = run_simulation(spec, LDFPolicy(), 2500, seed=3)
+        assert dbdp.total_deficiency() <= ldf.total_deficiency() + 0.15

@@ -1,0 +1,178 @@
+"""Reduced-horizon checks of the paper's qualitative evaluation claims.
+
+These run the Section VI scenarios at the paper's network sizes but with
+shorter horizons (1-3 k intervals instead of 5-20 k), asserting the *shape*
+the paper reports: DB-DP ~ LDF, FCSMA markedly worse, no starvation under
+fixed priorities, convergence of the bottom link, quantifiably small
+overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DBDPPolicy,
+    FCSMAPolicy,
+    LDFPolicy,
+    StaticPriorityPolicy,
+    run_simulation,
+)
+from repro.analysis.convergence import running_mean
+from repro.analysis.metrics import group_deficiency, jains_fairness_index
+from repro.experiments.configs import (
+    ASYMMETRIC_GROUPS,
+    video_asymmetric_spec,
+    video_symmetric_spec,
+)
+
+
+class TestFigure3Shape:
+    """DB-DP ~ LDF; FCSMA lifts off at much lower load."""
+
+    def test_feasible_load_all_priority_policies_near_zero(self):
+        spec = video_symmetric_spec(0.5)
+        ldf = run_simulation(spec, LDFPolicy(), 2500, seed=0)
+        dbdp = run_simulation(spec, DBDPPolicy(), 2500, seed=0)
+        assert ldf.total_deficiency() < 0.15
+        assert dbdp.total_deficiency() < 0.5
+
+    def test_fcsma_already_deficient_at_moderate_load(self):
+        spec = video_symmetric_spec(0.5)
+        fcsma = run_simulation(spec, FCSMAPolicy(), 1500, seed=0)
+        dbdp = run_simulation(spec, DBDPPolicy(), 1500, seed=0)
+        assert fcsma.total_deficiency() > 3 * max(dbdp.total_deficiency(), 0.15)
+
+    def test_overload_ranking(self):
+        """Beyond the boundary everyone is deficient, but the ordering is
+        LDF <= DB-DP << FCSMA."""
+        spec = video_symmetric_spec(0.8)
+        ldf = run_simulation(spec, LDFPolicy(), 1200, seed=1).total_deficiency()
+        dbdp = run_simulation(spec, DBDPPolicy(), 1200, seed=1).total_deficiency()
+        fcsma = run_simulation(spec, FCSMAPolicy(), 1200, seed=1).total_deficiency()
+        assert ldf <= dbdp + 0.5
+        assert dbdp < fcsma
+        assert fcsma > 1.5 * dbdp
+
+    def test_dbdp_admissible_region_close_to_ldf(self):
+        """The largest sustainable alpha under DB-DP is close to LDF's;
+        FCSMA supports only ~70% of it (the paper's headline comparison)."""
+
+        def max_alpha(policy_factory, threshold=0.5):
+            sustained = 0.0
+            for alpha in (0.3, 0.4, 0.45, 0.5, 0.55):
+                spec = video_symmetric_spec(alpha)
+                deficiency = run_simulation(
+                    spec, policy_factory(), 1500, seed=2
+                ).total_deficiency()
+                if deficiency < threshold:
+                    sustained = alpha
+            return sustained
+
+        ldf_max = max_alpha(LDFPolicy)
+        dbdp_max = max_alpha(DBDPPolicy)
+        fcsma_max = max_alpha(FCSMAPolicy)
+        assert dbdp_max >= ldf_max - 0.11
+        assert fcsma_max <= 0.85 * ldf_max
+
+
+class TestFigure4Shape:
+    """At fixed load, deficiency grows with the required delivery ratio."""
+
+    def test_monotone_in_ratio(self):
+        deficiencies = []
+        for rho in (0.8, 0.99):
+            spec = video_symmetric_spec(0.62, delivery_ratio=rho)
+            deficiencies.append(
+                run_simulation(spec, DBDPPolicy(), 1500, seed=3).total_deficiency()
+            )
+        assert deficiencies[1] >= deficiencies[0]
+
+
+class TestFigure5Shape:
+    """The lowest-initial-priority link converges under both policies."""
+
+    def test_bottom_link_converges_to_requirement_neighborhood(self):
+        spec = video_symmetric_spec(0.55, delivery_ratio=0.93)
+        watched = spec.num_links - 1
+        target = spec.requirements[watched]
+        rate = spec.mean_rates[watched]
+        for policy in (DBDPPolicy(), LDFPolicy()):
+            result = run_simulation(spec, policy, 3000, seed=4)
+            running = running_mean(result.deliveries[:, watched].astype(float))
+            # Converges to at least the requirement (and at most the
+            # arrival rate) despite starting at the lowest priority.
+            assert running[-1] >= 0.97 * target, policy.name
+            assert running[-1] <= rate + 1e-9, policy.name
+
+
+class TestFigure6Shape:
+    """Fixed priorities: throughput decreases with index, nobody starves."""
+
+    def test_no_starvation_and_monotone_trend(self):
+        spec = video_symmetric_spec(0.6)
+        result = run_simulation(spec, StaticPriorityPolicy(), 2500, seed=5)
+        throughput = result.timely_throughput()
+        assert throughput.min() > 0.05  # the paper's no-starvation point
+        assert throughput[:7].mean() > throughput[-7:].mean()
+        # Priority service is unfair but not degenerate.
+        assert 0.5 < jains_fairness_index(throughput) <= 1.0
+
+
+class TestFigures78Shape:
+    """Asymmetric groups: FCSMA starves the weak group; DB-DP does not."""
+
+    @pytest.fixture(scope="class")
+    def asymmetric(self):
+        return video_asymmetric_spec(0.7, delivery_ratio=0.9)
+
+    def test_dbdp_close_to_ldf_per_group(self, asymmetric):
+        spec = asymmetric
+        ldf = run_simulation(spec, LDFPolicy(), 2000, seed=6)
+        dbdp = run_simulation(spec, DBDPPolicy(), 2000, seed=6)
+        ldf_groups = group_deficiency(
+            ldf.deliveries, spec.requirement_vector, ASYMMETRIC_GROUPS
+        )
+        dbdp_groups = group_deficiency(
+            dbdp.deliveries, spec.requirement_vector, ASYMMETRIC_GROUPS
+        )
+        np.testing.assert_allclose(dbdp_groups, ldf_groups, atol=1.0)
+
+    def test_fcsma_weak_group_suffers_disproportionately(self, asymmetric):
+        spec = asymmetric
+        fcsma = run_simulation(spec, FCSMAPolicy(), 1500, seed=6)
+        dbdp = run_simulation(spec, DBDPPolicy(), 1500, seed=6)
+        fcsma_groups = group_deficiency(
+            fcsma.deliveries, spec.requirement_vector, ASYMMETRIC_GROUPS
+        )
+        dbdp_groups = group_deficiency(
+            dbdp.deliveries, spec.requirement_vector, ASYMMETRIC_GROUPS
+        )
+        # Group 1 (weak channel) deficiency under FCSMA far exceeds DB-DP's.
+        assert fcsma_groups[0] > dbdp_groups[0] + 0.5
+
+
+class TestOverheadClaims:
+    """Section IV-C: quantifiably small overhead, zero collisions."""
+
+    def test_dbdp_overhead_within_quoted_bound(self):
+        spec = video_symmetric_spec(0.55)
+        result = run_simulation(spec, DBDPPolicy(), 800, seed=7)
+        assert int(result.collisions.sum()) == 0
+        bound = (
+            21 * spec.timing.backoff_slot_us
+            + 2 * spec.timing.empty_airtime_us
+        )
+        assert float(result.overhead_time_us.max()) <= bound + 1e-9
+        # "1 or 2 fewer transmissions per interval": overhead under two
+        # data airtimes.
+        assert result.overhead_time_us.mean() < 2 * spec.timing.data_airtime_us
+
+    def test_fcsma_overhead_is_substantial(self):
+        spec = video_symmetric_spec(0.55)
+        dbdp = run_simulation(spec, DBDPPolicy(), 600, seed=8)
+        fcsma = run_simulation(spec, FCSMAPolicy(), 600, seed=8)
+        assert (
+            fcsma.overhead_time_us.mean() > 3 * dbdp.overhead_time_us.mean()
+        )

@@ -1,0 +1,146 @@
+"""Stress and failure-injection tests.
+
+Degenerate and extreme configurations: tiny/huge networks, near-zero
+reliabilities, empty traffic, saturating bursts, determinism audits.  The
+point is that nothing crashes, invariants hold, and metrics stay sane far
+outside the paper's operating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    BurstyVideoArrivals,
+    ConstantArrivals,
+    DBDPPolicy,
+    FCSMAPolicy,
+    LDFPolicy,
+    NetworkSpec,
+    idealized_timing,
+    low_latency_timing,
+    run_simulation,
+)
+from repro.core.permutations import is_priority_vector
+
+
+class TestExtremeNetworks:
+    def test_hundred_link_network_runs(self):
+        """Far beyond the paper's 20 links: the protocol machinery scales."""
+        n = 100
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(n, 0.3),
+            channel=BernoulliChannel.symmetric(n, 0.8),
+            timing=idealized_timing(50),
+            delivery_ratios=0.9,
+        )
+        policy = DBDPPolicy()
+        result = run_simulation(spec, policy, 150, seed=0)
+        assert is_priority_vector(policy.priorities)
+        assert np.all(result.deliveries <= result.arrivals)
+        assert int(result.collisions.sum()) == 0
+
+    def test_single_link_all_policies(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(1, 1),
+            channel=BernoulliChannel.symmetric(1, 0.9),
+            timing=idealized_timing(4),
+            delivery_ratios=0.9,
+        )
+        for policy in (DBDPPolicy(), LDFPolicy(), FCSMAPolicy()):
+            result = run_simulation(spec, policy, 300, seed=1)
+            assert result.total_deficiency() < 0.05, policy.name
+
+    def test_near_zero_reliability(self):
+        """p = 0.01: almost nothing gets through; metrics remain bounded
+        and deficiency approaches q."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(3, 1),
+            channel=BernoulliChannel.symmetric(3, 0.01),
+            timing=idealized_timing(5),
+            delivery_ratios=0.9,
+        )
+        result = run_simulation(spec, DBDPPolicy(), 400, seed=2)
+        deficiency = result.per_link_deficiency()
+        assert np.all(deficiency <= 0.9 + 1e-9)
+        assert result.total_deficiency() > 2.0  # hopeless requirement
+
+    def test_zero_traffic_network(self):
+        """No arrivals at all: nothing transmitted, zero deficiency
+        (q = 0), priorities still churn via empty packets."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(4, 0.0001),
+            channel=BernoulliChannel.symmetric(4, 0.9),
+            timing=low_latency_timing(),
+            delivery_ratios=0.0,
+        )
+        policy = DBDPPolicy()
+        result = run_simulation(spec, policy, 400, seed=3)
+        assert result.total_deficiency() == 0.0
+        assert is_priority_vector(policy.priorities)
+
+    def test_saturating_bursts(self):
+        """A_max far above the interval budget: partial service, flushes,
+        and bounded busy time every interval."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(4, 0.9, burst_max=30),
+            channel=BernoulliChannel.symmetric(4, 0.7),
+            timing=idealized_timing(10),
+            delivery_ratios=0.2,
+        )
+        result = run_simulation(spec, DBDPPolicy(), 300, seed=4)
+        assert np.all(result.busy_time_us <= spec.timing.interval_us + 1e-9)
+        assert np.all(result.deliveries.sum(axis=1) <= 10)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [DBDPPolicy, LDFPolicy, FCSMAPolicy]
+    )
+    def test_same_seed_bitwise_identical(self, factory):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(6, 0.5),
+            channel=BernoulliChannel.symmetric(6, 0.7),
+            timing=idealized_timing(12),
+            delivery_ratios=0.9,
+        )
+        a = run_simulation(spec, factory(), 200, seed=42)
+        b = run_simulation(spec, factory(), 200, seed=42)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.collisions, b.collisions)
+
+    def test_policy_instances_do_not_leak_state(self):
+        """Two sequential runs with fresh policies match exactly — binding
+        resets everything."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(4, 0.6),
+            channel=BernoulliChannel.symmetric(4, 0.8),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        policy = DBDPPolicy()
+        first = run_simulation(spec, policy, 100, seed=5)
+        policy_reused = DBDPPolicy()
+        second = run_simulation(spec, policy_reused, 100, seed=5)
+        np.testing.assert_array_equal(first.deliveries, second.deliveries)
+
+
+class TestLongRunStability:
+    def test_dbdp_ten_thousand_intervals(self):
+        """Long-horizon soak: bounded positive debts on a feasible net."""
+        from repro import IntervalSimulator
+
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(5, 0.7),
+            channel=BernoulliChannel.symmetric(5, 0.8),
+            timing=idealized_timing(8),
+            delivery_ratios=0.9,
+        )
+        sim = IntervalSimulator(spec, DBDPPolicy(), seed=6)
+        sim.run(10000)
+        assert sim.result.total_deficiency() < 0.01
+        assert sim.ledger.positive_debts.max() < 50

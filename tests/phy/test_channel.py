@@ -1,0 +1,88 @@
+"""Tests for channel models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BernoulliChannel, GilbertElliottChannel
+
+
+class TestBernoulliChannel:
+    def test_reliabilities_exposed(self):
+        channel = BernoulliChannel(success_probs=(0.5, 0.9))
+        np.testing.assert_allclose(channel.reliabilities, [0.5, 0.9])
+        assert channel.num_links == 2
+
+    def test_rejects_zero_probability(self):
+        """The paper requires p_n > 0."""
+        with pytest.raises(ValueError):
+            BernoulliChannel(success_probs=(0.5, 0.0))
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            BernoulliChannel(success_probs=(1.5,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BernoulliChannel(success_probs=())
+
+    def test_symmetric_builder(self):
+        channel = BernoulliChannel.symmetric(5, 0.7)
+        assert channel.num_links == 5
+        assert set(channel.success_probs) == {0.7}
+
+    def test_empirical_success_rate(self, rng):
+        channel = BernoulliChannel(success_probs=(0.3, 0.8))
+        for link, p in [(0, 0.3), (1, 0.8)]:
+            wins = sum(channel.attempt(link, rng) for _ in range(5000))
+            assert wins / 5000 == pytest.approx(p, abs=0.02)
+
+    def test_perfect_channel_always_succeeds(self, rng):
+        channel = BernoulliChannel.symmetric(1, 1.0)
+        assert all(channel.attempt(0, rng) for _ in range(100))
+
+
+class TestGilbertElliottChannel:
+    def test_stationary_reliability(self):
+        channel = GilbertElliottChannel(
+            2, p_good=1.0, p_bad=0.0, p_stay_good=0.9, p_stay_bad=0.9
+        )
+        # pi_good = 0.5 -> stationary success probability 0.5.
+        np.testing.assert_allclose(channel.reliabilities, [0.5, 0.5])
+
+    def test_empirical_long_run_rate(self, rng):
+        channel = GilbertElliottChannel(
+            1, p_good=0.9, p_bad=0.1, p_stay_good=0.8, p_stay_bad=0.6
+        )
+        expected = channel.reliabilities[0]
+        wins = sum(channel.attempt(0, rng) for _ in range(20000))
+        assert wins / 20000 == pytest.approx(expected, abs=0.02)
+
+    def test_burstiness(self, rng):
+        """Consecutive outcomes must be positively correlated (the point of
+        the model)."""
+        channel = GilbertElliottChannel(
+            1, p_good=0.95, p_bad=0.05, p_stay_good=0.95, p_stay_bad=0.95
+        )
+        outcomes = np.array(
+            [channel.attempt(0, rng) for _ in range(20000)], dtype=float
+        )
+        correlation = np.corrcoef(outcomes[:-1], outcomes[1:])[0, 1]
+        assert correlation > 0.3
+
+    def test_per_link_state_is_independent(self, rng):
+        channel = GilbertElliottChannel(
+            2, p_good=1.0, p_bad=0.0, p_stay_good=1.0, p_stay_bad=1.0
+        )
+        # Both start GOOD and never leave: always succeed, both links.
+        assert channel.attempt(0, rng) and channel.attempt(1, rng)
+
+    def test_link_index_validated(self, rng):
+        channel = GilbertElliottChannel(2)
+        with pytest.raises(IndexError):
+            channel.attempt(5, rng)
+
+    def test_rejects_all_zero_success(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(1, p_good=0.0, p_bad=0.0)

@@ -1,0 +1,98 @@
+"""Tests for 802.11a airtime computation and interval timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dot11aPhy, IntervalTiming, idealized_timing, low_latency_timing, video_timing
+
+
+class TestDot11aPhy:
+    def test_video_packet_airtime_matches_paper(self):
+        """Paper: 1500 B + ACK + spacing ~ 330 us at 54 Mbps."""
+        assert Dot11aPhy().exchange_airtime_us(1500) == pytest.approx(330.0, abs=5)
+
+    def test_control_packet_airtime_matches_paper(self):
+        """Paper: 100 B + ACK ~ 120 us."""
+        assert Dot11aPhy().exchange_airtime_us(100) == pytest.approx(120.0, abs=5)
+
+    def test_empty_packet_airtime_matches_paper(self):
+        """Paper: no-payload frame + spacing ~ 70 us."""
+        assert Dot11aPhy().empty_packet_airtime_us() == pytest.approx(70.0, abs=8)
+
+    def test_airtime_monotone_in_payload(self):
+        phy = Dot11aPhy()
+        airtimes = [phy.exchange_airtime_us(b) for b in (0, 100, 500, 1500)]
+        assert all(b >= a for a, b in zip(airtimes, airtimes[1:]))
+
+    def test_symbol_quantization(self):
+        """Airtimes are preamble + signal + whole OFDM symbols."""
+        phy = Dot11aPhy()
+        frame = phy.data_frame_airtime_us(1500)
+        symbols = (frame - phy.phy_preamble_us - phy.phy_signal_us) / phy.symbol_us
+        assert symbols == int(symbols)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Dot11aPhy().data_frame_airtime_us(-1)
+
+    def test_slot_time_is_9us(self):
+        assert Dot11aPhy().slot_time_us == 9.0
+
+
+class TestIntervalTiming:
+    def test_video_transmissions_per_interval(self):
+        """Paper: up to 60 transmissions per 20 ms interval under LDF."""
+        assert video_timing().max_transmissions == 60
+
+    def test_low_latency_transmissions_per_interval(self):
+        """Paper: 16 available transmissions per 2 ms interval."""
+        assert low_latency_timing().max_transmissions == 16
+
+    def test_idealized(self):
+        timing = idealized_timing(7)
+        assert timing.max_transmissions == 7
+        assert timing.is_idealized
+        assert not video_timing().is_idealized
+
+    def test_idealized_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            idealized_timing(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalTiming(
+                interval_us=0,
+                data_airtime_us=10,
+                empty_airtime_us=0,
+                backoff_slot_us=0,
+            )
+        with pytest.raises(ValueError, match="does not fit"):
+            IntervalTiming(
+                interval_us=5,
+                data_airtime_us=10,
+                empty_airtime_us=0,
+                backoff_slot_us=0,
+            )
+        with pytest.raises(ValueError):
+            IntervalTiming(
+                interval_us=100,
+                data_airtime_us=10,
+                empty_airtime_us=-1,
+                backoff_slot_us=0,
+            )
+
+    def test_with_slot_time(self):
+        """Ablation hook: WiFi-Nano style 0.8 us slots ([36])."""
+        nano = video_timing().with_slot_time(0.8)
+        assert nano.backoff_slot_us == 0.8
+        assert nano.data_airtime_us == video_timing().data_airtime_us
+
+    def test_swap_safety_margin(self):
+        """The swap-commit rule's correctness argument needs
+        data_airtime >= empty_airtime + slot for all shipped timings."""
+        for timing in (video_timing(), low_latency_timing(), idealized_timing(5)):
+            assert (
+                timing.data_airtime_us
+                >= timing.empty_airtime_us + timing.backoff_slot_us
+            )

@@ -1,0 +1,96 @@
+"""Property-based tests: the backoff assignment is always collision-free.
+
+This is the protocol's central safety property (Section IV-C, "no capacity
+loss due to collision") — hypothesis searches the full space of
+(permutation, candidate set, coin flips).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp_protocol import compute_backoffs
+
+
+@st.composite
+def protocol_configurations(draw):
+    """(sigma, candidates, xi) with valid non-consecutive candidate pairs."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    sigma = tuple(draw(st.permutations(range(1, n + 1))))
+    max_pairs = n // 2
+    num_pairs = draw(st.integers(min_value=1, max_value=max_pairs))
+    # Choose non-consecutive candidate indices in [1, n - 1].
+    available = list(range(1, n))
+    candidates = []
+    for _ in range(num_pairs):
+        viable = [
+            c
+            for c in available
+            if all(abs(c - chosen) >= 2 for chosen in candidates)
+        ]
+        if not viable:
+            break
+        candidates.append(draw(st.sampled_from(viable)))
+    candidates.sort()
+    xi = {}
+    for c in candidates:
+        xi[sigma.index(c)] = draw(st.sampled_from([-1, 1]))
+        xi[sigma.index(c + 1)] = draw(st.sampled_from([-1, 1]))
+    return sigma, tuple(candidates), xi
+
+
+@given(protocol_configurations())
+@settings(max_examples=300, deadline=None)
+def test_backoffs_are_always_distinct(config):
+    sigma, candidates, xi = config
+    backoffs = compute_backoffs(sigma, candidates, xi)
+    values = list(backoffs.values())
+    assert len(set(values)) == len(values), (
+        f"collision for sigma={sigma} candidates={candidates} xi={xi}: "
+        f"{backoffs}"
+    )
+
+
+@given(protocol_configurations())
+@settings(max_examples=300, deadline=None)
+def test_backoffs_are_bounded(config):
+    """beta_n <= N + 2 P - 1 <= 2 N; with one pair, beta_n <= N + 1."""
+    sigma, candidates, xi = config
+    n = len(sigma)
+    backoffs = compute_backoffs(sigma, candidates, xi)
+    assert all(0 <= b <= n + 2 * len(candidates) - 1 for b in backoffs.values())
+    if len(candidates) == 1:
+        assert max(backoffs.values()) <= n + 1
+
+
+@given(protocol_configurations())
+@settings(max_examples=300, deadline=None)
+def test_transmission_order_respects_non_candidate_priorities(config):
+    """Among non-candidates, the backoff order preserves the priority
+    order — reordering only ever touches the candidate pair."""
+    sigma, candidates, xi = config
+    backoffs = compute_backoffs(sigma, candidates, xi)
+    cand_priorities = set()
+    for c in candidates:
+        cand_priorities.add(c)
+        cand_priorities.add(c + 1)
+    non_candidates = [
+        link for link, s in enumerate(sigma) if s not in cand_priorities
+    ]
+    ordered = sorted(non_candidates, key=lambda l: backoffs[l])
+    priorities = [sigma[l] for l in ordered]
+    assert priorities == sorted(priorities)
+
+
+@given(protocol_configurations())
+@settings(max_examples=200, deadline=None)
+def test_candidate_backoffs_stay_inside_their_band(config):
+    """Pair (c, c+1) with offset o occupies backoffs within
+    [c - 1 + o, c + 2 + o] — disjoint from every other band."""
+    sigma, candidates, xi = config
+    backoffs = compute_backoffs(sigma, candidates, xi)
+    for pair_index, c in enumerate(candidates):
+        offset = 2 * pair_index
+        for link in (sigma.index(c), sigma.index(c + 1)):
+            assert c - 1 + offset <= backoffs[link] <= c + 2 + offset

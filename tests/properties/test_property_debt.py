@@ -1,0 +1,106 @@
+"""Property-based tests for debt bookkeeping identities."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.debt import DebtLedger
+from repro.analysis.metrics import deficiency_series, total_deficiency
+
+
+@st.composite
+def debt_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    k = draw(st.integers(min_value=1, max_value=40))
+    q = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    deliveries = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=6), min_size=n, max_size=n
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return q, np.asarray(deliveries)
+
+
+@given(debt_traces())
+@settings(max_examples=200, deadline=None)
+def test_debt_closed_form(trace):
+    """d_n(K) == K q_n - sum deliveries, for any trace."""
+    q, deliveries = trace
+    ledger = DebtLedger(q)
+    for row in deliveries:
+        ledger.record_interval(row)
+    expected = deliveries.shape[0] * np.asarray(q) - deliveries.sum(axis=0)
+    np.testing.assert_allclose(ledger.debts, expected, atol=1e-9)
+
+
+@given(debt_traces())
+@settings(max_examples=200, deadline=None)
+def test_deficiency_is_positive_debt_over_k(trace):
+    """Definition 1's deficiency equals d^+(K) / K."""
+    q, deliveries = trace
+    ledger = DebtLedger(q)
+    for row in deliveries:
+        ledger.record_interval(row)
+    k = deliveries.shape[0]
+    np.testing.assert_allclose(
+        ledger.per_link_deficiency(),
+        np.maximum(ledger.debts, 0.0) / k,
+        atol=1e-9,
+    )
+
+
+@given(debt_traces())
+@settings(max_examples=150, deadline=None)
+def test_ledger_and_metrics_module_agree(trace):
+    q, deliveries = trace
+    ledger = DebtLedger(q)
+    for row in deliveries:
+        ledger.record_interval(row)
+    assert np.isclose(
+        ledger.total_deficiency(), total_deficiency(deliveries, q), atol=1e-9
+    )
+    series = deficiency_series(deliveries, q)
+    assert np.isclose(series[-1], ledger.total_deficiency(), atol=1e-9)
+
+
+@given(debt_traces())
+@settings(max_examples=150, deadline=None)
+def test_deficiency_bounded_by_requirements(trace):
+    """0 <= deficiency_n <= q_n always."""
+    q, deliveries = trace
+    ledger = DebtLedger(q)
+    for row in deliveries:
+        ledger.record_interval(row)
+    deficiency = ledger.per_link_deficiency()
+    assert np.all(deficiency >= 0)
+    assert np.all(deficiency <= np.asarray(q) + 1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_full_service_drives_deficiency_to_zero(q, k):
+    """Delivering ceil(q_n) every interval fulfills any requirement."""
+    ledger = DebtLedger(q)
+    service = np.ceil(np.asarray(q)).astype(int)
+    for _ in range(k):
+        ledger.record_interval(service)
+    assert ledger.total_deficiency() == 0.0

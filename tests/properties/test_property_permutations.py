@@ -1,0 +1,72 @@
+"""Property-based tests for permutation algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutations import (
+    apply_adjacent_swap,
+    inversions,
+    is_adjacent_transposition,
+    is_priority_vector,
+    link_order_to_priorities,
+    priority_to_link_order,
+    symmetric_difference,
+)
+
+
+def permutations_of(n_min=1, n_max=8):
+    return st.integers(min_value=n_min, max_value=n_max).flatmap(
+        lambda n: st.permutations(list(range(1, n + 1)))
+    )
+
+
+@given(permutations_of())
+@settings(max_examples=200, deadline=None)
+def test_round_trip_conversion(sigma):
+    sigma = tuple(sigma)
+    assert link_order_to_priorities(priority_to_link_order(sigma)) == sigma
+
+
+@given(permutations_of(n_min=2))
+@settings(max_examples=200, deadline=None)
+def test_adjacent_swap_properties(sigma):
+    sigma = tuple(sigma)
+    n = len(sigma)
+    for c in range(1, n):
+        swapped = apply_adjacent_swap(sigma, c)
+        assert is_priority_vector(swapped)
+        assert is_adjacent_transposition(sigma, swapped)
+        assert len(symmetric_difference(sigma, swapped)) == 2
+        # Involution.
+        assert apply_adjacent_swap(swapped, c) == sigma
+
+
+@given(permutations_of(n_min=2))
+@settings(max_examples=200, deadline=None)
+def test_adjacent_swap_changes_inversions_by_exactly_one(sigma):
+    sigma = tuple(sigma)
+    for c in range(1, len(sigma)):
+        swapped = apply_adjacent_swap(sigma, c)
+        assert abs(inversions(swapped) - inversions(sigma)) == 1
+
+
+@given(permutations_of())
+@settings(max_examples=100, deadline=None)
+def test_inversions_bounds(sigma):
+    sigma = tuple(sigma)
+    n = len(sigma)
+    assert 0 <= inversions(sigma) <= n * (n - 1) // 2
+
+
+@given(permutations_of(n_min=2), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_symmetric_difference_is_symmetric(sigma, rnd):
+    sigma = tuple(sigma)
+    shuffled = list(sigma)
+    rnd.shuffle(shuffled)
+    shuffled = tuple(shuffled)
+    assert symmetric_difference(sigma, shuffled) == symmetric_difference(
+        shuffled, sigma
+    )

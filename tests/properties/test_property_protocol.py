@@ -1,0 +1,83 @@
+"""Property-based end-to-end protocol invariants under random scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    ConstantSwapBias,
+    DBDPPolicy,
+    DPProtocol,
+    IntervalSimulator,
+    NetworkSpec,
+    idealized_timing,
+)
+from repro.core.permutations import is_priority_vector
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    slots = draw(st.integers(min_value=1, max_value=10))
+    rates = [
+        draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    ps = [
+        draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    rhos = [
+        draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    spec = NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals(rates=tuple(rates)),
+        channel=BernoulliChannel(success_probs=tuple(ps)),
+        timing=idealized_timing(slots),
+        delivery_ratios=rhos,
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return spec, seed
+
+
+@given(random_networks())
+@settings(max_examples=40, deadline=None)
+def test_dbdp_invariants_hold_on_any_network(network):
+    """For arbitrary feasible-or-not networks: sigma stays a permutation,
+    deliveries never exceed arrivals, collisions never happen."""
+    spec, seed = network
+    policy = DBDPPolicy()
+    sim = IntervalSimulator(spec, policy, seed=seed)
+    for _ in range(60):
+        sim.step()
+        assert is_priority_vector(policy.priorities)
+    result = sim.result
+    assert np.all(result.deliveries <= result.arrivals)
+    assert int(result.collisions.sum()) == 0
+    assert np.all(result.busy_time_us <= spec.timing.interval_us + 1e-9)
+
+
+@given(random_networks(), st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=30, deadline=None)
+def test_generic_dp_invariants(network, mu):
+    spec, seed = network
+    policy = DPProtocol(bias=ConstantSwapBias(mu))
+    sim = IntervalSimulator(spec, policy, seed=seed)
+    sim.run(50)
+    assert is_priority_vector(policy.priorities)
+    assert np.all(sim.result.deliveries <= sim.result.arrivals)
+
+
+@given(random_networks())
+@settings(max_examples=25, deadline=None)
+def test_ledger_identity_on_any_run(network):
+    spec, seed = network
+    sim = IntervalSimulator(spec, DBDPPolicy(), seed=seed)
+    sim.run(40)
+    expected = 40 * spec.requirement_vector - sim.result.deliveries.sum(axis=0)
+    np.testing.assert_allclose(sim.ledger.debts, expected, atol=1e-9)

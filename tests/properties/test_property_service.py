@@ -1,0 +1,83 @@
+"""Property-based tests for the shared service primitive and arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BernoulliChannel
+from repro.core.policies import serve_link_attempts
+from repro.traffic.arrivals import (
+    BernoulliArrivals,
+    BurstyVideoArrivals,
+    TruncatedPoissonArrivals,
+)
+
+
+@given(
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=20),
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=300, deadline=None)
+def test_serve_respects_bounds(packets, budget, p, seed):
+    """delivered <= packets, delivered <= attempts <= budget, and a full
+    delivery never uses fewer attempts than packets."""
+    channel = BernoulliChannel.symmetric(1, p)
+    rng = np.random.default_rng(seed)
+    delivered, attempts = serve_link_attempts(0, packets, budget, channel, rng)
+    assert 0 <= delivered <= packets
+    assert delivered <= attempts <= budget
+    if delivered == packets and packets > 0:
+        assert attempts >= packets
+    if delivered < packets and budget > 0 and packets > 0:
+        # Ran out of budget: every attempt was used.
+        assert attempts == budget
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.3, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_serve_monotone_in_budget(packets, p, seed):
+    """More budget can only help (statistically exact per-seed because the
+    geometric draws are identical for the same generator state)."""
+    channel = BernoulliChannel.symmetric(1, p)
+    small = serve_link_attempts(
+        0, packets, 3, channel, np.random.default_rng(seed)
+    )[0]
+    large = serve_link_attempts(
+        0, packets, 30, channel, np.random.default_rng(seed)
+    )[0]
+    assert large >= small
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50, deadline=None)
+def test_arrival_processes_respect_their_bounds(seed):
+    rng = np.random.default_rng(seed)
+    processes = [
+        BernoulliArrivals.symmetric(4, 0.6),
+        BurstyVideoArrivals.symmetric(4, 0.7),
+        TruncatedPoissonArrivals(poisson_rates=(2.0,) * 4, cap=5),
+    ]
+    for process in processes:
+        sample = process.sample(rng)
+        assert sample.shape == (4,)
+        assert np.all(sample >= 0)
+        assert np.all(sample <= process.max_per_link)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_bursty_mean_formula(alpha, seed):
+    """lambda = 3.5 alpha for any alpha (the paper's Section VI-A model)."""
+    process = BurstyVideoArrivals.symmetric(2, alpha)
+    np.testing.assert_allclose(process.mean_rates, 3.5 * alpha)

@@ -1,0 +1,58 @@
+"""Property-based tests: Proposition 2 holds for random biases."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.markov import build_sigma_chain, detailed_balance_residual
+from repro.analysis.stationary import stationary_distribution
+
+mus_strategy = st.integers(min_value=2, max_value=4).flatmap(
+    lambda n: st.lists(
+        st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+@given(mus_strategy)
+@settings(max_examples=60, deadline=None)
+def test_closed_form_is_stationary(mus):
+    """pi X == pi for the product-form pi of Eq. (10)."""
+    chain = build_sigma_chain(tuple(mus))
+    closed = stationary_distribution(tuple(mus))
+    pi = np.array([closed[s] for s in chain.states])
+    np.testing.assert_allclose(pi @ chain.matrix, pi, atol=1e-12)
+
+
+@given(mus_strategy)
+@settings(max_examples=60, deadline=None)
+def test_reversibility(mus):
+    chain = build_sigma_chain(tuple(mus))
+    closed = stationary_distribution(tuple(mus))
+    pi = np.array([closed[s] for s in chain.states])
+    assert detailed_balance_residual(chain, pi) < 1e-12
+
+
+@given(mus_strategy)
+@settings(max_examples=60, deadline=None)
+def test_chain_is_ergodic(mus):
+    """Lemma 4 for arbitrary biases in (0, 1)."""
+    chain = build_sigma_chain(tuple(mus))
+    assert chain.is_irreducible()
+    assert chain.is_aperiodic()
+
+
+@given(mus_strategy, st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_stationary_independent_of_handshake_scale(mus, scale):
+    """Damping every transition by the same handshake probability changes
+    the dynamics but not the stationary distribution."""
+    plain = build_sigma_chain(tuple(mus))
+    damped = build_sigma_chain(tuple(mus), handshake=lambda s, c: scale)
+    np.testing.assert_allclose(
+        plain.stationary(), damped.stationary(), atol=1e-10
+    )

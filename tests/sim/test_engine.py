@@ -1,0 +1,110 @@
+"""Tests for the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(5.0, lambda: log.append("b"))
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(9.0, lambda: log.append("c"))
+        scheduler.run_all()
+        assert log == ["a", "b", "c"]
+        assert scheduler.now == 9.0
+
+    def test_fifo_for_simultaneous_events(self):
+        scheduler = EventScheduler()
+        log = []
+        for name in "abc":
+            scheduler.schedule_at(2.0, lambda n=name: log.append(n))
+        scheduler.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_schedule_in(self):
+        scheduler = EventScheduler(start_time=10.0)
+        times = []
+        scheduler.schedule_in(5.0, lambda: times.append(scheduler.now))
+        scheduler.run_all()
+        assert times == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler(start_time=10.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(9.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        scheduler = EventScheduler()
+        log = []
+        handle = scheduler.schedule_at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        scheduler.run_all()
+        assert log == []
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def first():
+            log.append(scheduler.now)
+            scheduler.schedule_in(2.0, lambda: log.append(scheduler.now))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run_all()
+        assert log == [1.0, 3.0]
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(1.0, lambda: log.append(1))
+        scheduler.schedule_at(5.0, lambda: log.append(5))
+        scheduler.run_until(3.0)
+        assert log == [1]
+        assert scheduler.now == 3.0
+        scheduler.run_until(10.0)
+        assert log == [1, 5]
+
+    def test_inclusive_boundary(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(3.0, lambda: log.append(3))
+        scheduler.run_until(3.0)
+        assert log == [3]
+
+    def test_event_budget(self):
+        scheduler = EventScheduler()
+
+        def rescheduling():
+            scheduler.schedule_in(0.1, rescheduling)
+
+        scheduler.schedule_at(0.0, rescheduling)
+        with pytest.raises(RuntimeError, match="budget"):
+            scheduler.run_until(1e9, max_events=100)
+
+    def test_run_all_budget(self):
+        scheduler = EventScheduler()
+
+        def rescheduling():
+            scheduler.schedule_in(0.1, rescheduling)
+
+        scheduler.schedule_at(0.0, rescheduling)
+        with pytest.raises(RuntimeError):
+            scheduler.run_all(max_events=50)
+
+    def test_counters(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        assert scheduler.pending == 2
+        scheduler.run_all()
+        assert scheduler.events_processed == 2
+        assert scheduler.pending == 0

@@ -1,0 +1,208 @@
+"""Tests for the microsecond event-driven simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BernoulliChannel,
+    ConstantArrivals,
+    ConstantSwapBias,
+    NetworkSpec,
+    idealized_timing,
+    low_latency_timing,
+    video_timing,
+)
+from repro.core.permutations import is_priority_vector
+from repro.sim.engine import EventScheduler
+from repro.sim.event_sim import EventDrivenDPSimulator, WirelessChannel
+from repro.traffic.arrivals import BurstyVideoArrivals
+
+
+def make_spec(n=5, rate=0.7, p=0.8):
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=BernoulliArrivals.symmetric(n, rate),
+        channel=BernoulliChannel.symmetric(n, p),
+        timing=low_latency_timing(),
+        delivery_ratios=0.9,
+    )
+
+
+class TestWirelessChannel:
+    def test_busy_tracking(self):
+        scheduler = EventScheduler()
+        channel = WirelessChannel(scheduler)
+        assert not channel.busy
+        end = channel.begin_transmission(0, 100.0)
+        assert channel.busy and channel.transmitter == 0
+        assert end == 100.0
+        scheduler.schedule_at(100.0, lambda: None)
+        scheduler.run_all()
+        assert not channel.busy
+        assert channel.transmitter is None
+
+    def test_overlap_raises(self):
+        scheduler = EventScheduler()
+        channel = WirelessChannel(scheduler)
+        channel.begin_transmission(0, 100.0)
+        with pytest.raises(RuntimeError, match="collision"):
+            channel.begin_transmission(1, 50.0)
+
+    def test_busy_accounting(self):
+        scheduler = EventScheduler()
+        channel = WirelessChannel(scheduler)
+        channel.begin_transmission(0, 100.0)
+        scheduler.schedule_at(200.0, lambda: None)
+        scheduler.run_all()
+        channel.begin_transmission(1, 40.0)
+        assert channel.total_busy_us == 140.0
+
+
+class TestEventSimBasics:
+    def test_rejects_idealized_timing(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(2, 1),
+            channel=BernoulliChannel.symmetric(2, 1.0),
+            timing=idealized_timing(4),
+            delivery_ratios=1.0,
+        )
+        with pytest.raises(ValueError, match="backoff slot"):
+            EventDrivenDPSimulator(spec)
+
+    def test_deliveries_bounded_by_arrivals(self):
+        sim = EventDrivenDPSimulator(make_spec(), seed=0)
+        result = sim.run(300)
+        assert np.all(result.deliveries <= result.arrivals)
+
+    def test_priorities_remain_permutation(self):
+        sim = EventDrivenDPSimulator(
+            make_spec(), bias=ConstantSwapBias(0.5), seed=1
+        )
+        for _ in range(300):
+            sim.run(1)
+            assert is_priority_vector(sim.priorities)
+
+    def test_reproducible(self):
+        a = EventDrivenDPSimulator(make_spec(), seed=9).run(100)
+        b = EventDrivenDPSimulator(make_spec(), seed=9).run(100)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+
+    def test_perfect_light_load_serves_all(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=ConstantArrivals.symmetric(3, 1),
+            channel=BernoulliChannel.symmetric(3, 1.0),
+            timing=low_latency_timing(),
+            delivery_ratios=1.0,
+        )
+        result = EventDrivenDPSimulator(spec, seed=2).run(100)
+        np.testing.assert_array_equal(result.deliveries, np.ones((100, 3)))
+
+    def test_initial_priorities(self):
+        sim = EventDrivenDPSimulator(
+            make_spec(n=4), seed=0, initial_priorities=(4, 3, 2, 1)
+        )
+        assert sim.priorities == (4, 3, 2, 1)
+        with pytest.raises(ValueError):
+            EventDrivenDPSimulator(
+                make_spec(n=4), seed=0, initial_priorities=(1, 2, 3)
+            )
+
+    def test_busy_time_bounded_by_interval(self):
+        sim = EventDrivenDPSimulator(make_spec(rate=0.95), seed=3)
+        result = sim.run(200)
+        assert np.all(result.busy_time_us <= sim.spec.timing.interval_us + 1e-9)
+
+
+class TestSwapDynamicsInEventTime:
+    def test_swaps_occur(self):
+        spec = make_spec(n=4, rate=0.5)
+        sim = EventDrivenDPSimulator(spec, bias=ConstantSwapBias(0.5), seed=4)
+        initial = sim.priorities
+        sim.run(200)
+        assert sim.priorities != initial  # with mu = 0.5 swaps are frequent
+
+    def test_single_swap_per_interval(self):
+        spec = make_spec(n=5, rate=0.5)
+        sim = EventDrivenDPSimulator(spec, bias=ConstantSwapBias(0.5), seed=5)
+        previous = sim.priorities
+        for _ in range(200):
+            sim.run(1)
+            current = sim.priorities
+            moved = [i for i in range(5) if previous[i] != current[i]]
+            assert len(moved) in (0, 2)
+            previous = current
+
+    def test_empty_packets_claim_priority(self):
+        """Candidates with no arrivals still complete the handshake: with
+        zero arrival probability except one link, swaps still happen."""
+        n = 3
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals(rates=(0.9, 0.05, 0.05)),
+            channel=BernoulliChannel.symmetric(n, 0.9),
+            timing=low_latency_timing(),
+            delivery_ratios=0.5,
+        )
+        sim = EventDrivenDPSimulator(spec, bias=ConstantSwapBias(0.5), seed=6)
+        seen = set()
+        for _ in range(300):
+            sim.run(1)
+            seen.add(sim.priorities)
+        assert len(seen) > 1  # the chain moves despite silent links
+
+
+class TestCrossEngineAgreement:
+    def test_video_scenario_statistics(self):
+        """Interval engine and event engine agree on delivery statistics."""
+        from repro import DBDPPolicy, run_simulation
+
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BurstyVideoArrivals.symmetric(8, 0.5),
+            channel=BernoulliChannel.symmetric(8, 0.7),
+            timing=video_timing(),
+            delivery_ratios=0.9,
+        )
+        event = EventDrivenDPSimulator(spec, seed=11).run(600)
+        interval = run_simulation(spec, DBDPPolicy(), 600, seed=11)
+        event_mean = event.deliveries.sum(axis=1).mean()
+        interval_mean = interval.deliveries.sum(axis=1).mean()
+        assert event_mean == pytest.approx(interval_mean, rel=0.03)
+
+
+class TestMultiPairEventSim:
+    def test_multi_pair_keeps_invariants(self):
+        """Remark 6 in event time: multiple disjoint handshakes per
+        interval, permutation preserved, no channel collisions, no
+        handshake desynchronization (the simulator raises on either)."""
+        from repro import ConstantSwapBias
+
+        sim = EventDrivenDPSimulator(
+            make_spec(n=8, rate=0.5), bias=ConstantSwapBias(0.5),
+            num_pairs=3, seed=13,
+        )
+        previous = sim.priorities
+        for _ in range(300):
+            sim.run(1)
+            current = sim.priorities
+            assert is_priority_vector(current)
+            moved = [i for i in range(8) if previous[i] != current[i]]
+            assert len(moved) <= 6  # at most 3 disjoint swaps
+            previous = current
+
+    def test_multi_pair_swaps_more_often_than_single(self):
+        from repro import ConstantSwapBias
+
+        def committed(num_pairs):
+            sim = EventDrivenDPSimulator(
+                make_spec(n=8, rate=0.4), bias=ConstantSwapBias(0.5),
+                num_pairs=num_pairs, seed=14, record_priorities=True,
+            )
+            sim.run(600)
+            trace = sim.result.priorities
+            return sum(
+                sum(1 for i in range(8) if a[i] != b[i]) // 2
+                for a, b in zip(trace, trace[1:])
+            )
+
+        assert committed(3) > 1.5 * committed(1)

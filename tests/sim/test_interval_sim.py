@@ -1,0 +1,78 @@
+"""Tests for the interval-level simulator driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DBDPPolicy,
+    IntervalMac,
+    IntervalOutcome,
+    IntervalSimulator,
+    LDFPolicy,
+    run_simulation,
+)
+
+
+class TestDriver:
+    def test_reproducible_runs(self, lossy_spec):
+        a = run_simulation(lossy_spec, LDFPolicy(), 200, seed=5)
+        b = run_simulation(lossy_spec, LDFPolicy(), 200, seed=5)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+
+    def test_different_seeds_differ(self, lossy_spec):
+        a = run_simulation(lossy_spec, LDFPolicy(), 200, seed=1)
+        b = run_simulation(lossy_spec, LDFPolicy(), 200, seed=2)
+        assert not np.array_equal(a.deliveries, b.deliveries)
+
+    def test_step_and_bulk_agree(self, lossy_spec):
+        sim = IntervalSimulator(lossy_spec, LDFPolicy(), seed=3)
+        for _ in range(50):
+            sim.step()
+        bulk = run_simulation(lossy_spec, LDFPolicy(), 50, seed=3)
+        np.testing.assert_array_equal(sim.result.deliveries, bulk.deliveries)
+
+    def test_ledger_consistency(self, lossy_spec):
+        """Ledger debts must equal k q - cumulative deliveries."""
+        sim = IntervalSimulator(lossy_spec, DBDPPolicy(), seed=4)
+        sim.run(100)
+        expected = (
+            100 * lossy_spec.requirement_vector
+            - sim.result.deliveries.sum(axis=0)
+        )
+        np.testing.assert_allclose(sim.ledger.debts, expected)
+
+    def test_negative_interval_count_rejected(self, lossy_spec):
+        sim = IntervalSimulator(lossy_spec, LDFPolicy(), seed=0)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_progress_callback(self, lossy_spec):
+        seen = []
+        sim = IntervalSimulator(lossy_spec, LDFPolicy(), seed=0)
+        sim.run(10, progress=seen.append)
+        assert seen == list(range(10))
+
+    def test_record_priorities(self, lossy_spec):
+        sim = IntervalSimulator(
+            lossy_spec, DBDPPolicy(), seed=0, record_priorities=True
+        )
+        sim.run(20)
+        priorities = sim.result.priorities
+        assert len(priorities) == 20
+        assert all(sorted(p) == [1, 2, 3, 4] for p in priorities)
+
+    def test_overdelivery_guard(self, lossy_spec):
+        class CheatingPolicy(IntervalMac):
+            name = "cheat"
+
+            def run_interval(self, k, arrivals, positive_debts, rng):
+                return IntervalOutcome(
+                    deliveries=arrivals + 1, attempts=arrivals + 1
+                )
+
+        sim = IntervalSimulator(lossy_spec, CheatingPolicy(), seed=0)
+        with pytest.raises(AssertionError, match="delivered more than arrived"):
+            sim.step()

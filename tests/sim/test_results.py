@@ -1,0 +1,102 @@
+"""Tests for SimulationResult metrics and trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalOutcome
+from repro.sim.results import SimulationResult
+
+
+def make_result(deliveries, requirements, arrivals=None):
+    deliveries = np.asarray(deliveries)
+    requirements = np.asarray(requirements, dtype=float)
+    result = SimulationResult("test", requirements)
+    for k in range(deliveries.shape[0]):
+        row = deliveries[k]
+        arr = row if arrivals is None else np.asarray(arrivals)[k]
+        result.record(
+            arr,
+            IntervalOutcome(
+                deliveries=row,
+                attempts=row,
+                busy_time_us=float(row.sum()),
+                overhead_time_us=1.0,
+                collisions=0,
+            ),
+        )
+    return result
+
+
+class TestShapes:
+    def test_dimensions(self):
+        result = make_result([[1, 0], [0, 1], [1, 1]], [0.5, 0.5])
+        assert result.num_intervals == 3
+        assert result.num_links == 2
+        assert result.deliveries.shape == (3, 2)
+        assert result.busy_time_us.shape == (3,)
+
+    def test_priorities_disabled_by_default(self):
+        result = make_result([[1]], [1.0])
+        with pytest.raises(RuntimeError):
+            _ = result.priorities
+
+
+class TestDeficiency:
+    def test_fulfilled(self):
+        result = make_result([[1, 1]] * 10, [0.9, 0.5])
+        assert result.total_deficiency() == 0.0
+
+    def test_partial(self):
+        result = make_result([[0, 1]] * 10, [0.9, 0.5])
+        assert result.total_deficiency() == pytest.approx(0.9)
+        np.testing.assert_allclose(result.per_link_deficiency(), [0.9, 0.0])
+
+    def test_upto_prefix(self):
+        result = make_result([[0], [1], [1], [1]], [1.0])
+        assert result.total_deficiency(upto=1) == pytest.approx(1.0)
+        assert result.total_deficiency(upto=2) == pytest.approx(0.5)
+        assert result.total_deficiency(upto=0) == pytest.approx(1.0)
+
+    def test_trajectory_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        deliveries = rng.integers(0, 3, size=(40, 3))
+        result = make_result(deliveries, [1.2, 0.7, 1.9])
+        trajectory = result.deficiency_trajectory()
+        for k in (1, 7, 25, 40):
+            assert trajectory[k - 1] == pytest.approx(result.total_deficiency(upto=k))
+
+    def test_trajectory_stride(self):
+        result = make_result([[1]] * 10, [0.5])
+        assert result.deficiency_trajectory(stride=5).shape == (2,)
+        with pytest.raises(ValueError):
+            result.deficiency_trajectory(stride=0)
+
+
+class TestThroughputViews:
+    def test_running_timely_throughput(self):
+        result = make_result([[0], [1], [1]], [1.0])
+        np.testing.assert_allclose(
+            result.running_timely_throughput(0), [0.0, 0.5, 2 / 3]
+        )
+
+    def test_timely_throughput(self):
+        result = make_result([[2, 0], [0, 2]], [1.0, 1.0])
+        np.testing.assert_allclose(result.timely_throughput(), [1.0, 1.0])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        result = make_result([[1, 1]] * 5, [0.5, 0.5])
+        summary = result.summary()
+        assert summary.policy == "test"
+        assert summary.fulfilled
+        assert summary.num_intervals == 5
+        assert summary.mean_overhead_us == pytest.approx(1.0)
+        assert summary.total_collisions == 0
+        assert "policy" in summary.as_dict()
+
+    def test_unfulfilled_flag(self):
+        result = make_result([[0]] * 5, [0.5])
+        assert not result.summary().fulfilled

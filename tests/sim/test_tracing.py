@@ -1,0 +1,155 @@
+"""Tests for the structured trace recorder and its event-sim integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import low_latency_spec
+from repro.sim.event_sim import EventDrivenDPSimulator
+from repro.sim.tracing import (
+    IntervalEvent,
+    SwapEvent,
+    TraceRecorder,
+    TransmissionEvent,
+)
+
+
+class TestRecorder:
+    def test_append_and_filter(self):
+        recorder = TraceRecorder()
+        recorder.record(TransmissionEvent(0.0, 0, link=1, duration_us=10.0, kind="data"))
+        recorder.record(SwapEvent(20.0, 0, candidate_priority=1, down_link=0, up_link=1, committed=True))
+        recorder.record(IntervalEvent(20.0, 1, priorities=(1, 2)))
+        assert len(recorder) == 3
+        assert len(recorder.transmissions()) == 1
+        assert len(recorder.swaps()) == 1
+        assert len(recorder.interval_events()) == 1
+        assert len(recorder.events(SwapEvent)) == 1
+
+    def test_link_filter(self):
+        recorder = TraceRecorder()
+        for link in (0, 1, 0):
+            recorder.record(
+                TransmissionEvent(0.0, 0, link=link, duration_us=1.0, kind="data")
+            )
+        assert len(recorder.transmissions(link=0)) == 2
+
+    def test_committed_filter(self):
+        recorder = TraceRecorder()
+        for committed in (True, False, True):
+            recorder.record(
+                SwapEvent(0.0, 0, candidate_priority=1, down_link=0, up_link=1, committed=committed)
+            )
+        assert len(recorder.swaps(committed_only=True)) == 2
+
+    def test_capacity_drops_oldest(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(IntervalEvent(float(i), i, priorities=(1,)))
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert recorder.interval_events()[0].interval == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_overlap_detection(self):
+        recorder = TraceRecorder()
+        recorder.record(TransmissionEvent(0.0, 0, link=0, duration_us=10.0, kind="data"))
+        recorder.record(TransmissionEvent(5.0, 0, link=1, duration_us=10.0, kind="data"))
+        with pytest.raises(AssertionError, match="overlap"):
+            recorder.verify_no_overlap()
+
+    def test_utilization(self):
+        recorder = TraceRecorder()
+        recorder.record(TransmissionEvent(0.0, 0, link=0, duration_us=500.0, kind="data"))
+        recorder.record(TransmissionEvent(600.0, 0, link=1, duration_us=500.0, kind="data"))
+        recorder.record(TransmissionEvent(0.0, 1, link=0, duration_us=100.0, kind="data"))
+        assert recorder.channel_utilization(0, 2000.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            recorder.channel_utilization(0, 0.0)
+
+
+class TestEventSimIntegration:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        recorder = TraceRecorder()
+        sim = EventDrivenDPSimulator(
+            low_latency_spec(0.7), seed=5, trace=recorder
+        )
+        result = sim.run(200)
+        return recorder, result, sim.spec
+
+    def test_no_overlapping_transmissions(self, traced_run):
+        recorder, _, _ = traced_run
+        recorder.verify_no_overlap()  # collision-freedom audit
+
+    def test_transmission_counts_match_result(self, traced_run):
+        recorder, result, _ = traced_run
+        data = [e for e in recorder.transmissions() if e.kind == "data"]
+        assert len(data) == int(result.attempts.sum())
+        delivered = sum(1 for e in data if e.delivered)
+        assert delivered == int(result.deliveries.sum())
+
+    def test_one_interval_event_per_interval(self, traced_run):
+        recorder, result, _ = traced_run
+        assert len(recorder.interval_events()) == result.num_intervals
+
+    def test_swap_events_recorded_each_interval(self, traced_run):
+        recorder, result, _ = traced_run
+        # Single-pair protocol: exactly one handshake record per interval.
+        assert len(recorder.swaps()) == result.num_intervals
+
+    def test_transmissions_within_their_interval(self, traced_run):
+        recorder, _, spec = traced_run
+        t = spec.timing.interval_us
+        for event in recorder.transmissions():
+            start = event.interval * t
+            assert start - 1e-6 <= event.time_us
+            assert event.end_us <= start + t + 1e-6
+
+    def test_empty_packets_only_from_candidates(self, traced_run):
+        recorder, _, _ = traced_run
+        empties = [e for e in recorder.transmissions() if e.kind == "empty"]
+        swaps_by_interval = {e.interval: e for e in recorder.swaps()}
+        for event in empties:
+            swap = swaps_by_interval[event.interval]
+            assert event.link in (swap.down_link, swap.up_link)
+
+
+class TestJsonlPersistence:
+    def test_round_trip(self):
+        import io
+
+        from repro.experiments.configs import low_latency_spec
+        from repro.sim.tracing import dump_jsonl, load_jsonl
+
+        recorder = TraceRecorder()
+        EventDrivenDPSimulator(
+            low_latency_spec(0.7), seed=8, trace=recorder
+        ).run(30)
+        buffer = io.StringIO()
+        count = dump_jsonl(recorder, buffer)
+        assert count == len(recorder)
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        assert loaded.events() == recorder.events()
+        loaded.verify_no_overlap()
+
+    def test_blank_lines_skipped(self):
+        import io
+
+        from repro.sim.tracing import load_jsonl
+
+        loaded = load_jsonl(io.StringIO("\n\n"))
+        assert len(loaded) == 0
+
+    def test_unknown_type_rejected(self):
+        import io
+
+        from repro.sim.tracing import load_jsonl
+
+        with pytest.raises(ValueError, match="unknown trace event"):
+            load_jsonl(io.StringIO('{"type": "mystery", "time_us": 0}\n'))

@@ -1,0 +1,151 @@
+"""Tests for arrival processes (Section II-B model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    BurstyVideoArrivals,
+    ConstantArrivals,
+    CorrelatedBurstArrivals,
+    TruncatedPoissonArrivals,
+)
+from repro.traffic.arrivals import MarkovModulatedArrivals
+
+
+def empirical_mean(process, rng, n=4000):
+    return np.mean([process.sample(rng) for _ in range(n)], axis=0)
+
+
+class TestBernoulliArrivals:
+    def test_mean_rates(self):
+        process = BernoulliArrivals(rates=(0.2, 0.9))
+        np.testing.assert_allclose(process.mean_rates, [0.2, 0.9])
+        assert process.max_per_link == 1
+
+    def test_empirical_mean(self, rng):
+        process = BernoulliArrivals(rates=(0.3, 0.7))
+        np.testing.assert_allclose(
+            empirical_mean(process, rng), [0.3, 0.7], atol=0.03
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliArrivals(rates=(1.2,))
+        with pytest.raises(ValueError):
+            BernoulliArrivals(rates=())
+
+
+class TestBurstyVideoArrivals:
+    def test_paper_mean_formula(self):
+        """lambda_n = 3.5 alpha_n with the default burst_max = 6."""
+        process = BurstyVideoArrivals.symmetric(3, 0.55)
+        np.testing.assert_allclose(process.mean_rates, [3.5 * 0.55] * 3)
+
+    def test_support(self, rng):
+        process = BurstyVideoArrivals.symmetric(2, 0.8)
+        for _ in range(500):
+            sample = process.sample(rng)
+            assert np.all((sample >= 0) & (sample <= 6))
+
+    def test_burst_values_uniform(self, rng):
+        process = BurstyVideoArrivals.symmetric(1, 1.0)
+        values = [int(process.sample(rng)[0]) for _ in range(6000)]
+        counts = np.bincount(values, minlength=7)
+        assert counts[0] == 0  # alpha = 1: always a burst
+        assert counts[1:].min() > 800  # each of 1..6 ~ 1000
+
+    def test_empirical_mean(self, rng):
+        process = BurstyVideoArrivals.symmetric(4, 0.5)
+        np.testing.assert_allclose(
+            empirical_mean(process, rng), [1.75] * 4, atol=0.12
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyVideoArrivals(alphas=(1.5,))
+        with pytest.raises(ValueError):
+            BurstyVideoArrivals(alphas=(0.5,), burst_max=0)
+
+
+class TestConstantArrivals:
+    def test_deterministic(self, rng):
+        process = ConstantArrivals(counts=(2, 0, 1))
+        for _ in range(5):
+            np.testing.assert_array_equal(process.sample(rng), [2, 0, 1])
+
+    def test_mean_and_max(self):
+        process = ConstantArrivals(counts=(2, 0, 1))
+        np.testing.assert_allclose(process.mean_rates, [2, 0, 1])
+        assert process.max_per_link == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(counts=(-1,))
+
+
+class TestTruncatedPoisson:
+    def test_truncation_respected(self, rng):
+        process = TruncatedPoissonArrivals(poisson_rates=(10.0,), cap=4)
+        for _ in range(300):
+            assert process.sample(rng)[0] <= 4
+
+    def test_mean_accounts_for_truncation(self, rng):
+        process = TruncatedPoissonArrivals(poisson_rates=(3.0,), cap=4)
+        theory = process.mean_rates[0]
+        assert theory < 3.0  # truncation pulls the mean down
+        empirical = empirical_mean(process, rng, n=8000)[0]
+        assert empirical == pytest.approx(theory, abs=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedPoissonArrivals(poisson_rates=(-1.0,))
+        with pytest.raises(ValueError):
+            TruncatedPoissonArrivals(poisson_rates=(1.0,), cap=0)
+
+
+class TestCorrelatedBurstArrivals:
+    def test_all_or_nothing(self, rng):
+        process = CorrelatedBurstArrivals(num_links_=4, event_prob=0.5)
+        for _ in range(300):
+            sample = process.sample(rng)
+            assert np.all(sample == 0) or np.all(sample >= 1)
+
+    def test_mean(self, rng):
+        process = CorrelatedBurstArrivals(
+            num_links_=3, event_prob=0.4, burst_max=3
+        )
+        np.testing.assert_allclose(process.mean_rates, [0.8] * 3)
+        np.testing.assert_allclose(
+            empirical_mean(process, rng, n=8000), [0.8] * 3, atol=0.06
+        )
+
+    def test_cross_link_correlation_is_positive(self, rng):
+        process = CorrelatedBurstArrivals(num_links_=2, event_prob=0.5)
+        samples = np.array([process.sample(rng) for _ in range(4000)])
+        corr = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+        assert corr > 0.5
+
+
+class TestMarkovModulated:
+    def test_stationary_mean(self):
+        process = MarkovModulatedArrivals(
+            2, on_rate=0.8, off_rate=0.0, p_stay_on=0.9, p_stay_off=0.9
+        )
+        np.testing.assert_allclose(process.mean_rates, [0.4] * 2)
+
+    def test_temporal_correlation(self, rng):
+        """The process intentionally violates temporal independence."""
+        process = MarkovModulatedArrivals(
+            1, on_rate=1.0, off_rate=0.0, p_stay_on=0.95, p_stay_off=0.95
+        )
+        samples = np.array([process.sample(rng)[0] for _ in range(8000)], float)
+        corr = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert corr > 0.5
+
+    def test_support(self, rng):
+        process = MarkovModulatedArrivals(3, on_rate=0.5)
+        for _ in range(100):
+            assert np.all(process.sample(rng) <= 1)
