@@ -1,0 +1,108 @@
+"""Scalar-loop vs batch-engine throughput on the Fig. 3 workload.
+
+The batch engine's reason to exist is multi-seed experiments: S scalar
+runs cost S times the scalar per-interval overhead, while the batch engine
+advances all S replications per interval in vectorized kernel code.  This
+benchmark measures both on the same 20-seed stack and records the result
+in ``BENCH_batch.json`` (path overridable via ``REPRO_BENCH_BATCH_JSON``)
+so CI keeps a throughput trail.
+
+Timing is manual (``perf_counter``) so the numbers exist even under
+``pytest --benchmark-disable``; the committed full-scale measurement is
+produced with ``REPRO_BENCH_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import DBDPPolicy, LDFPolicy, run_simulation, run_simulation_batch
+from repro.experiments.configs import video_symmetric_spec
+
+from _bench_utils import bench_intervals
+
+#: The paper's Fig. 3 horizon; scaled by REPRO_BENCH_SCALE.
+PAPER_INTERVALS = 5000
+NUM_SEEDS = 20
+#: Smoke floor: the full-scale committed measurement shows >=10x; tiny CI
+#: scales amortize the batch chunking less, so assert a conservative bound.
+MIN_SPEEDUP = 2.0
+
+POLICIES = {"DB-DP": DBDPPolicy, "LDF": LDFPolicy}
+
+
+def _output_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_BATCH_JSON", "BENCH_batch.json"))
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return video_symmetric_spec(0.6, delivery_ratio=0.9)
+
+
+def test_batch_vs_scalar_throughput(spec):
+    intervals = bench_intervals(PAPER_INTERVALS)
+    seeds = list(range(NUM_SEEDS))
+    report = {
+        "workload": {
+            "spec": "video_symmetric_spec(0.6, delivery_ratio=0.9)",
+            "num_links": spec.num_links,
+            "num_intervals": intervals,
+            "num_seeds": NUM_SEEDS,
+        },
+        "policies": {},
+    }
+
+    for name, factory in POLICIES.items():
+        t0 = time.perf_counter()
+        scalar_results = [
+            run_simulation(spec, factory(), intervals, seed=s, validate=False)
+            for s in seeds
+        ]
+        scalar_s = time.perf_counter() - t0
+        scalar_def = float(
+            np.mean([r.total_deficiency() for r in scalar_results])
+        )
+        # Release the 20 retained scalar traces before timing the batch
+        # phase: keeping millions of their small objects alive makes every
+        # collector pass during the batch run traverse them, inflating the
+        # batch time ~3x with costs that are not the engine's.
+        del scalar_results
+        gc.collect()
+
+        t0 = time.perf_counter()
+        batch_result = run_simulation_batch(
+            spec, factory(), intervals, seeds, validate=False
+        )
+        batch_s = time.perf_counter() - t0
+
+        batch_def = float(batch_result.total_deficiency().mean())
+        speedup = scalar_s / batch_s
+        report["policies"][name] = {
+            "scalar_seconds": round(scalar_s, 3),
+            "batch_seconds": round(batch_s, 3),
+            # Throughput counts simulated intervals across all seeds.
+            "scalar_intervals_per_s": round(intervals * NUM_SEEDS / scalar_s, 1),
+            "batch_intervals_per_s": round(intervals * NUM_SEEDS / batch_s, 1),
+            "speedup": round(speedup, 2),
+            "scalar_mean_total_deficiency": round(scalar_def, 4),
+            "batch_mean_total_deficiency": round(batch_def, 4),
+        }
+
+        # The engines must agree on the physics, not just the clock.
+        assert batch_result.num_intervals == intervals
+        assert abs(batch_def - scalar_def) < max(0.15, 0.25 * scalar_def + 0.05)
+        assert speedup > MIN_SPEEDUP, (
+            f"{name}: batch engine only {speedup:.1f}x faster "
+            f"(scalar {scalar_s:.2f}s, batch {batch_s:.2f}s)"
+        )
+
+    path = _output_path()
+    path.write_text(json.dumps(report, indent=2) + "\n")

@@ -23,8 +23,9 @@ def spec():
 
 
 def test_interval_engine_throughput(benchmark, spec):
+    # validate=False: measure the engine, not the per-step sanity assert.
     result = benchmark.pedantic(
-        lambda: run_simulation(spec, DBDPPolicy(), INTERVALS, seed=0),
+        lambda: run_simulation(spec, DBDPPolicy(), INTERVALS, seed=0, validate=False),
         rounds=3,
         iterations=1,
     )

@@ -17,7 +17,9 @@ Model building blocks
     timing in :mod:`repro.phy.timing`.
 Simulation
     :func:`~repro.sim.interval_sim.run_simulation` (fast interval engine),
-    :mod:`repro.sim.event_sim` (microsecond event-driven engine).
+    :func:`~repro.sim.batch_sim.run_simulation_batch` (vectorized
+    all-seeds-at-once engine), :mod:`repro.sim.event_sim` (microsecond
+    event-driven engine).
 Analysis
     :mod:`repro.analysis` — exact priority-chain analysis, feasibility
     bounds, metrics.
@@ -57,9 +59,15 @@ from .phy.timing import (
     low_latency_timing,
     video_timing,
 )
+from .sim.batch_sim import (
+    BatchIntervalSimulator,
+    BatchSimulationResult,
+    run_simulation_batch,
+    supports_batch_engine,
+)
 from .sim.interval_sim import IntervalSimulator, run_simulation
 from .sim.results import SimulationResult, SimulationSummary
-from .sim.rng import RngBundle
+from .sim.rng import BatchRngBundle, RngBundle
 from .traffic.arrivals import (
     ArrivalProcess,
     BernoulliArrivals,
@@ -119,7 +127,12 @@ __all__ = [
     "IntervalOutcome",
     "IntervalSimulator",
     "run_simulation",
+    "BatchIntervalSimulator",
+    "BatchSimulationResult",
+    "run_simulation_batch",
+    "supports_batch_engine",
     "SimulationResult",
     "SimulationSummary",
     "RngBundle",
+    "BatchRngBundle",
 ]

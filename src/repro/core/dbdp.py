@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from .dp_protocol import DPProtocol, SwapBias
 from .influence import DebtInfluenceFunction, PaperLogInfluence
 
@@ -50,6 +52,19 @@ class GlauberDebtBias(SwapBias):
         mu = 1.0 / (1.0 + self.glauber_r * math.exp(-min(energy, 700.0)))
         epsilon = 1e-12
         return min(max(mu, epsilon), 1.0 - epsilon)
+
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        energy = self.influence.value_array(
+            np.asarray(positive_debts, dtype=float)
+        ) * np.asarray(reliabilities, dtype=float)
+        mu = 1.0 / (1.0 + self.glauber_r * np.exp(-np.minimum(energy, 700.0)))
+        epsilon = 1e-12
+        return np.clip(mu, epsilon, 1.0 - epsilon)
 
 
 class DBDPPolicy(DPProtocol):

@@ -67,6 +67,30 @@ class SwapBias(ABC):
     def mu(self, link: int, positive_debt: float, reliability: float) -> float:
         """Return ``mu_n in (0, 1)`` for this interval."""
 
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`mu` over aligned arrays of any shape.
+
+        The generic implementation loops over elements; biases used in hot
+        paths (Glauber, constant, per-link) override it with array
+        arithmetic for the batch simulation engine.
+        """
+        links = np.asarray(links)
+        debts = np.asarray(positive_debts, dtype=float)
+        rel = np.asarray(reliabilities, dtype=float)
+        flat = np.array(
+            [
+                self.mu(int(l), float(d), float(p))
+                for l, d, p in zip(links.ravel(), debts.ravel(), rel.ravel())
+            ],
+            dtype=float,
+        )
+        return flat.reshape(links.shape)
+
 
 @dataclass(frozen=True)
 class ConstantSwapBias(SwapBias):
@@ -80,6 +104,14 @@ class ConstantSwapBias(SwapBias):
 
     def mu(self, link: int, positive_debt: float, reliability: float) -> float:
         return self.value
+
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        return np.full(np.shape(links), self.value)
 
 
 @dataclass(frozen=True)
@@ -95,6 +127,14 @@ class PerLinkSwapBias(SwapBias):
 
     def mu(self, link: int, positive_debt: float, reliability: float) -> float:
         return self.values[link]
+
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)[np.asarray(links)]
 
 
 @dataclass(frozen=True)

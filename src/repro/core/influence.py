@@ -22,6 +22,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 __all__ = [
     "DebtInfluenceFunction",
     "LinearInfluence",
@@ -58,6 +60,20 @@ class DebtInfluenceFunction(ABC):
             )
         return result
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized ``f`` over an array of nonnegative debts.
+
+        The generic implementation loops; the influence functions used in
+        hot paths (linear, power, log families) override it with true array
+        arithmetic so the batch simulation engine can evaluate ``f`` for
+        all seeds and links in one call.
+        """
+        x = np.asarray(x, dtype=float)
+        if np.any(x < 0):
+            raise ValueError("debt influence functions are defined on x >= 0")
+        flat = np.array([self.value(float(v)) for v in x.ravel()], dtype=float)
+        return flat.reshape(x.shape)
+
     def describe(self) -> str:
         """Human-readable formula, used in experiment reports."""
         return type(self).__name__
@@ -80,6 +96,9 @@ class LinearInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return self.scale * x
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.scale * np.asarray(x, dtype=float)
+
     def describe(self) -> str:
         return f"f(x) = {self.scale:g} * x"
 
@@ -96,6 +115,9 @@ class PowerInfluence(DebtInfluenceFunction):
 
     def value(self, x: float) -> float:
         return x**self.exponent
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float) ** self.exponent
 
     def describe(self) -> str:
         return f"f(x) = x**{self.exponent:g}"
@@ -123,6 +145,9 @@ class LogInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return math.log1p(self.scale * x) / math.log(self.base)
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return np.log1p(self.scale * np.asarray(x, dtype=float)) / math.log(self.base)
+
     def describe(self) -> str:
         return f"f(x) = log_{self.base:g}(1 + {self.scale:g} x)"
 
@@ -144,6 +169,10 @@ class PaperLogInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return math.log(max(1.0, self.coefficient * (x + 1.0)))
 
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        arg = self.coefficient * (np.asarray(x, dtype=float) + 1.0)
+        return np.log(np.maximum(1.0, arg))
+
     def describe(self) -> str:
         return f"f(x) = log(max(1, {self.coefficient:g}(x+1)))"
 
@@ -161,6 +190,9 @@ class ScaledInfluence(DebtInfluenceFunction):
 
     def value(self, x: float) -> float:
         return self.scale * self.inner.value(x)
+
+    def value_array(self, x: np.ndarray) -> np.ndarray:
+        return self.scale * self.inner.value_array(x)
 
     def describe(self) -> str:
         return f"{self.scale:g} * [{self.inner.describe()}]"

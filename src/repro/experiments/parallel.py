@@ -10,7 +10,7 @@ seeds.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,10 +38,11 @@ def _run_cell(
     num_intervals: int,
     seeds: Sequence[int],
     groups: Optional[Sequence[int]],
+    engine: str,
 ) -> Tuple[_Cell, SweepPoint]:
     spec = spec_builder(cell.value)
     point = run_single(
-        spec, policies[cell.label], num_intervals, seeds, groups
+        spec, policies[cell.label], num_intervals, seeds, groups, engine
     )
     return cell, point
 
@@ -55,12 +56,15 @@ def run_sweep_parallel(
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
     max_workers: Optional[int] = None,
+    engine: str = "scalar",
 ) -> SweepResult:
     """Parallel drop-in for :func:`repro.experiments.runner.run_sweep`.
 
     ``spec_builder`` and the policy factories must be picklable (module-level
     functions / classes — every builder in :mod:`repro.experiments.configs`
     qualifies).  Results are ordered exactly like the sequential runner's.
+    ``engine="batch"`` composes with process parallelism: each worker then
+    runs its cell's whole seed stack vectorized.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
@@ -82,10 +86,16 @@ def run_sweep_parallel(
                 num_intervals,
                 tuple(seeds),
                 tuple(groups) if groups is not None else None,
+                engine,
             )
             for cell in cells
         ]
-        for future in futures:
+        # Consume in completion order: a slow cell (high load, many swaps)
+        # no longer serializes collection of everything submitted after it,
+        # and a failing cell raises as soon as it fails instead of after
+        # all earlier futures drain.  Output ordering is unaffected — the
+        # result list below is rebuilt in (value, policy) order.
+        for future in as_completed(futures):
             cell, point = future.result()
             outcomes[(cell.value, cell.label)] = point
 

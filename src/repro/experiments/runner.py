@@ -14,10 +14,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.requirements import NetworkSpec
+from ..sim.batch_sim import run_simulation_batch, supports_batch_engine
 from ..sim.interval_sim import run_simulation
 from .configs import PolicyFactory
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "run_single"]
+
+#: Valid values for the runner's ``engine`` argument.
+_ENGINES = ("scalar", "batch")
 
 
 @dataclass(frozen=True)
@@ -66,14 +70,67 @@ class SweepResult:
         return seen
 
 
+def _run_single_batch(
+    spec: NetworkSpec,
+    policy,
+    num_intervals: int,
+    seeds: Sequence[int],
+    groups: Optional[Sequence[int]],
+) -> SweepPoint:
+    """One (spec, policy) cell on the batch engine: all seeds in one run."""
+    batch = run_simulation_batch(spec, policy, num_intervals, seeds)
+    totals = batch.total_deficiency()  # (S,)
+    collisions = batch.collisions.sum(axis=0).astype(float)  # (S,)
+    overheads = (
+        batch.overhead_time_us.mean(axis=0)
+        if num_intervals
+        else np.zeros(len(seeds))
+    )
+    group_mean = None
+    if groups is not None:
+        from ..analysis.metrics import group_deficiency
+
+        deliveries = batch.deliveries  # (K, S, N)
+        per_seed = [
+            group_deficiency(
+                deliveries[:, s], spec.requirement_vector, groups
+            )
+            for s in range(batch.num_seeds)
+        ]
+        group_mean = tuple(float(x) for x in np.mean(per_seed, axis=0))
+    return SweepPoint(
+        parameter=float("nan"),  # filled by run_sweep
+        policy=policy.name,
+        total_deficiency=float(totals.mean()),
+        deficiency_std=float(totals.std()),
+        group_deficiency=group_mean,
+        collisions=float(collisions.mean()),
+        mean_overhead_us=float(np.mean(overheads)),
+    )
+
+
 def run_single(
     spec: NetworkSpec,
     factory: PolicyFactory,
     num_intervals: int,
     seeds: Sequence[int],
     groups: Optional[Sequence[int]] = None,
+    engine: str = "scalar",
 ) -> SweepPoint:
-    """Average one policy's deficiency on one spec across seeds."""
+    """Average one policy's deficiency on one spec across seeds.
+
+    ``engine="batch"`` simulates all seeds simultaneously on the
+    vectorized engine when the (spec, policy) pair supports it, and falls
+    back to the scalar engine per policy otherwise (e.g. FCSMA/DCF, which
+    have no batch kernels) — same statistics either way, only the random
+    draw order differs.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "batch":
+        policy = factory()
+        if supports_batch_engine(spec, policy):
+            return _run_single_batch(spec, policy, num_intervals, seeds, groups)
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
     collisions: List[float] = []
@@ -119,8 +176,12 @@ def run_sweep(
     num_intervals: int,
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
+    engine: str = "scalar",
 ) -> SweepResult:
-    """Run every (value, policy) cell and aggregate across seeds."""
+    """Run every (value, policy) cell and aggregate across seeds.
+
+    See :func:`run_single` for ``engine`` semantics.
+    """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
     if not seeds:
@@ -129,7 +190,7 @@ def run_sweep(
     for value in values:
         spec = spec_builder(value)
         for label, factory in policies.items():
-            point = run_single(spec, factory, num_intervals, seeds, groups)
+            point = run_single(spec, factory, num_intervals, seeds, groups, engine)
             result.points.append(
                 SweepPoint(
                     parameter=float(value),

@@ -1,0 +1,740 @@
+"""Vectorized per-policy kernels for the batch simulation engine.
+
+Each kernel advances one interval for a *stack* of ``S`` independent
+replications at once, holding every piece of per-interval state — debts,
+arrivals, priorities, backoffs, deliveries — as ``(S, N)`` NumPy arrays.
+Kernels exist for the policies that dominate benchmark time:
+
+* :class:`BatchDPKernel` — Algorithm 2 / DB-DP (single- and multi-pair
+  swaps, Remark 6);
+* :class:`BatchELDFKernel` — ELDF/LDF via a stable argsort on
+  ``f(d^+) p``;
+* :class:`BatchRoundRobinKernel` and :class:`BatchStaticPriorityKernel`.
+
+The shared primitive is :func:`solve_ordered_service`: given pre-drawn
+geometric retry counts, it resolves the whole "serve links in priority
+order until time runs out" recursion with cumulative sums instead of a
+per-link loop.  This works because the attempt ceiling is non-increasing
+along the service order, so once one link is truncated every later link is
+starved — exactly the scalar engine's semantics (see the derivation in the
+function docstring).
+
+Two implementation notes that matter for throughput at the target scale
+(tens of seeds, tens of links — i.e. *small* arrays, where NumPy's Python
+wrapper cost rivals its C time):
+
+* all gather/scatter steps use raw integer fancy indexing
+  (``a[rows, idx]``) rather than ``take_along_axis``/``put_along_axis``,
+  whose index-building wrappers dominate at this size;
+* random draws are made in chunks of :data:`DRAW_CHUNK` intervals per
+  stream and sliced per interval, amortizing the Generator call overhead.
+  Chunking only re-orders consumption *within* a batch stream, which is a
+  private namespace — reproducibility (same seeds, same trajectory) is
+  unaffected, and chunk boundaries are independent of how ``run`` calls
+  are split because the caches live on the kernel.
+
+Every kernel also has a ``sync_rng`` mode in which it drives one *scalar*
+policy clone per seed with that seed's scalar-identical random streams
+(:attr:`~repro.sim.rng.BatchRngBundle.bundles`).  That mode is the
+cross-validation bridge: it is bit-identical to the scalar engine by
+construction, while sharing the batch engine's debt and result
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.dp_protocol import DPProtocol, max_swap_pairs
+from ..core.eldf import ELDFPolicy
+from ..core.permutations import priority_to_link_order, validate_priority_vector
+from ..core.policies import IntervalMac
+from ..core.requirements import NetworkSpec
+from ..core.round_robin import RoundRobinPolicy
+from ..core.static_priority import StaticPriorityPolicy
+from ..phy.channel import BernoulliChannel
+from .rng import BatchRngBundle
+
+__all__ = [
+    "BatchIntervalOutcome",
+    "BatchPolicyKernel",
+    "BatchDPKernel",
+    "BatchELDFKernel",
+    "BatchRoundRobinKernel",
+    "BatchStaticPriorityKernel",
+    "solve_ordered_service",
+    "make_batch_kernel",
+    "has_batch_kernel",
+    "DRAW_CHUNK",
+]
+
+#: Intervals' worth of randomness drawn per Generator call in batch mode.
+DRAW_CHUNK = 64
+
+
+@dataclass
+class BatchIntervalOutcome:
+    """What happened during one interval, for every replication at once.
+
+    The batch analogue of :class:`~repro.core.policies.IntervalOutcome`:
+    per-link arrays are ``(S, N)``, per-interval scalars are ``(S,)``.
+    """
+
+    deliveries: np.ndarray  # (S, N) int64
+    attempts: np.ndarray  # (S, N) int64
+    busy_time_us: np.ndarray  # (S,) float
+    overhead_time_us: np.ndarray  # (S,) float
+    collisions: np.ndarray  # (S,) int64
+    priorities: Optional[np.ndarray] = None  # (S, N) int64 or None
+
+
+def solve_ordered_service(
+    order: np.ndarray,
+    backlog: np.ndarray,
+    needed_cum: np.ndarray,
+    caps: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Resolve sequential in-order service for all replications at once.
+
+    Parameters
+    ----------
+    order:
+        ``(S, N)`` — link ids in service order (a permutation per row).
+    backlog:
+        ``(S, N)`` — packets buffered per *link*.
+    needed_cum:
+        ``(S, N, A)`` int64 — per link, cumulative attempts needed to
+        deliver its first ``t+1`` packets (cumsum of geometric draws).
+    caps:
+        ``(S, N)`` int64 — per service *position*, the absolute attempt
+        ceiling: the link in that position may finish at most
+        ``caps - attempts_used_before_it`` attempts before its deadline.
+        **Must be non-increasing along axis 1** (true for both constant
+        attempt budgets and backoff-staircase budgets, since backoffs grow
+        along the service order).
+
+    Returns ``(delivered, attempts)``, both ``(S, N)`` int64 indexed by
+    *position* (scatter through ``order`` for per-link views).
+
+    Why no loop is needed: with ``G`` the cumulative attempts *needed* by
+    the first ``j`` links, position ``j`` receives
+    ``clip(caps_j - G_{j-1}, 0, needed_j)`` attempts.  This matches the
+    sequential recursion because attempts-used equals attempts-needed for
+    every link until the first truncated link, and after a truncation the
+    non-increasing ceiling starves all later links — the same "budget
+    exhausted" outcome the scalar engine produces.  Packet ``t`` of
+    position ``j`` is delivered iff ``G_{j-1} + needed_cum[j, t] <=
+    caps_j``.
+    """
+    S = order.shape[0]
+    rows = np.arange(S)[:, None]
+    cols = np.arange(order.shape[1])[None, :]
+    backlog_pos = backlog[rows, order]
+    cum_pos = needed_cum[rows, order]  # (S, N, A)
+
+    # Total attempts needed to fully drain each position's buffer.
+    tot_pos = cum_pos[rows, cols, np.maximum(backlog_pos - 1, 0)]
+    tot_pos = np.where(backlog_pos > 0, tot_pos, 0)
+
+    cum_needed = np.cumsum(tot_pos, axis=1)
+    budget = caps - (cum_needed - tot_pos)  # attempts left for each position
+    attempts_pos = np.clip(budget, 0, tot_pos)
+
+    # cum_pos is increasing along the packet axis, so the number of slots
+    # with cum <= budget counts deliverable packets; capping by the backlog
+    # discards the unused tail slots.
+    within = (cum_pos <= budget[:, :, None]).sum(axis=2, dtype=np.int64)
+    delivered_pos = np.minimum(within, backlog_pos)
+    return delivered_pos, attempts_pos
+
+
+class _ChunkedChannelDraws:
+    """Pre-drawn geometric retry counts, :data:`DRAW_CHUNK` intervals deep.
+
+    ``next(rng)`` yields one interval's ``(S, N, A)`` cumulative-attempt
+    array; a fresh ``(DRAW_CHUNK, S, N, A)`` block is drawn whenever the
+    cache runs dry.
+    """
+
+    def __init__(self, success_probs: np.ndarray, num_seeds: int, a_max: int):
+        self._probs = np.asarray(success_probs, dtype=float)[
+            None, None, :, None
+        ]
+        self._shape = (DRAW_CHUNK, num_seeds, self._probs.shape[2], a_max)
+        self._cache: Optional[np.ndarray] = None
+        self._pos = DRAW_CHUNK
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= DRAW_CHUNK:
+            needed = rng.geometric(self._probs, size=self._shape)
+            self._cache = np.cumsum(needed, axis=3, dtype=np.int64)
+            self._pos = 0
+        block = self._cache[self._pos]
+        self._pos += 1
+        return block
+
+
+class _ChunkedUniforms:
+    """Pre-drawn ``random()`` blocks of a fixed per-interval shape."""
+
+    def __init__(self, *per_interval_shape: int):
+        self._shape = (DRAW_CHUNK, *per_interval_shape)
+        self._cache: Optional[np.ndarray] = None
+        self._pos = DRAW_CHUNK
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= DRAW_CHUNK:
+            self._cache = rng.random(self._shape)
+            self._pos = 0
+        block = self._cache[self._pos]
+        self._pos += 1
+        return block
+
+
+class BatchPolicyKernel(ABC):
+    """Base class: one policy family, vectorized across replications."""
+
+    def __init__(self, policy: IntervalMac):
+        self.policy = policy
+        self.name = policy.name
+        self._spec: Optional[NetworkSpec] = None
+        self._clones: List[IntervalMac] = []
+
+    @property
+    def spec(self) -> NetworkSpec:
+        if self._spec is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound; call bind()")
+        return self._spec
+
+    def bind(self, spec: NetworkSpec, num_seeds: int, sync_rng: bool) -> None:
+        """Attach to a network and reset all per-replication state."""
+        if not isinstance(spec.channel, BernoulliChannel):
+            raise TypeError(
+                "the batch engine requires a BernoulliChannel (stateful "
+                f"channels are not batchable), got {type(spec.channel).__name__}"
+            )
+        self._spec = spec
+        self.num_seeds = int(num_seeds)
+        timing = spec.timing
+        self._interval_us = timing.interval_us
+        self._data_air = timing.data_airtime_us
+        self._empty_air = timing.empty_airtime_us
+        self._slot = timing.backoff_slot_us
+        self._budget = timing.max_transmissions
+        self._a_max = max(1, spec.arrivals.max_per_link)
+        self._reliabilities = spec.reliabilities
+        self._channel_draws = _ChunkedChannelDraws(
+            spec.reliabilities, self.num_seeds, self._a_max
+        )
+        self._rows = np.arange(self.num_seeds)[:, None]
+        if sync_rng:
+            # One scalar clone per seed: the sync path drives the *scalar*
+            # policy with scalar-identical streams, so its outcomes are
+            # bit-identical to the scalar engine by construction.
+            self._clones = [
+                copy.deepcopy(self.policy) for _ in range(self.num_seeds)
+            ]
+            for clone in self._clones:
+                clone.bind(spec)
+        else:
+            self._clones = []
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to (re)initialize batched state."""
+
+    def run_interval(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+        sync_rng: bool,
+    ) -> BatchIntervalOutcome:
+        if sync_rng:
+            return self._run_interval_sync(k, arrivals, positive_debts, rng)
+        return self._run_interval_batch(k, arrivals, positive_debts, rng)
+
+    @abstractmethod
+    def _run_interval_batch(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        """Advance one interval with fully vectorized draws."""
+
+    def _run_interval_sync(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        """Advance one interval via per-seed scalar clones (exact mode)."""
+        S, n = arrivals.shape
+        deliveries = np.zeros((S, n), dtype=np.int64)
+        attempts = np.zeros((S, n), dtype=np.int64)
+        busy = np.zeros(S)
+        overhead = np.zeros(S)
+        collisions = np.zeros(S, dtype=np.int64)
+        priorities = np.zeros((S, n), dtype=np.int64)
+        for s, (clone, bundle) in enumerate(zip(self._clones, rng.bundles)):
+            outcome = clone.run_interval(
+                k, arrivals[s], positive_debts[s], bundle
+            )
+            deliveries[s] = outcome.deliveries
+            attempts[s] = outcome.attempts
+            busy[s] = outcome.busy_time_us
+            overhead[s] = outcome.overhead_time_us
+            collisions[s] = outcome.collisions
+            if outcome.priorities is not None:
+                priorities[s] = outcome.priorities
+        return BatchIntervalOutcome(
+            deliveries=deliveries,
+            attempts=attempts,
+            busy_time_us=busy,
+            overhead_time_us=overhead,
+            collisions=collisions,
+            priorities=priorities,
+        )
+
+
+class _BatchOrderedServeKernel(BatchPolicyKernel):
+    """Shared machinery for "serve links in some order until time runs out"
+    policies (ELDF/LDF, round-robin, static priority): constant attempt
+    budget, no backoff slots, no empty packets."""
+
+    def _on_bind(self) -> None:
+        self._caps = np.full(
+            (self.num_seeds, self.spec.num_links), self._budget, dtype=np.int64
+        )
+        self._rank_row = np.arange(1, self.spec.num_links + 1, dtype=np.int64)
+
+    @abstractmethod
+    def _service_orders(
+        self, k: int, positive_debts: np.ndarray
+    ) -> np.ndarray:
+        """Return ``(S, N)`` link ids in service order for this interval."""
+
+    def _run_interval_batch(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        S, n = arrivals.shape
+        rows = self._rows
+        order = self._service_orders(k, positive_debts)
+        needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
+        delivered_pos, attempts_pos = solve_ordered_service(
+            order, arrivals, needed_cum, self._caps
+        )
+
+        deliveries = np.empty((S, n), dtype=np.int64)
+        attempts = np.empty((S, n), dtype=np.int64)
+        priorities = np.empty((S, n), dtype=np.int64)
+        deliveries[rows, order] = delivered_pos
+        attempts[rows, order] = attempts_pos
+        priorities[rows, order] = self._rank_row
+
+        busy = attempts_pos.sum(axis=1) * self._data_air
+        return BatchIntervalOutcome(
+            deliveries=deliveries,
+            attempts=attempts,
+            busy_time_us=busy,
+            overhead_time_us=np.zeros(S),
+            collisions=np.zeros(S, dtype=np.int64),
+            priorities=priorities,
+        )
+
+
+class BatchELDFKernel(_BatchOrderedServeKernel):
+    """ELDF/LDF: stable argsort on ``f(d^+) p`` descending, per row."""
+
+    def __init__(self, policy: ELDFPolicy):
+        super().__init__(policy)
+        self.influence = policy.influence
+
+    def _service_orders(self, k: int, positive_debts: np.ndarray) -> np.ndarray:
+        weights = self.influence.value_array(positive_debts) * self._reliabilities
+        # Stable argsort of -weights: ties keep lowest link first, exactly
+        # like the scalar policy's tie-break.
+        return np.argsort(-weights, axis=1, kind="stable")
+
+
+class BatchRoundRobinKernel(_BatchOrderedServeKernel):
+    """Rotating strict priority; the rotation is deterministic, so all
+    replications share one order per interval."""
+
+    def _on_bind(self) -> None:
+        super()._on_bind()
+        self._offset = 0
+        n = self.spec.num_links
+        # All n rotations, precomputed: rotation r is row r.
+        base = np.arange(n, dtype=np.int64)
+        self._rotations = (base[None, :] + base[:, None]) % n
+
+    def _service_orders(self, k: int, positive_debts: np.ndarray) -> np.ndarray:
+        row = self._rotations[self._offset]
+        self._offset = (self._offset + 1) % self.spec.num_links
+        return np.broadcast_to(row, (self.num_seeds, row.size))
+
+
+class BatchStaticPriorityKernel(_BatchOrderedServeKernel):
+    """One fixed order for every interval and replication."""
+
+    def __init__(self, policy: StaticPriorityPolicy):
+        super().__init__(policy)
+        self._configured = policy._configured
+
+    def _on_bind(self) -> None:
+        super()._on_bind()
+        n = self.spec.num_links
+        if self._configured is None:
+            sigma = tuple(range(1, n + 1))
+        else:
+            if len(self._configured) != n:
+                raise ValueError(
+                    f"priority vector covers {len(self._configured)} links, "
+                    f"network has {n}"
+                )
+            sigma = validate_priority_vector(self._configured)
+        self._order_row = np.asarray(priority_to_link_order(sigma), dtype=np.int64)
+
+    def _service_orders(self, k: int, positive_debts: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(
+            self._order_row, (self.num_seeds, self._order_row.size)
+        )
+
+
+class BatchDPKernel(BatchPolicyKernel):
+    """Algorithm 2 (and DB-DP via its Glauber bias), vectorized.
+
+    Per interval and replication: candidate pairs from the shared stream,
+    biased coins, collision-free backoffs, the analytic interval timeline
+    (staircase attempt ceilings set by backoff slots and empty-packet
+    airtime), and the swap handshake of Eqs. (5)-(8).
+
+    Empty priority-claiming packets couple the timeline: whether one fits
+    depends on the airtime used before it, which depends on earlier
+    service.  The kernel assumes every wanted empty packet fits (by far
+    the common case), solves the whole stack in closed form, then
+    *verifies* the assumption per replication; rows where it fails —
+    end-of-interval pressure near overload — are re-run with an exact
+    sequential sweep over that row's pre-drawn retry counts, so the result
+    is identical to sequential evaluation in all cases.
+    """
+
+    #: Test hook: route *every* replication through the exact sequential
+    #: sweep instead of only assumption-violating ones.  Draws are shared,
+    #: so the outcome must be bit-identical to the vectorized path — the
+    #: test-suite uses this to prove the closed-form timeline correct.
+    _force_sequential = False
+
+    def __init__(self, policy: DPProtocol):
+        super().__init__(policy)
+        self.bias = policy.bias
+        self.num_pairs = policy.num_pairs
+        self._initial = policy._initial
+
+    def _on_bind(self) -> None:
+        n = self.spec.num_links
+        if self._initial is not None:
+            if len(self._initial) != n:
+                raise ValueError(
+                    f"initial priorities cover {len(self._initial)} links, "
+                    f"network has {n}"
+                )
+            row = np.asarray(self._initial, dtype=np.int64)
+        else:
+            row = np.arange(1, n + 1, dtype=np.int64)
+        self._sigma = np.tile(row, (self.num_seeds, 1))
+        if n >= 2 and self.num_pairs > max_swap_pairs(n):
+            raise ValueError(
+                f"{self.num_pairs} pairs would make the priority chain "
+                f"reducible on {n} links; the bound is {max_swap_pairs(n)}"
+            )
+        P = self.num_pairs if n >= 2 else 0
+        self._coin_draws = _ChunkedUniforms(self.num_seeds, 2 * P)
+        self._cand_draws = _ChunkedUniforms(
+            self.num_seeds, max(0, (n - 1) - (P - 1))
+        )
+        self._pair_idx = np.arange(P, dtype=np.int64)[None, :]
+        self._position_row = np.arange(n, dtype=np.int64)
+
+    @property
+    def priorities(self) -> np.ndarray:
+        """Current ``(S, N)`` priority stack (sigma per replication)."""
+        if self._clones:
+            return np.asarray([c.priorities for c in self._clones], dtype=np.int64)
+        return self._sigma.copy()
+
+    def _draw_candidates(self, rng: BatchRngBundle, S: int, n: int) -> np.ndarray:
+        """``(S, P)`` sorted non-consecutive candidate indices per row."""
+        P = self.num_pairs
+        shared = rng.batch_stream("shared")
+        if P == 1:
+            draws = self._cand_draws.next(shared)  # (S, n-1) uniforms
+            return 1 + np.argmax(draws, axis=1, keepdims=True).astype(np.int64)
+        # Gap bijection (see draw_candidate_indices): uniform P-subsets of
+        # [1, M] with M = (n - 1) - (P - 1), then shift the i-th smallest
+        # by i.  The subset comes from the first P slots of a uniform
+        # permutation (argsort of i.i.d. uniforms).
+        draws = self._cand_draws.next(shared)
+        subset = np.sort(np.argsort(draws, axis=1)[:, :P] + 1, axis=1)
+        return subset + self._pair_idx
+
+    def _run_interval_batch(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        S, n = arrivals.shape
+        rows = self._rows
+        # Priorities reported for interval k are sigma *before* any swap
+        # (matching the scalar protocol); copy so the outcome never aliases
+        # live kernel state.
+        sigma = self._sigma.copy()
+        T = self._interval_us
+        air = self._data_air
+        slot = self._slot
+        empty_air = self._empty_air
+        rel = self._reliabilities
+
+        if n >= 2:
+            # Step 1: shared randomness -> candidate priority indices.
+            cands = self._draw_candidates(rng, S, n)
+            P = cands.shape[1]
+            inv = np.argsort(sigma, axis=1)  # priority p+1 -> link
+            down = inv[rows, cands - 1]  # (S, P)
+            up = inv[rows, cands]
+            cand_links = np.concatenate([down, up], axis=1)  # (S, 2P)
+
+            # Step 3: biased local coins for both candidates of each pair.
+            mu = self.bias.mu_batch(
+                cand_links, positive_debts[rows, cand_links], rel[cand_links]
+            )
+            if not np.all((mu > 0.0) & (mu < 1.0)):
+                raise ValueError(
+                    "swap bias returned mu outside (0, 1); Algorithm 2 "
+                    "requires a non-degenerate coin"
+                )
+            coins = self._coin_draws.next(rng.batch_stream("policy"))
+            xi = np.where(coins < mu, 1, -1)
+            xi_down, xi_up = xi[:, :P], xi[:, P:]
+
+            # Step 4: collision-free backoffs (candidate pair i works in a
+            # band shifted by 2i; non-candidates shift by the pairs below).
+            if P == 1:
+                # One pair: "pairs entirely below priority s" is a plain
+                # comparison, and the band shift 2i is zero.
+                backoff = sigma - 1 + 2 * (sigma > cands + 1)
+                backoff[rows, down] = cands - xi_down
+                backoff[rows, up] = cands + 1 - xi_up
+            else:
+                pairs_below = (cands[:, None, :] + 1 < sigma[:, :, None]).sum(
+                    axis=2, dtype=np.int64
+                )
+                backoff = sigma - 1 + 2 * pairs_below
+                backoff[rows, down] = cands - xi_down + 2 * self._pair_idx
+                backoff[rows, up] = cands + 1 - xi_up + 2 * self._pair_idx
+
+            # Step 2: candidates without arrivals claim with empty packets.
+            wants_empty = np.zeros((S, n), dtype=bool)
+            wants_empty[rows, cand_links] = arrivals[rows, cand_links] == 0
+        else:
+            P = 0
+            cands = np.zeros((S, 0), dtype=np.int64)
+            down = up = cands
+            xi_down = xi_up = cands
+            backoff = sigma - 1
+            wants_empty = np.zeros((S, n), dtype=bool)
+
+        # Steps 5-6: the interval timeline.  Service order is backoff order;
+        # the attempt ceiling of each position is set by its backoff slots
+        # plus the empty packets transmitted before it.
+        order = np.argsort(backoff, axis=1)
+        backoff_pos = backoff[rows, order]
+        is_empty_pos = wants_empty[rows, order]
+        empties_before = np.cumsum(is_empty_pos, axis=1) - is_empty_pos
+
+        # Time each position loses to its own backoff slots plus the empty
+        # packets ahead of it — shared by the attempt ceiling and the
+        # service-start computation below.
+        dead_us = backoff_pos * slot + empties_before * empty_air
+        caps = np.floor_divide(T - dead_us, air).astype(np.int64)
+        needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
+        delivered_pos, attempts_pos = solve_ordered_service(
+            order, arrivals, needed_cum, caps
+        )
+
+        att_cum = np.cumsum(attempts_pos, axis=1)
+        att_before = att_cum - attempts_pos
+        start_pos = att_before * air + dead_us
+        if empty_air > 0:
+            fits_pos = is_empty_pos & (start_pos + empty_air <= T)
+        else:
+            # Idealized mode: a zero-length claim still needs a live instant.
+            fits_pos = is_empty_pos & (start_pos < T)
+
+        # Verify the all-empties-fit assumption; re-run offending rows
+        # sequentially (only under end-of-interval congestion).
+        if self._force_sequential:
+            bad_rows = np.arange(S)
+        else:
+            bad_rows = np.flatnonzero((fits_pos != is_empty_pos).any(axis=1))
+        for s in bad_rows:
+            self._resolve_row_sequential(
+                int(s),
+                order[s],
+                backoff_pos[s],
+                is_empty_pos[s],
+                arrivals[s],
+                needed_cum[s],
+                delivered_pos,
+                attempts_pos,
+                fits_pos,
+                start_pos,
+            )
+        if bad_rows.size:
+            att_cum = np.cumsum(attempts_pos, axis=1)
+
+        transmitted_pos = (attempts_pos > 0) | fits_pos
+        idle_slots = np.max(
+            np.where(transmitted_pos, backoff_pos, 0), axis=1
+        )
+        num_empties = fits_pos.sum(axis=1)
+        empty_us = num_empties * empty_air
+        busy = att_cum[:, -1] * air + empty_us
+        overhead = idle_slots * slot + empty_us
+
+        deliveries = np.empty((S, n), dtype=np.int64)
+        attempts = np.empty((S, n), dtype=np.int64)
+        deliveries[rows, order] = delivered_pos
+        attempts[rows, order] = attempts_pos
+
+        if P:
+            # Step 5 / Eqs. (7)-(8): commit swaps.  The up-mover must have
+            # transmitted (data or a fitting empty claim) with one data
+            # airtime left before the deadline.  Look the up-mover up by
+            # *position* (inverse of ``order``) rather than scattering the
+            # whole timeline back to link space.
+            position = np.empty((S, n), dtype=np.int64)
+            position[rows, order] = self._position_row
+            up_pos = position[rows, up]
+            committed = (
+                (xi_down == -1)
+                & (xi_up == 1)
+                & transmitted_pos[rows, up_pos]
+                & (start_pos[rows, up_pos] + air <= T)
+            )
+            new_sigma = sigma.copy()
+            new_sigma[rows, down] = np.where(committed, cands + 1, cands)
+            new_sigma[rows, up] = np.where(committed, cands, cands + 1)
+            self._sigma = new_sigma
+
+        return BatchIntervalOutcome(
+            deliveries=deliveries,
+            attempts=attempts,
+            busy_time_us=busy,
+            overhead_time_us=overhead,
+            collisions=np.zeros(S, dtype=np.int64),
+            priorities=sigma,
+        )
+
+    def _resolve_row_sequential(
+        self,
+        s: int,
+        order_row: np.ndarray,
+        backoff_row: np.ndarray,
+        is_empty_row: np.ndarray,
+        arrivals_row: np.ndarray,
+        needed_cum_row: np.ndarray,
+        delivered_pos: np.ndarray,
+        attempts_pos: np.ndarray,
+        fits_pos: np.ndarray,
+        start_pos: np.ndarray,
+    ) -> None:
+        """Exact sequential sweep of one replication's interval timeline.
+
+        Uses the same pre-drawn retry counts and the same integer-ceiling
+        arithmetic as the vectorized path, so the combined result equals a
+        full sequential evaluation of the whole stack.  Operates on plain
+        Python scalars — at tens of links that beats per-element ndarray
+        indexing by an order of magnitude.
+        """
+        T = self._interval_us
+        air = self._data_air
+        slot = self._slot
+        empty_air = self._empty_air
+        order_l = order_row.tolist()
+        backoff_l = backoff_row.tolist()
+        empty_l = is_empty_row.tolist()
+        arrivals_l = arrivals_row.tolist()
+        cum_rows = needed_cum_row.tolist()
+        att_total = 0
+        empties_fit = 0
+        for j, link in enumerate(order_l):
+            backlog = arrivals_l[link]
+            start = att_total * air + empties_fit * empty_air + backoff_l[j] * slot
+            fits = False
+            used = 0
+            served = 0
+            if backlog > 0:
+                cap = int((T - backoff_l[j] * slot - empties_fit * empty_air) // air)
+                budget = cap - att_total
+                if budget > 0:
+                    cum = cum_rows[link]
+                    tot = cum[backlog - 1]
+                    if tot <= budget:
+                        used = tot
+                        served = backlog
+                    else:
+                        used = budget
+                        served = bisect_right(cum, budget, 0, backlog)
+                    att_total += used
+            elif empty_l[j]:
+                if empty_air > 0:
+                    fits = start + empty_air <= T
+                else:
+                    fits = start < T
+                if fits:
+                    empties_fit += 1
+            delivered_pos[s, j] = served
+            attempts_pos[s, j] = used
+            fits_pos[s, j] = fits
+            start_pos[s, j] = start
+
+
+def make_batch_kernel(policy: IntervalMac) -> BatchPolicyKernel:
+    """Build the vectorized kernel for ``policy``; raises if unsupported."""
+    if isinstance(policy, DPProtocol):
+        return BatchDPKernel(policy)
+    if isinstance(policy, ELDFPolicy):
+        return BatchELDFKernel(policy)
+    if isinstance(policy, RoundRobinPolicy):
+        return BatchRoundRobinKernel(policy)
+    if isinstance(policy, StaticPriorityPolicy):
+        return BatchStaticPriorityKernel(policy)
+    raise TypeError(
+        f"no batch kernel for policy {type(policy).__name__!r}; supported "
+        "families: DPProtocol/DB-DP, ELDF/LDF, RoundRobin, StaticPriority"
+    )
+
+
+def has_batch_kernel(policy: IntervalMac) -> bool:
+    """Whether :func:`make_batch_kernel` supports ``policy``."""
+    return isinstance(
+        policy, (DPProtocol, ELDFPolicy, RoundRobinPolicy, StaticPriorityPolicy)
+    )

@@ -1,0 +1,406 @@
+"""Batch simulation engine: all replications of one experiment at once.
+
+The scalar :class:`~repro.sim.interval_sim.IntervalSimulator` runs one seed
+at a time; multi-seed experiments repeat it S times, so the Python
+per-interval overhead multiplies by S.  The batch engine instead advances a
+stack of S independent replications *together*: debts, arrivals, priorities
+and deliveries live as ``(S, N)`` arrays, and each interval is one pass of
+vectorized kernel code (:mod:`repro.sim.batch_kernels`) rather than S
+Python loops.  At 20 seeds this turns the per-interval cost from
+"20x scalar" into "roughly 1x scalar", which is where the engine's >=10x
+speedup comes from.
+
+Two RNG disciplines are supported:
+
+``sync_rng=False`` (default, fast)
+    Vectorized draws from dedicated batch streams
+    (:meth:`~repro.sim.rng.BatchRngBundle.batch_stream`).  Each
+    replication is still an independent, reproducible random experiment,
+    but the draw *order* differs from the scalar engine, so traces agree
+    with scalar runs statistically rather than bit-for-bit.  Deterministic
+    quantities (round-robin orders, LDF tie-breaks) are exact either way.
+
+``sync_rng=True`` (exact, for cross-validation)
+    Each replication consumes its scalar-identical streams in scalar
+    order, by driving one scalar policy clone per seed; every trace is
+    bit-identical to ``IntervalSimulator(spec, policy, seed=s)``.  This is
+    how the test-suite proves the batch bookkeeping correct.
+
+Stateful spec components that cannot be replicated independently per seed
+(the Gilbert-Elliott channel, Markov-modulated arrivals) are rejected at
+construction with a ``TypeError``; use the scalar engine for those.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.policies import IntervalMac
+from ..core.requirements import NetworkSpec
+from ..phy.channel import BernoulliChannel
+from .batch_kernels import (
+    DRAW_CHUNK,
+    BatchIntervalOutcome,
+    has_batch_kernel,
+    make_batch_kernel,
+)
+from .results import SimulationResult
+from .rng import BatchRngBundle
+
+__all__ = [
+    "BatchIntervalSimulator",
+    "BatchSimulationResult",
+    "run_simulation_batch",
+    "supports_batch_engine",
+]
+
+
+def supports_batch_engine(
+    spec: NetworkSpec, policy: IntervalMac, *, sync_rng: bool = False
+) -> bool:
+    """Whether ``(spec, policy)`` can run on the batch engine.
+
+    Requires a batch kernel for the policy family, a memoryless channel,
+    and (in the default vectorized-RNG mode) a batch-samplable arrival
+    process.  Callers that want graceful degradation (the experiment
+    runner) check this and fall back to the scalar engine.
+    """
+    if not has_batch_kernel(policy):
+        return False
+    if not isinstance(spec.channel, BernoulliChannel):
+        return False
+    if not sync_rng and not spec.arrivals.supports_batch_sampling:
+        return False
+    return True
+
+
+class BatchSimulationResult:
+    """Per-interval traces for a whole stack of replications.
+
+    The batch analogue of :class:`~repro.sim.results.SimulationResult`:
+    per-link arrays are ``(K, S, N)``, per-interval series are ``(K, S)``.
+    Metric methods return one value per replication (leading ``S`` axis),
+    and :meth:`seed_result` / :meth:`to_results` materialize
+    scalar-compatible :class:`SimulationResult` views for downstream code
+    that expects them.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        requirements: np.ndarray,
+        seeds: Sequence[int],
+        record_priorities: bool = False,
+    ):
+        self.policy_name = policy_name
+        self.requirements = np.asarray(requirements, dtype=float)
+        self.seeds: Tuple[int, ...] = tuple(int(s) for s in seeds)
+        self.record_priorities = record_priorities
+        self._arrivals: List[np.ndarray] = []
+        self._deliveries: List[np.ndarray] = []
+        self._attempts: List[np.ndarray] = []
+        self._busy: List[np.ndarray] = []
+        self._overhead: List[np.ndarray] = []
+        self._collisions: List[np.ndarray] = []
+        self._priorities: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def record(self, arrivals: np.ndarray, outcome: BatchIntervalOutcome) -> None:
+        self._arrivals.append(np.asarray(arrivals, dtype=np.int64))
+        self._deliveries.append(np.asarray(outcome.deliveries, dtype=np.int64))
+        self._attempts.append(np.asarray(outcome.attempts, dtype=np.int64))
+        self._busy.append(np.asarray(outcome.busy_time_us, dtype=float))
+        self._overhead.append(np.asarray(outcome.overhead_time_us, dtype=float))
+        self._collisions.append(np.asarray(outcome.collisions, dtype=np.int64))
+        if self.record_priorities:
+            if outcome.priorities is None:
+                raise RuntimeError(
+                    f"{self.policy_name} produced no priorities but the run "
+                    "was configured to record them"
+                )
+            self._priorities.append(np.asarray(outcome.priorities, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_intervals(self) -> int:
+        return len(self._deliveries)
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def num_links(self) -> int:
+        return self.requirements.size
+
+    def _stack3(self, rows: List[np.ndarray]) -> np.ndarray:
+        shape = (self.num_intervals, self.num_seeds, self.num_links)
+        if not rows:
+            return np.zeros(shape, dtype=np.int64)
+        return np.stack(rows).reshape(shape)
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        return self._stack3(self._arrivals)
+
+    @property
+    def deliveries(self) -> np.ndarray:
+        return self._stack3(self._deliveries)
+
+    @property
+    def attempts(self) -> np.ndarray:
+        return self._stack3(self._attempts)
+
+    @property
+    def busy_time_us(self) -> np.ndarray:
+        if not self._busy:
+            return np.zeros((0, self.num_seeds))
+        return np.stack(self._busy)
+
+    @property
+    def overhead_time_us(self) -> np.ndarray:
+        if not self._overhead:
+            return np.zeros((0, self.num_seeds))
+        return np.stack(self._overhead)
+
+    @property
+    def collisions(self) -> np.ndarray:
+        if not self._collisions:
+            return np.zeros((0, self.num_seeds), dtype=np.int64)
+        return np.stack(self._collisions)
+
+    @property
+    def priorities(self) -> np.ndarray:
+        if not self.record_priorities:
+            raise RuntimeError("run was not configured to record priorities")
+        return self._stack3(self._priorities)
+
+    # ------------------------------------------------------------------
+    # Definition 1 metrics, one value per replication
+    # ------------------------------------------------------------------
+    def per_link_deficiency(self, upto: Optional[int] = None) -> np.ndarray:
+        """``(q_n - mean deliveries)^+`` per replication — shape ``(S, N)``."""
+        k = self.num_intervals if upto is None else upto
+        if k <= 0:
+            return np.tile(self.requirements, (self.num_seeds, 1))
+        mean = self.deliveries[:k].mean(axis=0)
+        return np.maximum(self.requirements[None, :] - mean, 0.0)
+
+    def total_deficiency(self, upto: Optional[int] = None) -> np.ndarray:
+        """Total deficiency per replication — shape ``(S,)``."""
+        return self.per_link_deficiency(upto).sum(axis=1)
+
+    def deficiency_trajectory(self, stride: int = 1) -> np.ndarray:
+        """Per-replication total deficiency after each ``stride``-th
+        interval — shape ``(K // stride, S)``."""
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        cumulative = np.cumsum(self.deliveries, axis=0, dtype=float)
+        ks = np.arange(1, self.num_intervals + 1)[:, None, None]
+        deficiency = np.maximum(
+            self.requirements[None, None, :] - cumulative / ks, 0.0
+        )
+        totals = deficiency.sum(axis=2)
+        return totals[stride - 1 :: stride]
+
+    def timely_throughput(self) -> np.ndarray:
+        """Mean deliveries/interval per replication — shape ``(S, N)``."""
+        if self.num_intervals == 0:
+            return np.zeros((self.num_seeds, self.num_links))
+        return self.deliveries.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    def seed_index(self, seed: int) -> int:
+        """Position of ``seed`` in the replication stack."""
+        try:
+            return self.seeds.index(int(seed))
+        except ValueError:
+            raise KeyError(f"seed {seed} is not in this batch: {self.seeds}")
+
+    def seed_result(self, seed: int) -> SimulationResult:
+        """One replication's trace as a scalar-compatible result."""
+        s = self.seed_index(seed)
+        return SimulationResult.from_arrays(
+            policy_name=self.policy_name,
+            requirements=self.requirements,
+            arrivals=self.arrivals[:, s],
+            deliveries=self.deliveries[:, s],
+            attempts=self.attempts[:, s],
+            busy_time_us=self.busy_time_us[:, s],
+            overhead_time_us=self.overhead_time_us[:, s],
+            collisions=self.collisions[:, s],
+            priorities=self.priorities[:, s] if self.record_priorities else None,
+        )
+
+    def to_results(self) -> List[SimulationResult]:
+        """All replications as scalar-compatible results, in seed order."""
+        return [self.seed_result(s) for s in self.seeds]
+
+
+class BatchIntervalSimulator:
+    """Stateful multi-replication simulator; mirrors ``IntervalSimulator``.
+
+    Parameters
+    ----------
+    spec:
+        The network under test (must use a Bernoulli channel).
+    policy:
+        A policy with a batch kernel (DP/DB-DP, ELDF/LDF, round-robin,
+        static priority); :func:`~repro.sim.batch_kernels.make_batch_kernel`
+        raises ``TypeError`` otherwise.
+    seeds:
+        One seed per replication; each matches the scalar engine's
+        single-``seed`` argument.
+    sync_rng:
+        Consume randomness in scalar order per seed (exact but slow); see
+        the module docstring.
+    validate:
+        Assert deliveries never exceed arrivals each step (cheap, on by
+        default; benchmarks turn it off).
+    """
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        policy: IntervalMac,
+        seeds: Sequence[int],
+        *,
+        sync_rng: bool = False,
+        validate: bool = True,
+        record_priorities: bool = False,
+    ):
+        self.spec = spec
+        self.policy = policy
+        self.sync_rng = bool(sync_rng)
+        self.validate = bool(validate)
+        self.rng = BatchRngBundle(seeds)
+        if not self.sync_rng and not spec.arrivals.supports_batch_sampling:
+            raise TypeError(
+                f"{type(spec.arrivals).__name__} cannot be sampled as an "
+                "independent batch (stateful process); use sync_rng=True or "
+                "the scalar engine"
+            )
+        self.kernel = make_batch_kernel(policy)
+        self.kernel.bind(spec, self.rng.num_seeds, self.sync_rng)
+        self._q = spec.requirement_vector
+        self._debts = np.zeros((self.rng.num_seeds, spec.num_links))
+        self._interval = 0
+        self._arrival_cache: Optional[np.ndarray] = None
+        self._arrival_pos = DRAW_CHUNK
+        self.result = BatchSimulationResult(
+            policy_name=policy.name,
+            requirements=self._q,
+            seeds=self.rng.seeds,
+            record_priorities=record_priorities,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        return self.rng.seeds
+
+    @property
+    def num_seeds(self) -> int:
+        return self.rng.num_seeds
+
+    @property
+    def interval(self) -> int:
+        return self._interval
+
+    @property
+    def debts(self) -> np.ndarray:
+        """Current ``(S, N)`` debt stack (copy)."""
+        return self._debts.copy()
+
+    @property
+    def positive_debts(self) -> np.ndarray:
+        return np.maximum(self._debts, 0.0)
+
+    # ------------------------------------------------------------------
+    def _sample_arrivals(self) -> np.ndarray:
+        if self.sync_rng:
+            # Scalar draw order per seed: identical to IntervalSimulator.
+            return np.stack(
+                [
+                    self.spec.arrivals.sample(bundle.arrivals)
+                    for bundle in self.rng.bundles
+                ]
+            )
+        # Batch-samplable processes are stateless (i.i.d. across both
+        # replications and intervals), so DRAW_CHUNK intervals' worth of
+        # arrivals can come from one oversized draw — same distribution,
+        # far fewer Generator round-trips.
+        if self._arrival_pos >= DRAW_CHUNK:
+            flat = self.spec.arrivals.sample_batch(
+                self.rng.arrivals, DRAW_CHUNK * self.num_seeds
+            )
+            self._arrival_cache = flat.reshape(
+                DRAW_CHUNK, self.num_seeds, self.spec.num_links
+            )
+            self._arrival_pos = 0
+        arrivals = self._arrival_cache[self._arrival_pos]
+        self._arrival_pos += 1
+        return arrivals
+
+    def step(self) -> None:
+        """Simulate one interval for every replication."""
+        arrivals = self._sample_arrivals()
+        outcome = self.kernel.run_interval(
+            self._interval,
+            arrivals,
+            np.maximum(self._debts, 0.0),
+            self.rng,
+            self.sync_rng,
+        )
+        if self.validate and np.any(outcome.deliveries > arrivals):
+            raise AssertionError(
+                f"{self.policy.name} delivered more than arrived in at "
+                "least one replication"
+            )
+        # Eq. (1), elementwise per replication: the float operations per
+        # seed are the same as DebtLedger.record_interval, so sync-mode
+        # debts stay bit-identical to scalar ledgers.
+        self._debts += self._q[None, :] - outcome.deliveries
+        self._interval += 1
+        self.result.record(arrivals, outcome)
+
+    def run(
+        self,
+        num_intervals: int,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> BatchSimulationResult:
+        """Simulate ``num_intervals`` further intervals; return the result."""
+        if num_intervals < 0:
+            raise ValueError(f"num_intervals must be >= 0, got {num_intervals}")
+        if progress is None:
+            for _ in range(num_intervals):
+                self.step()
+        else:
+            for i in range(num_intervals):
+                self.step()
+                progress(i)
+        return self.result
+
+
+def run_simulation_batch(
+    spec: NetworkSpec,
+    policy: IntervalMac,
+    num_intervals: int,
+    seeds: Sequence[int],
+    *,
+    sync_rng: bool = False,
+    validate: bool = True,
+    record_priorities: bool = False,
+) -> BatchSimulationResult:
+    """One-shot convenience wrapper around :class:`BatchIntervalSimulator`."""
+    sim = BatchIntervalSimulator(
+        spec,
+        policy,
+        seeds,
+        sync_rng=sync_rng,
+        validate=validate,
+        record_priorities=record_priorities,
+    )
+    return sim.run(num_intervals)

@@ -34,9 +34,11 @@ class IntervalSimulator:
         policy: IntervalMac,
         seed: int = 0,
         record_priorities: bool = False,
+        validate: bool = True,
     ):
         self.spec = spec
         self.policy = policy
+        self.validate = bool(validate)
         self.rng = RngBundle(seed)
         self.ledger = DebtLedger(spec.requirements)
         self.result = SimulationResult(
@@ -59,7 +61,7 @@ class IntervalSimulator:
             self.ledger.positive_debts,
             self.rng,
         )
-        if np.any(outcome.deliveries > arrivals):
+        if self.validate and np.any(outcome.deliveries > arrivals):
             raise AssertionError(
                 f"{self.policy.name} delivered more than arrived: "
                 f"{outcome.deliveries} > {arrivals}"
@@ -75,9 +77,13 @@ class IntervalSimulator:
         """Simulate ``num_intervals`` further intervals; return the result."""
         if num_intervals < 0:
             raise ValueError(f"num_intervals must be >= 0, got {num_intervals}")
-        for i in range(num_intervals):
-            self.step()
-            if progress is not None:
+        if progress is None:
+            # Hot path: no per-step callback check inside the loop.
+            for _ in range(num_intervals):
+                self.step()
+        else:
+            for i in range(num_intervals):
+                self.step()
                 progress(i)
         return self.result
 
@@ -88,9 +94,18 @@ def run_simulation(
     num_intervals: int,
     seed: int = 0,
     record_priorities: bool = False,
+    validate: bool = True,
 ) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`IntervalSimulator`."""
+    """One-shot convenience wrapper around :class:`IntervalSimulator`.
+
+    ``validate=False`` skips the per-step deliveries-vs-arrivals sanity
+    assertion; benchmarks use it to measure the engine, not the checks.
+    """
     sim = IntervalSimulator(
-        spec, policy, seed=seed, record_priorities=record_priorities
+        spec,
+        policy,
+        seed=seed,
+        record_priorities=record_priorities,
+        validate=validate,
     )
     return sim.run(num_intervals)

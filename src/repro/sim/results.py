@@ -64,6 +64,67 @@ class SimulationResult:
         self._priorities: List[Optional[tuple]] = []
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        policy_name: str,
+        requirements: np.ndarray,
+        arrivals: np.ndarray,
+        deliveries: np.ndarray,
+        attempts: np.ndarray,
+        busy_time_us: np.ndarray,
+        overhead_time_us: np.ndarray,
+        collisions: np.ndarray,
+        priorities: Optional[np.ndarray] = None,
+    ) -> "SimulationResult":
+        """Build a result from pre-stacked per-interval arrays.
+
+        Used by the batch engine to materialize one replication's trace as
+        a scalar-compatible result: per-link arrays are ``(K, N)``,
+        per-interval series are ``(K,)``, ``priorities`` is ``(K, N)`` or
+        ``None``.
+        """
+        result = cls(
+            policy_name,
+            requirements,
+            record_priorities=priorities is not None,
+        )
+        arrivals = np.asarray(arrivals, dtype=np.int64)
+        deliveries = np.asarray(deliveries, dtype=np.int64)
+        attempts = np.asarray(attempts, dtype=np.int64)
+        expected = (arrivals.shape[0], result.num_links)
+        for name, array in (
+            ("arrivals", arrivals),
+            ("deliveries", deliveries),
+            ("attempts", attempts),
+        ):
+            if array.shape != expected:
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected {expected}"
+                )
+        result._arrivals = list(arrivals)
+        result._deliveries = list(deliveries)
+        result._attempts = list(attempts)
+        result._busy = [float(v) for v in busy_time_us]
+        result._overhead = [float(v) for v in overhead_time_us]
+        result._collisions = [int(v) for v in collisions]
+        if priorities is not None:
+            result._priorities = [
+                tuple(int(p) for p in row) for row in priorities
+            ]
+        lengths = {
+            len(result._arrivals),
+            len(result._busy),
+            len(result._overhead),
+            len(result._collisions),
+        }
+        if priorities is not None:
+            lengths.add(len(result._priorities))
+        if len(lengths) != 1:
+            raise ValueError("per-interval series have mismatched lengths")
+        return result
+
+    # ------------------------------------------------------------------
     def record(self, arrivals: np.ndarray, outcome) -> None:
         self._arrivals.append(np.asarray(arrivals, dtype=np.int64))
         self._deliveries.append(np.asarray(outcome.deliveries, dtype=np.int64))

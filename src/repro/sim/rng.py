@@ -11,11 +11,11 @@ spawning, so any simulation is reproducible from a single integer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["RngBundle"]
+__all__ = ["RngBundle", "BatchRngBundle"]
 
 
 class RngBundle:
@@ -64,3 +64,77 @@ class RngBundle:
     def shared(self) -> np.random.Generator:
         """The network-wide shared stream (candidate index ``C(k)``)."""
         return self.stream("shared")
+
+
+class BatchRngBundle:
+    """Random streams for a stack of ``S`` independent replications.
+
+    Two families of streams coexist:
+
+    * **Per-seed streams** (:attr:`bundles`, :meth:`per_seed`) — one
+      :class:`RngBundle` per seed, constructed exactly as the scalar engine
+      would.  Stream ``"channel"`` of seed ``s`` here is bit-identical to
+      ``RngBundle(s).channel``, which is what makes scalar/batch
+      cross-validation exact (the batch engine's ``sync_rng`` mode draws
+      from these in scalar consumption order).
+    * **Batch streams** (:meth:`batch_stream`) — one generator per stream
+      name that fills ``(S, ...)``-shaped arrays in single vectorized
+      draws.  Its seed mixes the *whole* seed tuple, so a batch run is
+      reproducible from the seed list, but individual slices are not meant
+      to match any scalar stream.
+
+    Batch stream names live in a ``"batch:"`` namespace so they can never
+    collide with per-seed stream names.
+    """
+
+    def __init__(self, seeds: Sequence[int]):
+        seeds = tuple(int(s) for s in seeds)
+        if not seeds:
+            raise ValueError("need at least one seed")
+        self._seeds = seeds
+        self._bundles = tuple(RngBundle(s) for s in seeds)
+        self._batch_streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        return self._seeds
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self._seeds)
+
+    @property
+    def bundles(self) -> Tuple[RngBundle, ...]:
+        """The scalar-identical per-seed bundles (one per replication)."""
+        return self._bundles
+
+    def per_seed(self, name: str) -> Tuple[np.random.Generator, ...]:
+        """The scalar-identical stream ``name`` of every seed, in order."""
+        return tuple(b.stream(name) for b in self._bundles)
+
+    def batch_stream(self, name: str) -> np.random.Generator:
+        """One generator for vectorized ``(S, ...)`` draws of ``name``."""
+        if name not in self._batch_streams:
+            name_key = [ord(c) for c in "batch:" + name]
+            seq = np.random.SeedSequence(
+                entropy=list(self._seeds), spawn_key=name_key
+            )
+            self._batch_streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._batch_streams[name]
+
+    # Convenience accessors mirroring :class:`RngBundle`. ------------------
+    @property
+    def arrivals(self) -> np.random.Generator:
+        return self.batch_stream("arrivals")
+
+    @property
+    def channel(self) -> np.random.Generator:
+        return self.batch_stream("channel")
+
+    @property
+    def policy(self) -> np.random.Generator:
+        return self.batch_stream("policy")
+
+    @property
+    def shared(self) -> np.random.Generator:
+        return self.batch_stream("shared")

@@ -66,6 +66,34 @@ class ArrivalProcess(ABC):
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """Draw one interval's arrival vector ``A(k)`` (integer array)."""
 
+    @property
+    def supports_batch_sampling(self) -> bool:
+        """Whether :meth:`sample_batch` yields independent replications.
+
+        True for processes that are i.i.d. across intervals (everything the
+        paper's model allows).  Stateful extensions whose ``sample`` mutates
+        shared state (e.g. :class:`MarkovModulatedArrivals`) return False:
+        a single generator cannot advance ``S`` independent copies of their
+        modulating chains.
+        """
+        return True
+
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        """Draw one interval's arrivals for ``num_seeds`` replications.
+
+        Returns an ``(S, N)`` integer array of independent draws.  The
+        generic implementation stacks ``S`` scalar draws; stateless
+        processes override it with a single vectorized draw.
+        """
+        if num_seeds < 1:
+            raise ValueError(f"num_seeds must be >= 1, got {num_seeds}")
+        if not self.supports_batch_sampling:
+            raise TypeError(
+                f"{type(self).__name__} is stateful across intervals and "
+                "cannot produce independent batched replications"
+            )
+        return np.stack([self.sample(rng) for _ in range(num_seeds)])
+
     def _check(self, arrivals: np.ndarray) -> np.ndarray:
         if arrivals.shape != (self.num_links,):
             raise AssertionError(
@@ -74,6 +102,18 @@ class ArrivalProcess(ABC):
         if np.any(arrivals < 0) or np.any(arrivals > self.max_per_link):
             raise AssertionError(
                 f"arrivals {arrivals} outside [0, {self.max_per_link}]"
+            )
+        return arrivals
+
+    def _check_batch(self, arrivals: np.ndarray, num_seeds: int) -> np.ndarray:
+        if arrivals.shape != (num_seeds, self.num_links):
+            raise AssertionError(
+                f"batch arrival shape {arrivals.shape} != "
+                f"({num_seeds}, {self.num_links})"
+            )
+        if np.any(arrivals < 0) or np.any(arrivals > self.max_per_link):
+            raise AssertionError(
+                f"batch arrivals outside [0, {self.max_per_link}]"
             )
         return arrivals
 
@@ -110,6 +150,10 @@ class BernoulliArrivals(ArrivalProcess):
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         draws = rng.random(self.num_links) < np.asarray(self.rates)
         return self._check(draws.astype(np.int64))
+
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        draws = rng.random((num_seeds, self.num_links)) < np.asarray(self.rates)
+        return self._check_batch(draws.astype(np.int64), num_seeds)
 
 
 @dataclass(frozen=True)
@@ -154,6 +198,12 @@ class BurstyVideoArrivals(ArrivalProcess):
         bursts = rng.integers(1, self.burst_max + 1, size=self.num_links)
         return self._check(np.where(active, bursts, 0).astype(np.int64))
 
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        shape = (num_seeds, self.num_links)
+        active = rng.random(shape) < np.asarray(self.alphas)
+        bursts = rng.integers(1, self.burst_max + 1, size=shape)
+        return self._check_batch(np.where(active, bursts, 0).astype(np.int64), num_seeds)
+
 
 @dataclass(frozen=True)
 class ConstantArrivals(ArrivalProcess):
@@ -191,6 +241,10 @@ class ConstantArrivals(ArrivalProcess):
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         return self._check(np.asarray(self.counts, dtype=np.int64))
+
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        row = np.asarray(self.counts, dtype=np.int64)
+        return self._check_batch(np.tile(row, (num_seeds, 1)), num_seeds)
 
 
 @dataclass(frozen=True)
@@ -238,6 +292,11 @@ class TruncatedPoissonArrivals(ArrivalProcess):
         raw = rng.poisson(np.asarray(self.poisson_rates))
         return self._check(np.minimum(raw, self.cap).astype(np.int64))
 
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        rates = np.asarray(self.poisson_rates)
+        raw = rng.poisson(rates, size=(num_seeds, self.num_links))
+        return self._check_batch(np.minimum(raw, self.cap).astype(np.int64), num_seeds)
+
 
 @dataclass(frozen=True)
 class CorrelatedBurstArrivals(ArrivalProcess):
@@ -280,6 +339,14 @@ class CorrelatedBurstArrivals(ArrivalProcess):
             return self._check(np.zeros(self.num_links_, dtype=np.int64))
         bursts = rng.integers(1, self.burst_max + 1, size=self.num_links_)
         return self._check(bursts.astype(np.int64))
+
+    def sample_batch(self, rng: np.random.Generator, num_seeds: int) -> np.ndarray:
+        events = rng.random(num_seeds) < self.event_prob
+        bursts = rng.integers(
+            1, self.burst_max + 1, size=(num_seeds, self.num_links_)
+        )
+        out = np.where(events[:, None], bursts, 0).astype(np.int64)
+        return self._check_batch(out, num_seeds)
 
 
 class MarkovModulatedArrivals(ArrivalProcess):
@@ -334,6 +401,12 @@ class MarkovModulatedArrivals(ArrivalProcess):
     @property
     def max_per_link(self) -> int:
         return 1
+
+    @property
+    def supports_batch_sampling(self) -> bool:
+        # The modulating chain is per-process state: one generator cannot
+        # advance S independent copies of it, so batching is refused.
+        return False
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         stay = np.where(self._state_on, self._p_stay_on, self._p_stay_off)

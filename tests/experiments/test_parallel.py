@@ -46,6 +46,24 @@ class TestParallelSweep:
         )
         assert len(result.group_series("LDF", 0)) == 1
 
+    def test_batch_engine_composes_with_processes(self):
+        """engine='batch' inside each worker: statistics must match the
+        sequential batch runner (identical seeds -> identical draws)."""
+        kwargs = dict(
+            parameter_name="alpha",
+            values=[0.5],
+            spec_builder=small_builder,
+            policies={"DB-DP": DBDPPolicy},
+            num_intervals=100,
+            seeds=(0, 1, 2),
+            engine="batch",
+        )
+        sequential = run_sweep(**kwargs)
+        parallel = run_sweep_parallel(max_workers=2, **kwargs)
+        np.testing.assert_array_equal(
+            sequential.series("DB-DP"), parallel.series("DB-DP")
+        )
+
     def test_validation(self):
         with pytest.raises(ValueError):
             run_sweep_parallel(

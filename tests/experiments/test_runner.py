@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import LDFPolicy, StaticPriorityPolicy
+from repro import DBDPPolicy, FCSMAPolicy, LDFPolicy, StaticPriorityPolicy
 from repro.experiments.configs import video_symmetric_spec
 from repro.experiments.runner import run_single, run_sweep
 
@@ -29,6 +29,58 @@ class TestRunSingle:
         )
         assert point.group_deficiency is not None
         assert len(point.group_deficiency) == 2
+
+
+class TestBatchEngine:
+    def test_batch_point_statistics_match_scalar(self):
+        spec = tiny_builder(0.6)
+        seeds = tuple(range(10))
+        scalar = run_single(spec, DBDPPolicy, 400, seeds=seeds)
+        batch = run_single(spec, DBDPPolicy, 400, seeds=seeds, engine="batch")
+        assert batch.policy == scalar.policy
+        assert batch.total_deficiency == pytest.approx(
+            scalar.total_deficiency, abs=0.25
+        )
+        assert batch.deficiency_std >= 0.0
+
+    def test_batch_group_deficiency(self):
+        spec = tiny_builder(0.5)
+        point = run_single(
+            spec, LDFPolicy, 100, seeds=(0, 1), groups=(0, 0, 1, 1),
+            engine="batch",
+        )
+        assert point.group_deficiency is not None
+        assert len(point.group_deficiency) == 2
+
+    def test_unsupported_policy_falls_back_to_scalar(self):
+        """FCSMA has no batch kernel: engine='batch' must silently run the
+        scalar path and reproduce it exactly (same seeds, same draws)."""
+        spec = tiny_builder(0.5)
+        scalar = run_single(spec, FCSMAPolicy, 80, seeds=(0, 1))
+        fallback = run_single(spec, FCSMAPolicy, 80, seeds=(0, 1), engine="batch")
+        # (parameter is NaN in both, so compare the measured fields)
+        assert fallback.policy == scalar.policy
+        assert fallback.total_deficiency == scalar.total_deficiency
+        assert fallback.deficiency_std == scalar.deficiency_std
+        assert fallback.collisions == scalar.collisions
+        assert fallback.mean_overhead_us == scalar.mean_overhead_us
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_single(tiny_builder(0.5), LDFPolicy, 10, seeds=(0,), engine="gpu")
+
+    def test_sweep_accepts_engine(self):
+        sweep = run_sweep(
+            "alpha",
+            [0.4, 0.7],
+            tiny_builder,
+            {"LDF": LDFPolicy},
+            num_intervals=60,
+            seeds=(0, 1),
+            engine="batch",
+        )
+        assert len(sweep.points) == 2
+        assert all(p.total_deficiency >= 0.0 for p in sweep.points)
 
 
 class TestRunSweep:

@@ -1,0 +1,139 @@
+"""Cross-engine validation: scalar interval engine vs batch engine.
+
+Two levels of agreement are asserted:
+
+* ``sync_rng=True`` — every replication consumes scalar-identical random
+  streams in scalar order, so every per-interval trace must be
+  **bit-identical** to ``IntervalSimulator(spec, policy, seed=s)``.
+* ``sync_rng=False`` (the fast production mode) — draw order differs, so
+  agreement is **statistical**: deficiency and throughput on the paper's
+  Fig. 3 workload must match across a seed ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DBDPPolicy,
+    ELDFPolicy,
+    LDFPolicy,
+    RoundRobinPolicy,
+    StaticPriorityPolicy,
+    run_simulation,
+    run_simulation_batch,
+)
+from repro.experiments.configs import video_symmetric_spec
+
+SEEDS = (0, 1, 2)
+INTERVALS = 300
+
+POLICIES = {
+    "DB-DP": DBDPPolicy,
+    "ELDF": ELDFPolicy,
+    "LDF": LDFPolicy,
+    "RoundRobin": RoundRobinPolicy,
+    "Static": StaticPriorityPolicy,
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # Fig. 3-style near-capacity video load, shrunk to 6 links for speed.
+    return video_symmetric_spec(0.6, num_links=6)
+
+
+class TestSyncModeBitExact:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_traces_match_scalar_engine(self, spec, name):
+        factory = POLICIES[name]
+        batch = run_simulation_batch(
+            spec, factory(), INTERVALS, SEEDS, sync_rng=True
+        )
+        for s, seed in enumerate(SEEDS):
+            scalar = run_simulation(spec, factory(), INTERVALS, seed=seed)
+            np.testing.assert_array_equal(
+                batch.arrivals[:, s], scalar.arrivals, err_msg=f"{name} arrivals"
+            )
+            np.testing.assert_array_equal(
+                batch.deliveries[:, s],
+                scalar.deliveries,
+                err_msg=f"{name} deliveries",
+            )
+            np.testing.assert_array_equal(
+                batch.attempts[:, s], scalar.attempts, err_msg=f"{name} attempts"
+            )
+            np.testing.assert_array_equal(
+                batch.busy_time_us[:, s], scalar.busy_time_us
+            )
+            np.testing.assert_array_equal(
+                batch.overhead_time_us[:, s], scalar.overhead_time_us
+            )
+            assert batch.total_deficiency()[s] == pytest.approx(
+                scalar.total_deficiency()
+            )
+
+    def test_priority_dynamics_match_scalar_engine(self, spec):
+        """The DP swap chain is the subtlest batch state; in sync mode the
+        whole priority trajectory must replay the scalar one."""
+        batch = run_simulation_batch(
+            spec,
+            DBDPPolicy(),
+            INTERVALS,
+            SEEDS,
+            sync_rng=True,
+            record_priorities=True,
+        )
+        for s, seed in enumerate(SEEDS):
+            sim_priorities = run_simulation(
+                spec, DBDPPolicy(), INTERVALS, seed=seed, record_priorities=True
+            ).priorities
+            np.testing.assert_array_equal(
+                batch.priorities[:, s], np.asarray(sim_priorities)
+            )
+
+
+class TestBatchModeStatisticalAgreement:
+    """Fast-mode draws differ from scalar ones, but the physics must not."""
+
+    NUM_SEEDS = 12
+    HORIZON = 1200
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        spec = video_symmetric_spec(0.6, num_links=6)
+        seeds = range(self.NUM_SEEDS)
+        out = {}
+        for name in ("DB-DP", "LDF"):
+            factory = POLICIES[name]
+            scalar = [
+                run_simulation(spec, factory(), self.HORIZON, seed=s)
+                for s in seeds
+            ]
+            batch = run_simulation_batch(
+                spec, factory(), self.HORIZON, list(seeds)
+            )
+            out[name] = (scalar, batch)
+        return out
+
+    @pytest.mark.parametrize("name", ["DB-DP", "LDF"])
+    def test_total_deficiency_matches(self, pair, name):
+        scalar, batch = pair[name]
+        scalar_mean = np.mean([r.total_deficiency() for r in scalar])
+        batch_mean = batch.total_deficiency().mean()
+        assert batch_mean == pytest.approx(scalar_mean, abs=0.25)
+
+    @pytest.mark.parametrize("name", ["DB-DP", "LDF"])
+    def test_timely_throughput_profile_matches(self, pair, name):
+        scalar, batch = pair[name]
+        scalar_profile = np.mean([r.timely_throughput() for r in scalar], axis=0)
+        batch_profile = batch.timely_throughput().mean(axis=0)
+        np.testing.assert_allclose(batch_profile, scalar_profile, atol=0.06)
+
+    @pytest.mark.parametrize("name", ["DB-DP", "LDF"])
+    def test_airtime_accounting_matches(self, pair, name):
+        scalar, batch = pair[name]
+        scalar_busy = np.mean([r.busy_time_us.mean() for r in scalar])
+        batch_busy = batch.busy_time_us.mean()
+        assert batch_busy == pytest.approx(scalar_busy, rel=0.05)

@@ -1,0 +1,160 @@
+"""Tests for the vectorized per-interval batch kernels.
+
+The batch engine's correctness hinges on two closed forms: the staircase
+service solver (attempts/deliveries under a non-increasing cap) and the DP
+kernel's assume-fit/verify empty-packet coupling.  Both are checked here
+against brute-force sequential references on shared inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliArrivals,
+    DBDPPolicy,
+    FCSMAPolicy,
+    GilbertElliottChannel,
+    LDFPolicy,
+    NetworkSpec,
+    RoundRobinPolicy,
+    idealized_timing,
+)
+from repro.experiments.configs import video_symmetric_spec
+from repro.sim.batch_kernels import (
+    DRAW_CHUNK,
+    BatchDPKernel,
+    _ChunkedUniforms,
+    has_batch_kernel,
+    make_batch_kernel,
+    solve_ordered_service,
+)
+from repro.sim.batch_sim import BatchIntervalSimulator
+
+
+def naive_ordered_service(order, backlog, needed_cum, caps):
+    """Reference: serve links one at a time, exactly like the scalar loop."""
+    S, N = order.shape
+    delivered = np.zeros((S, N), dtype=np.int64)
+    attempts = np.zeros((S, N), dtype=np.int64)
+    for s in range(S):
+        used = 0
+        for j in range(N):
+            link = int(order[s, j])
+            b = int(backlog[s, link])
+            budget = int(caps[s, j]) - used
+            if b == 0 or budget <= 0:
+                continue
+            cum = needed_cum[s, link, :b]
+            att = min(int(cum[-1]), budget)
+            attempts[s, j] = att
+            # Packet t is delivered iff its cumulative need fits the grant.
+            delivered[s, j] = int(np.searchsorted(cum, att, side="right"))
+            used += att
+    return delivered, attempts
+
+
+class TestSolveOrderedService:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_matches_sequential_reference(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        S, N, A = 7, 6, 4
+        order = np.array([rng.permutation(N) for _ in range(S)])
+        backlog = rng.integers(0, A + 1, size=(S, N))
+        needed_cum = np.cumsum(
+            rng.geometric(0.6, size=(S, N, A)), axis=2, dtype=np.int64
+        )
+        # Caps must be non-increasing along the service order; negatives
+        # model positions whose backoff already overruns the interval.
+        caps = np.sort(rng.integers(-3, 15, size=(S, N)), axis=1)[:, ::-1]
+        delivered, attempts = solve_ordered_service(
+            order, backlog, needed_cum, caps
+        )
+        ref_delivered, ref_attempts = naive_ordered_service(
+            order, backlog, needed_cum, caps
+        )
+        np.testing.assert_array_equal(delivered, ref_delivered)
+        np.testing.assert_array_equal(attempts, ref_attempts)
+
+    def test_empty_backlog_serves_nothing(self):
+        order = np.array([[0, 1, 2]])
+        backlog = np.zeros((1, 3), dtype=np.int64)
+        needed_cum = np.ones((1, 3, 2), dtype=np.int64)
+        caps = np.full((1, 3), 10, dtype=np.int64)
+        delivered, attempts = solve_ordered_service(
+            order, backlog, needed_cum, caps
+        )
+        assert delivered.sum() == 0 and attempts.sum() == 0
+
+    def test_truncation_starves_later_positions(self):
+        """Once the cap truncates a link, everyone behind it gets nothing."""
+        order = np.array([[0, 1, 2]])
+        backlog = np.array([[2, 2, 2]])
+        needed_cum = np.tile(
+            np.array([[3, 6]], dtype=np.int64), (1, 3, 1)
+        )  # each link needs 6 attempts to drain
+        caps = np.array([[8, 8, 8]], dtype=np.int64)
+        delivered, attempts = solve_ordered_service(
+            order, backlog, needed_cum, caps
+        )
+        # Position 0 drains (6 attempts, 2 packets); position 1 gets the
+        # remaining 2 attempts (< 3 needed -> 0 delivered); position 2: 0.
+        np.testing.assert_array_equal(attempts, [[6, 2, 0]])
+        np.testing.assert_array_equal(delivered, [[2, 0, 0]])
+
+
+class TestChunkedDraws:
+    def test_uniforms_match_unchunked_stream(self):
+        """Chunking only amortizes Generator calls; the draw sequence per
+        interval is the same slicing of the same stream."""
+        draws = _ChunkedUniforms(3, 2)
+        chunked = [draws.next(np.random.default_rng(9)) for _ in range(2)]
+        # A fresh generator's first block, sliced the same way:
+        block = np.random.default_rng(9).random((DRAW_CHUNK, 3, 2))
+        np.testing.assert_array_equal(chunked[0], block[0])
+        np.testing.assert_array_equal(chunked[1], block[1])
+
+
+class TestKernelDispatch:
+    def test_known_policies_have_kernels(self):
+        assert has_batch_kernel(DBDPPolicy())
+        assert has_batch_kernel(LDFPolicy())
+        assert has_batch_kernel(RoundRobinPolicy())
+        assert not has_batch_kernel(FCSMAPolicy())
+
+    def test_unsupported_policy_raises(self):
+        with pytest.raises(TypeError, match="no batch kernel"):
+            make_batch_kernel(FCSMAPolicy())
+
+    def test_stateful_channel_rejected_at_bind(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(3, 0.5),
+            channel=GilbertElliottChannel(3),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        kernel = make_batch_kernel(LDFPolicy())
+        with pytest.raises(TypeError, match="BernoulliChannel"):
+            kernel.bind(spec, 4, False)
+
+
+class TestDPSequentialFallbackEquivalence:
+    def test_forced_sequential_is_bit_identical(self):
+        """Route *every* replication through the exact sequential sweep and
+        compare with the vectorized closed form on identical draws.  This
+        proves the assume-fit/verify shortcut exact, including the
+        empty-packet coupling it approximates."""
+        spec = video_symmetric_spec(0.6, num_links=6)
+        seeds = (0, 1, 2, 3)
+        fast = BatchIntervalSimulator(spec, DBDPPolicy(), seeds)
+        slow = BatchIntervalSimulator(spec, DBDPPolicy(), seeds)
+        assert isinstance(slow.kernel, BatchDPKernel)
+        slow.kernel._force_sequential = True
+        a = fast.run(300)
+        b = slow.run(300)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+        np.testing.assert_array_equal(a.busy_time_us, b.busy_time_us)
+        np.testing.assert_array_equal(a.overhead_time_us, b.overhead_time_us)
+        np.testing.assert_array_equal(fast.debts, slow.debts)

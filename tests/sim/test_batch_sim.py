@@ -1,0 +1,206 @@
+"""Tests for the batch (all-seeds-at-once) simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchIntervalSimulator,
+    BernoulliChannel,
+    DBDPPolicy,
+    FCSMAPolicy,
+    GilbertElliottChannel,
+    LDFPolicy,
+    NetworkSpec,
+    RoundRobinPolicy,
+    idealized_timing,
+    run_simulation_batch,
+    supports_batch_engine,
+)
+from repro.experiments.configs import video_symmetric_spec
+from repro.sim.batch_kernels import BatchIntervalOutcome
+from repro.traffic.arrivals import BernoulliArrivals, MarkovModulatedArrivals
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return video_symmetric_spec(0.6, num_links=5)
+
+
+class TestConstruction:
+    def test_unsupported_policy_rejected(self, spec):
+        with pytest.raises(TypeError, match="no batch kernel"):
+            BatchIntervalSimulator(spec, FCSMAPolicy(), SEEDS)
+
+    def test_stateful_channel_rejected(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(3, 0.5),
+            channel=GilbertElliottChannel(3),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        with pytest.raises(TypeError, match="BernoulliChannel"):
+            BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+
+    def test_stateful_arrivals_need_sync_mode(self):
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=MarkovModulatedArrivals(3, 0.5),
+            channel=BernoulliChannel.symmetric(3, 0.8),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        with pytest.raises(TypeError, match="sync_rng"):
+            BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+        # The sync path drives scalar clones, so stateful arrivals are fine.
+        sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, sync_rng=True)
+        sim.run(10)
+        assert sim.result.num_intervals == 10
+
+    def test_supports_batch_engine(self, spec):
+        assert supports_batch_engine(spec, DBDPPolicy())
+        assert supports_batch_engine(spec, LDFPolicy())
+        assert not supports_batch_engine(spec, FCSMAPolicy())
+        stateful = NetworkSpec.from_delivery_ratios(
+            arrivals=MarkovModulatedArrivals(3, 0.5),
+            channel=BernoulliChannel.symmetric(3, 0.8),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        assert not supports_batch_engine(stateful, LDFPolicy())
+        assert supports_batch_engine(stateful, LDFPolicy(), sync_rng=True)
+
+    def test_negative_interval_count_rejected(self, spec):
+        sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("factory", [DBDPPolicy, LDFPolicy, RoundRobinPolicy])
+    def test_same_seeds_same_trace(self, spec, factory):
+        a = run_simulation_batch(spec, factory(), 120, SEEDS)
+        b = run_simulation_batch(spec, factory(), 120, SEEDS)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+        np.testing.assert_array_equal(a.deliveries, b.deliveries)
+        np.testing.assert_array_equal(a.attempts, b.attempts)
+
+    def test_replications_are_distinct(self, spec):
+        result = run_simulation_batch(spec, DBDPPolicy(), 200, SEEDS)
+        assert not np.array_equal(
+            result.deliveries[:, 0], result.deliveries[:, 1]
+        )
+
+    def test_split_runs_match_single_run(self, spec):
+        """run(70) + run(50) must equal run(120): the chunked draw caches
+        are internal bookkeeping, not part of the random semantics."""
+        split = BatchIntervalSimulator(spec, DBDPPolicy(), SEEDS)
+        split.run(70)
+        split.run(50)
+        whole = run_simulation_batch(spec, DBDPPolicy(), 120, SEEDS)
+        np.testing.assert_array_equal(
+            split.result.deliveries, whole.deliveries
+        )
+        np.testing.assert_array_equal(split.result.arrivals, whole.arrivals)
+
+    def test_progress_callback(self, spec):
+        seen = []
+        sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+        sim.run(7, progress=seen.append)
+        assert seen == list(range(7))
+
+
+class TestDebtAccounting:
+    def test_debts_track_requirement_minus_deliveries(self, spec):
+        sim = BatchIntervalSimulator(spec, DBDPPolicy(), SEEDS)
+        sim.run(100)
+        expected = (
+            100 * spec.requirement_vector[None, :]
+            - sim.result.deliveries.sum(axis=0)
+        )
+        np.testing.assert_allclose(sim.debts, expected)
+
+
+class TestValidation:
+    def _cheat(self, sim):
+        def run_interval(k, arrivals, debts, rng, sync):
+            S, N = arrivals.shape
+            return BatchIntervalOutcome(
+                deliveries=arrivals + 1,
+                attempts=arrivals + 1,
+                busy_time_us=np.zeros(S),
+                overhead_time_us=np.zeros(S),
+                collisions=np.zeros(S, dtype=np.int64),
+            )
+
+        sim.kernel.run_interval = run_interval
+
+    def test_overdelivery_caught(self, spec):
+        sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+        self._cheat(sim)
+        with pytest.raises(AssertionError, match="delivered more"):
+            sim.step()
+
+    def test_validate_false_skips_guard(self, spec):
+        sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, validate=False)
+        self._cheat(sim)
+        sim.step()  # must not raise
+        assert sim.interval == 1
+
+
+class TestResultViews:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = video_symmetric_spec(0.6, num_links=5)
+        return run_simulation_batch(
+            spec, DBDPPolicy(), 80, SEEDS, record_priorities=True
+        )
+
+    def test_shapes(self, result):
+        K, S, N = 80, len(SEEDS), 5
+        assert result.deliveries.shape == (K, S, N)
+        assert result.arrivals.shape == (K, S, N)
+        assert result.busy_time_us.shape == (K, S)
+        assert result.collisions.shape == (K, S)
+        assert result.total_deficiency().shape == (S,)
+        assert result.per_link_deficiency().shape == (S, N)
+        assert result.timely_throughput().shape == (S, N)
+
+    def test_priorities_are_permutations(self, result):
+        priorities = result.priorities
+        expected = np.arange(1, 6)
+        for k in (0, 40, 79):
+            for s in range(len(SEEDS)):
+                assert sorted(priorities[k, s]) == list(expected)
+
+    def test_trajectory_ends_at_final_deficiency(self, result):
+        trajectory = result.deficiency_trajectory()
+        assert trajectory.shape == (80, len(SEEDS))
+        np.testing.assert_allclose(trajectory[-1], result.total_deficiency())
+
+    def test_seed_result_slices_match(self, result):
+        for s, seed in enumerate(SEEDS):
+            scalar = result.seed_result(seed)
+            np.testing.assert_array_equal(
+                scalar.deliveries, result.deliveries[:, s]
+            )
+            np.testing.assert_array_equal(
+                scalar.attempts, result.attempts[:, s]
+            )
+            assert scalar.total_deficiency() == pytest.approx(
+                result.total_deficiency()[s]
+            )
+            np.testing.assert_allclose(
+                scalar.timely_throughput(), result.timely_throughput()[s]
+            )
+
+    def test_to_results_ordering(self, result):
+        scalars = result.to_results()
+        assert len(scalars) == len(SEEDS)
+        assert all(r.policy_name == result.policy_name for r in scalars)
+
+    def test_unknown_seed_raises(self, result):
+        with pytest.raises(KeyError):
+            result.seed_index(999)

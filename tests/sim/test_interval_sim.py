@@ -76,3 +76,29 @@ class TestDriver:
         sim = IntervalSimulator(lossy_spec, CheatingPolicy(), seed=0)
         with pytest.raises(AssertionError, match="delivered more than arrived"):
             sim.step()
+
+    def test_validate_false_skips_overdelivery_guard(self, lossy_spec):
+        """Benchmarks opt out of the per-step sanity assert; the simulator
+        must then accept whatever the policy reports."""
+
+        class CheatingPolicy(IntervalMac):
+            name = "cheat"
+
+            def run_interval(self, k, arrivals, positive_debts, rng):
+                return IntervalOutcome(
+                    deliveries=arrivals + 1, attempts=arrivals + 1
+                )
+
+        sim = IntervalSimulator(
+            lossy_spec, CheatingPolicy(), seed=0, validate=False
+        )
+        sim.step()  # must not raise
+        assert sim.result.num_intervals == 1
+
+    def test_validate_flag_does_not_change_results(self, lossy_spec):
+        checked = run_simulation(lossy_spec, LDFPolicy(), 100, seed=6)
+        unchecked = run_simulation(
+            lossy_spec, LDFPolicy(), 100, seed=6, validate=False
+        )
+        np.testing.assert_array_equal(checked.deliveries, unchecked.deliveries)
+        np.testing.assert_array_equal(checked.attempts, unchecked.attempts)
