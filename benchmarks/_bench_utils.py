@@ -4,6 +4,26 @@ from __future__ import annotations
 
 import os
 
+#: Engines a figure benchmark can be routed through.
+ENGINE_CHOICES = ("scalar", "batch", "fused")
+
+
+def resolve_engine(option: str | None = None) -> str:
+    """The simulation engine figure benchmarks should use.
+
+    Priority: explicit ``--engine`` flag (passed in as ``option``), then
+    the ``REPRO_BENCH_ENGINE`` environment variable, then ``"fused"`` —
+    the fastest engine; cells it cannot fuse (contention policies,
+    stateful channels/processes) fall back automatically inside the
+    runner, so "fused by default" is always safe.
+    """
+    value = option or os.environ.get("REPRO_BENCH_ENGINE", "").strip() or "fused"
+    if value not in ENGINE_CHOICES:
+        raise ValueError(
+            f"engine must be one of {ENGINE_CHOICES}, got {value!r}"
+        )
+    return value
+
 
 def bench_intervals(paper_default: int, minimum: int = 200) -> int:
     """Paper horizon scaled by REPRO_BENCH_SCALE (default 0.15)."""

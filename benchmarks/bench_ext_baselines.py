@@ -15,10 +15,14 @@ from repro.experiments.configs import VIDEO_INTERVALS
 from repro.experiments.extensions import baseline_panorama
 
 
-def test_ext_baseline_panorama(benchmark, report):
+def test_ext_baseline_panorama(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=800)
     result = run_once(
-        benchmark, baseline_panorama, num_intervals=intervals, alpha=0.55
+        benchmark,
+        baseline_panorama,
+        num_intervals=intervals,
+        alpha=0.55,
+        engine=engine,
     )
     report(result)
 

@@ -14,13 +14,14 @@ from repro.experiments.configs import VIDEO_INTERVALS
 from repro.experiments.convergence_study import convergence_vs_network_size
 
 
-def test_ext_convergence_scaling(benchmark, report):
+def test_ext_convergence_scaling(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=2500)
     result = run_once(
         benchmark,
         convergence_vs_network_size,
         sizes=(8, 20),
         num_intervals=intervals,
+        engine=engine,
     )
     report(result)
 

@@ -16,9 +16,11 @@ from repro.experiments.extensions import (
 )
 
 
-def test_ext_burst_loss_robustness(benchmark, report):
+def test_ext_burst_loss_robustness(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=1500)
-    result = run_once(benchmark, burst_loss_robustness, num_intervals=intervals)
+    result = run_once(
+        benchmark, burst_loss_robustness, num_intervals=intervals, engine=engine
+    )
     report(result)
     for label, (iid, bursty) in result.series.items():
         # Graceful degradation: bounded extra deficiency, no collapse.
@@ -27,10 +29,10 @@ def test_ext_burst_loss_robustness(benchmark, report):
     assert result.series["DB-DP"][1] <= result.series["LDF"][1] + 1.0
 
 
-def test_ext_correlated_traffic(benchmark, report):
+def test_ext_correlated_traffic(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=1500)
     result = run_once(
-        benchmark, correlated_traffic_robustness, num_intervals=intervals
+        benchmark, correlated_traffic_robustness, num_intervals=intervals, engine=engine
     )
     report(result)
     assert result.series["iid"][0] < 0.5

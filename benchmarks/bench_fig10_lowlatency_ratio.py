@@ -16,9 +16,11 @@ from repro.experiments.figures import fig10
 RATIOS = (0.80, 0.92, 0.99)
 
 
-def test_fig10_lowlatency_ratio_sweep(benchmark, report):
+def test_fig10_lowlatency_ratio_sweep(benchmark, report, engine):
     intervals = bench_intervals(LOW_LATENCY_INTERVALS, minimum=2000)
-    result = run_once(benchmark, fig10, num_intervals=intervals, ratios=RATIOS)
+    result = run_once(
+        benchmark, fig10, num_intervals=intervals, ratios=RATIOS, engine=engine
+    )
     report(result)
 
     ldf = result.series["LDF"]

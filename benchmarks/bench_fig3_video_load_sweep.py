@@ -15,10 +15,10 @@ from repro.experiments.figures import fig3
 ALPHAS = (0.40, 0.50, 0.55, 0.62, 0.70)
 
 
-def test_fig3_video_load_sweep(benchmark, report):
+def test_fig3_video_load_sweep(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS)
     result = run_once(
-        benchmark, fig3, num_intervals=intervals, alphas=ALPHAS
+        benchmark, fig3, num_intervals=intervals, alphas=ALPHAS, engine=engine
     )
     report(result)
 

@@ -15,9 +15,11 @@ from repro.experiments.figures import fig4
 RATIOS = (0.80, 0.88, 0.93, 0.99)
 
 
-def test_fig4_video_ratio_sweep(benchmark, report):
+def test_fig4_video_ratio_sweep(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS)
-    result = run_once(benchmark, fig4, num_intervals=intervals, ratios=RATIOS)
+    result = run_once(
+        benchmark, fig4, num_intervals=intervals, ratios=RATIOS, engine=engine
+    )
     report(result)
 
     ldf = result.series["LDF"]

@@ -13,13 +13,17 @@ from repro.experiments.configs import VIDEO_INTERVALS
 from repro.experiments.figures import fig5
 
 
-def test_fig5_convergence(benchmark, report):
+def test_fig5_convergence(benchmark, report, engine):
     # Convergence needs the paper-scale horizon to be meaningful: the
     # watched link starts at priority 20 and the chain moves one adjacent
     # swap per interval at most.
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=3000)
     result = run_once(
-        benchmark, fig5, num_intervals=intervals, sample_every=max(intervals // 40, 10)
+        benchmark,
+        fig5,
+        num_intervals=intervals,
+        sample_every=max(intervals // 40, 10),
+        engine=engine,
     )
     report(result)
 

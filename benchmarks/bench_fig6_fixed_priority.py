@@ -17,9 +17,9 @@ from repro.experiments.configs import VIDEO_INTERVALS
 from repro.experiments.figures import fig6
 
 
-def test_fig6_fixed_priority(benchmark, report):
+def test_fig6_fixed_priority(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS, minimum=1000)
-    result = run_once(benchmark, fig6, num_intervals=intervals)
+    result = run_once(benchmark, fig6, num_intervals=intervals, engine=engine)
     report(result)
 
     series = np.asarray(result.series["StaticPriority"])

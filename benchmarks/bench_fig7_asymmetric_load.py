@@ -16,9 +16,11 @@ from repro.experiments.figures import fig7
 ALPHAS = (0.45, 0.65, 0.75)
 
 
-def test_fig7_asymmetric_load_sweep(benchmark, report):
+def test_fig7_asymmetric_load_sweep(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS)
-    result = run_once(benchmark, fig7, num_intervals=intervals, alphas=ALPHAS)
+    result = run_once(
+        benchmark, fig7, num_intervals=intervals, alphas=ALPHAS, engine=engine
+    )
     report(result)
 
     for group in (1, 2):

@@ -16,9 +16,11 @@ from repro.experiments.figures import fig8
 RATIOS = (0.80, 0.90, 0.99)
 
 
-def test_fig8_asymmetric_ratio_sweep(benchmark, report):
+def test_fig8_asymmetric_ratio_sweep(benchmark, report, engine):
     intervals = bench_intervals(VIDEO_INTERVALS)
-    result = run_once(benchmark, fig8, num_intervals=intervals, ratios=RATIOS)
+    result = run_once(
+        benchmark, fig8, num_intervals=intervals, ratios=RATIOS, engine=engine
+    )
     report(result)
 
     for group in (1, 2):

@@ -16,9 +16,11 @@ from repro.experiments.figures import fig9
 LAMBDAS = (0.60, 0.78, 0.90, 0.96)
 
 
-def test_fig9_lowlatency_load_sweep(benchmark, report):
+def test_fig9_lowlatency_load_sweep(benchmark, report, engine):
     intervals = bench_intervals(LOW_LATENCY_INTERVALS, minimum=2000)
-    result = run_once(benchmark, fig9, num_intervals=intervals, lambdas=LAMBDAS)
+    result = run_once(
+        benchmark, fig9, num_intervals=intervals, lambdas=LAMBDAS, engine=engine
+    )
     report(result)
 
     ldf = result.series["LDF"]

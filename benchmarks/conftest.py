@@ -13,6 +13,28 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        action="store",
+        default=None,
+        choices=("scalar", "batch", "fused"),
+        help=(
+            "Simulation engine for figure benchmarks (default: "
+            "REPRO_BENCH_ENGINE or 'fused'; unsupported cells fall back "
+            "automatically)"
+        ),
+    )
+
+
+@pytest.fixture
+def engine(request) -> str:
+    """Resolved engine for this run: --engine, REPRO_BENCH_ENGINE, 'fused'."""
+    from _bench_utils import resolve_engine
+
+    return resolve_engine(request.config.getoption("--engine"))
+
+
 @pytest.fixture
 def report():
     """Print a figure table after the benchmark (visible with -s)."""

@@ -17,14 +17,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from .dp_protocol import DPProtocol, SwapBias
+from .dp_protocol import DPProtocol, RowStackedConstantBias, SwapBias
 from .influence import DebtInfluenceFunction, PaperLogInfluence
 
-__all__ = ["GlauberDebtBias", "DBDPPolicy", "PAPER_R"]
+__all__ = [
+    "GlauberDebtBias",
+    "RowStackedGlauberBias",
+    "stack_swap_biases",
+    "DBDPPolicy",
+    "PAPER_R",
+]
 
 #: The Glauber constant used in the paper's NS-3 evaluation.
 PAPER_R: float = 10.0
@@ -65,6 +71,92 @@ class GlauberDebtBias(SwapBias):
         mu = 1.0 / (1.0 + self.glauber_r * np.exp(-np.minimum(energy, 700.0)))
         epsilon = 1e-12
         return np.clip(mu, epsilon, 1.0 - epsilon)
+
+
+@dataclass(frozen=True)
+class RowStackedGlauberBias(SwapBias):
+    """Eq. (14) with one Glauber constant ``R`` per batch-stack row.
+
+    Lets a fused batch stack mix DB-DP rows that differ in ``R`` (an
+    ablation axis) while sharing one kernel pass.  Batch-only, like
+    :class:`~repro.core.dp_protocol.RowStackedConstantBias`: arrays handed
+    to :meth:`mu_batch` must have the stack row as their leading axis.
+    """
+
+    influence: DebtInfluenceFunction
+    glauber_rs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.glauber_rs:
+            raise ValueError("need at least one row")
+        for r in self.glauber_rs:
+            if r <= 0:
+                raise ValueError(f"R must be positive, got {r}")
+
+    def mu(self, link: int, positive_debt: float, reliability: float) -> float:
+        raise TypeError(
+            "RowStackedGlauberBias is defined per batch row; it cannot "
+            "serve a scalar (row-less) protocol"
+        )
+
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        shape = np.shape(links)
+        rs = np.asarray(self.glauber_rs, dtype=float)
+        if len(shape) != 2 or shape[0] != rs.size:
+            raise ValueError(
+                f"expected (S, P) arrays with S = {rs.size} rows, got "
+                f"shape {shape}"
+            )
+        energy = self.influence.value_array(
+            np.asarray(positive_debts, dtype=float)
+        ) * np.asarray(reliabilities, dtype=float)
+        mu = 1.0 / (1.0 + rs[:, None] * np.exp(-np.minimum(energy, 700.0)))
+        epsilon = 1e-12
+        return np.clip(mu, epsilon, 1.0 - epsilon)
+
+
+def stack_swap_biases(biases: Sequence[SwapBias]) -> SwapBias:
+    """Collapse one swap bias per stack row into a single batch bias.
+
+    Used by :class:`~repro.sim.batch_kernels.BatchDPKernel` when a fused
+    stack supplies per-row policies: identical biases collapse to the
+    shared instance; Glauber biases differing only in ``R`` become a
+    :class:`RowStackedGlauberBias`; constant biases differing in ``mu``
+    become a :class:`~repro.core.dp_protocol.RowStackedConstantBias`.
+    Anything else raises ``TypeError`` so callers fall back to per-cell
+    simulation rather than silently mis-batching.
+    """
+    biases = list(biases)
+    if not biases:
+        raise ValueError("need at least one bias")
+    first = biases[0]
+    if all(b == first for b in biases[1:]):
+        return first
+    from .dp_protocol import ConstantSwapBias
+
+    if all(isinstance(b, GlauberDebtBias) for b in biases):
+        influence = biases[0].influence
+        if all(b.influence == influence for b in biases):
+            return RowStackedGlauberBias(
+                influence=influence,
+                glauber_rs=tuple(b.glauber_r for b in biases),
+            )
+        raise TypeError(
+            "cannot stack GlauberDebtBias rows with different influence "
+            "functions; run those cells separately"
+        )
+    if all(isinstance(b, ConstantSwapBias) for b in biases):
+        return RowStackedConstantBias(values=tuple(b.value for b in biases))
+    raise TypeError(
+        "cannot stack heterogeneous swap biases of types "
+        f"{sorted({type(b).__name__ for b in biases})}; run those cells "
+        "separately"
+    )
 
 
 class DBDPPolicy(DPProtocol):

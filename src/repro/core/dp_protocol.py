@@ -48,6 +48,7 @@ __all__ = [
     "max_swap_pairs",
     "ConstantSwapBias",
     "PerLinkSwapBias",
+    "RowStackedConstantBias",
     "SwapDecision",
     "compute_backoffs",
     "draw_candidate_indices",
@@ -135,6 +136,46 @@ class PerLinkSwapBias(SwapBias):
         reliabilities: np.ndarray,
     ) -> np.ndarray:
         return np.asarray(self.values, dtype=float)[np.asarray(links)]
+
+
+@dataclass(frozen=True)
+class RowStackedConstantBias(SwapBias):
+    """One constant ``mu`` per *replication row* of a fused batch stack.
+
+    Batch-only: the scalar protocol has no row identity, so :meth:`mu`
+    refuses.  :meth:`mu_batch` expects arrays whose leading axis indexes
+    the stack rows (the batch kernels' ``(S, P)`` candidate layout).
+    """
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one row")
+        for v in self.values:
+            if not 0.0 < v < 1.0:
+                raise ValueError(f"each mu must lie in (0, 1), got {v}")
+
+    def mu(self, link: int, positive_debt: float, reliability: float) -> float:
+        raise TypeError(
+            "RowStackedConstantBias is defined per batch row; it cannot "
+            "serve a scalar (row-less) protocol"
+        )
+
+    def mu_batch(
+        self,
+        links: np.ndarray,
+        positive_debts: np.ndarray,
+        reliabilities: np.ndarray,
+    ) -> np.ndarray:
+        shape = np.shape(links)
+        rows = np.asarray(self.values, dtype=float)
+        if len(shape) != 2 or shape[0] != rows.size:
+            raise ValueError(
+                f"expected (S, P) arrays with S = {rows.size} rows, got "
+                f"shape {shape}"
+            )
+        return np.broadcast_to(rows[:, None], shape)
 
 
 @dataclass(frozen=True)

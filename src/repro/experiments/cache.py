@@ -1,0 +1,315 @@
+"""Content-addressed on-disk cache for sweep cells.
+
+A figure sweep is a grid of independent (parameter value, policy) cells,
+each fully determined by its network spec, policy configuration, seed
+list, horizon, and the simulation code itself.  This module caches each
+cell's aggregated :class:`~repro.experiments.runner.SweepPoint` under a
+SHA-256 key of exactly those inputs, so re-running a figure (or a sweep
+sharing cells with a previous one) skips the simulation entirely.
+
+Key properties:
+
+* **Content-addressed** — the key hashes a canonical JSON encoding of the
+  spec (recursively, through its frozen dataclass components), the policy
+  configuration, the seed tuple, the interval count, the RNG discipline,
+  the reporting groups, and :func:`engine_version` (a hash of the engine
+  source files).  Changing any of these — a reliability, a Glauber
+  constant, a seed, or the simulator code — changes the key, so stale
+  hits are impossible by construction.
+* **Exact** — cached floats round-trip through JSON bit-for-bit (Python
+  serializes floats with shortest-roundtrip ``repr``), so a warm-cache
+  sweep reproduces the cold run's :class:`SweepPoint` values exactly.
+* **Conservative** — anything the fingerprinters do not recognize (a
+  custom policy class, a spec carrying non-dataclass state) yields no
+  key, and the cell is simply recomputed every time.
+
+The default location is ``.repro_cache/sweeps`` under the current
+directory; the ``REPRO_SWEEP_CACHE`` environment variable overrides it
+(set it to ``off`` to disable caching even where code requests it).
+
+One semantic caveat, inherited from the grid-fused engine
+(:mod:`repro.experiments.grid`): in the default ``sync_rng=False`` mode a
+cell's *sampled values* depend on the composition of the fused mega-batch
+it ran in, so a cell recomputed inside a different sweep is a fresh
+(statistically equivalent) sample rather than a bit-identical replay.
+Warm hits of a previously stored cell are always bit-identical; only
+cold recomputations in a new stack resample.  ``sync_rng=True`` cells
+are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from .runner import SweepPoint
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SweepCache",
+    "engine_version",
+    "fingerprint",
+    "policy_fingerprint",
+    "resolve_cache",
+]
+
+#: Bump when the stored payload layout changes.
+_SCHEMA = 1
+
+#: Environment variable overriding the cache directory ("off" disables).
+ENV_VAR = "REPRO_SWEEP_CACHE"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = Path(".repro_cache") / "sweeps"
+
+#: Source files whose content defines the simulation semantics a cached
+#: value depends on.  Paths are relative to the ``repro`` package root.
+_ENGINE_SOURCES = (
+    "core/dp_protocol.py",
+    "core/dbdp.py",
+    "core/eldf.py",
+    "core/policies.py",
+    "sim/batch_kernels.py",
+    "sim/batch_sim.py",
+    "sim/interval_sim.py",
+    "sim/rng.py",
+    "sim/spec_stack.py",
+    "experiments/grid.py",
+    "experiments/runner.py",
+    "experiments/cache.py",
+)
+
+_engine_version_cache: Optional[str] = None
+
+
+def engine_version() -> str:
+    """Hash of the engine source files (memoized per process).
+
+    Editing any file in ``_ENGINE_SOURCES`` changes this value and hence
+    every cache key, invalidating all previously stored cells.
+    """
+    global _engine_version_cache
+    if _engine_version_cache is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for rel in _ENGINE_SOURCES:
+            digest.update(rel.encode("utf-8"))
+            digest.update((root / rel).read_bytes())
+        _engine_version_cache = digest.hexdigest()[:16]
+    return _engine_version_cache
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def fingerprint(obj: Any) -> Any:
+    """A JSON-serializable, content-complete encoding of ``obj``.
+
+    Frozen dataclasses (specs, channels, arrival processes, timings,
+    biases, influence functions) encode recursively as tagged dicts;
+    primitives and containers pass through.  Raises ``TypeError`` for
+    anything else so callers can treat the object as uncacheable.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded: dict = {"__class__": type(obj).__qualname__}
+        for f in dataclasses.fields(obj):
+            encoded[f.name] = fingerprint(getattr(obj, f.name))
+        return encoded
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): fingerprint(v) for k, v in obj.items()}
+    if hasattr(obj, "item") and callable(obj.item) and getattr(obj, "ndim", None) == 0:
+        return fingerprint(obj.item())  # numpy scalar
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}")
+
+
+def policy_fingerprint(policy: Any) -> Optional[dict]:
+    """The configuration that determines a policy's behaviour, or ``None``.
+
+    ``None`` means "unknown policy class": the cell runs uncached rather
+    than risking a collision between distinct configurations.
+    """
+    from ..core.dcf import DCFPolicy
+    from ..core.dp_protocol import DPProtocol
+    from ..core.eldf import ELDFPolicy
+    from ..core.fcsma import FCSMAPolicy
+    from ..core.frame_csma import FrameCSMAPolicy
+    from ..core.round_robin import RoundRobinPolicy
+    from ..core.static_priority import StaticPriorityPolicy
+
+    try:
+        if isinstance(policy, DPProtocol):
+            config = {
+                "bias": fingerprint(policy.bias),
+                "num_pairs": int(policy.num_pairs),
+                "initial": fingerprint(policy._initial),
+            }
+        elif isinstance(policy, ELDFPolicy):
+            config = {"influence": fingerprint(policy.influence)}
+        elif isinstance(policy, FCSMAPolicy):
+            config = {"window_map": fingerprint(policy.window_map)}
+        elif isinstance(policy, StaticPriorityPolicy):
+            config = {"priorities": fingerprint(policy._configured)}
+        elif isinstance(policy, RoundRobinPolicy):
+            config = {}
+        elif isinstance(policy, DCFPolicy):
+            config = {"cw_min": int(policy.cw_min), "cw_max": int(policy.cw_max)}
+        elif isinstance(policy, FrameCSMAPolicy):
+            config = {
+                "control_slots": int(policy.control_slots),
+                "headroom": float(policy.headroom),
+            }
+        else:
+            return None
+    except TypeError:
+        return None
+    return {
+        "class": type(policy).__qualname__,
+        "name": policy.name,
+        **config,
+    }
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class SweepCache:
+    """Directory-backed store of per-cell :class:`SweepPoint` payloads.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json``; writes are atomic
+    (temp file + ``os.replace``), so concurrent sweeps sharing one cache
+    directory can only ever observe complete entries.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+    def cell_key(
+        self,
+        *,
+        spec: Any,
+        policy: Any,
+        seeds: Sequence[int],
+        num_intervals: int,
+        groups: Optional[Sequence[int]] = None,
+        sync_rng: bool = False,
+        engine: str = "fused",
+    ) -> Optional[str]:
+        """Content key for one sweep cell, or ``None`` if uncacheable."""
+        policy_fp = policy_fingerprint(policy)
+        if policy_fp is None:
+            return None
+        try:
+            spec_fp = fingerprint(spec)
+        except TypeError:
+            return None
+        payload = {
+            "schema": _SCHEMA,
+            "code": engine_version(),
+            "engine": str(engine),
+            "sync_rng": bool(sync_rng),
+            "spec": spec_fp,
+            "policy": policy_fp,
+            "seeds": [int(s) for s in seeds],
+            "num_intervals": int(num_intervals),
+            "groups": None if groups is None else [int(g) for g in groups],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- reads / writes ------------------------------------------------
+    def get(self, key: str) -> Optional[SweepPoint]:
+        """The cached point for ``key`` (``parameter`` is NaN; the sweep
+        assembler fills it), or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if data.get("schema") != _SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        group = data["group_deficiency"]
+        return SweepPoint(
+            parameter=float("nan"),
+            policy=data["policy"],
+            total_deficiency=data["total_deficiency"],
+            deficiency_std=data["deficiency_std"],
+            group_deficiency=None if group is None else tuple(group),
+            collisions=data["collisions"],
+            mean_overhead_us=data["mean_overhead_us"],
+        )
+
+    def put(self, key: str, point: SweepPoint) -> None:
+        """Store ``point`` under ``key`` (atomically; last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": _SCHEMA,
+            "policy": point.policy,
+            "total_deficiency": point.total_deficiency,
+            "deficiency_std": point.deficiency_std,
+            "group_deficiency": (
+                None
+                if point.group_deficiency is None
+                else list(point.group_deficiency)
+            ),
+            "collisions": point.collisions,
+            "mean_overhead_us": point.mean_overhead_us,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, SweepCache],
+) -> Optional[SweepCache]:
+    """Normalize a user-facing ``cache`` argument to a store (or ``None``).
+
+    ``None``/``False`` disable caching; a :class:`SweepCache` passes
+    through; a path string/Path opens that directory; ``True`` uses
+    ``REPRO_SWEEP_CACHE`` (``off``/``0``/``none`` disable) or the default
+    directory.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, SweepCache):
+        return cache
+    if cache is True:
+        env = os.environ.get(ENV_VAR, "").strip()
+        if env:
+            if env.lower() in ("off", "0", "none", "disabled"):
+                return None
+            return SweepCache(env)
+        return SweepCache(DEFAULT_CACHE_DIR)
+    return SweepCache(cache)

@@ -26,7 +26,7 @@ from ..core.dp_protocol import max_swap_pairs
 from ..core.eldf import LDFPolicy
 from ..sim.interval_sim import run_simulation
 from .configs import VIDEO_INTERVALS, scaled_intervals, video_symmetric_spec
-from .figures import FigureResult
+from .figures import FigureResult, _check_engine
 
 __all__ = ["convergence_vs_network_size", "settling_time"]
 
@@ -60,13 +60,17 @@ def convergence_vs_network_size(
     alpha: float = 0.5,
     delivery_ratio: float = 0.9,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Settling time of the bottom link vs N, for LDF and DB-DP variants.
 
     The per-link load is held constant (`alpha`), so larger networks are
     proportionally loaded; `alpha = 0.5` keeps every size strictly feasible
-    (utilization 0.75 alpha N / 20 at 20 links' scale).
+    (utilization 0.75 alpha N / 20 at 20 links' scale).  ``engine`` is
+    accepted for harness uniformity; settling-time traces are per-seed
+    scalar runs.
     """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     result = FigureResult(
         figure_id="ext-convergence",

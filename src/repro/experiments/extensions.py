@@ -38,7 +38,7 @@ from ..traffic.arrivals import (
     MarkovModulatedArrivals,
 )
 from .configs import VIDEO_INTERVALS, scaled_intervals, video_symmetric_spec
-from .figures import FigureResult
+from .figures import FigureResult, _check_engine
 
 __all__ = [
     "baseline_panorama",
@@ -51,8 +51,15 @@ def baseline_panorama(
     num_intervals: Optional[int] = None,
     alpha: float = 0.55,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> FigureResult:
-    """Total deficiency of every implemented MAC on the video scenario."""
+    """Total deficiency of every implemented MAC on the video scenario.
+
+    ``engine`` is accepted for harness uniformity but these single-trace
+    studies always run on the scalar engine (contention policies and
+    stateful processes have no batch kernels).
+    """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     spec = video_symmetric_spec(alpha, delivery_ratio=0.9)
     policies = {
@@ -86,14 +93,17 @@ def burst_loss_robustness(
     num_intervals: Optional[int] = None,
     arrival_rate: float = 0.6,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> FigureResult:
     """DB-DP vs LDF under i.i.d. versus Gilbert-Elliott channels.
 
     Both channels have the same long-run reliability (~0.7); the
     Gilbert-Elliott one delivers it in bursts.  Policies use the stationary
     reliability in their weights, as the paper's "p_n obtained by probing
-    or learning" prescription implies.
+    or learning" prescription implies.  ``engine`` is accepted for harness uniformity;
+    the Gilbert-Elliott channel forces the scalar engine regardless.
     """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     n = 10
     ge_channel = GilbertElliottChannel(
@@ -137,8 +147,14 @@ def correlated_traffic_robustness(
     num_intervals: Optional[int] = None,
     mean_rate: float = 0.5,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> FigureResult:
-    """DB-DP under three traffic correlation structures at equal mean load."""
+    """DB-DP under three traffic correlation structures at equal mean load.
+
+    ``engine`` is accepted for harness uniformity; Markov-modulated
+    arrivals force the scalar engine regardless.
+    """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     n = 8
     processes = {

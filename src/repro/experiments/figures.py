@@ -39,7 +39,13 @@ from .configs import (
     video_asymmetric_spec,
     video_symmetric_spec,
 )
-from .runner import SweepResult, run_sweep
+from .runner import _ENGINES, SweepResult, run_sweep
+
+
+def _check_engine(engine: str) -> None:
+    """Validate an ``engine`` argument on figures that cannot use it."""
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
 
 __all__ = [
     "FigureResult",
@@ -110,6 +116,7 @@ def fig3(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     alphas: Sequence[float] = FIG3_ALPHAS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -124,6 +131,7 @@ def fig3(
         policies=paper_policies(),
         num_intervals=intervals,
         seeds=seeds,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,
@@ -137,6 +145,7 @@ def fig4(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG4_RATIOS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -148,6 +157,7 @@ def fig4(
         policies=paper_policies(),
         num_intervals=intervals,
         seeds=seeds,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,
@@ -161,13 +171,19 @@ def fig5(
     num_intervals: Optional[int] = None,
     seed: int = 0,
     sample_every: int = 50,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 5: convergence of the link with the lowest initial priority.
 
     ``alpha* = 0.55``, 93% delivery ratio; plots the running
     timely-throughput of the link that starts at priority index 20 under
     DB-DP and under LDF, against time (intervals).
+
+    ``engine`` is accepted for harness uniformity (the benchmark suite
+    passes one engine to every figure) but single-trace figures always run
+    on the scalar engine — there is no seed stack or grid to vectorize.
     """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     spec = video_symmetric_spec(0.55, delivery_ratio=0.93)
     watched = VIDEO_NUM_LINKS - 1  # identity initial ordering: last = lowest
@@ -197,14 +213,17 @@ def fig5(
 def fig6(
     num_intervals: Optional[int] = None,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 6: average timely-throughput per link under a *fixed* priority
     ordering, ``alpha* = 0.6``.
 
     Demonstrates the no-starvation property of the priority structure: the
     x-axis is the priority index (1 = highest), and even index 20 receives
-    non-zero timely-throughput.
+    non-zero timely-throughput.  ``engine`` is accepted for harness
+    uniformity; single-trace figures always run on the scalar engine.
     """
+    _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     spec = video_symmetric_spec(0.60, delivery_ratio=0.9)
     policy = StaticPriorityPolicy()  # identity: link n has priority n + 1
@@ -226,6 +245,7 @@ def fig7(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     alphas: Sequence[float] = FIG7_ALPHAS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -238,6 +258,7 @@ def fig7(
         num_intervals=intervals,
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,
@@ -253,6 +274,7 @@ def fig8(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG8_RATIOS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -265,6 +287,7 @@ def fig8(
         num_intervals=intervals,
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,
@@ -280,6 +303,7 @@ def fig9(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     lambdas: Sequence[float] = FIG9_LAMBDAS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -291,6 +315,7 @@ def fig9(
         policies=paper_policies(),
         num_intervals=intervals,
         seeds=seeds,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,
@@ -304,6 +329,7 @@ def fig10(
     num_intervals: Optional[int] = None,
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG10_RATIOS,
+    engine: str = "scalar",
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -315,6 +341,7 @@ def fig10(
         policies=paper_policies(),
         num_intervals=intervals,
         seeds=seeds,
+        engine=engine,
     )
     return _sweep_to_figure(
         sweep,

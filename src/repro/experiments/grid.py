@@ -1,0 +1,287 @@
+"""Grid-fused sweeps: one engine pass per (policy family, N) group.
+
+:func:`~repro.experiments.runner.run_sweep` with ``engine="batch"`` already
+vectorizes across seeds, but still pays one engine invocation — Python
+per-interval loop included — per (parameter value, policy) cell.  A figure
+sweep is V values x P policies of those.  This module collapses the grid
+the rest of the way: every cell of a sweep that shares a policy family and
+a link count joins one **mega-batch** of ``R = V x S`` rows (S = seeds per
+cell), built on the per-row spec support of
+:class:`~repro.sim.spec_stack.SpecStack` /
+:class:`~repro.sim.batch_sim.BatchIntervalSimulator`.  The whole sweep then
+costs one Python interval loop per policy family instead of one per cell —
+on the paper's Fig. 3 grid this is a further ~4x end-to-end over per-cell
+batching (see ``benchmarks/bench_fused_sweep.py``).
+
+Semantics:
+
+* Per-row results are scattered back into ordinary
+  :class:`~repro.experiments.runner.SweepPoint`s using float operations
+  chosen to match the per-cell batch runner bit-for-bit given the same
+  draws.  With ``sync_rng=True`` every row is bit-identical to the scalar
+  engine (and hence to per-cell batch sync runs); in the default mode each
+  row is an independent sample of the same distribution, drawn from
+  ``"fused"``-tagged batch streams.
+* Cells whose spec/policy cannot join a mega-batch — no batch kernel
+  (FCSMA, DCF, frame-CSMA), stateful channels or arrivals, or per-row
+  parameters the kernels cannot stack — **fall back automatically** to
+  the per-cell runner (``engine="batch"``, which itself degrades to
+  scalar), so ``run_sweep_fused`` accepts anything ``run_sweep`` does.
+* Pass ``cache=True`` (or a directory / :class:`SweepCache`) to memoize
+  finished cells on disk; see :mod:`repro.experiments.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.requirements import NetworkSpec
+from ..sim.batch_sim import (
+    BatchIntervalSimulator,
+    BatchSweepStats,
+    share_batch_draws,
+    supports_batch_engine,
+)
+from .cache import SweepCache, resolve_cache
+from .configs import PolicyFactory
+from .runner import SweepPoint, SweepResult, run_single
+
+__all__ = ["run_sweep_fused", "FUSED_STREAM_TAG"]
+
+#: Batch-RNG namespace tag for fused mega-batches (see
+#: :class:`~repro.sim.rng.BatchRngBundle`).
+FUSED_STREAM_TAG = "fused"
+
+
+@dataclass
+class _Cell:
+    """One (parameter value, policy) cell being assembled."""
+
+    value: float
+    label: str
+    spec: NetworkSpec
+    factory: PolicyFactory
+    policy: object
+    key: Optional[str] = None
+    point: Optional[SweepPoint] = None
+    cached: bool = False
+    rows: Optional[slice] = field(default=None, repr=False)
+
+
+def _group_signature(cell: _Cell) -> Tuple:
+    """Cells sharing this signature are candidates for one mega-batch."""
+    return (type(cell.policy), cell.spec.num_links, cell.spec.timing)
+
+
+def _scatter_points(
+    cells: List[_Cell],
+    stats: BatchSweepStats,
+    num_seeds: int,
+    groups: Optional[Sequence[int]],
+) -> None:
+    """Split mega-batch aggregates back into per-cell sweep points.
+
+    Float operations mirror ``runner._run_single_batch`` exactly: int64
+    delivery/collision sums make the means exact, and the per-cell row
+    slices feed ``mean()``/``std()`` the same values in the same order, so
+    a fused cell equals its per-cell counterpart bit-for-bit whenever the
+    underlying draws match (``sync_rng=True``).
+    """
+    totals_all = stats.total_deficiency()  # (R,)
+    collisions_all = stats.total_collisions().astype(float)  # (R,)
+    overheads_all = stats.mean_overhead_us()  # (R,)
+    link_def_all = stats.per_link_deficiency()  # (R, N)
+    group_ids = None if groups is None else np.asarray(groups, dtype=int)
+    for cell in cells:
+        rows = cell.rows
+        totals = totals_all[rows]
+        group_mean = None
+        if group_ids is not None:
+            if group_ids.shape != (stats.num_links,):
+                raise ValueError("groups must have one id per link")
+            num_groups = int(group_ids.max()) + 1
+            per_seed = [
+                np.array(
+                    [
+                        link_def_all[r][group_ids == gid].sum()
+                        for gid in range(num_groups)
+                    ]
+                )
+                for r in range(rows.start, rows.stop)
+            ]
+            group_mean = tuple(float(x) for x in np.mean(per_seed, axis=0))
+        cell.point = SweepPoint(
+            parameter=float("nan"),  # filled during assembly
+            policy=cell.policy.name,
+            total_deficiency=float(totals.mean()),
+            deficiency_std=float(totals.std()),
+            group_deficiency=group_mean,
+            collisions=float(collisions_all[rows].mean()),
+            mean_overhead_us=float(np.mean(overheads_all[rows])),
+        )
+
+
+def _build_fused_sim(
+    cells: List[_Cell],
+    seeds: Tuple[int, ...],
+    sync_rng: bool,
+    validate: bool,
+) -> Optional[BatchIntervalSimulator]:
+    """Stack one group's cells into a mega-batch simulator.
+
+    Stack construction and kernel binding may legitimately reject a group
+    (heterogeneous timings, unstackable per-row policy parameters); those
+    raise ``TypeError``/``ValueError`` *before* any simulation happens and
+    turn into a per-cell fallback (``None``).  Errors raised
+    mid-simulation are real failures and propagate from the run loop.
+    """
+    num_seeds = len(seeds)
+    row_specs: List[NetworkSpec] = []
+    row_seeds: List[int] = []
+    row_policies: List[object] = []
+    for cell in cells:
+        cell.rows = slice(len(row_seeds), len(row_seeds) + num_seeds)
+        for seed in seeds:
+            row_specs.append(cell.spec)
+            row_seeds.append(seed)
+            row_policies.append(cell.policy)
+    try:
+        return BatchIntervalSimulator(
+            row_specs,
+            cells[0].policy,
+            row_seeds,
+            sync_rng=sync_rng,
+            validate=validate,
+            record_traces=False,
+            row_policies=row_policies,
+            stream_tag=FUSED_STREAM_TAG,
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+def run_sweep_fused(
+    parameter_name: str,
+    values: Sequence[float],
+    spec_builder: Callable[[float], NetworkSpec],
+    policies: Dict[str, PolicyFactory],
+    num_intervals: int,
+    seeds: Sequence[int] = (0,),
+    groups: Optional[Sequence[int]] = None,
+    *,
+    sync_rng: bool = False,
+    cache: Union[None, bool, str, SweepCache] = None,
+    validate: bool = True,
+) -> SweepResult:
+    """Drop-in :func:`~repro.experiments.runner.run_sweep`, grid-fused.
+
+    Same signature and :class:`SweepResult` contract as ``run_sweep``,
+    plus:
+
+    sync_rng:
+        Drive every row with scalar-identical streams (bit-exact against
+        the scalar and per-cell batch engines, but slow) instead of the
+        default vectorized batch streams.
+    cache:
+        ``True`` / directory / :class:`~repro.experiments.cache.SweepCache`
+        enables the on-disk cell cache; finished cells are stored and hit
+        cells skip simulation entirely.
+    validate:
+        Per-step deliveries-vs-arrivals assertion (on by default;
+        benchmarks disable it).
+    """
+    if num_intervals <= 0:
+        raise ValueError(f"num_intervals must be positive, got {num_intervals}")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    seeds = tuple(int(s) for s in seeds)
+    store = resolve_cache(cache)
+
+    cells: List[_Cell] = []
+    for value in values:
+        spec = spec_builder(value)
+        for label, factory in policies.items():
+            cells.append(
+                _Cell(
+                    value=float(value),
+                    label=label,
+                    spec=spec,
+                    factory=factory,
+                    policy=factory(),
+                )
+            )
+
+    # Cache lookups first: hit cells never touch an engine.
+    if store is not None:
+        for cell in cells:
+            cell.key = store.cell_key(
+                spec=cell.spec,
+                policy=cell.policy,
+                seeds=seeds,
+                num_intervals=num_intervals,
+                groups=groups,
+                sync_rng=sync_rng,
+            )
+            if cell.key is not None:
+                cell.point = store.get(cell.key)
+                cell.cached = cell.point is not None
+
+    # Partition the misses into fusable groups and per-cell fallbacks.
+    fused_groups: Dict[Tuple, List[_Cell]] = {}
+    fallback: List[_Cell] = []
+    for cell in cells:
+        if cell.point is not None:
+            continue
+        if supports_batch_engine(cell.spec, cell.policy, sync_rng=sync_rng):
+            fused_groups.setdefault(_group_signature(cell), []).append(cell)
+        else:
+            fallback.append(cell)
+
+    built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
+    for group_cells in fused_groups.values():
+        sim = _build_fused_sim(group_cells, seeds, sync_rng, validate)
+        if sim is None:
+            fallback.extend(group_cells)
+        else:
+            built.append((group_cells, sim))
+
+    # Policy-family groups of one grid stack the same cells with the same
+    # seeds, so their channel/arrival draws coincide; running them in
+    # lockstep lets one generation pass feed every family (exactly like
+    # the per-cell engines, where equal seeds reuse equal draws across
+    # policies).
+    share_batch_draws([sim for _, sim in built])
+    for _ in range(num_intervals):
+        for _, sim in built:
+            sim.step()
+    for group_cells, sim in built:
+        _scatter_points(group_cells, sim.stats, len(seeds), groups)
+
+    for cell in fallback:
+        cell.point = run_single(
+            cell.spec, cell.factory, num_intervals, seeds, groups, engine="batch"
+        )
+
+    if store is not None:
+        for cell in cells:
+            if cell.key is not None and not cell.cached:
+                store.put(cell.key, cell.point)
+
+    result = SweepResult(parameter_name=parameter_name, values=list(values))
+    for cell in cells:
+        point = cell.point
+        result.points.append(
+            SweepPoint(
+                parameter=cell.value,
+                policy=cell.label,
+                total_deficiency=point.total_deficiency,
+                deficiency_std=point.deficiency_std,
+                group_deficiency=point.group_deficiency,
+                collisions=point.collisions,
+                mean_overhead_us=point.mean_overhead_us,
+            )
+        )
+    return result

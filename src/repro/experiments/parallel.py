@@ -64,7 +64,11 @@ def run_sweep_parallel(
     functions / classes — every builder in :mod:`repro.experiments.configs`
     qualifies).  Results are ordered exactly like the sequential runner's.
     ``engine="batch"`` composes with process parallelism: each worker then
-    runs its cell's whole seed stack vectorized.
+    runs its cell's whole seed stack vectorized.  ``engine="fused"`` is
+    accepted but equivalent to ``"batch"`` here — each worker owns a
+    single cell, so there is no grid left to fuse inside it; use the
+    sequential :func:`~repro.experiments.grid.run_sweep_fused` when you
+    want whole-sweep fusion instead of process fan-out.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")

@@ -21,7 +21,7 @@ from .configs import PolicyFactory
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "run_single"]
 
 #: Valid values for the runner's ``engine`` argument.
-_ENGINES = ("scalar", "batch")
+_ENGINES = ("scalar", "batch", "fused")
 
 
 @dataclass(frozen=True)
@@ -45,21 +45,38 @@ class SweepResult:
     values: List[float] = field(default_factory=list)
     points: List[SweepPoint] = field(default_factory=list)
 
+    def _lookup(self, by_value: Dict[float, float], policy: str) -> List[float]:
+        missing = [v for v in self.values if v not in by_value]
+        if missing:
+            known = sorted({p.policy for p in self.points})
+            raise KeyError(
+                f"sweep of {self.parameter_name!r} has no point for policy "
+                f"{policy!r} at value(s) {missing} (policies present: "
+                f"{known})"
+            )
+        return [by_value[v] for v in self.values]
+
     def series(self, policy: str) -> List[float]:
-        """Deficiency series (aligned with ``values``) for one policy."""
+        """Deficiency series (aligned with ``values``) for one policy.
+
+        Raises a ``KeyError`` naming the policy and the missing parameter
+        value(s) if any (value, policy) cell is absent.
+        """
         by_value = {
             p.parameter: p.total_deficiency
             for p in self.points
             if p.policy == policy
         }
-        return [by_value[v] for v in self.values]
+        return self._lookup(by_value, policy)
 
     def group_series(self, policy: str, group: int) -> List[float]:
+        """Per-group deficiency series; ``KeyError`` semantics as
+        :meth:`series` (a point without group data counts as missing)."""
         by_value = {}
         for p in self.points:
             if p.policy == policy and p.group_deficiency is not None:
                 by_value[p.parameter] = p.group_deficiency[group]
-        return [by_value[v] for v in self.values]
+        return self._lookup(by_value, policy)
 
     @property
     def policies(self) -> List[str]:
@@ -123,11 +140,13 @@ def run_single(
     vectorized engine when the (spec, policy) pair supports it, and falls
     back to the scalar engine per policy otherwise (e.g. FCSMA/DCF, which
     have no batch kernels) — same statistics either way, only the random
-    draw order differs.
+    draw order differs.  ``engine="fused"`` is accepted for symmetry with
+    :func:`run_sweep` but behaves as ``"batch"`` here: with a single cell
+    there is no grid to fuse.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
-    if engine == "batch":
+    if engine in ("batch", "fused"):
         policy = factory()
         if supports_batch_engine(spec, policy):
             return _run_single_batch(spec, policy, num_intervals, seeds, groups)
@@ -180,12 +199,27 @@ def run_sweep(
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
-    See :func:`run_single` for ``engine`` semantics.
+    See :func:`run_single` for ``engine`` semantics; ``engine="fused"``
+    delegates the whole grid to
+    :func:`~repro.experiments.grid.run_sweep_fused`, which batches every
+    fusable (value, seed) cell of a policy family into one engine pass.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine == "fused":
+        from .grid import run_sweep_fused
+
+        return run_sweep_fused(
+            parameter_name,
+            values,
+            spec_builder,
+            policies,
+            num_intervals,
+            seeds,
+            groups,
+        )
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for value in values:
         spec = spec_builder(value)

@@ -33,6 +33,15 @@ wrapper cost rivals its C time):
   unaffected, and chunk boundaries are independent of how ``run`` calls
   are split because the caches live on the kernel.
 
+Kernels also accept **per-row spec parameters** (the grid-fused engine):
+``bind`` takes either one shared spec or a
+:class:`~repro.sim.spec_stack.SpecStack` with one spec per replication
+row, in which case reliabilities and requirements become ``(S, N)``
+matrices and rows may come from *different sweep cells* (different
+``p_n``/``q_n``/arrival parameters, and — for the DP kernel — different
+Glauber bias constants via ``row_policies``) as long as ``N``, the timing,
+and the policy family match.
+
 Every kernel also has a ``sync_rng`` mode in which it drives one *scalar*
 policy clone per seed with that seed's scalar-identical random streams
 (:attr:`~repro.sim.rng.BatchRngBundle.bundles`).  That mode is the
@@ -47,10 +56,11 @@ import copy
 from abc import ABC, abstractmethod
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.dbdp import stack_swap_biases
 from ..core.dp_protocol import DPProtocol, max_swap_pairs
 from ..core.eldf import ELDFPolicy
 from ..core.permutations import priority_to_link_order, validate_priority_vector
@@ -60,6 +70,7 @@ from ..core.round_robin import RoundRobinPolicy
 from ..core.static_priority import StaticPriorityPolicy
 from ..phy.channel import BernoulliChannel
 from .rng import BatchRngBundle
+from .spec_stack import SpecStack
 
 __all__ = [
     "BatchIntervalOutcome",
@@ -94,12 +105,26 @@ class BatchIntervalOutcome:
     priorities: Optional[np.ndarray] = None  # (S, N) int64 or None
 
 
+def drain_totals(needed_cum: np.ndarray, backlog: np.ndarray) -> np.ndarray:
+    """Per-link total attempts needed to drain the backlog: ``(S, N)``.
+
+    This is ``needed_cum[..., backlog - 1]`` (zero for empty buffers) in
+    the draw dtype.  It depends only on the channel draws and the
+    arrivals, not on any policy decision, so lockstep simulators sharing
+    draw blocks also share this plane (``batch_sim._FanoutDraws``).
+    """
+    idx = np.maximum(backlog - 1, 0)
+    tot = np.take_along_axis(needed_cum, idx[:, :, None], axis=2)[:, :, 0]
+    return np.where(backlog > 0, tot, needed_cum.dtype.type(0))
+
+
 def solve_ordered_service(
     order: np.ndarray,
     backlog: np.ndarray,
     needed_cum: np.ndarray,
     caps: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+    tot_link: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Resolve sequential in-order service for all replications at once.
 
     Parameters
@@ -109,8 +134,10 @@ def solve_ordered_service(
     backlog:
         ``(S, N)`` — packets buffered per *link*.
     needed_cum:
-        ``(S, N, A)`` int64 — per link, cumulative attempts needed to
-        deliver its first ``t+1`` packets (cumsum of geometric draws).
+        ``(S, N, A)`` — per link, cumulative attempts needed to deliver
+        its first ``t+1`` packets (cumsum of geometric draws).  May be an
+        integer or float array; float entries must hold exact integers
+        (:class:`_ChunkedChannelDraws` guarantees this).
     caps:
         ``(S, N)`` int64 — per service *position*, the absolute attempt
         ceiling: the link in that position may finish at most
@@ -119,8 +146,10 @@ def solve_ordered_service(
         attempt budgets and backoff-staircase budgets, since backoffs grow
         along the service order).
 
-    Returns ``(delivered, attempts)``, both ``(S, N)`` int64 indexed by
-    *position* (scatter through ``order`` for per-link views).
+    Returns ``(delivered, attempts, attempts_pos)``: ``delivered`` and
+    ``attempts`` are ``(S, N)`` int64 indexed by *link*; ``attempts_pos``
+    is the same attempts indexed by service *position* (callers need both
+    views, and the position view is a by-product here).
 
     Why no loop is needed: with ``G`` the cumulative attempts *needed* by
     the first ``j`` links, position ``j`` receives
@@ -128,30 +157,60 @@ def solve_ordered_service(
     sequential recursion because attempts-used equals attempts-needed for
     every link until the first truncated link, and after a truncation the
     non-increasing ceiling starves all later links — the same "budget
-    exhausted" outcome the scalar engine produces.  Packet ``t`` of
-    position ``j`` is delivered iff ``G_{j-1} + needed_cum[j, t] <=
+    exhausted" outcome the scalar engine produces.  Packet ``t`` of the
+    link in position ``j`` is delivered iff ``G_{j-1} + needed_cum[t] <=
     caps_j``.
+
+    The per-packet scan only runs for *partially served* links — positive
+    budget short of a full drain.  A drained link delivers its whole
+    backlog and a starved one delivers nothing, no packet data needed, and
+    the non-increasing cap leaves at most one partial link per row (the
+    marginal link at the truncation point), so the scan touches ``O(S*A)``
+    elements instead of the full ``(S, N, A)`` block.
+
+    ``tot_link`` — the per-link total attempts needed to drain (cum at
+    slot ``backlog - 1``, zero where the backlog is empty) — is recomputed
+    when omitted; callers that share draw blocks across lockstep
+    simulators pass the cached plane instead (see
+    ``batch_sim.share_batch_draws``).
     """
     S = order.shape[0]
     rows = np.arange(S)[:, None]
-    cols = np.arange(order.shape[1])[None, :]
-    backlog_pos = backlog[rows, order]
-    cum_pos = needed_cum[rows, order]  # (S, N, A)
+    work = needed_cum.dtype
 
-    # Total attempts needed to fully drain each position's buffer.
-    tot_pos = cum_pos[rows, cols, np.maximum(backlog_pos - 1, 0)]
-    tot_pos = np.where(backlog_pos > 0, tot_pos, 0)
+    # Total attempts needed to fully drain each link's buffer (its cum at
+    # slot backlog-1), then reorder that (S, N) plane into service order.
+    if tot_link is None:
+        tot_link = drain_totals(needed_cum, backlog)
+    tot_pos = tot_link[rows, order]
 
     cum_needed = np.cumsum(tot_pos, axis=1)
-    budget = caps - (cum_needed - tot_pos)  # attempts left for each position
+    # Attempts left for each position; computed in the draw dtype so every
+    # comparison against the draw block stays in one dtype.
+    budget = caps.astype(work) - (cum_needed - tot_pos)
     attempts_pos = np.clip(budget, 0, tot_pos)
 
-    # cum_pos is increasing along the packet axis, so the number of slots
-    # with cum <= budget counts deliverable packets; capping by the backlog
-    # discards the unused tail slots.
-    within = (cum_pos <= budget[:, :, None]).sum(axis=2, dtype=np.int64)
-    delivered_pos = np.minimum(within, backlog_pos)
-    return delivered_pos, attempts_pos
+    budget_link = np.empty_like(budget)
+    budget_link[rows, order] = budget
+    full = budget_link >= tot_link
+    delivered = np.where(full, backlog, 0)
+    partial = (budget_link > 0) & ~full
+    if partial.any():
+        # needed_cum is increasing along the packet axis, so the number of
+        # slots with cum <= budget counts deliverable packets; slots past
+        # the backlog have cum >= tot > budget and drop out on their own.
+        rp, cp = np.nonzero(partial)
+        cum_sel = needed_cum[rp, cp]
+        within = (cum_sel <= budget_link[rp, cp, None]).sum(axis=1)
+        delivered[rp, cp] = np.minimum(within, backlog[rp, cp])
+
+    attempts = np.empty_like(budget_link)
+    attempts[rows, order] = attempts_pos
+    return (
+        delivered,
+        attempts.astype(np.int64),
+        attempts_pos.astype(np.int64),
+    )
 
 
 class _ChunkedChannelDraws:
@@ -160,24 +219,62 @@ class _ChunkedChannelDraws:
     ``next(rng)`` yields one interval's ``(S, N, A)`` cumulative-attempt
     array; a fresh ``(DRAW_CHUNK, S, N, A)`` block is drawn whenever the
     cache runs dry.
+
+    Draws use inverse-transform sampling, ``g = max(ceil(E / lambda), 1)``
+    with ``E`` standard exponential and ``lambda = -log(1 - p)``, which is
+    exactly geometric(p) and fills the block roughly twice as fast as
+    ``Generator.geometric`` on broadcast probabilities.  The whole block —
+    draws and running cumsum — stays in float32 whenever the largest
+    reachable cumulative count is below ``2**24`` (small integers are exact
+    in float32), halving the memory traffic of this hot path; pathological
+    reliabilities fall back to float64, where the sums stay exact below
+    ``2**53``.
     """
 
     def __init__(self, success_probs: np.ndarray, num_seeds: int, a_max: int):
-        self._probs = np.asarray(success_probs, dtype=float)[
-            None, None, :, None
-        ]
-        self._shape = (DRAW_CHUNK, num_seeds, self._probs.shape[2], a_max)
+        probs = np.asarray(success_probs, dtype=float)
+        num_links = probs.shape[-1]
+        if probs.ndim == 1:
+            # One shared reliability vector: broadcast over replications.
+            probs = probs[None, None, :, None]
+        else:
+            # Per-row reliabilities of a fused stack: (S, N) -> (1, S, N, 1).
+            if probs.shape[0] != num_seeds:
+                raise ValueError(
+                    f"per-row reliabilities cover {probs.shape[0]} rows, "
+                    f"stack has {num_seeds}"
+                )
+            probs = probs[None, :, :, None]
+        with np.errstate(divide="ignore"):
+            # p == 1 -> lambda = inf -> scale 0 -> g = max(ceil(0), 1) = 1.
+            scale = -1.0 / np.log1p(-probs)
+        # A float32 standard exponential never exceeds ~89 (= -log of the
+        # smallest positive float32 the ziggurat can emit); 128 leaves slack.
+        worst_cum = a_max * np.ceil(128.0 * scale.max() + 1.0)
+        dtype = np.float32 if worst_cum < 2**24 else np.float64
+        self._scale = scale.astype(dtype)
+        self._shape = (DRAW_CHUNK, num_seeds, num_links, a_max)
+        self._dtype = dtype
         self._cache: Optional[np.ndarray] = None
         self._pos = DRAW_CHUNK
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
         if self._pos >= DRAW_CHUNK:
-            needed = rng.geometric(self._probs, size=self._shape)
-            self._cache = np.cumsum(needed, axis=3, dtype=np.int64)
+            draws = rng.standard_exponential(self._shape, dtype=self._dtype)
+            np.multiply(draws, self._scale, out=draws)
+            np.ceil(draws, out=draws)
+            np.maximum(draws, 1.0, out=draws)
+            self._cache = np.cumsum(draws, axis=3)
             self._pos = 0
         block = self._cache[self._pos]
         self._pos += 1
         return block
+
+    def totals(self, needed_cum: np.ndarray, backlog: np.ndarray) -> np.ndarray:
+        """Drain totals for the interval's block; lockstep fan-out wrappers
+        override this with a per-interval cache (the plane depends only on
+        draws and arrivals, both shared)."""
+        return drain_totals(needed_cum, backlog)
 
 
 class _ChunkedUniforms:
@@ -204,44 +301,109 @@ class BatchPolicyKernel(ABC):
         self.policy = policy
         self.name = policy.name
         self._spec: Optional[NetworkSpec] = None
+        self._stack: Optional[SpecStack] = None
+        self._row_policies: Optional[List[IntervalMac]] = None
         self._clones: List[IntervalMac] = []
 
     @property
     def spec(self) -> NetworkSpec:
+        """Row 0's spec (the shared spec for homogeneous stacks)."""
         if self._spec is None:
             raise RuntimeError(f"{type(self).__name__} is not bound; call bind()")
         return self._spec
 
-    def bind(self, spec: NetworkSpec, num_seeds: int, sync_rng: bool) -> None:
-        """Attach to a network and reset all per-replication state."""
-        if not isinstance(spec.channel, BernoulliChannel):
-            raise TypeError(
-                "the batch engine requires a BernoulliChannel (stateful "
-                f"channels are not batchable), got {type(spec.channel).__name__}"
+    @property
+    def stack(self) -> Optional[SpecStack]:
+        """The per-row spec stack, or ``None`` for a single shared spec."""
+        return self._stack
+
+    def bind(
+        self,
+        spec: "NetworkSpec | SpecStack | Sequence[NetworkSpec]",
+        num_seeds: int,
+        sync_rng: bool,
+        row_policies: Optional[Sequence[IntervalMac]] = None,
+    ) -> None:
+        """Attach to a network and reset all per-replication state.
+
+        ``spec`` is either one shared :class:`NetworkSpec` (every
+        replication simulates the same network — the plain batch engine)
+        or a :class:`SpecStack` / sequence of specs, one per replication
+        row (the grid-fused engine).  ``row_policies`` optionally supplies
+        one policy instance per row; they must match the kernel's policy
+        family and configuration except where the kernel supports per-row
+        parameters (the DP kernel's swap-bias constants).  Sync mode
+        clones *those* per row, so heterogeneous rows stay bit-identical
+        to their scalar counterparts.
+        """
+        if isinstance(spec, SpecStack):
+            stack: Optional[SpecStack] = spec
+        elif isinstance(spec, NetworkSpec):
+            stack = None
+        else:
+            stack = SpecStack(spec)
+        if stack is not None and stack.num_rows != int(num_seeds):
+            raise ValueError(
+                f"spec stack has {stack.num_rows} rows but the bundle has "
+                f"{num_seeds} seeds; a fused stack needs one seed per row"
             )
-        self._spec = spec
+        first = stack.specs[0] if stack is not None else spec
+        for row_spec in stack.specs if stack is not None else (first,):
+            if not isinstance(row_spec.channel, BernoulliChannel):
+                raise TypeError(
+                    "the batch engine requires a BernoulliChannel (stateful "
+                    "channels are not batchable), got "
+                    f"{type(row_spec.channel).__name__}"
+                )
+        if row_policies is not None:
+            row_policies = list(row_policies)
+            if len(row_policies) != int(num_seeds):
+                raise ValueError(
+                    f"{len(row_policies)} row policies for {num_seeds} rows"
+                )
+            for i, p in enumerate(row_policies):
+                if not isinstance(p, type(self.policy)):
+                    raise TypeError(
+                        f"row policy {i} is {type(p).__name__}, kernel "
+                        f"serves {type(self.policy).__name__}"
+                    )
+        self._spec = first
+        self._stack = stack
+        self._row_policies = row_policies
         self.num_seeds = int(num_seeds)
-        timing = spec.timing
+        timing = first.timing
         self._interval_us = timing.interval_us
         self._data_air = timing.data_airtime_us
         self._empty_air = timing.empty_airtime_us
         self._slot = timing.backoff_slot_us
         self._budget = timing.max_transmissions
-        self._a_max = max(1, spec.arrivals.max_per_link)
-        self._reliabilities = spec.reliabilities
+        if stack is not None:
+            self._a_max = stack.max_arrivals_per_link
+            self._reliabilities = stack.reliability_matrix
+        else:
+            self._a_max = max(1, first.arrivals.max_per_link)
+            self._reliabilities = first.reliabilities
         self._channel_draws = _ChunkedChannelDraws(
-            spec.reliabilities, self.num_seeds, self._a_max
+            self._reliabilities, self.num_seeds, self._a_max
         )
         self._rows = np.arange(self.num_seeds)[:, None]
         if sync_rng:
             # One scalar clone per seed: the sync path drives the *scalar*
             # policy with scalar-identical streams, so its outcomes are
-            # bit-identical to the scalar engine by construction.
-            self._clones = [
-                copy.deepcopy(self.policy) for _ in range(self.num_seeds)
-            ]
-            for clone in self._clones:
-                clone.bind(spec)
+            # bit-identical to the scalar engine by construction.  Fused
+            # stacks clone each row's own policy and bind each row's own
+            # spec.
+            sources = (
+                row_policies
+                if row_policies is not None
+                else [self.policy] * self.num_seeds
+            )
+            row_specs = (
+                stack.specs if stack is not None else (first,) * self.num_seeds
+            )
+            self._clones = [copy.deepcopy(p) for p in sources]
+            for clone, row_spec in zip(self._clones, row_specs):
+                clone.bind(row_spec)
         else:
             self._clones = []
         self._on_bind()
@@ -335,15 +497,12 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
         rows = self._rows
         order = self._service_orders(k, positive_debts)
         needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
-        delivered_pos, attempts_pos = solve_ordered_service(
-            order, arrivals, needed_cum, self._caps
+        deliveries, attempts, attempts_pos = solve_ordered_service(
+            order, arrivals, needed_cum, self._caps,
+            tot_link=self._channel_draws.totals(needed_cum, arrivals),
         )
 
-        deliveries = np.empty((S, n), dtype=np.int64)
-        attempts = np.empty((S, n), dtype=np.int64)
         priorities = np.empty((S, n), dtype=np.int64)
-        deliveries[rows, order] = delivered_pos
-        attempts[rows, order] = attempts_pos
         priorities[rows, order] = self._rank_row
 
         busy = attempts_pos.sum(axis=1) * self._data_air
@@ -364,7 +523,20 @@ class BatchELDFKernel(_BatchOrderedServeKernel):
         super().__init__(policy)
         self.influence = policy.influence
 
+    def _on_bind(self) -> None:
+        super()._on_bind()
+        if self._row_policies is not None:
+            for i, p in enumerate(self._row_policies):
+                if p.influence != self.influence:
+                    raise TypeError(
+                        f"row {i} uses influence {p.influence!r}, the "
+                        f"kernel uses {self.influence!r}; ELDF rows cannot "
+                        "mix influence functions"
+                    )
+
     def _service_orders(self, k: int, positive_debts: np.ndarray) -> np.ndarray:
+        # _reliabilities is (N,) or, for fused stacks, (S, N); either
+        # broadcasts against the (S, N) debt weights.
         weights = self.influence.value_array(positive_debts) * self._reliabilities
         # Stable argsort of -weights: ties keep lowest link first, exactly
         # like the scalar policy's tie-break.
@@ -398,6 +570,13 @@ class BatchStaticPriorityKernel(_BatchOrderedServeKernel):
 
     def _on_bind(self) -> None:
         super()._on_bind()
+        if self._row_policies is not None:
+            for i, p in enumerate(self._row_policies):
+                if p._configured != self._configured:
+                    raise TypeError(
+                        f"row {i} configures a different priority vector; "
+                        "static-priority rows must share one ordering"
+                    )
         n = self.spec.num_links
         if self._configured is None:
             sigma = tuple(range(1, n + 1))
@@ -445,8 +624,29 @@ class BatchDPKernel(BatchPolicyKernel):
         self.bias = policy.bias
         self.num_pairs = policy.num_pairs
         self._initial = policy._initial
+        self._active_bias = policy.bias
 
     def _on_bind(self) -> None:
+        if self._row_policies is not None:
+            for i, p in enumerate(self._row_policies):
+                if p.num_pairs != self.num_pairs:
+                    raise TypeError(
+                        f"row {i} uses {p.num_pairs} swap pairs, the kernel "
+                        f"uses {self.num_pairs}; fused DP rows must agree"
+                    )
+                if p._initial != self._initial:
+                    raise TypeError(
+                        f"row {i} configures different initial priorities; "
+                        "fused DP rows must share sigma(0)"
+                    )
+            # Per-row swap-bias constants (e.g. Glauber R) collapse into
+            # one vectorized bias; incompatible mixes raise TypeError so
+            # callers fall back to per-cell simulation.
+            self._active_bias = stack_swap_biases(
+                [p.bias for p in self._row_policies]
+            )
+        else:
+            self._active_bias = self.bias
         n = self.spec.num_links
         if self._initial is not None:
             if len(self._initial) != n:
@@ -522,8 +722,12 @@ class BatchDPKernel(BatchPolicyKernel):
             cand_links = np.concatenate([down, up], axis=1)  # (S, 2P)
 
             # Step 3: biased local coins for both candidates of each pair.
-            mu = self.bias.mu_batch(
-                cand_links, positive_debts[rows, cand_links], rel[cand_links]
+            # rel is (N,) for a shared spec, (S, N) for a fused stack.
+            rel_cand = (
+                rel[rows, cand_links] if rel.ndim == 2 else rel[cand_links]
+            )
+            mu = self._active_bias.mu_batch(
+                cand_links, positive_debts[rows, cand_links], rel_cand
             )
             if not np.all((mu > 0.0) & (mu < 1.0)):
                 raise ValueError(
@@ -575,8 +779,9 @@ class BatchDPKernel(BatchPolicyKernel):
         dead_us = backoff_pos * slot + empties_before * empty_air
         caps = np.floor_divide(T - dead_us, air).astype(np.int64)
         needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
-        delivered_pos, attempts_pos = solve_ordered_service(
-            order, arrivals, needed_cum, caps
+        deliveries, attempts, attempts_pos = solve_ordered_service(
+            order, arrivals, needed_cum, caps,
+            tot_link=self._channel_draws.totals(needed_cum, arrivals),
         )
 
         att_cum = np.cumsum(attempts_pos, axis=1)
@@ -589,20 +794,32 @@ class BatchDPKernel(BatchPolicyKernel):
             fits_pos = is_empty_pos & (start_pos < T)
 
         # Verify the all-empties-fit assumption; re-run offending rows
-        # sequentially (only under end-of-interval congestion).
+        # sequentially (only under end-of-interval congestion).  Positions
+        # before a row's first misfit already match the sequential sweep —
+        # every earlier claim fit, so the assumed timeline was the real one
+        # up to there — and the resolver resumes from that position's
+        # (attempts-used, empties-fit) state instead of position 0.
         if self._force_sequential:
             bad_rows = np.arange(S)
+            first_bad = np.zeros(S, dtype=np.int64)
         else:
-            bad_rows = np.flatnonzero((fits_pos != is_empty_pos).any(axis=1))
+            mismatch = fits_pos != is_empty_pos
+            bad_rows = np.flatnonzero(mismatch.any(axis=1))
+            first_bad = np.argmax(mismatch, axis=1)
         for s in bad_rows:
+            j0 = int(first_bad[s])
             self._resolve_row_sequential(
                 int(s),
+                j0,
+                int(att_before[s, j0]),
+                int(empties_before[s, j0]),
                 order[s],
                 backoff_pos[s],
                 is_empty_pos[s],
                 arrivals[s],
                 needed_cum[s],
-                delivered_pos,
+                deliveries,
+                attempts,
                 attempts_pos,
                 fits_pos,
                 start_pos,
@@ -618,11 +835,6 @@ class BatchDPKernel(BatchPolicyKernel):
         empty_us = num_empties * empty_air
         busy = att_cum[:, -1] * air + empty_us
         overhead = idle_slots * slot + empty_us
-
-        deliveries = np.empty((S, n), dtype=np.int64)
-        attempts = np.empty((S, n), dtype=np.int64)
-        deliveries[rows, order] = delivered_pos
-        attempts[rows, order] = attempts_pos
 
         if P:
             # Step 5 / Eqs. (7)-(8): commit swaps.  The up-mover must have
@@ -656,23 +868,31 @@ class BatchDPKernel(BatchPolicyKernel):
     def _resolve_row_sequential(
         self,
         s: int,
+        j0: int,
+        att_total: int,
+        empties_fit: int,
         order_row: np.ndarray,
         backoff_row: np.ndarray,
         is_empty_row: np.ndarray,
         arrivals_row: np.ndarray,
         needed_cum_row: np.ndarray,
-        delivered_pos: np.ndarray,
+        deliveries: np.ndarray,
+        attempts: np.ndarray,
         attempts_pos: np.ndarray,
         fits_pos: np.ndarray,
         start_pos: np.ndarray,
     ) -> None:
-        """Exact sequential sweep of one replication's interval timeline.
+        """Exact sequential sweep of one replication's interval timeline,
+        resuming from position ``j0`` with ``att_total`` attempts already
+        used and ``empties_fit`` empty claims already on air.
 
         Uses the same pre-drawn retry counts and the same integer-ceiling
         arithmetic as the vectorized path, so the combined result equals a
         full sequential evaluation of the whole stack.  Operates on plain
         Python scalars — at tens of links that beats per-element ndarray
-        indexing by an order of magnitude.
+        indexing by an order of magnitude.  ``deliveries``/``attempts``
+        are link-indexed, the remaining output arrays position-indexed
+        (matching :func:`solve_ordered_service`).
         """
         T = self._interval_us
         air = self._data_air
@@ -683,9 +903,8 @@ class BatchDPKernel(BatchPolicyKernel):
         empty_l = is_empty_row.tolist()
         arrivals_l = arrivals_row.tolist()
         cum_rows = needed_cum_row.tolist()
-        att_total = 0
-        empties_fit = 0
-        for j, link in enumerate(order_l):
+        for j in range(j0, len(order_l)):
+            link = order_l[j]
             backlog = arrivals_l[link]
             start = att_total * air + empties_fit * empty_air + backoff_l[j] * slot
             fits = False
@@ -696,7 +915,7 @@ class BatchDPKernel(BatchPolicyKernel):
                 budget = cap - att_total
                 if budget > 0:
                     cum = cum_rows[link]
-                    tot = cum[backlog - 1]
+                    tot = int(cum[backlog - 1])
                     if tot <= budget:
                         used = tot
                         served = backlog
@@ -711,7 +930,8 @@ class BatchDPKernel(BatchPolicyKernel):
                     fits = start < T
                 if fits:
                     empties_fit += 1
-            delivered_pos[s, j] = served
+            deliveries[s, link] = served
+            attempts[s, link] = used
             attempts_pos[s, j] = used
             fits_pos[s, j] = fits
             start_pos[s, j] = start

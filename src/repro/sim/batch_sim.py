@@ -29,11 +29,20 @@ Two RNG disciplines are supported:
 Stateful spec components that cannot be replicated independently per seed
 (the Gilbert-Elliott channel, Markov-modulated arrivals) are rejected at
 construction with a ``TypeError``; use the scalar engine for those.
+
+Beyond one shared spec, the simulator accepts a **per-row spec stack**
+(:class:`~repro.sim.spec_stack.SpecStack`, or any sequence of specs, one
+per seed): rows may then come from heterogeneous networks — different
+reliabilities, requirements, and arrival parameters — which is what lets
+the grid-fused sweep engine (:mod:`repro.experiments.grid`) simulate a
+whole figure sweep in one engine pass.  ``record_traces=False`` skips the
+per-interval trace lists and keeps only the streaming
+:class:`BatchSweepStats` aggregates, which is all a sweep cell reports.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,11 +57,14 @@ from .batch_kernels import (
 )
 from .results import SimulationResult
 from .rng import BatchRngBundle
+from .spec_stack import SpecStack
 
 __all__ = [
     "BatchIntervalSimulator",
     "BatchSimulationResult",
+    "BatchSweepStats",
     "run_simulation_batch",
+    "share_batch_draws",
     "supports_batch_engine",
 ]
 
@@ -85,6 +97,10 @@ class BatchSimulationResult:
     and :meth:`seed_result` / :meth:`to_results` materialize
     scalar-compatible :class:`SimulationResult` views for downstream code
     that expects them.
+
+    ``requirements`` may be a shared ``(N,)`` vector or, for heterogeneous
+    spec stacks, an ``(S, N)`` matrix with one requirement row per
+    replication; metrics broadcast either shape.
     """
 
     def __init__(
@@ -133,7 +149,14 @@ class BatchSimulationResult:
 
     @property
     def num_links(self) -> int:
-        return self.requirements.size
+        return self.requirements.shape[-1]
+
+    @property
+    def _req_rows(self) -> np.ndarray:
+        """Requirements broadcastable against ``(S, N)`` arrays."""
+        if self.requirements.ndim == 2:
+            return self.requirements
+        return self.requirements[None, :]
 
     def _stack3(self, rows: List[np.ndarray]) -> np.ndarray:
         shape = (self.num_intervals, self.num_seeds, self.num_links)
@@ -184,9 +207,11 @@ class BatchSimulationResult:
         """``(q_n - mean deliveries)^+`` per replication — shape ``(S, N)``."""
         k = self.num_intervals if upto is None else upto
         if k <= 0:
-            return np.tile(self.requirements, (self.num_seeds, 1))
+            return np.broadcast_to(
+                self._req_rows, (self.num_seeds, self.num_links)
+            ).copy()
         mean = self.deliveries[:k].mean(axis=0)
-        return np.maximum(self.requirements[None, :] - mean, 0.0)
+        return np.maximum(self._req_rows - mean, 0.0)
 
     def total_deficiency(self, upto: Optional[int] = None) -> np.ndarray:
         """Total deficiency per replication — shape ``(S,)``."""
@@ -200,7 +225,7 @@ class BatchSimulationResult:
         cumulative = np.cumsum(self.deliveries, axis=0, dtype=float)
         ks = np.arange(1, self.num_intervals + 1)[:, None, None]
         deficiency = np.maximum(
-            self.requirements[None, None, :] - cumulative / ks, 0.0
+            self._req_rows[None, :, :] - cumulative / ks, 0.0
         )
         totals = deficiency.sum(axis=2)
         return totals[stride - 1 :: stride]
@@ -222,9 +247,14 @@ class BatchSimulationResult:
     def seed_result(self, seed: int) -> SimulationResult:
         """One replication's trace as a scalar-compatible result."""
         s = self.seed_index(seed)
+        requirements = (
+            self.requirements[s]
+            if self.requirements.ndim == 2
+            else self.requirements
+        )
         return SimulationResult.from_arrays(
             policy_name=self.policy_name,
-            requirements=self.requirements,
+            requirements=requirements,
             arrivals=self.arrivals[:, s],
             deliveries=self.deliveries[:, s],
             attempts=self.attempts[:, s],
@@ -239,62 +269,321 @@ class BatchSimulationResult:
         return [self.seed_result(s) for s in self.seeds]
 
 
+class BatchSweepStats:
+    """Streaming per-row aggregates sufficient for sweep reporting.
+
+    Holds exactly what the experiment runner reports from a run — per-row
+    delivery sums, collision sums, and the per-interval overhead rows —
+    without retaining full ``(K, S, N)`` traces, so a grid-fused
+    mega-batch stays O(S*N) in memory instead of O(K*S*N).
+
+    The aggregates are chosen to reproduce the trace-based metrics
+    *bit-for-bit*: deliveries and collisions accumulate as exact int64
+    sums (every partial sum is a small integer, so the float mean
+    ``sums / K`` equals ``traces.mean(axis=0)`` exactly), and overhead
+    keeps the raw per-interval ``(S,)`` rows so :meth:`mean_overhead_us`
+    performs the same ``np.stack(...).mean(axis=0)`` pairwise summation
+    as ``BatchSimulationResult.overhead_time_us.mean(axis=0)``.
+    """
+
+    def __init__(self, requirements: np.ndarray, seeds: Sequence[int]):
+        self.seeds: Tuple[int, ...] = tuple(int(s) for s in seeds)
+        req = np.asarray(requirements, dtype=float)
+        if req.ndim == 1:
+            req = req[None, :]
+        if req.shape[0] == 1:
+            req = np.broadcast_to(req, (len(self.seeds), req.shape[1]))
+        elif req.shape[0] != len(self.seeds):
+            raise ValueError(
+                f"requirements have {req.shape[0]} rows but the stack has "
+                f"{len(self.seeds)} replications"
+            )
+        self.requirements = np.array(req, dtype=float)
+        self.num_intervals = 0
+        self.delivery_sums = np.zeros(self.requirements.shape, dtype=np.int64)
+        self.collision_sums = np.zeros(len(self.seeds), dtype=np.int64)
+        self._overhead_rows: List[np.ndarray] = []
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def num_links(self) -> int:
+        return self.requirements.shape[-1]
+
+    def update(self, outcome: BatchIntervalOutcome) -> None:
+        """Fold one interval's outcome into the running aggregates."""
+        self.delivery_sums += np.asarray(outcome.deliveries, dtype=np.int64)
+        self.collision_sums += np.asarray(outcome.collisions, dtype=np.int64)
+        self._overhead_rows.append(
+            np.asarray(outcome.overhead_time_us, dtype=float)
+        )
+        self.num_intervals += 1
+
+    # ------------------------------------------------------------------
+    def mean_deliveries(self) -> np.ndarray:
+        """Mean deliveries/interval per row — shape ``(S, N)``."""
+        if self.num_intervals == 0:
+            return np.zeros(self.requirements.shape)
+        return self.delivery_sums / self.num_intervals
+
+    def per_link_deficiency(self) -> np.ndarray:
+        """``(q_n - mean deliveries)^+`` per row — shape ``(S, N)``."""
+        if self.num_intervals == 0:
+            return self.requirements.copy()
+        return np.maximum(self.requirements - self.mean_deliveries(), 0.0)
+
+    def total_deficiency(self) -> np.ndarray:
+        """Total deficiency per row — shape ``(S,)``."""
+        return self.per_link_deficiency().sum(axis=1)
+
+    def total_collisions(self) -> np.ndarray:
+        """Collision count per row over the whole run — shape ``(S,)``."""
+        return self.collision_sums.copy()
+
+    def mean_overhead_us(self) -> np.ndarray:
+        """Mean per-interval overhead per row — shape ``(S,)``."""
+        if not self._overhead_rows:
+            return np.zeros(self.num_seeds)
+        return np.stack(self._overhead_rows).mean(axis=0)
+
+
+class _BatchArrivalDraws:
+    """Chunked arrival blocks for the vectorized (non-sync) RNG mode.
+
+    Batch-samplable processes are stateless (i.i.d. across both
+    replications and intervals), so :data:`DRAW_CHUNK` intervals' worth of
+    arrivals can come from one oversized draw — same distribution, far
+    fewer Generator round-trips.
+    """
+
+    def __init__(
+        self,
+        stack: Optional[SpecStack],
+        spec: NetworkSpec,
+        num_seeds: int,
+    ):
+        self._stack = stack
+        self._spec = spec
+        self._num_seeds = num_seeds
+        self._cache: Optional[np.ndarray] = None
+        self._pos = DRAW_CHUNK
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= DRAW_CHUNK:
+            if self._stack is not None:
+                self._cache = self._stack.sample_arrival_block(rng, DRAW_CHUNK)
+            else:
+                flat = self._spec.arrivals.sample_batch(
+                    rng, DRAW_CHUNK * self._num_seeds
+                )
+                self._cache = flat.reshape(
+                    DRAW_CHUNK, self._num_seeds, self._spec.num_links
+                )
+            self._pos = 0
+        block = self._cache[self._pos]
+        self._pos += 1
+        return block
+
+
+class _FanoutDraws:
+    """Serve each drawn block to ``consumers`` lockstep clients.
+
+    Simulators whose seed tuples and spec stacks coincide would draw
+    *identical* channel retry counts and arrival blocks (their streams are
+    keyed only by seeds, stream tag and stream name).  When such
+    simulators advance in lockstep — every client calls ``next`` exactly
+    once per interval, in a fixed rotation — one generation pass can feed
+    all of them.  Only the first client's generator is consumed; the
+    others' streams stay untouched, which is indistinguishable from each
+    having drawn its own (equal) block.
+    """
+
+    def __init__(self, inner, consumers: int):
+        self._inner = inner
+        self._consumers = consumers
+        self._remaining = 0
+        self._block: Optional[np.ndarray] = None
+        self._totals: Optional[np.ndarray] = None
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._remaining == 0:
+            self._block = self._inner.next(rng)
+            self._remaining = self._consumers
+            self._totals = None
+        self._remaining -= 1
+        return self._block
+
+    def totals(self, needed_cum: np.ndarray, backlog: np.ndarray) -> np.ndarray:
+        """Drain totals for the current serve cycle, computed once.
+
+        The plane depends only on the channel block and the backlog, and
+        lockstep clients of a channel fan-out share both (arrivals come
+        from a sibling fan-out), so every client of one cycle gets the
+        first client's computation.
+        """
+        if self._totals is None:
+            self._totals = self._inner.totals(needed_cum, backlog)
+        return self._totals
+
+
+def share_batch_draws(sims: Sequence["BatchIntervalSimulator"]) -> None:
+    """Wire common-random-number sharing across lockstep simulators.
+
+    Partitions ``sims`` into classes that provably draw identical channel
+    and arrival randomness — same seed tuple, same stream tag, equal row
+    specs, vectorized (non-sync) mode — and gives each class one shared
+    draw source.  Callers **must** then advance all the simulators in
+    lockstep (each steps once per interval, in any fixed order); the fused
+    sweep runner does exactly that for the policy-family mega-batches of
+    one grid, which by construction stack the same cells for each family.
+
+    This mirrors the per-cell engines, where cells of different policies
+    reuse the same seeds and therefore the same draws; sharing changes no
+    values, it only skips regenerating them.
+    """
+    classes: List[Tuple[Tuple, List["BatchIntervalSimulator"]]] = []
+    for sim in sims:
+        if sim.sync_rng or sim._arrival_draws is None:
+            continue
+        if getattr(sim.kernel, "_channel_draws", None) is None:
+            continue
+        specs = sim.stack.specs if sim.stack is not None else (sim.spec,)
+        key = (sim.rng.seeds, sim.rng.stream_tag, specs)
+        for existing_key, members in classes:
+            if existing_key == key:  # spec equality, not identity
+                members.append(sim)
+                break
+        else:
+            classes.append((key, [sim]))
+    for _, group in classes:
+        if len(group) < 2:
+            continue
+        shared_channel = _FanoutDraws(
+            group[0].kernel._channel_draws, len(group)
+        )
+        shared_arrivals = _FanoutDraws(group[0]._arrival_draws, len(group))
+        for sim in group:
+            sim.kernel._channel_draws = shared_channel
+            sim._arrival_draws = shared_arrivals
+
+
 class BatchIntervalSimulator:
     """Stateful multi-replication simulator; mirrors ``IntervalSimulator``.
 
     Parameters
     ----------
     spec:
-        The network under test (must use a Bernoulli channel).
+        The network under test (must use a Bernoulli channel).  May also
+        be a :class:`~repro.sim.spec_stack.SpecStack` (or any sequence of
+        specs, one per seed) to give every replication row its own
+        reliabilities, requirements and arrival parameters.
     policy:
         A policy with a batch kernel (DP/DB-DP, ELDF/LDF, round-robin,
         static priority); :func:`~repro.sim.batch_kernels.make_batch_kernel`
         raises ``TypeError`` otherwise.
     seeds:
         One seed per replication; each matches the scalar engine's
-        single-``seed`` argument.
+        single-``seed`` argument.  With a spec stack, seeds may repeat
+        (one row per (cell, seed) pair of a fused sweep).
     sync_rng:
         Consume randomness in scalar order per seed (exact but slow); see
         the module docstring.
     validate:
         Assert deliveries never exceed arrivals each step (cheap, on by
         default; benchmarks turn it off).
+    record_traces:
+        Keep full per-interval traces (:attr:`result`).  ``False`` keeps
+        only the streaming :attr:`stats` aggregates — the grid-fused
+        engine's mode, where a full-figure mega-batch would otherwise
+        retain hundreds of MB of traces.
+    row_policies:
+        Optional per-row policy instances (same family as ``policy``);
+        lets fused rows differ in policy parameters the kernel can stack
+        (e.g. per-row Glauber constants).
+    stream_tag:
+        Namespace tag for the batch RNG streams; see
+        :class:`~repro.sim.rng.BatchRngBundle`.
     """
 
     def __init__(
         self,
-        spec: NetworkSpec,
+        spec: Union[NetworkSpec, SpecStack, Sequence[NetworkSpec]],
         policy: IntervalMac,
         seeds: Sequence[int],
         *,
         sync_rng: bool = False,
         validate: bool = True,
         record_priorities: bool = False,
+        record_traces: bool = True,
+        row_policies: Optional[Sequence[IntervalMac]] = None,
+        stream_tag: Optional[str] = None,
     ):
-        self.spec = spec
+        if isinstance(spec, SpecStack):
+            stack: Optional[SpecStack] = spec
+        elif isinstance(spec, NetworkSpec):
+            stack = None
+        else:
+            stack = SpecStack(spec)
+        self.stack = stack
+        self.spec = stack.specs[0] if stack is not None else spec
         self.policy = policy
         self.sync_rng = bool(sync_rng)
         self.validate = bool(validate)
-        self.rng = BatchRngBundle(seeds)
-        if not self.sync_rng and not spec.arrivals.supports_batch_sampling:
-            raise TypeError(
-                f"{type(spec.arrivals).__name__} cannot be sampled as an "
-                "independent batch (stateful process); use sync_rng=True or "
-                "the scalar engine"
+        self.record_traces = bool(record_traces)
+        self.rng = BatchRngBundle(seeds, stream_tag=stream_tag)
+        if stack is not None and stack.num_rows != self.rng.num_seeds:
+            raise ValueError(
+                f"spec stack has {stack.num_rows} rows but "
+                f"{self.rng.num_seeds} seeds were given"
             )
+        if not self.sync_rng:
+            batch_ok = (
+                stack.supports_batch_arrivals
+                if stack is not None
+                else self.spec.arrivals.supports_batch_sampling
+            )
+            if not batch_ok:
+                raise TypeError(
+                    f"{type(self.spec.arrivals).__name__} cannot be sampled "
+                    "as an independent batch (stateful process); use "
+                    "sync_rng=True or the scalar engine"
+                )
         self.kernel = make_batch_kernel(policy)
-        self.kernel.bind(spec, self.rng.num_seeds, self.sync_rng)
-        self._q = spec.requirement_vector
-        self._debts = np.zeros((self.rng.num_seeds, spec.num_links))
-        self._interval = 0
-        self._arrival_cache: Optional[np.ndarray] = None
-        self._arrival_pos = DRAW_CHUNK
-        self.result = BatchSimulationResult(
-            policy_name=policy.name,
-            requirements=self._q,
-            seeds=self.rng.seeds,
-            record_priorities=record_priorities,
+        self.kernel.bind(
+            stack if stack is not None else self.spec,
+            self.rng.num_seeds,
+            self.sync_rng,
+            row_policies=row_policies,
         )
+        self._q_rows = (
+            stack.requirement_matrix
+            if stack is not None
+            else self.spec.requirement_vector[None, :]
+        )
+        self._debts = np.zeros((self.rng.num_seeds, self.spec.num_links))
+        self._interval = 0
+        self._arrival_draws = (
+            None
+            if self.sync_rng
+            else _BatchArrivalDraws(stack, self.spec, self.rng.num_seeds)
+        )
+        self.stats = BatchSweepStats(self._q_rows, self.rng.seeds)
+        self.result: Optional[BatchSimulationResult] = None
+        if self.record_traces:
+            self.result = BatchSimulationResult(
+                policy_name=policy.name,
+                requirements=(
+                    stack.requirement_matrix
+                    if stack is not None
+                    else self.spec.requirement_vector
+                ),
+                seeds=self.rng.seeds,
+                record_priorities=record_priorities,
+            )
+        elif record_priorities:
+            raise ValueError("record_priorities requires record_traces=True")
 
     # ------------------------------------------------------------------
     @property
@@ -322,27 +611,20 @@ class BatchIntervalSimulator:
     def _sample_arrivals(self) -> np.ndarray:
         if self.sync_rng:
             # Scalar draw order per seed: identical to IntervalSimulator.
+            if self.stack is not None:
+                return np.stack(
+                    [
+                        sp.arrivals.sample(bundle.arrivals)
+                        for sp, bundle in zip(self.stack.specs, self.rng.bundles)
+                    ]
+                )
             return np.stack(
                 [
                     self.spec.arrivals.sample(bundle.arrivals)
                     for bundle in self.rng.bundles
                 ]
             )
-        # Batch-samplable processes are stateless (i.i.d. across both
-        # replications and intervals), so DRAW_CHUNK intervals' worth of
-        # arrivals can come from one oversized draw — same distribution,
-        # far fewer Generator round-trips.
-        if self._arrival_pos >= DRAW_CHUNK:
-            flat = self.spec.arrivals.sample_batch(
-                self.rng.arrivals, DRAW_CHUNK * self.num_seeds
-            )
-            self._arrival_cache = flat.reshape(
-                DRAW_CHUNK, self.num_seeds, self.spec.num_links
-            )
-            self._arrival_pos = 0
-        arrivals = self._arrival_cache[self._arrival_pos]
-        self._arrival_pos += 1
-        return arrivals
+        return self._arrival_draws.next(self.rng.arrivals)
 
     def step(self) -> None:
         """Simulate one interval for every replication."""
@@ -362,16 +644,19 @@ class BatchIntervalSimulator:
         # Eq. (1), elementwise per replication: the float operations per
         # seed are the same as DebtLedger.record_interval, so sync-mode
         # debts stay bit-identical to scalar ledgers.
-        self._debts += self._q[None, :] - outcome.deliveries
+        self._debts += self._q_rows - outcome.deliveries
         self._interval += 1
-        self.result.record(arrivals, outcome)
+        self.stats.update(outcome)
+        if self.result is not None:
+            self.result.record(arrivals, outcome)
 
     def run(
         self,
         num_intervals: int,
         progress: Optional[Callable[[int], None]] = None,
-    ) -> BatchSimulationResult:
-        """Simulate ``num_intervals`` further intervals; return the result."""
+    ) -> Union[BatchSimulationResult, BatchSweepStats]:
+        """Simulate ``num_intervals`` further intervals; return the result
+        (or, with ``record_traces=False``, the streaming stats)."""
         if num_intervals < 0:
             raise ValueError(f"num_intervals must be >= 0, got {num_intervals}")
         if progress is None:
@@ -381,7 +666,7 @@ class BatchIntervalSimulator:
             for i in range(num_intervals):
                 self.step()
                 progress(i)
-        return self.result
+        return self.result if self.result is not None else self.stats
 
 
 def run_simulation_batch(

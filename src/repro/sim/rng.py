@@ -11,7 +11,7 @@ spawning, so any simulation is reproducible from a single integer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,13 +85,25 @@ class BatchRngBundle:
 
     Batch stream names live in a ``"batch:"`` namespace so they can never
     collide with per-seed stream names.
+
+    ``stream_tag`` shifts the whole batch-stream namespace: two bundles
+    with the same seeds but different tags draw independent batch streams.
+    The grid-fused sweep engine tags its mega-batches (``"fused"``) so a
+    fused stack never replays the draws of a plain per-cell batch run that
+    happens to share the same seed list — the two modes stay independent
+    samples of the same distribution.  Per-seed bundles are unaffected by
+    the tag (they must remain scalar-identical), and seeds may repeat: a
+    fused stack has one row per (sweep cell, seed) pair, and each row gets
+    its own scalar-identical :class:`RngBundle` exactly as the per-cell
+    runner would construct it.
     """
 
-    def __init__(self, seeds: Sequence[int]):
+    def __init__(self, seeds: Sequence[int], stream_tag: Optional[str] = None):
         seeds = tuple(int(s) for s in seeds)
         if not seeds:
             raise ValueError("need at least one seed")
         self._seeds = seeds
+        self._stream_tag = stream_tag
         self._bundles = tuple(RngBundle(s) for s in seeds)
         self._batch_streams: Dict[str, np.random.Generator] = {}
 
@@ -112,10 +124,17 @@ class BatchRngBundle:
         """The scalar-identical stream ``name`` of every seed, in order."""
         return tuple(b.stream(name) for b in self._bundles)
 
+    @property
+    def stream_tag(self) -> Optional[str]:
+        return self._stream_tag
+
     def batch_stream(self, name: str) -> np.random.Generator:
         """One generator for vectorized ``(S, ...)`` draws of ``name``."""
         if name not in self._batch_streams:
-            name_key = [ord(c) for c in "batch:" + name]
+            namespace = "batch:"
+            if self._stream_tag is not None:
+                namespace = f"batch[{self._stream_tag}]:"
+            name_key = [ord(c) for c in namespace + name]
             seq = np.random.SeedSequence(
                 entropy=list(self._seeds), spawn_key=name_key
             )

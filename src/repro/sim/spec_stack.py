@@ -1,0 +1,167 @@
+"""Heterogeneous spec stacks for the grid-fused batch engine.
+
+The batch engine (:mod:`repro.sim.batch_sim`) advances a stack of
+replications as ``(S, N)`` arrays.  Originally every row shared one
+:class:`~repro.core.requirements.NetworkSpec`; a whole figure sweep then
+still paid one engine pass per (parameter value, policy) cell.
+:class:`SpecStack` removes that restriction: each row carries its *own*
+spec — its own channel reliabilities, arrival parameters, and requirement
+vector — so rows from different sweep cells can share a single kernel
+invocation, as long as the specs agree on what the kernels hard-code:
+
+* the link count ``N`` (array width),
+* the interval timing (attempt budgets and airtimes are scalars inside the
+  kernels),
+* a memoryless :class:`~repro.phy.channel.BernoulliChannel` (per-row
+  success probabilities become a ``(R, N)`` matrix).
+
+Everything per-link that used to be an ``(N,)`` vector — reliabilities,
+requirements — is exposed here as an ``(R, N)`` matrix; arrival draws come
+from :meth:`SpecStack.sample_arrival_block`, which groups rows by identical
+arrival process so one vectorized draw covers every row using that process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.requirements import NetworkSpec
+from ..phy.channel import BernoulliChannel
+from ..phy.timing import IntervalTiming
+
+__all__ = ["SpecStack"]
+
+
+class SpecStack:
+    """An ordered stack of per-row network specs for one fused engine run.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`NetworkSpec` per row.  All rows must share the link
+        count and the interval timing, and every channel must be a
+        :class:`BernoulliChannel`; a ``ValueError``/``TypeError`` names the
+        offending row otherwise.
+    """
+
+    def __init__(self, specs: Sequence[NetworkSpec]):
+        specs = tuple(specs)
+        if not specs:
+            raise ValueError("need at least one spec")
+        first = specs[0]
+        n = first.num_links
+        timing = first.timing
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, NetworkSpec):
+                raise TypeError(
+                    f"row {i} is {type(spec).__name__}, expected NetworkSpec"
+                )
+            if spec.num_links != n:
+                raise ValueError(
+                    f"row {i} has {spec.num_links} links, row 0 has {n}; "
+                    "a fused stack requires one common link count"
+                )
+            if spec.timing != timing:
+                raise ValueError(
+                    f"row {i} uses a different IntervalTiming than row 0; "
+                    "kernels hold timing as scalars, so fused rows must "
+                    "share it"
+                )
+            if not isinstance(spec.channel, BernoulliChannel):
+                raise TypeError(
+                    "fused stacks require BernoulliChannel rows (stateful "
+                    f"channels are not batchable); row {i} has "
+                    f"{type(spec.channel).__name__}"
+                )
+        self._specs = specs
+        self._n = n
+        self._timing = timing
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def broadcast(cls, spec: NetworkSpec, num_rows: int) -> "SpecStack":
+        """A homogeneous stack: ``num_rows`` rows of the same spec."""
+        if num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+        return cls((spec,) * num_rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def specs(self) -> Tuple[NetworkSpec, ...]:
+        return self._specs
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._specs)
+
+    @property
+    def num_links(self) -> int:
+        return self._n
+
+    @property
+    def timing(self) -> IntervalTiming:
+        return self._timing
+
+    @property
+    def homogeneous(self) -> bool:
+        """Whether every row equals row 0 (plain batch-engine semantics)."""
+        first = self._specs[0]
+        return all(spec == first for spec in self._specs[1:])
+
+    @property
+    def reliability_matrix(self) -> np.ndarray:
+        """Per-row channel success probabilities — shape ``(R, N)``."""
+        return np.stack([spec.reliabilities for spec in self._specs])
+
+    @property
+    def requirement_matrix(self) -> np.ndarray:
+        """Per-row requirements ``q`` — shape ``(R, N)``."""
+        return np.stack([spec.requirement_vector for spec in self._specs])
+
+    @property
+    def max_arrivals_per_link(self) -> int:
+        """The stack-wide ``A_max`` (kernels size packet axes with it)."""
+        return max(
+            max(1, spec.arrivals.max_per_link) for spec in self._specs
+        )
+
+    @property
+    def supports_batch_arrivals(self) -> bool:
+        """Whether every row's arrival process is batch-samplable."""
+        return all(
+            spec.arrivals.supports_batch_sampling for spec in self._specs
+        )
+
+    # ------------------------------------------------------------------
+    def _arrival_groups(self) -> List[Tuple[NetworkSpec, List[int]]]:
+        """Rows grouped by identical arrival process (order-preserving)."""
+        groups: List[Tuple[NetworkSpec, List[int]]] = []
+        for i, spec in enumerate(self._specs):
+            for rep, rows in groups:
+                if spec.arrivals == rep.arrivals:
+                    rows.append(i)
+                    break
+            else:
+                groups.append((spec, [i]))
+        return groups
+
+    def sample_arrival_block(
+        self, rng: np.random.Generator, depth: int
+    ) -> np.ndarray:
+        """Draw ``depth`` intervals of arrivals for every row at once.
+
+        Returns a ``(depth, R, N)`` int64 array.  Rows sharing one arrival
+        process are drawn in a single ``sample_batch`` call (i.i.d. across
+        intervals and rows, so a flat oversized draw has the right joint
+        distribution); a sweep with ``V`` distinct parameter values costs
+        ``V`` generator calls per block instead of ``R``.
+        """
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        out = np.empty((depth, self.num_rows, self._n), dtype=np.int64)
+        for rep, rows in self._arrival_groups():
+            flat = rep.arrivals.sample_batch(rng, depth * len(rows))
+            out[:, rows] = flat.reshape(depth, len(rows), self._n)
+        return out

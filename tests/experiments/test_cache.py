@@ -1,0 +1,178 @@
+"""Tests for the content-addressed on-disk sweep cache."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DBDPPolicy, FCSMAPolicy, LDFPolicy
+from repro.experiments.cache import (
+    SweepCache,
+    engine_version,
+    fingerprint,
+    policy_fingerprint,
+    resolve_cache,
+)
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.grid import run_sweep_fused
+from repro.experiments.runner import SweepPoint
+
+
+def spec():
+    return video_symmetric_spec(0.5, num_links=4)
+
+
+def make_point(value=1.25):
+    return SweepPoint(
+        parameter=float("nan"),
+        policy="LDF",
+        total_deficiency=value,
+        deficiency_std=0.125,
+        group_deficiency=(0.75, 0.5),
+        collisions=3.0,
+        mean_overhead_us=12.5,
+    )
+
+
+class TestKeys:
+    def test_key_is_stable(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        kw = dict(
+            spec=spec(), policy=LDFPolicy(), seeds=(0, 1),
+            num_intervals=100,
+        )
+        assert cache.cell_key(**kw) == cache.cell_key(**kw)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(spec=video_symmetric_spec(0.6, num_links=4)),
+            dict(policy=DBDPPolicy()),
+            dict(seeds=(0, 2)),
+            dict(num_intervals=101),
+            dict(groups=(0, 0, 1, 1)),
+            dict(sync_rng=True),
+        ],
+    )
+    def test_any_input_change_changes_key(self, tmp_path, change):
+        cache = SweepCache(tmp_path)
+        base = dict(
+            spec=spec(), policy=LDFPolicy(), seeds=(0, 1),
+            num_intervals=100, groups=None, sync_rng=False,
+        )
+        assert cache.cell_key(**base) != cache.cell_key(**{**base, **change})
+
+    def test_policy_config_changes_key(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = dict(spec=spec(), seeds=(0,), num_intervals=50)
+        a = cache.cell_key(policy=FCSMAPolicy(), **base)
+        b = cache.cell_key(policy=FCSMAPolicy(window_map=(4, 8, 16)), **base)
+        assert a is not None and b is not None and a != b
+
+    def test_unknown_policy_is_uncacheable(self, tmp_path):
+        class Mystery:
+            name = "mystery"
+
+        cache = SweepCache(tmp_path)
+        assert (
+            cache.cell_key(
+                spec=spec(), policy=Mystery(), seeds=(0,), num_intervals=10
+            )
+            is None
+        )
+
+    def test_engine_version_covers_sources(self):
+        v = engine_version()
+        assert isinstance(v, str) and len(v) == 16
+        assert v == engine_version()  # memoized, stable in-process
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_bit_identical(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key(
+            spec=spec(), policy=LDFPolicy(), seeds=(0,), num_intervals=10
+        )
+        assert cache.get(key) is None and cache.misses == 1
+        point = make_point(value=0.1 + 0.2)  # a float that doesn't round-trip via str()
+        cache.put(key, point)
+        got = cache.get(key)
+        assert cache.hits == 1 and cache.stores == 1
+        assert got.total_deficiency == point.total_deficiency
+        assert got.deficiency_std == point.deficiency_std
+        assert got.group_deficiency == point.group_deficiency
+        assert got.collisions == point.collisions
+        assert got.mean_overhead_us == point.mean_overhead_us
+        assert math.isnan(got.parameter)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key(
+            spec=spec(), policy=LDFPolicy(), seeds=(0,), num_intervals=10
+        )
+        cache.put(key, make_point())
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestResolve:
+    def test_none_and_false_disable(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_passthrough_and_path(self, tmp_path):
+        store = SweepCache(tmp_path)
+        assert resolve_cache(store) is store
+        opened = resolve_cache(tmp_path / "sub")
+        assert isinstance(opened, SweepCache)
+
+    def test_env_var_off_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "off")
+        assert resolve_cache(True) is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "env"))
+        store = resolve_cache(True)
+        assert store is not None and store.root == tmp_path / "env"
+
+
+class TestFingerprint:
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_known_policies_fingerprint(self):
+        for policy in (LDFPolicy(), DBDPPolicy(), FCSMAPolicy()):
+            fp = policy_fingerprint(policy)
+            assert fp is not None and fp["class"] == type(policy).__qualname__
+
+
+class TestSweepIntegration:
+    def test_warm_rerun_is_bit_identical(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        kw = dict(
+            parameter_name="alpha",
+            values=[0.45, 0.6],
+            spec_builder=lambda a: video_symmetric_spec(a, num_links=4),
+            policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy},
+            num_intervals=80,
+            seeds=(0, 1, 2),
+        )
+        cold = run_sweep_fused(**kw, cache=cache)
+        assert cache.stores == 4 and cache.hits == 0
+        warm = run_sweep_fused(**kw, cache=cache)
+        assert cache.hits == 4 and cache.stores == 4
+        assert warm.points == cold.points
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        kw = dict(
+            parameter_name="alpha",
+            values=[0.5],
+            spec_builder=lambda a: video_symmetric_spec(a, num_links=4),
+            policies={"LDF": LDFPolicy},
+            num_intervals=40,
+        )
+        run_sweep_fused(**kw, seeds=(0,), cache=cache)
+        run_sweep_fused(**kw, seeds=(1,), cache=cache)
+        assert cache.stores == 2 and cache.hits == 0

@@ -1,0 +1,122 @@
+"""Tests for the grid-fused sweep engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DBDPPolicy, FCSMAPolicy, LDFPolicy
+from repro.experiments import grid
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.grid import run_sweep_fused
+from repro.experiments.runner import run_sweep
+
+
+def builder(alpha):
+    return video_symmetric_spec(alpha, num_links=4)
+
+
+BASE = dict(
+    parameter_name="alpha",
+    values=[0.45, 0.6],
+    spec_builder=builder,
+    num_intervals=120,
+    seeds=(0, 1, 2),
+)
+
+
+class TestSyncExactness:
+    def test_sync_rng_matches_scalar_sweep_bitwise(self):
+        """With scalar-identical streams the whole fused grid must equal
+        the scalar per-cell sweep field-for-field — every row simulates
+        the same physics from the same draws, and the aggregation mirrors
+        the per-cell float operations."""
+        kw = dict(BASE, policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy})
+        fused = run_sweep_fused(**kw, sync_rng=True)
+        scalar = run_sweep(**kw, engine="scalar")
+        assert fused.points == scalar.points
+        assert fused.values == scalar.values
+
+    def test_sync_rng_with_groups(self):
+        kw = dict(
+            BASE,
+            policies={"LDF": LDFPolicy},
+            groups=(0, 0, 1, 1),
+        )
+        fused = run_sweep_fused(**kw, sync_rng=True)
+        scalar = run_sweep(**kw, engine="scalar")
+        assert fused.points == scalar.points
+
+
+class TestFallback:
+    def test_unfusable_policy_falls_back_per_cell(self):
+        """FCSMA has no batch kernel; its cells must reproduce the
+        per-cell runner exactly (both routes reach the same scalar
+        engine with the same seeds)."""
+        kw = dict(BASE, policies={"FCSMA": FCSMAPolicy, "LDF": LDFPolicy})
+        fused = run_sweep_fused(**kw)
+        per_cell = run_sweep(**kw, engine="batch")
+        fused_fcsma = [p for p in fused.points if p.policy == "FCSMA"]
+        per_cell_fcsma = [p for p in per_cell.points if p.policy == "FCSMA"]
+        assert fused_fcsma == per_cell_fcsma
+        # The fused LDF cells are fresh samples, not bit-identical; the
+        # sweep must still cover every (value, policy) cell.
+        assert len(fused.points) == len(per_cell.points) == 4
+        assert fused.series("LDF") and fused.series("FCSMA")
+
+    def test_unstackable_group_degrades_gracefully(self, monkeypatch):
+        """If stacking itself fails, the group must fall back to the
+        per-cell runner rather than crash or drop cells."""
+        monkeypatch.setattr(grid, "_build_fused_sim", lambda *a, **k: None)
+        kw = dict(BASE, policies={"LDF": LDFPolicy})
+        result = run_sweep_fused(**kw)
+        assert len(result.points) == 2
+        assert all(p.total_deficiency >= 0 for p in result.points)
+
+
+class TestLockstepSharing:
+    def test_draw_sharing_changes_no_values(self, monkeypatch):
+        """Cross-family draw sharing is an optimization only: disabling
+        it must leave every sweep point bit-identical."""
+        kw = dict(BASE, policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy})
+        shared = run_sweep_fused(**kw)
+        monkeypatch.setattr(grid, "share_batch_draws", lambda sims: None)
+        unshared = run_sweep_fused(**kw)
+        assert shared.points == unshared.points
+
+
+class TestStatistics:
+    def test_default_mode_statistically_close_to_per_cell(self):
+        """sync_rng=False rows are fresh samples of the same estimator;
+        means must agree within a loose tolerance even at this tiny
+        horizon (the tight ensemble check lives in the integration
+        suite)."""
+        kw = dict(
+            BASE,
+            policies={"LDF": LDFPolicy},
+            num_intervals=300,
+            seeds=tuple(range(8)),
+        )
+        fused = run_sweep_fused(**kw)
+        per_cell = run_sweep(**kw, engine="batch")
+        for a, b in zip(fused.series("LDF"), per_cell.series("LDF")):
+            assert abs(a - b) < max(0.3, 0.5 * b)
+
+
+class TestValidationArgs:
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ValueError, match="num_intervals"):
+            run_sweep_fused(
+                "alpha", [0.5], builder, {"LDF": LDFPolicy}, 0, seeds=(0,)
+            )
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep_fused(
+                "alpha", [0.5], builder, {"LDF": LDFPolicy}, 10, seeds=()
+            )
+
+    def test_engine_fused_routes_through_run_sweep(self):
+        kw = dict(BASE, policies={"LDF": LDFPolicy})
+        result = run_sweep(**kw, engine="fused")
+        assert len(result.points) == 2
+        assert result.series("LDF")

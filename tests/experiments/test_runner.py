@@ -131,3 +131,35 @@ class TestRunSweep:
             run_sweep(
                 "x", [1.0], tiny_builder, {"LDF": LDFPolicy}, 10, seeds=()
             )
+
+
+class TestSeriesErrors:
+    """`series`/`group_series` must fail loudly, naming what's missing."""
+
+    def _sweep(self, **kw):
+        return run_sweep(
+            "alpha", [0.4, 0.6], tiny_builder, {"LDF": LDFPolicy},
+            num_intervals=40, seeds=(0,), **kw,
+        )
+
+    def test_unknown_policy_names_policy_and_values(self):
+        sweep = self._sweep()
+        with pytest.raises(KeyError) as exc:
+            sweep.series("DB-DP")
+        message = str(exc.value)
+        assert "DB-DP" in message
+        assert "0.4" in message and "0.6" in message
+        assert "LDF" in message  # lists the policies that are present
+
+    def test_partial_coverage_names_missing_values_only(self):
+        sweep = self._sweep()
+        del sweep.points[1]  # drop the 0.6 cell
+        with pytest.raises(KeyError) as exc:
+            sweep.series("LDF")
+        message = str(exc.value)
+        assert "0.6" in message and "0.4" not in message
+
+    def test_group_series_without_group_data_raises(self):
+        sweep = self._sweep()  # no groups recorded
+        with pytest.raises(KeyError, match="LDF"):
+            sweep.group_series("LDF", 0)

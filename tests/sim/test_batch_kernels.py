@@ -56,8 +56,12 @@ def naive_ordered_service(order, backlog, needed_cum, caps):
 
 
 class TestSolveOrderedService:
+    @pytest.mark.parametrize("dtype", [np.int64, np.float32])
     @pytest.mark.parametrize("trial", range(5))
-    def test_matches_sequential_reference(self, trial):
+    def test_matches_sequential_reference(self, trial, dtype):
+        """Link-space outputs match the sequential sweep, for both integer
+        and float32 draw blocks (the production pipeline keeps the block
+        in float32 holding exact integers)."""
         rng = np.random.default_rng(100 + trial)
         S, N, A = 7, 6, 4
         order = np.array([rng.permutation(N) for _ in range(S)])
@@ -68,21 +72,28 @@ class TestSolveOrderedService:
         # Caps must be non-increasing along the service order; negatives
         # model positions whose backoff already overruns the interval.
         caps = np.sort(rng.integers(-3, 15, size=(S, N)), axis=1)[:, ::-1]
-        delivered, attempts = solve_ordered_service(
+        delivered, attempts, attempts_pos = solve_ordered_service(
+            order, backlog, needed_cum.astype(dtype), caps
+        )
+        ref_delivered_pos, ref_attempts_pos = naive_ordered_service(
             order, backlog, needed_cum, caps
         )
-        ref_delivered, ref_attempts = naive_ordered_service(
-            order, backlog, needed_cum, caps
-        )
+        rows = np.arange(S)[:, None]
+        ref_delivered = np.zeros((S, N), dtype=np.int64)
+        ref_attempts = np.zeros((S, N), dtype=np.int64)
+        ref_delivered[rows, order] = ref_delivered_pos
+        ref_attempts[rows, order] = ref_attempts_pos
         np.testing.assert_array_equal(delivered, ref_delivered)
         np.testing.assert_array_equal(attempts, ref_attempts)
+        np.testing.assert_array_equal(attempts_pos, ref_attempts_pos)
+        assert attempts.dtype == attempts_pos.dtype == np.int64
 
     def test_empty_backlog_serves_nothing(self):
         order = np.array([[0, 1, 2]])
         backlog = np.zeros((1, 3), dtype=np.int64)
         needed_cum = np.ones((1, 3, 2), dtype=np.int64)
         caps = np.full((1, 3), 10, dtype=np.int64)
-        delivered, attempts = solve_ordered_service(
+        delivered, attempts, _ = solve_ordered_service(
             order, backlog, needed_cum, caps
         )
         assert delivered.sum() == 0 and attempts.sum() == 0
@@ -95,13 +106,14 @@ class TestSolveOrderedService:
             np.array([[3, 6]], dtype=np.int64), (1, 3, 1)
         )  # each link needs 6 attempts to drain
         caps = np.array([[8, 8, 8]], dtype=np.int64)
-        delivered, attempts = solve_ordered_service(
+        delivered, attempts, attempts_pos = solve_ordered_service(
             order, backlog, needed_cum, caps
         )
         # Position 0 drains (6 attempts, 2 packets); position 1 gets the
         # remaining 2 attempts (< 3 needed -> 0 delivered); position 2: 0.
-        np.testing.assert_array_equal(attempts, [[6, 2, 0]])
+        np.testing.assert_array_equal(attempts_pos, [[6, 2, 0]])
         np.testing.assert_array_equal(delivered, [[2, 0, 0]])
+        np.testing.assert_array_equal(attempts, [[6, 2, 0]])
 
 
 class TestChunkedDraws:
