@@ -1,0 +1,138 @@
+"""Workspace kernel backends vs the legacy fused engine on the Fig. 3 grid.
+
+The workspace refactor (:mod:`repro.sim.batch_kernels`) rebinds every
+kernel to preallocated buffers and replaces the legacy per-interval
+allocations with ``out=`` ufunc passes, closed-form single-pair priority
+updates, and matmul prefix sums; ``backend="jit"`` additionally compiles
+the two sequential inner loops with Numba where it is installed.  All
+backends consume identical RNG streams and are bit-identical in output —
+this benchmark asserts that on the full grid, times each backend on the
+paper's Fig. 3 sweep (16 alpha values x 20 seeds x DB-DP + LDF), and
+records a perf-counter decomposition of the workspace run so the speedup
+is attributable stage by stage.  Results land in ``BENCH_kernels.json``
+(path overridable via ``REPRO_BENCH_KERNELS_JSON``).
+
+Timing is manual (``perf_counter``, interleaved best-of-3) so the numbers
+exist even under ``pytest --benchmark-disable``; the committed full-scale
+measurement is produced with ``REPRO_BENCH_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import DBDPPolicy, LDFPolicy
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.grid import run_sweep_fused
+from repro.sim import jit_kernels, perf
+
+from _bench_utils import bench_intervals
+
+#: The paper's Fig. 3 horizon; scaled by REPRO_BENCH_SCALE.
+PAPER_INTERVALS = 5000
+NUM_SEEDS = 20
+ALPHAS = tuple(round(0.40 + 0.02 * i, 2) for i in range(16))
+REPS = 3
+#: Smoke floor for the workspace path.  The committed full-scale run on a
+#: single-core container shows ~1.7x end-to-end (see BENCH_kernels.json;
+#: the shared RNG draw generation — identical across backends by the
+#: bit-identity contract — bounds the reachable ratio); assert well below
+#: that so noisy CI boxes don't flake.
+MIN_SPEEDUP = 1.25
+
+POLICIES = {"DB-DP": DBDPPolicy, "LDF": LDFPolicy}
+
+
+def _output_path() -> Path:
+    return Path(
+        os.environ.get("REPRO_BENCH_KERNELS_JSON", "BENCH_kernels.json")
+    )
+
+
+def _spec_builder(alpha: float):
+    return video_symmetric_spec(alpha, delivery_ratio=0.9)
+
+
+def _run(backend: str, intervals: int, seeds):
+    return run_sweep_fused(
+        "alpha*", ALPHAS, _spec_builder, POLICIES, intervals, seeds,
+        validate=False, backend=backend,
+    )
+
+
+def test_kernel_backends_hotloop():
+    intervals = bench_intervals(PAPER_INTERVALS)
+    seeds = tuple(range(NUM_SEEDS))
+
+    backends = ["legacy", "numpy"]
+    # The JIT leg is only a distinct measurement when numba is actually
+    # installed; forced-Python mode exists for semantics tests and would
+    # just time the interpreter.
+    jit_compiled = jit_kernels.HAS_NUMBA and not jit_kernels.force_python
+    if jit_compiled:
+        backends.append("jit")
+
+    # Bit-identity first (also warms every code path before timing).
+    results = {b: _run(b, intervals, seeds) for b in backends}
+    reference = results["legacy"]
+    for backend in backends[1:]:
+        assert results[backend].points == reference.points, (
+            f"backend {backend!r} diverged from the legacy engine"
+        )
+
+    best = {b: float("inf") for b in backends}
+    for _ in range(REPS):
+        for backend in backends:  # interleaved: noise hits all equally
+            gc.collect()
+            t0 = time.perf_counter()
+            _run(backend, intervals, seeds)
+            best[backend] = min(best[backend], time.perf_counter() - t0)
+
+    # One instrumented workspace run for the stage decomposition.
+    was_enabled = perf.counters.enabled
+    perf.reset()
+    perf.enable()
+    try:
+        _run("numpy", intervals, seeds)
+        stages = perf.counters.snapshot()
+    finally:
+        perf.counters.enabled = was_enabled
+        perf.reset()
+
+    speedup = best["legacy"] / best["numpy"]
+    report = {
+        "workload": {
+            "sweep": "video_symmetric_spec(alpha, delivery_ratio=0.9)",
+            "values": list(ALPHAS),
+            "policies": list(POLICIES),
+            "num_intervals": intervals,
+            "num_seeds": NUM_SEEDS,
+        },
+        "bit_identical_backends": backends,
+        "numba_available": jit_kernels.HAS_NUMBA,
+        "best_seconds": {b: round(best[b], 3) for b in backends},
+        "speedup_numpy_vs_legacy": round(speedup, 2),
+        "numpy_stage_seconds": {
+            name: round(stat["seconds"], 4) for name, stat in stages.items()
+        },
+        "numpy_stage_allocs": {
+            name: int(stat["allocs"])
+            for name, stat in stages.items()
+            if stat["allocs"]
+        },
+    }
+    if jit_compiled:
+        report["speedup_jit_vs_legacy"] = round(
+            best["legacy"] / best["jit"], 2
+        )
+    path = _output_path()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert speedup > MIN_SPEEDUP, (
+        f"workspace backend only {speedup:.2f}x faster than legacy "
+        f"(legacy {best['legacy']:.2f}s, numpy {best['numpy']:.2f}s)"
+    )

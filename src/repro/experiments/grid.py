@@ -33,12 +33,13 @@ Semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.requirements import NetworkSpec
+from ..sim import perf
 from ..sim.batch_sim import (
     BatchIntervalSimulator,
     BatchSweepStats,
@@ -129,6 +130,7 @@ def _build_fused_sim(
     seeds: Tuple[int, ...],
     sync_rng: bool,
     validate: bool,
+    backend: Optional[str],
 ) -> Optional[BatchIntervalSimulator]:
     """Stack one group's cells into a mega-batch simulator.
 
@@ -158,6 +160,7 @@ def _build_fused_sim(
             record_traces=False,
             row_policies=row_policies,
             stream_tag=FUSED_STREAM_TAG,
+            backend=backend,
         )
     except (TypeError, ValueError):
         return None
@@ -175,6 +178,7 @@ def run_sweep_fused(
     sync_rng: bool = False,
     cache: Union[None, bool, str, SweepCache] = None,
     validate: bool = True,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Drop-in :func:`~repro.experiments.runner.run_sweep`, grid-fused.
 
@@ -192,6 +196,10 @@ def run_sweep_fused(
     validate:
         Per-step deliveries-vs-arrivals assertion (on by default;
         benchmarks disable it).
+    backend:
+        Kernel backend for the mega-batches
+        (:data:`~repro.sim.batch_kernels.KERNEL_BACKENDS`); all backends
+        are bit-identical, so the cache key deliberately excludes it.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
@@ -241,24 +249,29 @@ def run_sweep_fused(
             fallback.append(cell)
 
     built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
-    for group_cells in fused_groups.values():
-        sim = _build_fused_sim(group_cells, seeds, sync_rng, validate)
-        if sim is None:
-            fallback.extend(group_cells)
-        else:
-            built.append((group_cells, sim))
+    with perf.stage("fused.build"):
+        for group_cells in fused_groups.values():
+            sim = _build_fused_sim(
+                group_cells, seeds, sync_rng, validate, backend
+            )
+            if sim is None:
+                fallback.extend(group_cells)
+            else:
+                built.append((group_cells, sim))
 
-    # Policy-family groups of one grid stack the same cells with the same
-    # seeds, so their channel/arrival draws coincide; running them in
-    # lockstep lets one generation pass feed every family (exactly like
-    # the per-cell engines, where equal seeds reuse equal draws across
-    # policies).
-    share_batch_draws([sim for _, sim in built])
-    for _ in range(num_intervals):
-        for _, sim in built:
-            sim.step()
-    for group_cells, sim in built:
-        _scatter_points(group_cells, sim.stats, len(seeds), groups)
+        # Policy-family groups of one grid stack the same cells with the
+        # same seeds, so their channel/arrival draws coincide; running
+        # them in lockstep lets one generation pass feed every family
+        # (exactly like the per-cell engines, where equal seeds reuse
+        # equal draws across policies).
+        share_batch_draws([sim for _, sim in built])
+    with perf.stage("fused.run"):
+        for _ in range(num_intervals):
+            for _, sim in built:
+                sim.step()
+    with perf.stage("fused.scatter"):
+        for group_cells, sim in built:
+            _scatter_points(group_cells, sim.stats, len(seeds), groups)
 
     for cell in fallback:
         cell.point = run_single(
@@ -272,16 +285,10 @@ def run_sweep_fused(
 
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for cell in cells:
-        point = cell.point
+        # dataclasses.replace keeps every other SweepPoint field intact
+        # (rebuilding field-by-field would silently drop fields added to
+        # SweepPoint later).
         result.points.append(
-            SweepPoint(
-                parameter=cell.value,
-                policy=cell.label,
-                total_deficiency=point.total_deficiency,
-                deficiency_std=point.deficiency_std,
-                group_deficiency=point.group_deficiency,
-                collisions=point.collisions,
-                mean_overhead_us=point.mean_overhead_us,
-            )
+            replace(cell.point, parameter=cell.value, policy=cell.label)
         )
     return result

@@ -10,8 +10,9 @@ seeds.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -74,6 +75,15 @@ def run_sweep_parallel(
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine == "fused":
+        warnings.warn(
+            "run_sweep_parallel(engine='fused') degrades to per-cell "
+            "engine='batch': each worker owns a single cell, so there is "
+            "no grid to fuse; use repro.experiments.grid.run_sweep_fused "
+            "for whole-sweep fusion",
+            UserWarning,
+            stacklevel=2,
+        )
     cells = [
         _Cell(value=float(value), label=label)
         for value in values
@@ -107,15 +117,10 @@ def run_sweep_parallel(
     for value in values:
         for label in policies:
             point = outcomes[(float(value), label)]
+            # dataclasses.replace keeps every other field of the worker's
+            # point intact; rebuilding field-by-field here silently
+            # dropped any field added to SweepPoint later.
             result.points.append(
-                SweepPoint(
-                    parameter=float(value),
-                    policy=label,
-                    total_deficiency=point.total_deficiency,
-                    deficiency_std=point.deficiency_std,
-                    group_deficiency=point.group_deficiency,
-                    collisions=point.collisions,
-                    mean_overhead_us=point.mean_overhead_us,
-                )
+                replace(point, parameter=float(value), policy=label)
             )
     return result

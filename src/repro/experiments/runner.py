@@ -8,7 +8,7 @@ the spec builder and grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -93,9 +93,12 @@ def _run_single_batch(
     num_intervals: int,
     seeds: Sequence[int],
     groups: Optional[Sequence[int]],
+    backend: Optional[str] = None,
 ) -> SweepPoint:
     """One (spec, policy) cell on the batch engine: all seeds in one run."""
-    batch = run_simulation_batch(spec, policy, num_intervals, seeds)
+    batch = run_simulation_batch(
+        spec, policy, num_intervals, seeds, backend=backend
+    )
     totals = batch.total_deficiency()  # (S,)
     collisions = batch.collisions.sum(axis=0).astype(float)  # (S,)
     overheads = (
@@ -133,6 +136,7 @@ def run_single(
     seeds: Sequence[int],
     groups: Optional[Sequence[int]] = None,
     engine: str = "scalar",
+    backend: Optional[str] = None,
 ) -> SweepPoint:
     """Average one policy's deficiency on one spec across seeds.
 
@@ -142,14 +146,18 @@ def run_single(
     have no batch kernels) — same statistics either way, only the random
     draw order differs.  ``engine="fused"`` is accepted for symmetry with
     :func:`run_sweep` but behaves as ``"batch"`` here: with a single cell
-    there is no grid to fuse.
+    there is no grid to fuse.  ``backend`` selects the batch kernel
+    backend (ignored by the scalar engine); all backends are
+    bit-identical.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     if engine in ("batch", "fused"):
         policy = factory()
         if supports_batch_engine(spec, policy):
-            return _run_single_batch(spec, policy, num_intervals, seeds, groups)
+            return _run_single_batch(
+                spec, policy, num_intervals, seeds, groups, backend
+            )
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
     collisions: List[float] = []
@@ -196,6 +204,7 @@ def run_sweep(
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
     engine: str = "scalar",
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
@@ -219,21 +228,18 @@ def run_sweep(
             num_intervals,
             seeds,
             groups,
+            backend=backend,
         )
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for value in values:
         spec = spec_builder(value)
         for label, factory in policies.items():
-            point = run_single(spec, factory, num_intervals, seeds, groups, engine)
+            point = run_single(
+                spec, factory, num_intervals, seeds, groups, engine, backend
+            )
+            # Keep every other field of the worker's point intact
+            # (rebuilding field-by-field drops fields added later).
             result.points.append(
-                SweepPoint(
-                    parameter=float(value),
-                    policy=label,
-                    total_deficiency=point.total_deficiency,
-                    deficiency_std=point.deficiency_std,
-                    group_deficiency=point.group_deficiency,
-                    collisions=point.collisions,
-                    mean_overhead_us=point.mean_overhead_us,
-                )
+                replace(point, parameter=float(value), policy=label)
             )
     return result

@@ -53,9 +53,12 @@ bookkeeping.
 from __future__ import annotations
 
 import copy
+import os
+import warnings
 from abc import ABC, abstractmethod
 from bisect import bisect_right
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -69,7 +72,8 @@ from ..core.requirements import NetworkSpec
 from ..core.round_robin import RoundRobinPolicy
 from ..core.static_priority import StaticPriorityPolicy
 from ..phy.channel import BernoulliChannel
-from .rng import BatchRngBundle
+from . import jit_kernels, perf
+from .rng import BatchRngBundle, draw_chunk_depth
 from .spec_stack import SpecStack
 
 __all__ = [
@@ -82,11 +86,63 @@ __all__ = [
     "solve_ordered_service",
     "make_batch_kernel",
     "has_batch_kernel",
+    "resolve_backend",
+    "KERNEL_BACKENDS",
     "DRAW_CHUNK",
 ]
 
 #: Intervals' worth of randomness drawn per Generator call in batch mode.
 DRAW_CHUNK = 64
+
+#: Interval-resolution backends a kernel can bind with.
+#:
+#: * ``"numpy"`` — the preallocated-workspace NumPy path (default): all
+#:   per-interval scratch lives in buffers allocated once at bind time and
+#:   every hot-loop step writes in place via ``out=`` ufuncs.
+#: * ``"jit"`` — the workspace path with the two irreducibly sequential
+#:   stages (ordered service, DP interval timeline) compiled by Numba
+#:   (:mod:`repro.sim.jit_kernels`); falls back to ``"numpy"`` with a
+#:   :class:`RuntimeWarning` when numba is not importable.
+#: * ``"legacy"`` — the pre-workspace implementation, preserved verbatim
+#:   as the benchmark baseline and the reference for bit-identity tests.
+#:
+#: All three produce bit-identical outcomes for the same
+#: :class:`~repro.sim.rng.BatchRngBundle` (proven in
+#: ``tests/integration/test_kernel_backends.py``): they consume the same
+#: generator values in the same order, and every derived quantity is a
+#: small exact integer carried in float32/float64 far below the mantissa
+#: limit, which makes the arithmetic independent of summation order and
+#: of whether a stage runs vectorized or sequentially.
+KERNEL_BACKENDS = ("numpy", "jit", "legacy")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a backend request to one of :data:`KERNEL_BACKENDS`.
+
+    ``None`` defers to the environment: ``REPRO_KERNEL_BACKEND`` if set,
+    else ``"jit"`` when ``REPRO_JIT=1``, else ``"numpy"``.  A ``"jit"``
+    request degrades to ``"numpy"`` with a :class:`RuntimeWarning` when
+    numba is unavailable (and not forced into pure-Python test mode).
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_KERNEL_BACKEND", "") or (
+            "jit" if os.environ.get("REPRO_JIT", "") == "1" else "numpy"
+        )
+    backend = str(backend).lower()
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; choose from {KERNEL_BACKENDS}"
+        )
+    if backend == "jit" and not jit_kernels.available():
+        warnings.warn(
+            "numba is not installed; kernel backend 'jit' falls back to "
+            "the workspace NumPy path (install numba or set "
+            "REPRO_JIT_FORCE_PY=1 to exercise the loop bodies in Python)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        backend = "numpy"
+    return backend
 
 
 @dataclass
@@ -95,10 +151,14 @@ class BatchIntervalOutcome:
 
     The batch analogue of :class:`~repro.core.policies.IntervalOutcome`:
     per-link arrays are ``(S, N)``, per-interval scalars are ``(S,)``.
+
+    ``attempts`` (like ``priorities``) is ``None`` when the kernel was
+    bound with ``lite=True``: stats-only consumers never read it, and
+    skipping the link-space scatter saves a hot-loop pass.
     """
 
     deliveries: np.ndarray  # (S, N) int64
-    attempts: np.ndarray  # (S, N) int64
+    attempts: Optional[np.ndarray]  # (S, N) int64 or None (lite mode)
     busy_time_us: np.ndarray  # (S,) float
     overhead_time_us: np.ndarray  # (S,) float
     collisions: np.ndarray  # (S,) int64
@@ -231,7 +291,15 @@ class _ChunkedChannelDraws:
     ``2**53``.
     """
 
-    def __init__(self, success_probs: np.ndarray, num_seeds: int, a_max: int):
+    def __init__(
+        self,
+        success_probs: np.ndarray,
+        num_seeds: int,
+        a_max: int,
+        *,
+        depth: Optional[int] = None,
+        fast: bool = True,
+    ):
         probs = np.asarray(success_probs, dtype=float)
         num_links = probs.shape[-1]
         if probs.ndim == 1:
@@ -253,45 +321,143 @@ class _ChunkedChannelDraws:
         worst_cum = a_max * np.ceil(128.0 * scale.max() + 1.0)
         dtype = np.float32 if worst_cum < 2**24 else np.float64
         self._scale = scale.astype(dtype)
-        self._shape = (DRAW_CHUNK, num_seeds, num_links, a_max)
+        self._depth = DRAW_CHUNK if depth is None else int(depth)
+        self._shape = (self._depth, num_seeds, num_links, a_max)
         self._dtype = dtype
         self._cache: Optional[np.ndarray] = None
-        self._pos = DRAW_CHUNK
+        self._pos = self._depth
+        # ``fast=False`` keeps the seed engine's exact refill/totals code
+        # (``np.cumsum`` chunks, fresh ``drain_totals`` planes) so the
+        # legacy backend stays a faithful performance baseline; the
+        # workspace backends use the in-place accumulate and the gather
+        # below — same values either way.
+        self._fast = bool(fast)
+        # Drain-totals gather scratch, reused every interval: the flat
+        # index of ``cum[s, l, backlog - 1]`` inside a raveled (S, N, A)
+        # block is ``(s * N + l) * A + (backlog - 1)``.
+        self._tot_base = (
+            np.arange(num_seeds * num_links, dtype=np.int64) * a_max
+        ).reshape(num_seeds, num_links)
+        self._tot_idx = np.empty((num_seeds, num_links), dtype=np.int64)
+        self._tot_mask = np.empty((num_seeds, num_links), dtype=bool)
+        self._tot2 = np.empty((num_seeds, num_links), dtype=dtype)
+        self._gen_buf: Optional[np.ndarray] = None
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The draw dtype (float32 unless sums could exceed 2**24)."""
+        return np.dtype(self._dtype)
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
-        if self._pos >= DRAW_CHUNK:
-            draws = rng.standard_exponential(self._shape, dtype=self._dtype)
+        if self._pos >= self._depth:
+            if perf.counters.enabled:
+                t0 = perf.clock()
+            if self._fast:
+                # Refill into one persistent buffer — the previous chunk
+                # is fully consumed by the time we get here, and the
+                # generated stream does not depend on the destination.
+                if self._gen_buf is None:
+                    self._gen_buf = np.empty(self._shape, dtype=self._dtype)
+                draws = self._gen_buf
+                rng.standard_exponential(dtype=self._dtype, out=draws)
+            else:
+                draws = rng.standard_exponential(
+                    self._shape, dtype=self._dtype
+                )
             np.multiply(draws, self._scale, out=draws)
             np.ceil(draws, out=draws)
             np.maximum(draws, 1.0, out=draws)
-            self._cache = np.cumsum(draws, axis=3)
+            if self._fast:
+                # Running cumsum along the arrival axis, in place.  The
+                # axis is tiny (A slots), so A-1 whole-cube slice adds
+                # beat ``np.cumsum``'s short-segment scan by ~5x at this
+                # shape — identical values, every partial sum an exact
+                # small integer.
+                flat = draws.reshape(-1, self._shape[-1])
+                for a in range(1, self._shape[-1]):
+                    np.add(flat[:, a], flat[:, a - 1], out=flat[:, a])
+                self._cache = draws
+            else:
+                self._cache = np.cumsum(draws, axis=3)
             self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add(
+                    "draws.channel_refill", perf.clock() - t0, 1
+                )
         block = self._cache[self._pos]
         self._pos += 1
         return block
 
     def totals(self, needed_cum: np.ndarray, backlog: np.ndarray) -> np.ndarray:
-        """Drain totals for the interval's block; lockstep fan-out wrappers
-        override this with a per-interval cache (the plane depends only on
-        draws and arrivals, both shared)."""
-        return drain_totals(needed_cum, backlog)
+        """Per-link drain totals for the interval's block (``(S, N)``).
+
+        Same values as :func:`drain_totals` — the running cumsum gathered
+        at slot ``backlog - 1``, zero for empty buffers — via one flat
+        ``np.take`` into a reused buffer (callers must not mutate or
+        retain it across intervals).  Lockstep fan-out wrappers override
+        this with a per-serve-cycle cache (the plane depends only on
+        draws and arrivals, both shared).
+        """
+        if not self._fast:
+            return drain_totals(needed_cum, backlog)
+        np.subtract(backlog, 1, out=self._tot_idx)
+        np.maximum(self._tot_idx, 0, out=self._tot_idx)
+        np.add(self._tot_idx, self._tot_base, out=self._tot_idx)
+        needed_cum.ravel().take(self._tot_idx.ravel(), out=self._tot2.ravel())
+        np.greater(backlog, 0, out=self._tot_mask)
+        np.multiply(self._tot2, self._tot_mask, out=self._tot2)
+        return self._tot2
 
 
 class _ChunkedUniforms:
-    """Pre-drawn ``random()`` blocks of a fixed per-interval shape."""
+    """Pre-drawn ``random()`` blocks of a fixed per-interval shape.
 
-    def __init__(self, *per_interval_shape: int):
-        self._shape = (DRAW_CHUNK, *per_interval_shape)
+    Each chunk is one ``Generator.random`` call, so the stream's values
+    per interval are independent of ``depth`` (see
+    :func:`~repro.sim.rng.draw_chunk_depth`).
+    """
+
+    def __init__(self, *per_interval_shape: int, depth: Optional[int] = None):
+        self._depth = DRAW_CHUNK if depth is None else int(depth)
+        self._shape = (self._depth, *per_interval_shape)
         self._cache: Optional[np.ndarray] = None
-        self._pos = DRAW_CHUNK
+        self._pos = self._depth
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
-        if self._pos >= DRAW_CHUNK:
+        if self._pos >= self._depth:
+            if perf.counters.enabled:
+                t0 = perf.clock()
             self._cache = rng.random(self._shape)
             self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add("draws.uniform_refill", perf.clock() - t0, 1)
         block = self._cache[self._pos]
         self._pos += 1
         return block
+
+
+class _ChunkedArgmaxUniforms(_ChunkedUniforms):
+    """Uniform chunks consumed only through their per-row argmax.
+
+    The single-pair DP candidate draw needs ``argmax`` over the last axis
+    of each interval's ``(S, M)`` uniform slice; computing the argmax for
+    the whole ``(depth, S, M)`` chunk once at refill time gives the same
+    values (``block.argmax(axis=2)[pos] == block[pos].argmax(axis=1)``)
+    while amortizing the reduction's call overhead across the chunk.
+    """
+
+    def next_argmax(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= self._depth:
+            if perf.counters.enabled:
+                t0 = perf.clock()
+            self._cache = rng.random(self._shape)
+            self._argmax = self._cache.argmax(axis=2)
+            self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add("draws.uniform_refill", perf.clock() - t0, 2)
+        row = self._argmax[self._pos]
+        self._pos += 1
+        return row
 
 
 class BatchPolicyKernel(ABC):
@@ -323,6 +489,9 @@ class BatchPolicyKernel(ABC):
         num_seeds: int,
         sync_rng: bool,
         row_policies: Optional[Sequence[IntervalMac]] = None,
+        *,
+        backend: Optional[str] = None,
+        lite: bool = False,
     ) -> None:
         """Attach to a network and reset all per-replication state.
 
@@ -335,6 +504,13 @@ class BatchPolicyKernel(ABC):
         parameters (the DP kernel's swap-bias constants).  Sync mode
         clones *those* per row, so heterogeneous rows stay bit-identical
         to their scalar counterparts.
+
+        ``backend`` picks the interval resolver (:data:`KERNEL_BACKENDS`;
+        ``None`` resolves from the environment) — irrelevant in sync mode,
+        which always drives the scalar clones.  ``lite=True`` lets the
+        kernel skip materializing per-link attempts and priorities
+        (``BatchIntervalOutcome`` carries ``None`` instead); only valid
+        for stats-only consumers that never read them.
         """
         if isinstance(spec, SpecStack):
             stack: Optional[SpecStack] = spec
@@ -383,8 +559,17 @@ class BatchPolicyKernel(ABC):
         else:
             self._a_max = max(1, first.arrivals.max_per_link)
             self._reliabilities = first.reliabilities
+        self._backend = resolve_backend(backend)
+        self._use_ws = self._backend != "legacy" and not sync_rng
+        self._use_jit = self._backend == "jit" and not sync_rng
+        self._lite = bool(lite) and not sync_rng
+        self._depth = draw_chunk_depth() if self._use_ws else DRAW_CHUNK
         self._channel_draws = _ChunkedChannelDraws(
-            self._reliabilities, self.num_seeds, self._a_max
+            self._reliabilities,
+            self.num_seeds,
+            self._a_max,
+            depth=self._depth,
+            fast=self._use_ws,
         )
         self._rows = np.arange(self.num_seeds)[:, None]
         if sync_rng:
@@ -421,6 +606,8 @@ class BatchPolicyKernel(ABC):
     ) -> BatchIntervalOutcome:
         if sync_rng:
             return self._run_interval_sync(k, arrivals, positive_debts, rng)
+        if self._use_ws:
+            return self._run_interval_ws(k, arrivals, positive_debts, rng)
         return self._run_interval_batch(k, arrivals, positive_debts, rng)
 
     @abstractmethod
@@ -431,7 +618,113 @@ class BatchPolicyKernel(ABC):
         positive_debts: np.ndarray,
         rng: BatchRngBundle,
     ) -> BatchIntervalOutcome:
-        """Advance one interval with fully vectorized draws."""
+        """Advance one interval with fully vectorized draws (legacy)."""
+
+    def _run_interval_ws(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        """Advance one interval on the preallocated workspace (subclasses
+        override; the base falls back to the legacy path)."""
+        return self._run_interval_batch(k, arrivals, positive_debts, rng)
+
+    # -- workspace plumbing shared by the concrete kernels -----------------
+    def _alloc_common_ws(self) -> SimpleNamespace:
+        """Buffers every workspace kernel needs: flat-index planes for the
+        gather/scatter steps and the ordered-service solver's scratch.
+
+        All buffers are C-contiguous and owned, so ``.ravel()`` on them is
+        a view — flat ``np.take``/fancy-scatter on raveled planes is the
+        cheapest gather/scatter at this array size.
+        """
+        S, n = self.num_seeds, self.spec.num_links
+        workf = self._channel_draws.dtype
+        w = SimpleNamespace()
+        w.workf = workf
+        # Row offsets (S, 1) turn (S, n) link/position ids into flat
+        # indices of a raveled (S, n) plane.
+        w.row_off = (np.arange(S, dtype=np.int64) * n)[:, None]
+        w.link_plane = np.tile(np.arange(n, dtype=np.int64), (S, 1))
+        # Strict-upper-triangular ones: ``x @ mexcl`` is the exclusive
+        # prefix sum of ``x`` along axis 1.  One small BLAS matmul beats
+        # ``np.cumsum``'s short-segment scan on (S, n) planes, and stays
+        # bit-exact (every product and partial sum is an exact small
+        # integer, so the summation order cannot matter).
+        w.mexcl = np.triu(np.ones((n, n), dtype=workf), 1)
+        # Ordered-service solver scratch.
+        w.oflat = np.empty((S, n), dtype=np.int64)  # order + row_off
+        w.tot_pos = np.empty((S, n), dtype=workf)
+        w.cum = np.empty((S, n), dtype=workf)
+        w.budget = np.empty((S, n), dtype=workf)
+        w.att_pos = np.empty((S, n), dtype=workf)
+        w.budget_link = np.empty((S, n), dtype=workf)
+        A = self._a_max
+        w.serve3f = np.empty((S, n, A), dtype=workf)
+        w.ones_af = np.ones(A, dtype=workf)
+        w.countf = np.empty((S, n), dtype=workf)
+        w.delivered = np.empty((S, n), dtype=np.int64)
+        w.attempts_f = np.empty((S, n), dtype=workf)
+        w.attempts_i = np.empty((S, n), dtype=np.int64)
+        w.busy = np.empty(S, dtype=np.float64)
+        # Row sums as one matvec against ones: a BLAS dot of n exact
+        # small integers, bit-equal to ``np.sum`` but without the
+        # reduction's per-call overhead.
+        w.ones_wf = np.ones(n, dtype=workf)
+        w.busyf = np.empty(S, dtype=workf)
+        # Shared never-written zero planes for outcome fields the kernel
+        # family never produces (safe to alias across intervals).
+        w.zerof = np.zeros(S, dtype=np.float64)
+        w.zeroi = np.zeros(S, dtype=np.int64)
+        w.zeroi2 = np.zeros((S, n), dtype=np.int64)
+        return w
+
+    def _solve_ordered_ws(
+        self,
+        w: SimpleNamespace,
+        order: np.ndarray,
+        backlog: np.ndarray,
+        needed: np.ndarray,
+        caps_f: np.ndarray,
+    ) -> None:
+        """:func:`solve_ordered_service` on workspace buffers.
+
+        Inputs: ``order`` (S, n) int64 service order, ``backlog`` (S, n)
+        int64, ``needed`` the interval's cumulative (S, n, A) draw block,
+        ``caps_f`` the per-position attempt ceilings in the draw dtype
+        (must be non-increasing along axis 1, as in the legacy solver).
+        ``w.oflat`` must already hold ``order + w.row_off``.  Results land
+        in ``w.delivered`` (int64, by link) and ``w.att_pos`` (draw dtype,
+        by position); both match the legacy solver exactly — every
+        intermediate is an exact small integer, so the gathered totals
+        and in-place clip reproduce the legacy arithmetic bit for bit.
+        """
+        tot = self._channel_draws.totals(needed, backlog)
+        tot.ravel().take(w.oflat.ravel(), out=w.tot_pos.ravel())
+        np.matmul(w.tot_pos, w.mexcl, out=w.cum)  # attempts needed before
+        np.subtract(caps_f, w.cum, out=w.budget)
+        # clip(budget, 0, tot_pos) with tot_pos >= 0.
+        np.minimum(w.budget, w.tot_pos, out=w.att_pos)
+        np.maximum(w.att_pos, 0, out=w.att_pos)
+        w.budget_link.ravel()[w.oflat.ravel()] = w.budget.ravel()
+        # A packet is delivered iff its running attempt total fits the
+        # link's budget: delivered[s, l] counts slots a < backlog with
+        # needed_cum[s, l, a] <= budget_link[s, l].  The cumsums are
+        # strictly increasing (every draw >= 1), so that prefix count is
+        # ``min(count over the whole axis, backlog)`` — the whole-axis
+        # count lands as one small matvec, far cheaper than a bool
+        # ``sum(axis=2)`` reduction, and every value stays an exact
+        # small integer.  Full drains count exactly backlog; exhausted
+        # budgets (<= 0) count zero.
+        A = needed.shape[-1]
+        np.less_equal(
+            needed, w.budget_link[:, :, None], out=w.serve3f, casting="unsafe"
+        )
+        np.matmul(w.serve3f.reshape(-1, A), w.ones_af, out=w.countf.ravel())
+        np.copyto(w.delivered, w.countf, casting="unsafe")
+        np.minimum(w.delivered, backlog, out=w.delivered)
 
     def _run_interval_sync(
         self,
@@ -479,12 +772,74 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
             (self.num_seeds, self.spec.num_links), self._budget, dtype=np.int64
         )
         self._rank_row = np.arange(1, self.spec.num_links + 1, dtype=np.int64)
+        if self._use_ws:
+            w = self._alloc_common_ws()
+            S, n = self.num_seeds, self.spec.num_links
+            w.caps_f = np.full((S, n), self._budget, dtype=w.workf)
+            w.att_posf = np.empty((S, n), dtype=np.float64)  # jit output
+            w.rank_plane = np.tile(self._rank_row, (S, 1))
+            w.prios = np.empty((S, n), dtype=np.int64)
+            self._ws = w
 
     @abstractmethod
     def _service_orders(
         self, k: int, positive_debts: np.ndarray
     ) -> np.ndarray:
         """Return ``(S, N)`` link ids in service order for this interval."""
+
+    def _run_interval_ws(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        w = self._ws
+        counters = perf.counters
+        if counters.enabled:
+            t0 = perf.clock()
+        order = self._service_orders(k, positive_debts)
+        needed = self._channel_draws.next(rng.batch_stream("channel"))
+        lite = self._lite
+        if not arrivals.any():
+            # Fast path: nothing buffered anywhere in the stack — nobody
+            # transmits (the draws above were still consumed, keeping the
+            # stream aligned with the other backends).
+            w.att_pos.fill(0)
+            w.delivered.fill(0)
+            att_pos = w.att_pos
+        elif self._use_jit:
+            order = np.ascontiguousarray(order)
+            jit_kernels.serve_rows(
+                order, arrivals, needed, int(self._budget),
+                w.delivered, w.att_posf,
+            )
+            att_pos = w.att_posf
+        else:
+            np.add(order, w.row_off, out=w.oflat)
+            self._solve_ordered_ws(w, order, arrivals, needed, w.caps_f)
+            att_pos = w.att_pos
+        if att_pos is w.att_pos:
+            np.matmul(att_pos, w.ones_wf, out=w.busyf)
+            np.multiply(w.busyf, self._data_air, out=w.busy)
+        else:  # jit path returns float64 attempt positions
+            np.sum(att_pos, axis=1, out=w.busy)
+            np.multiply(w.busy, self._data_air, out=w.busy)
+        if not lite:
+            np.add(order, w.row_off, out=w.oflat)
+            w.attempts_f.ravel()[w.oflat.ravel()] = att_pos.ravel()
+            np.copyto(w.attempts_i, w.attempts_f, casting="unsafe")
+            w.prios.ravel()[w.oflat.ravel()] = w.rank_plane.ravel()
+        if counters.enabled:
+            counters.add("kernel.serve.interval", perf.clock() - t0)
+        return BatchIntervalOutcome(
+            deliveries=w.delivered if lite else w.delivered.copy(),
+            attempts=None if lite else w.attempts_i.copy(),
+            busy_time_us=w.busy if lite else w.busy.copy(),
+            overhead_time_us=w.zerof,
+            collisions=w.zeroi,
+            priorities=None if lite else w.prios.copy(),
+        )
 
     def _run_interval_batch(
         self,
@@ -538,6 +893,22 @@ class BatchELDFKernel(_BatchOrderedServeKernel):
         # _reliabilities is (N,) or, for fused stacks, (S, N); either
         # broadcasts against the (S, N) debt weights.
         weights = self.influence.value_array(positive_debts) * self._reliabilities
+        if (
+            self._use_ws
+            and weights.dtype == np.float64
+            and weights.flags.c_contiguous
+            and weights.min() >= 0.0
+        ):
+            # Same permutation, sorted as integers: non-negative float64
+            # bit patterns order exactly like their values, so negating
+            # the int64 view and stable-sorting equals the stable argsort
+            # of ``-weights`` — and integer radix sort is measurably
+            # faster than float mergesort at these shapes.  (Exotic
+            # influence functions yielding negative weights fall through
+            # to the float sort below.)
+            keys = weights.view(np.int64)
+            np.negative(keys, out=keys)
+            return np.argsort(keys, axis=1, kind="stable")
         # Stable argsort of -weights: ties keep lowest link first, exactly
         # like the scalar policy's tie-break.
         return np.argsort(-weights, axis=1, kind="stable")
@@ -664,12 +1035,118 @@ class BatchDPKernel(BatchPolicyKernel):
                 f"reducible on {n} links; the bound is {max_swap_pairs(n)}"
             )
         P = self.num_pairs if n >= 2 else 0
-        self._coin_draws = _ChunkedUniforms(self.num_seeds, 2 * P)
-        self._cand_draws = _ChunkedUniforms(
-            self.num_seeds, max(0, (n - 1) - (P - 1))
+        self._coin_draws = _ChunkedUniforms(
+            self.num_seeds, 2 * P, depth=self._depth
+        )
+        self._cand_draws = _ChunkedArgmaxUniforms(
+            self.num_seeds, max(0, (n - 1) - (P - 1)), depth=self._depth
         )
         self._pair_idx = np.arange(P, dtype=np.int64)[None, :]
         self._position_row = np.arange(n, dtype=np.int64)
+        # With integer-valued timing parameters, every dead time is an
+        # exact integer and ``floor(x / air)`` provably equals
+        # ``floor_divide(x, air)``: the true quotient is either an exact
+        # integer (exactly representable, correctly rounded) or at least
+        # ``1 / air`` away from one — far beyond the division's half-ulp
+        # error.  ``np.divide`` + ``np.floor`` is ~10x faster than
+        # ``np.floor_divide``'s divmod loop, so take it when safe.
+        # The interval bound additionally keeps the quotient's float32
+        # rounding error (q * 2**-24 <= T/air * 2**-24) below that 1/air
+        # margin, so the caps divide may land directly in the float32
+        # solver dtype.
+        self._exact_div = self._interval_us < 2**24 and all(
+            float(v).is_integer()
+            for v in (
+                self._interval_us,
+                self._data_air,
+                self._slot,
+                self._empty_air,
+            )
+        )
+        if self._use_ws:
+            self._alloc_dp_ws(P)
+
+    def _alloc_dp_ws(self, P: int) -> None:
+        """Workspace buffers for the in-place DP interval (see
+        :meth:`_run_interval_ws`)."""
+        w = self._alloc_common_ws()
+        S, n = self.num_seeds, self.spec.num_links
+        w.caps_f = np.empty((S, n), dtype=w.workf)
+        w.att_posf = np.empty((S, n), dtype=np.float64)  # jit att output
+        # Link/position-space integer and boolean scratch.
+        w.tmpi = np.empty((S, n), dtype=np.int64)
+        w.tmpi2 = np.empty((S, n), dtype=np.int64)
+        w.inv = np.empty((S, n), dtype=np.int64)
+        w.order = np.empty((S, n), dtype=np.int64)
+        w.backoff = np.empty((S, n), dtype=np.int64)
+        w.bpos = np.empty((S, n), dtype=np.int64)
+        w.posn = np.empty((S, n), dtype=np.int64)
+        # Single-pair non-candidate backoffs by position have a closed
+        # form ``j + 2 * (j > c)``; precomputing all n candidate rows
+        # turns the per-interval build into one row gather.
+        col = np.arange(n, dtype=np.int64)
+        w.bpos_tab = col[None, :] + 2 * (col[None, :] > col[:, None])
+        w.row_off_m1 = w.row_off - 1
+        w.we = np.zeros((S, n), dtype=bool)
+        w.iep = np.empty((S, n), dtype=bool)
+        w.fits = np.empty((S, n), dtype=bool)
+        w.mm = np.empty((S, n), dtype=bool)
+        w.tx = np.empty((S, n), dtype=bool)
+        # Timeline floats.  With integer-valued timings every timeline
+        # quantity (dead time, start, caps, attempt prefix) is an exact
+        # integer bounded by the interval length, so whenever
+        # ``interval_us < 2**24`` the whole timeline fits float32 exactly
+        # and the divide+floor caps stay provably exact (same 1/air
+        # margin argument as ``_exact_div``, with the 2**-24 relative
+        # error of float32).  Otherwise fall back to float64, which the
+        # legacy int64*float path effectively uses.
+        tlf = w.workf if self._exact_div else np.float64
+        w.iepf = np.empty((S, n), dtype=tlf)
+        w.ebf = np.empty((S, n), dtype=tlf)
+        w.mexcl_tl = (
+            w.mexcl
+            if tlf == w.workf
+            else np.triu(np.ones((n, n), dtype=np.float64), 1)
+        )
+        w.dead = np.empty((S, n), dtype=tlf)
+        w.tmpf = np.empty((S, n), dtype=tlf)
+        w.attb = np.empty((S, n), dtype=tlf)
+        w.start = np.empty((S, n), dtype=tlf)
+        # Per-row reductions.
+        w.idle = np.empty(S, dtype=np.int64)
+        w.ne = np.empty(S, dtype=np.int64)
+        w.att_tot = np.empty(S, dtype=np.int64)
+        w.eus = np.empty(S, dtype=np.float64)
+        w.ovh = np.empty(S, dtype=np.float64)
+        # Pair-space scratch (contiguous halves: ``w.xi[:, :P]`` views are
+        # ufunc *inputs* only, never raveled out-targets).
+        w.cands = np.empty((S, max(P, 1)), dtype=np.int64)[:, :P]
+        w.down = np.empty((S, P), dtype=np.int64)
+        w.up = np.empty((S, P), dtype=np.int64)
+        w.pi = np.empty((S, P), dtype=np.int64)
+        w.pi2 = np.empty((S, P), dtype=np.int64)
+        w.vs = np.empty((S, P), dtype=np.int64)
+        w.vs2 = np.empty((S, P), dtype=np.int64)
+        w.bmin = np.empty((S, P), dtype=np.int64)
+        w.bmax = np.empty((S, P), dtype=np.int64)
+        w.cl = np.empty((S, 2 * P), dtype=np.int64)
+        w.clflat = np.empty((S, 2 * P), dtype=np.int64)
+        w.ac = np.empty((S, 2 * P), dtype=np.int64)
+        w.acb = np.empty((S, 2 * P), dtype=bool)
+        w.relc = np.empty((S, 2 * P), dtype=np.float64)
+        w.dc = np.empty((S, 2 * P), dtype=np.float64)
+        w.xib = np.empty((S, 2 * P), dtype=bool)
+        w.xi = np.empty((S, 2 * P), dtype=np.int64)
+        w.cd = np.empty((S, P), dtype=bool)
+        w.cu = np.empty((S, P), dtype=bool)
+        w.cc = np.empty((S, P), dtype=bool)
+        w.empty_pairs = np.zeros((S, 0), dtype=np.int64)
+        w.rel_flat = np.ascontiguousarray(
+            np.broadcast_to(self._reliabilities, (S, n)), dtype=np.float64
+        ).ravel()
+        if perf.counters.enabled:
+            perf.counters.alloc("kernel.dp.bind_workspace", 50)
+        self._ws = w
 
     @property
     def priorities(self) -> np.ndarray:
@@ -692,6 +1169,298 @@ class BatchDPKernel(BatchPolicyKernel):
         draws = self._cand_draws.next(shared)
         subset = np.sort(np.argsort(draws, axis=1)[:, :P] + 1, axis=1)
         return subset + self._pair_idx
+
+    def _draw_candidates_ws(self, rng: BatchRngBundle) -> np.ndarray:
+        """Workspace candidate draw: same stream consumption and values as
+        :meth:`_draw_candidates`, buffered for the single-pair case."""
+        if self.num_pairs == 1:
+            am = self._cand_draws.next_argmax(rng.batch_stream("shared"))
+            np.add(am, 1, out=self._ws.cands[:, 0])
+            return self._ws.cands
+        S, n = self.num_seeds, self.spec.num_links
+        return self._draw_candidates(rng, S, n)
+
+    def _run_interval_ws(
+        self,
+        k: int,
+        arrivals: np.ndarray,
+        positive_debts: np.ndarray,
+        rng: BatchRngBundle,
+    ) -> BatchIntervalOutcome:
+        """The legacy DP interval, re-expressed over the bound workspace.
+
+        Same stages and the same arithmetic as
+        :meth:`_run_interval_batch`, but every (S, n)-sized intermediate
+        lands in a preallocated buffer via ``out=`` ufuncs / flat
+        ``np.take`` gathers, the inverse priority permutation comes from a
+        scatter instead of an argsort, and the ordered-service solver and
+        swap commit are short-circuited when provably idle.  Under
+        ``backend="jit"`` the timeline block (empty-claim accounting +
+        ordered service) is one compiled per-row sweep instead.
+        """
+        w = self._ws
+        counters = perf.counters
+        S, n = arrivals.shape
+        rows = self._rows
+        T = self._interval_us
+        air = self._data_air
+        slot = self._slot
+        empty_air = self._empty_air
+        lite = self._lite
+        sigma = self._sigma
+        sigma_out = None if lite else sigma.copy()
+        if counters.enabled:
+            t0 = perf.clock()
+
+        if n >= 2:
+            cands = self._draw_candidates_ws(rng)
+            P = cands.shape[1]
+            # Inverse permutation by scatter (sigma is a permutation of
+            # 1..n, so this equals argsort(sigma)).
+            np.add(sigma, w.row_off_m1, out=w.tmpi)
+            w.inv.ravel()[w.tmpi.ravel()] = w.link_plane.ravel()
+            np.add(cands, w.row_off, out=w.pi2)
+            np.subtract(w.pi2, 1, out=w.pi)
+            inv_flat = w.inv.ravel()
+            inv_flat.take(w.pi.ravel(), out=w.down.ravel())
+            inv_flat.take(w.pi2.ravel(), out=w.up.ravel())
+            w.cl[:, :P] = w.down
+            w.cl[:, P:] = w.up
+            np.add(w.cl, w.row_off, out=w.clflat)
+            clflat = w.clflat.ravel()
+            w.rel_flat.take(clflat, out=w.relc.ravel())
+            positive_debts.ravel().take(clflat, out=w.dc.ravel())
+            mu = self._active_bias.mu_batch(w.cl, w.dc, w.relc)
+            if not (mu.min() > 0.0 and mu.max() < 1.0):
+                raise ValueError(
+                    "swap bias returned mu outside (0, 1); Algorithm 2 "
+                    "requires a non-degenerate coin"
+                )
+            coins = self._coin_draws.next(rng.batch_stream("policy"))
+            np.less(coins, mu, out=w.xib)
+            np.multiply(w.xib, 2, out=w.xi)
+            np.subtract(w.xi, 1, out=w.xi)
+            xi_down = w.xi[:, :P]
+            xi_up = w.xi[:, P:]
+            arrivals.ravel().take(w.clflat.ravel(), out=w.ac.ravel())
+            np.equal(w.ac, 0, out=w.acb)
+        else:
+            P = 0
+            cands = w.empty_pairs
+            xi_down = xi_up = cands
+
+        rc = cdm1 = None
+        if P == 1:
+            # Single pair (the paper's protocol): the service order and
+            # its backoff staircase have closed forms, so the legacy
+            # argsort collapses into an inv copy plus O(S) fix-ups.
+            # Non-candidates keep priority order with backoff p - 1
+            # (below the pair) or p + 1 (above it); the candidates land
+            # in positions c-1 and c with backoffs c - xi_down and
+            # c + 1 - xi_up, which orders down before up except when
+            # both coins point "swap" (xi_down = -1, xi_up = +1) —
+            # exactly the commit-coin condition.
+            np.logical_not(w.xib[:, :1], out=w.cd)
+            np.logical_and(w.cd, w.xib[:, 1:], out=w.cc)
+            order = w.order
+            np.copyto(order, w.inv)
+            rc = np.flatnonzero(w.cc[:, 0])
+            cdx = cands[rc, 0]
+            cdm1 = cdx - 1
+            if rc.size:
+                order[rc, cdm1] = w.up[rc, 0]
+                order[rc, cdx] = w.down[rc, 0]
+            # Backoff by position: j below the pair, j + 2 above it,
+            # min/max of the two candidate backoffs in between (w.pi /
+            # w.pi2 are the flat indices of positions c-1 and c).
+            w.bpos_tab.take(cands[:, 0], axis=0, out=w.bpos)
+            np.subtract(cands, xi_down, out=w.vs)
+            np.subtract(cands, xi_up, out=w.vs2)
+            np.add(w.vs2, 1, out=w.vs2)
+            np.minimum(w.vs, w.vs2, out=w.bmin)
+            np.maximum(w.vs, w.vs2, out=w.bmax)
+            w.bpos.ravel()[w.pi.ravel()] = w.bmin.ravel()
+            w.bpos.ravel()[w.pi2.ravel()] = w.bmax.ravel()
+            # Only candidates may claim with empty packets; they sit in
+            # positions c-1 (down) and c (up), swapped on commit rows.
+            w.iep.fill(False)
+            w.iep.ravel()[w.pi.ravel()] = w.acb[:, 0]
+            w.iep.ravel()[w.pi2.ravel()] = w.acb[:, 1]
+            if rc.size:
+                w.iep[rc, cdm1] = w.acb[rc, 1]
+                w.iep[rc, cdx] = w.acb[rc, 0]
+            np.add(order, w.row_off, out=w.oflat)
+        else:
+            # Multi-pair (Remark 6) and degenerate stacks are off the
+            # benchmark path; keep the legacy construction.
+            if P:
+                pairs_below = (
+                    cands[:, None, :] + 1 < sigma[:, :, None]
+                ).sum(axis=2, dtype=np.int64)
+                np.multiply(pairs_below, 2, out=w.backoff)
+                np.add(w.backoff, sigma, out=w.backoff)
+                np.subtract(w.backoff, 1, out=w.backoff)
+                w.backoff[rows, w.down] = cands - xi_down + 2 * self._pair_idx
+                w.backoff[rows, w.up] = cands + 1 - xi_up + 2 * self._pair_idx
+                w.we.fill(False)
+                w.we.ravel()[w.clflat.ravel()] = w.acb.ravel()
+            else:
+                np.subtract(sigma, 1, out=w.backoff)
+                w.we.fill(False)
+            order = np.argsort(w.backoff, axis=1)
+            np.add(order, w.row_off, out=w.oflat)
+            w.backoff.ravel().take(w.oflat.ravel(), out=w.bpos.ravel())
+            w.we.ravel().take(w.oflat.ravel(), out=w.iep.ravel())
+        oflat = w.oflat.ravel()
+        needed = self._channel_draws.next(rng.batch_stream("channel"))
+        if counters.enabled:
+            counters.add("kernel.dp.setup", perf.clock() - t0)
+            t0 = perf.clock()
+
+        if self._use_jit and not self._force_sequential:
+            # One compiled pass resolves the whole timeline (including
+            # empty-claim coupling), so no assumption check is needed.
+            jit_kernels.dp_timeline_rows(
+                order, w.bpos, w.iep, arrivals, needed,
+                float(T), float(air), float(slot), float(empty_air),
+                w.delivered, w.att_posf, w.fits, w.start, w.att_tot,
+            )
+            att_pos = w.att_posf
+            np.multiply(w.att_tot, air, out=w.busy)
+        else:
+            # Exclusive prefix sums land as one small matmul against a
+            # strict upper-triangular mask — bit-exact on these
+            # integer-valued floats and faster than cumsum's short-row
+            # scan at benchmark shapes.
+            np.copyto(w.iepf, w.iep, casting="unsafe")
+            np.matmul(w.iepf, w.mexcl_tl, out=w.ebf)  # empties before
+            np.multiply(w.bpos, slot, out=w.dead)
+            np.multiply(w.ebf, empty_air, out=w.tmpf)
+            np.add(w.dead, w.tmpf, out=w.dead)
+            np.subtract(T, w.dead, out=w.tmpf)
+            if self._exact_div:  # same floors, minus divmod (see _on_bind)
+                # Dividing straight into the solver dtype is exact here:
+                # the quotient's float32 rounding error is below the
+                # 1 / air margin whenever interval_us < 2**24.
+                np.divide(w.tmpf, air, out=w.caps_f)
+                np.floor(w.caps_f, out=w.caps_f)
+            else:
+                np.floor_divide(w.tmpf, air, out=w.tmpf)
+                np.copyto(w.caps_f, w.tmpf, casting="unsafe")
+            if arrivals.any():
+                self._solve_ordered_ws(w, order, arrivals, needed, w.caps_f)
+            else:
+                # Whole stack idle: skip the solver, nothing transmits
+                # data (empty claims are still resolved below).
+                w.att_pos.fill(0)
+                w.delivered.fill(0)
+            np.matmul(w.att_pos, w.mexcl, out=w.attb)  # attempts before
+            np.multiply(w.attb, air, out=w.start)
+            np.add(w.start, w.dead, out=w.start)
+            # start + empty_air <= T rewritten against the precomputed
+            # bound T - empty_air: same exact-integer comparison, one
+            # whole-plane add saved per interval.
+            if empty_air > 0:
+                np.less_equal(w.start, T - empty_air, out=w.fits)
+            else:
+                np.less(w.start, T, out=w.fits)
+            np.logical_and(w.fits, w.iep, out=w.fits)
+
+            if self._force_sequential:
+                bad_rows = np.arange(S)
+                first_bad = np.zeros(S, dtype=np.int64)
+            else:
+                np.not_equal(w.fits, w.iep, out=w.mm)
+                if w.mm.any():
+                    bad_rows = np.flatnonzero(w.mm.any(axis=1))
+                    first_bad = np.argmax(w.mm, axis=1)
+                else:
+                    bad_rows = None
+            if bad_rows is not None and len(bad_rows):
+                for s in bad_rows:
+                    j0 = int(first_bad[s])
+                    self._resolve_row_sequential(
+                        int(s),
+                        j0,
+                        int(w.attb[s, j0]),
+                        int(w.ebf[s, j0]),
+                        order[s],
+                        w.bpos[s],
+                        w.iep[s],
+                        arrivals[s],
+                        needed[int(s)],
+                        w.delivered,
+                        None,
+                        w.att_pos,
+                        w.fits,
+                        w.start,
+                    )
+            att_pos = w.att_pos
+            np.matmul(att_pos, w.ones_wf, out=w.busyf)
+            np.multiply(w.busyf, air, out=w.busy)
+
+        np.greater(att_pos, 0, out=w.tx)
+        np.logical_or(w.tx, w.fits, out=w.tx)
+        np.multiply(w.bpos, w.tx, out=w.tmpi2)
+        w.tmpi2.max(axis=1, out=w.idle)
+        np.sum(w.fits, axis=1, out=w.ne)
+        np.multiply(w.ne, empty_air, out=w.eus)
+        np.add(w.busy, w.eus, out=w.busy)
+        np.multiply(w.idle, slot, out=w.ovh)
+        np.add(w.ovh, w.eus, out=w.ovh)
+        if counters.enabled:
+            counters.add("kernel.dp.timeline", perf.clock() - t0)
+            t0 = perf.clock()
+
+        if P == 1:
+            if rc.size:
+                # Commit is confined to the rows where both coins said
+                # "swap" (w.cc, computed during setup) — and on those
+                # rows the up-link was served at position c - 1, so the
+                # transmission test is two tiny gathers.  The in-place
+                # sigma writes touch committed entries only.
+                live = w.tx[rc, cdm1] & (w.start[rc, cdm1] + air <= T)
+                rcc = rc[live]
+                if rcc.size:
+                    csel = cands[rcc, 0]
+                    sigma[rcc, w.down[rcc, 0]] = csel + 1
+                    sigma[rcc, w.up[rcc, 0]] = csel
+        elif P:
+            np.equal(xi_down, -1, out=w.cd)
+            np.equal(xi_up, 1, out=w.cu)
+            np.logical_and(w.cd, w.cu, out=w.cc)
+            if w.cc.any():
+                # A pair can only swap when both coins point "swap"; only
+                # then is the transmission state worth gathering.  The
+                # in-place sigma writes below touch committed entries
+                # only — non-committed writes in the legacy path restore
+                # the values sigma already holds.
+                w.posn.ravel()[oflat] = w.link_plane.ravel()
+                up_pos = w.posn[rows, w.up]
+                committed = (
+                    w.cc
+                    & w.tx[rows, up_pos]
+                    & (w.start[rows, up_pos] + air <= T)
+                )
+                rcp, pc = np.nonzero(committed)
+                if rcp.size:
+                    csel = cands[rcp, pc]
+                    sigma[rcp, w.down[rcp, pc]] = csel + 1
+                    sigma[rcp, w.up[rcp, pc]] = csel
+
+        if not lite:
+            w.attempts_f.ravel()[oflat] = att_pos.ravel()
+            np.copyto(w.attempts_i, w.attempts_f, casting="unsafe")
+        if counters.enabled:
+            counters.add("kernel.dp.commit", perf.clock() - t0)
+        return BatchIntervalOutcome(
+            deliveries=w.delivered if lite else w.delivered.copy(),
+            attempts=None if lite else w.attempts_i.copy(),
+            busy_time_us=w.busy if lite else w.busy.copy(),
+            overhead_time_us=w.ovh if lite else w.ovh.copy(),
+            collisions=w.zeroi,
+            priorities=sigma_out,
+        )
 
     def _run_interval_batch(
         self,
@@ -877,7 +1646,7 @@ class BatchDPKernel(BatchPolicyKernel):
         arrivals_row: np.ndarray,
         needed_cum_row: np.ndarray,
         deliveries: np.ndarray,
-        attempts: np.ndarray,
+        attempts: Optional[np.ndarray],
         attempts_pos: np.ndarray,
         fits_pos: np.ndarray,
         start_pos: np.ndarray,
@@ -892,7 +1661,9 @@ class BatchDPKernel(BatchPolicyKernel):
         Python scalars — at tens of links that beats per-element ndarray
         indexing by an order of magnitude.  ``deliveries``/``attempts``
         are link-indexed, the remaining output arrays position-indexed
-        (matching :func:`solve_ordered_service`).
+        (matching :func:`solve_ordered_service`).  ``attempts`` may be
+        ``None`` (the workspace path reconstructs the link view from
+        ``attempts_pos`` at the end of the interval instead).
         """
         T = self._interval_us
         air = self._data_air
@@ -902,7 +1673,6 @@ class BatchDPKernel(BatchPolicyKernel):
         backoff_l = backoff_row.tolist()
         empty_l = is_empty_row.tolist()
         arrivals_l = arrivals_row.tolist()
-        cum_rows = needed_cum_row.tolist()
         for j in range(j0, len(order_l)):
             link = order_l[j]
             backlog = arrivals_l[link]
@@ -914,7 +1684,10 @@ class BatchDPKernel(BatchPolicyKernel):
                 cap = int((T - backoff_l[j] * slot - empties_fit * empty_air) // air)
                 budget = cap - att_total
                 if budget > 0:
-                    cum = cum_rows[link]
+                    # Indexing the ndarray row directly beats converting
+                    # the whole (N, A) cum block to nested lists: only a
+                    # handful of scalars per link are ever read.
+                    cum = needed_cum_row[link]
                     tot = int(cum[backlog - 1])
                     if tot <= budget:
                         used = tot
@@ -931,7 +1704,8 @@ class BatchDPKernel(BatchPolicyKernel):
                 if fits:
                     empties_fit += 1
             deliveries[s, link] = served
-            attempts[s, link] = used
+            if attempts is not None:
+                attempts[s, link] = used
             attempts_pos[s, j] = used
             fits_pos[s, j] = fits
             start_pos[s, j] = start

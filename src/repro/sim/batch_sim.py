@@ -49,6 +49,7 @@ import numpy as np
 from ..core.policies import IntervalMac
 from ..core.requirements import NetworkSpec
 from ..phy.channel import BernoulliChannel
+from . import perf
 from .batch_kernels import (
     DRAW_CHUNK,
     BatchIntervalOutcome,
@@ -124,6 +125,11 @@ class BatchSimulationResult:
 
     # ------------------------------------------------------------------
     def record(self, arrivals: np.ndarray, outcome: BatchIntervalOutcome) -> None:
+        if outcome.attempts is None:
+            raise RuntimeError(
+                f"{self.policy_name} ran on a lite-bound kernel (no attempt "
+                "traces); trace recording requires lite=False"
+            )
         self._arrivals.append(np.asarray(arrivals, dtype=np.int64))
         self._deliveries.append(np.asarray(outcome.deliveries, dtype=np.int64))
         self._attempts.append(np.asarray(outcome.attempts, dtype=np.int64))
@@ -313,11 +319,17 @@ class BatchSweepStats:
         return self.requirements.shape[-1]
 
     def update(self, outcome: BatchIntervalOutcome) -> None:
-        """Fold one interval's outcome into the running aggregates."""
+        """Fold one interval's outcome into the running aggregates.
+
+        The overhead row is *copied* before retention: workspace kernels
+        hand out live buffers they overwrite next interval, so anything
+        kept beyond the call must own its data (sums fold immediately and
+        need no copy).
+        """
         self.delivery_sums += np.asarray(outcome.deliveries, dtype=np.int64)
         self.collision_sums += np.asarray(outcome.collisions, dtype=np.int64)
         self._overhead_rows.append(
-            np.asarray(outcome.overhead_time_us, dtype=float)
+            np.array(outcome.overhead_time_us, dtype=float)
         )
         self.num_intervals += 1
 
@@ -372,6 +384,14 @@ class _BatchArrivalDraws:
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
         if self._pos >= DRAW_CHUNK:
+            # The depth stays fixed at DRAW_CHUNK even when the kernels
+            # use a deeper REPRO_DRAW_CHUNK: arrival sampling may make
+            # several Generator calls per block (e.g. bursty uniforms then
+            # integers), so the block size changes how the stream's values
+            # interleave — unlike the single-call channel/uniform chunks,
+            # a different depth here would change the trajectory.
+            if perf.counters.enabled:
+                t0 = perf.clock()
             if self._stack is not None:
                 self._cache = self._stack.sample_arrival_block(rng, DRAW_CHUNK)
             else:
@@ -382,6 +402,10 @@ class _BatchArrivalDraws:
                     DRAW_CHUNK, self._num_seeds, self._spec.num_links
                 )
             self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add(
+                    "draws.arrival_refill", perf.clock() - t0, 1
+                )
         block = self._cache[self._pos]
         self._pos += 1
         return block
@@ -450,7 +474,17 @@ def share_batch_draws(sims: Sequence["BatchIntervalSimulator"]) -> None:
         if getattr(sim.kernel, "_channel_draws", None) is None:
             continue
         specs = sim.stack.specs if sim.stack is not None else (sim.spec,)
-        key = (sim.rng.seeds, sim.rng.stream_tag, specs)
+        draws = sim.kernel._channel_draws
+        # Chunk depth is part of the class key: blocks are shared by
+        # reference, so lockstep clients must consume identically-shaped
+        # chunks (depths can differ when only some kernels honor
+        # REPRO_DRAW_CHUNK).
+        key = (
+            sim.rng.seeds,
+            sim.rng.stream_tag,
+            specs,
+            draws._depth,
+        )
         for existing_key, members in classes:
             if existing_key == key:  # spec equality, not identity
                 members.append(sim)
@@ -505,6 +539,12 @@ class BatchIntervalSimulator:
     stream_tag:
         Namespace tag for the batch RNG streams; see
         :class:`~repro.sim.rng.BatchRngBundle`.
+    backend:
+        Kernel backend (:data:`~repro.sim.batch_kernels.KERNEL_BACKENDS`):
+        ``"numpy"`` (preallocated workspace, default), ``"jit"`` (Numba
+        inner loops, falls back to ``"numpy"`` without numba), or
+        ``"legacy"``.  All backends are bit-identical; ``None`` resolves
+        from ``REPRO_KERNEL_BACKEND`` / ``REPRO_JIT``.
     """
 
     def __init__(
@@ -519,6 +559,7 @@ class BatchIntervalSimulator:
         record_traces: bool = True,
         row_policies: Optional[Sequence[IntervalMac]] = None,
         stream_tag: Optional[str] = None,
+        backend: Optional[str] = None,
     ):
         if isinstance(spec, SpecStack):
             stack: Optional[SpecStack] = spec
@@ -556,13 +597,20 @@ class BatchIntervalSimulator:
             self.rng.num_seeds,
             self.sync_rng,
             row_policies=row_policies,
+            backend=backend,
+            # Trace recording reads per-link attempts and priorities;
+            # stats-only runs let the kernel skip materializing them.
+            lite=not self.record_traces,
         )
+        self.backend = self.kernel._backend
         self._q_rows = (
             stack.requirement_matrix
             if stack is not None
             else self.spec.requirement_vector[None, :]
         )
         self._debts = np.zeros((self.rng.num_seeds, self.spec.num_links))
+        self._pos_debts = np.empty_like(self._debts)
+        self._debt_step = np.empty_like(self._debts)
         self._interval = 0
         self._arrival_draws = (
             None
@@ -628,14 +676,24 @@ class BatchIntervalSimulator:
 
     def step(self) -> None:
         """Simulate one interval for every replication."""
+        counters = perf.counters
+        if counters.enabled:
+            t0 = perf.clock()
         arrivals = self._sample_arrivals()
+        np.maximum(self._debts, 0.0, out=self._pos_debts)
+        if counters.enabled:
+            counters.add("sim.arrivals", perf.clock() - t0)
+            t0 = perf.clock()
         outcome = self.kernel.run_interval(
             self._interval,
             arrivals,
-            np.maximum(self._debts, 0.0),
+            self._pos_debts,
             self.rng,
             self.sync_rng,
         )
+        if counters.enabled:
+            counters.add("sim.kernel", perf.clock() - t0)
+            t0 = perf.clock()
         if self.validate and np.any(outcome.deliveries > arrivals):
             raise AssertionError(
                 f"{self.policy.name} delivered more than arrived in at "
@@ -644,11 +702,14 @@ class BatchIntervalSimulator:
         # Eq. (1), elementwise per replication: the float operations per
         # seed are the same as DebtLedger.record_interval, so sync-mode
         # debts stay bit-identical to scalar ledgers.
-        self._debts += self._q_rows - outcome.deliveries
+        np.subtract(self._q_rows, outcome.deliveries, out=self._debt_step)
+        np.add(self._debts, self._debt_step, out=self._debts)
         self._interval += 1
         self.stats.update(outcome)
         if self.result is not None:
             self.result.record(arrivals, outcome)
+        if counters.enabled:
+            counters.add("sim.update", perf.clock() - t0)
 
     def run(
         self,
@@ -678,6 +739,7 @@ def run_simulation_batch(
     sync_rng: bool = False,
     validate: bool = True,
     record_priorities: bool = False,
+    backend: Optional[str] = None,
 ) -> BatchSimulationResult:
     """One-shot convenience wrapper around :class:`BatchIntervalSimulator`."""
     sim = BatchIntervalSimulator(
@@ -687,5 +749,6 @@ def run_simulation_batch(
         sync_rng=sync_rng,
         validate=validate,
         record_priorities=record_priorities,
+        backend=backend,
     )
     return sim.run(num_intervals)

@@ -1,0 +1,219 @@
+"""Optional Numba-compiled inner loops for the workspace batch kernels.
+
+The workspace NumPy path (``backend="numpy"`` in
+:mod:`repro.sim.batch_kernels`) resolves each interval with closed-form
+array passes; its remaining cost is a fixed number of small-array NumPy
+calls per interval.  When Numba is installed, ``backend="jit"`` replaces
+the two irreducibly sequential pieces — ordered service under a cap
+staircase, and the DP interval timeline with empty-packet coupling — with
+``nopython`` per-row loops over the *same* workspace arrays.  The loops
+are verbatim transcriptions of the engine's exact sequential semantics
+(``BatchDPKernel._resolve_row_sequential`` and the
+``solve_ordered_service`` recursion), so their outputs are bit-identical
+to the NumPy path: every accumulated quantity is a small exact integer
+(stored in float32/float64 well below the mantissa limit), which makes
+the arithmetic order-independent.
+
+Numba is an *optional* dependency:
+
+* ``HAS_NUMBA`` reports whether it imported; when absent, requesting the
+  JIT backend falls back to the workspace NumPy path (the caller warns
+  once — see ``batch_kernels.resolve_backend``).
+* For testing the loop *semantics* without Numba, ``force_python = True``
+  (or ``REPRO_JIT_FORCE_PY=1``) routes ``backend="jit"`` through the
+  pure-Python bodies of the same functions.  That is slow but exercises
+  exactly the code Numba would compile, so the cross-backend test-suite
+  proves the JIT path correct even on hosts without numba; the CI leg
+  that installs numba re-proves it compiled.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "HAS_NUMBA",
+    "available",
+    "force_python",
+    "serve_rows",
+    "dp_timeline_rows",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover
+    njit = None
+    HAS_NUMBA = False
+
+#: Route ``backend="jit"`` through the pure-Python loop bodies even when
+#: numba is missing (or present).  Test hook; also settable via the
+#: ``REPRO_JIT_FORCE_PY=1`` environment variable.
+force_python = os.environ.get("REPRO_JIT_FORCE_PY", "") == "1"
+
+
+def available() -> bool:
+    """Whether ``backend="jit"`` can run (compiled or forced-Python)."""
+    return HAS_NUMBA or force_python
+
+
+def _serve_rows_py(order, backlog, needed_cum, cap, delivered, att_pos):
+    """Sequential in-order service with one constant attempt cap.
+
+    Per replication row: walk links in service order, granting each link
+    ``min(remaining budget, attempts needed to drain)`` attempts and
+    counting delivered packets off its pre-drawn retry cumsums
+    (``needed_cum[s, l, t]`` = attempts needed for the first ``t + 1``
+    packets).  Writes ``delivered`` by link and ``att_pos`` by service
+    position, exactly like
+    :func:`repro.sim.batch_kernels.solve_ordered_service`.
+    """
+    S, N = order.shape
+    for s in range(S):
+        used = 0
+        for j in range(N):
+            link = order[s, j]
+            b = backlog[s, link]
+            u = 0
+            d = 0
+            if b > 0:
+                budget = cap - used
+                if budget > 0:
+                    tot = needed_cum[s, link, b - 1]
+                    if tot <= budget:
+                        u = int(tot)
+                        d = b
+                    else:
+                        u = budget
+                        for a in range(b):
+                            if needed_cum[s, link, a] <= budget:
+                                d += 1
+                            else:
+                                break
+                    used += u
+            delivered[s, link] = d
+            att_pos[s, j] = u
+
+
+def _dp_timeline_rows_py(
+    order,
+    backoff_pos,
+    is_empty_pos,
+    backlog,
+    needed_cum,
+    interval_us,
+    data_air,
+    slot,
+    empty_air,
+    delivered,
+    att_pos,
+    fits_pos,
+    start_pos,
+    att_totals,
+):
+    """The DP kernel's exact interval timeline, every row sequentially.
+
+    A transcription of ``BatchDPKernel._resolve_row_sequential`` resumed
+    from position 0 for every row: the attempt ceiling of each service
+    position is the staircase set by its backoff slots and the empty
+    claims already on air, and whether an empty claim fits depends on the
+    service time used before it.  ``needed_cum`` is the cumulative draw
+    block (attempts needed for the first ``t + 1`` packets).  Outputs
+    feed the same downstream NumPy stages (busy/overhead/commit) as the
+    closed-form path.
+    """
+    S, N = order.shape
+    for s in range(S):
+        att_total = 0
+        empties_fit = 0
+        for j in range(N):
+            link = order[s, j]
+            b = backlog[s, link]
+            dead = backoff_pos[s, j] * slot + empties_fit * empty_air
+            start = att_total * data_air + dead
+            fits = False
+            used = 0
+            served = 0
+            if b > 0:
+                cap = int((interval_us - dead) // data_air)
+                budget = cap - att_total
+                if budget > 0:
+                    tot = needed_cum[s, link, b - 1]
+                    if tot <= budget:
+                        used = int(tot)
+                        served = b
+                    else:
+                        used = budget
+                        for a in range(b):
+                            if needed_cum[s, link, a] <= budget:
+                                served += 1
+                            else:
+                                break
+                    att_total += used
+            elif is_empty_pos[s, j]:
+                if empty_air > 0:
+                    fits = start + empty_air <= interval_us
+                else:
+                    fits = start < interval_us
+                if fits:
+                    empties_fit += 1
+            delivered[s, link] = served
+            att_pos[s, j] = used
+            fits_pos[s, j] = fits
+            start_pos[s, j] = start
+        att_totals[s] = att_total
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised in the numba CI leg
+    _serve_rows_jit = njit(cache=False)(_serve_rows_py)
+    _dp_timeline_rows_jit = njit(cache=False)(_dp_timeline_rows_py)
+else:
+    _serve_rows_jit = None
+    _dp_timeline_rows_jit = None
+
+
+def serve_rows(order, backlog, needed, cap, delivered, att_pos):
+    if HAS_NUMBA and not force_python:
+        _serve_rows_jit(order, backlog, needed, cap, delivered, att_pos)
+    else:
+        _serve_rows_py(order, backlog, needed, cap, delivered, att_pos)
+
+
+def dp_timeline_rows(
+    order,
+    backoff_pos,
+    is_empty_pos,
+    backlog,
+    needed,
+    interval_us,
+    data_air,
+    slot,
+    empty_air,
+    delivered,
+    att_pos,
+    fits_pos,
+    start_pos,
+    att_totals,
+):
+    impl = (
+        _dp_timeline_rows_jit
+        if HAS_NUMBA and not force_python
+        else _dp_timeline_rows_py
+    )
+    impl(
+        order,
+        backoff_pos,
+        is_empty_pos,
+        backlog,
+        needed,
+        interval_us,
+        data_air,
+        slot,
+        empty_air,
+        delivered,
+        att_pos,
+        fits_pos,
+        start_pos,
+        att_totals,
+    )

@@ -10,12 +10,45 @@ spawning, so any simulation is reproducible from a single integer.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["RngBundle", "BatchRngBundle"]
+__all__ = ["RngBundle", "BatchRngBundle", "draw_chunk_depth"]
+
+
+def draw_chunk_depth(default: int = 64) -> int:
+    """Chunk depth (intervals per Generator call) for batch draw caches.
+
+    Reads ``REPRO_DRAW_CHUNK`` from the environment, falling back to
+    ``default``.  Changing the depth is **value-preserving** for every
+    stream that fills its whole chunk with a *single* Generator call
+    (channel retry draws via ``standard_exponential``, policy/shared
+    uniforms via ``random``): a chunk of depth ``D`` consumes exactly
+    ``D`` intervals' worth of the stream in interval order, so interval
+    ``k`` reads the same generator values at any depth.  It is *not*
+    value-preserving for arrival blocks — ``sample_batch`` of the bursty
+    process makes two generator calls (uniforms, then integers) whose
+    interleaving depends on the block size — so the arrival cache in
+    :mod:`repro.sim.batch_sim` keeps a fixed depth regardless of this
+    setting.
+    """
+    raw = os.environ.get("REPRO_DRAW_CHUNK", "")
+    if not raw:
+        return int(default)
+    try:
+        depth = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_DRAW_CHUNK must be a positive integer, got {raw!r}"
+        ) from exc
+    if depth < 1:
+        raise ValueError(
+            f"REPRO_DRAW_CHUNK must be a positive integer, got {depth}"
+        )
+    return depth
 
 
 class RngBundle:

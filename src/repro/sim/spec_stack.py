@@ -136,16 +136,24 @@ class SpecStack:
 
     # ------------------------------------------------------------------
     def _arrival_groups(self) -> List[Tuple[NetworkSpec, List[int]]]:
-        """Rows grouped by identical arrival process (order-preserving)."""
-        groups: List[Tuple[NetworkSpec, List[int]]] = []
-        for i, spec in enumerate(self._specs):
-            for rep, rows in groups:
-                if spec.arrivals == rep.arrivals:
-                    rows.append(i)
-                    break
-            else:
-                groups.append((spec, [i]))
-        return groups
+        """Rows grouped by identical arrival process (order-preserving).
+
+        Computed once and cached: the stack is immutable, and the
+        pairwise equality scan is quadratic in distinct processes — too
+        slow to repeat on every chunk refill of a long run.
+        """
+        cached = getattr(self, "_arrival_groups_cache", None)
+        if cached is None:
+            groups: List[Tuple[NetworkSpec, List[int]]] = []
+            for i, spec in enumerate(self._specs):
+                for rep, rows in groups:
+                    if spec.arrivals == rep.arrivals:
+                        rows.append(i)
+                        break
+                else:
+                    groups.append((spec, [i]))
+            cached = self._arrival_groups_cache = groups
+        return cached
 
     def sample_arrival_block(
         self, rng: np.random.Generator, depth: int

@@ -64,6 +64,49 @@ class TestParallelSweep:
             sequential.series("DB-DP"), parallel.series("DB-DP")
         )
 
+    def test_fused_engine_warns_and_degrades_to_batch(self):
+        """There is no grid to fuse when each worker owns one cell, so
+        engine='fused' must warn and produce exactly the batch result."""
+        kwargs = dict(
+            parameter_name="alpha",
+            values=[0.5],
+            spec_builder=small_builder,
+            policies={"DB-DP": DBDPPolicy},
+            num_intervals=80,
+            seeds=(0, 1),
+            max_workers=2,
+        )
+        with pytest.warns(UserWarning, match="degrades to per-cell"):
+            fused = run_sweep_parallel(engine="fused", **kwargs)
+        batch = run_sweep_parallel(engine="batch", **kwargs)
+        np.testing.assert_array_equal(
+            fused.series("DB-DP"), batch.series("DB-DP")
+        )
+
+    def test_points_preserve_all_sweep_point_fields(self):
+        """Result assembly uses dataclasses.replace, so every field the
+        worker computed must survive into the merged SweepResult."""
+        from dataclasses import fields
+
+        kwargs = dict(
+            parameter_name="alpha",
+            values=[0.4, 0.6],
+            spec_builder=small_builder,
+            policies={"LDF": LDFPolicy},
+            num_intervals=60,
+            seeds=(0, 1),
+        )
+        sequential = run_sweep(**kwargs)
+        parallel = run_sweep_parallel(max_workers=2, **kwargs)
+        assert len(parallel.points) == len(sequential.points)
+        for seq_pt, par_pt in zip(sequential.points, parallel.points):
+            for f in fields(seq_pt):
+                np.testing.assert_array_equal(
+                    getattr(seq_pt, f.name),
+                    getattr(par_pt, f.name),
+                    err_msg=f"field {f.name!r} lost in parallel assembly",
+                )
+
     def test_validation(self):
         with pytest.raises(ValueError):
             run_sweep_parallel(

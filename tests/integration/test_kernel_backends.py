@@ -1,0 +1,140 @@
+"""Cross-backend bit-identity: legacy vs workspace NumPy vs JIT kernels.
+
+The workspace refactor must be invisible in the outputs: all kernel
+backends consume the same generator values in the same order, and every
+derived quantity is an exact small integer in float storage, so the
+closed-form workspace passes, the compiled (or forced-Python) per-row
+loops, and the legacy implementation must agree **bit for bit** — on
+full fused sweeps and on direct batch runs, priorities included.
+
+The JIT leg runs compiled when numba is importable; otherwise it runs
+the pure-Python bodies of the same loop functions
+(``jit_kernels.force_python``), which exercises exactly the code numba
+would compile.  The CI workflow runs this module both with and without
+numba installed, so both flavors are proven.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    DBDPPolicy,
+    ELDFPolicy,
+    LDFPolicy,
+    RoundRobinPolicy,
+    StaticPriorityPolicy,
+    run_simulation_batch,
+)
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.grid import run_sweep_fused
+from repro.sim import jit_kernels
+from repro.sim.batch_kernels import KERNEL_BACKENDS, resolve_backend
+
+SEEDS = (0, 1, 2, 3)
+INTERVALS = 250
+ALPHAS = (0.45, 0.55, 0.65)
+POLICIES = {"DB-DP": DBDPPolicy, "LDF": LDFPolicy}
+
+
+@pytest.fixture
+def jit_runnable(monkeypatch):
+    """Make backend='jit' runnable: compiled if numba is present, else
+    forced through the pure-Python loop bodies."""
+    if not jit_kernels.HAS_NUMBA:
+        monkeypatch.setattr(jit_kernels, "force_python", True)
+    return jit_kernels.HAS_NUMBA
+
+
+def _fused(backend):
+    return run_sweep_fused(
+        "alpha",
+        ALPHAS,
+        lambda a: video_symmetric_spec(a, delivery_ratio=0.9),
+        POLICIES,
+        INTERVALS,
+        SEEDS,
+        validate=False,
+        backend=backend,
+    )
+
+
+class TestFusedSweepBackendIdentity:
+    def test_numpy_matches_legacy_bitwise(self):
+        assert _fused("numpy").points == _fused("legacy").points
+
+    def test_jit_matches_legacy_bitwise(self, jit_runnable):
+        assert _fused("jit").points == _fused("legacy").points
+
+
+class TestDirectBatchBackendIdentity:
+    @pytest.mark.parametrize(
+        "factory",
+        [DBDPPolicy, ELDFPolicy, LDFPolicy, RoundRobinPolicy,
+         StaticPriorityPolicy],
+        ids=lambda f: f.__name__,
+    )
+    def test_all_backends_agree_on_every_field(self, factory, jit_runnable):
+        spec = video_symmetric_spec(0.6, num_links=6)
+        results = {
+            backend: run_simulation_batch(
+                spec, factory(), INTERVALS, SEEDS,
+                record_priorities=True, backend=backend,
+            )
+            for backend in KERNEL_BACKENDS
+        }
+        ref = results["legacy"]
+        for backend in ("numpy", "jit"):
+            got = results[backend]
+            for field in (
+                "arrivals", "deliveries", "attempts", "busy_time_us",
+                "overhead_time_us", "collisions", "priorities",
+            ):
+                np.testing.assert_array_equal(
+                    getattr(got, field),
+                    getattr(ref, field),
+                    err_msg=f"{factory.__name__}/{backend}/{field}",
+                )
+
+
+class TestBackendResolution:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("legacy") == "legacy"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_default_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert resolve_backend(None) == "numpy"
+
+    def test_repro_jit_env_requests_jit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_JIT", "1")
+        if jit_kernels.available():
+            assert resolve_backend(None) == "jit"
+        else:
+            with pytest.warns(RuntimeWarning, match="numba is not installed"):
+                assert resolve_backend(None) == "numpy"
+
+    @pytest.mark.skipif(
+        jit_kernels.HAS_NUMBA, reason="needs a numba-free environment"
+    )
+    def test_jit_without_numba_degrades_with_warning(self, monkeypatch):
+        monkeypatch.setattr(jit_kernels, "force_python", False)
+        with pytest.warns(RuntimeWarning, match="falls back"):
+            assert resolve_backend("jit") == "numpy"
+
+    @pytest.mark.skipif(
+        not jit_kernels.HAS_NUMBA, reason="compiled leg needs numba"
+    )
+    def test_jit_with_numba_resolves_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("jit") == "jit"

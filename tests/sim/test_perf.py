@@ -1,0 +1,138 @@
+"""Tests for the per-stage perf-counter layer (:mod:`repro.sim.perf`).
+
+The acceptance constraint is that disabled counters stay out of the hot
+path: every instrumented site guards on ``counters.enabled`` before
+touching the clock, so a disabled run pays one attribute check per site.
+That property is asserted *structurally* here — a counting clock proves
+the hot loop never reads the time when disabled — because a wall-clock
+"< 2 %" comparison of two runs cannot be measured reliably on a shared
+CI core, while zero clock reads bounds the overhead far below it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBDPPolicy, LDFPolicy
+from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.grid import run_sweep_fused
+from repro.sim import perf
+from repro.sim.perf import PerfCounters
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Leave the process-global registry the way each test found it."""
+    was_enabled = perf.counters.enabled
+    snapshot_before = dict(perf.counters.stages)
+    perf.counters.enabled = False
+    perf.counters.reset()
+    yield
+    perf.counters.enabled = was_enabled
+    perf.counters.reset()
+    perf.counters.stages.update(snapshot_before)
+
+
+class TestPerfCountersApi:
+    def test_add_accumulates_seconds_calls_allocs(self):
+        c = PerfCounters(enabled=True)
+        c.add("kernel.x", 0.5)
+        c.add("kernel.x", 0.25, allocs=3)
+        stat = c.stages["kernel.x"]
+        assert stat.seconds == 0.75
+        assert stat.calls == 2
+        assert stat.allocs == 3
+
+    def test_alloc_records_without_a_call(self):
+        c = PerfCounters(enabled=True)
+        c.alloc("bind", 7)
+        stat = c.stages["bind"]
+        assert stat.allocs == 7 and stat.calls == 0 and stat.seconds == 0.0
+
+    def test_snapshot_sorted_by_descending_seconds(self):
+        c = PerfCounters(enabled=True)
+        c.add("small", 0.1)
+        c.add("large", 0.9)
+        snap = c.snapshot()
+        assert list(snap) == ["large", "small"]
+        assert snap["large"] == {"seconds": 0.9, "calls": 1, "allocs": 0}
+
+    def test_seconds_of_unknown_stage_is_zero(self):
+        assert PerfCounters().seconds("nope") == 0.0
+
+    def test_reset_clears_stages_not_enabled_flag(self):
+        c = PerfCounters(enabled=True)
+        c.add("x", 1.0)
+        c.reset()
+        assert not c.stages and c.enabled
+
+    def test_summary_renders_table(self):
+        c = PerfCounters(enabled=True)
+        assert c.summary() == "(no perf stages recorded)"
+        c.add("stage.a", 0.125, allocs=2)
+        text = c.summary()
+        assert "stage.a" in text and "0.1250" in text
+
+    def test_stage_context_manager_respects_enabled(self):
+        perf.counters.enabled = False
+        with perf.stage("cold"):
+            pass
+        assert "cold" not in perf.counters.stages
+        perf.counters.enabled = True
+        with perf.stage("cold", allocs=1):
+            pass
+        stat = perf.counters.stages["cold"]
+        assert stat.calls == 1 and stat.allocs == 1
+
+
+class TestHotPathOverhead:
+    """The fused hot loop must never touch the clock while disabled."""
+
+    ALPHAS = (0.5, 0.6)
+    SEEDS = (0, 1)
+
+    def _run(self):
+        return run_sweep_fused(
+            "alpha",
+            self.ALPHAS,
+            lambda a: video_symmetric_spec(a, delivery_ratio=0.9),
+            {"DB-DP": DBDPPolicy, "LDF": LDFPolicy},
+            40,
+            self.SEEDS,
+            validate=False,
+            backend="numpy",
+        )
+
+    def test_disabled_counters_never_read_the_clock(self, monkeypatch):
+        calls = []
+        real_clock = perf.clock
+        monkeypatch.setattr(
+            perf, "clock", lambda: calls.append(None) or real_clock()
+        )
+        perf.counters.enabled = False
+        self._run()
+        assert not calls
+        assert not perf.counters.stages
+
+    def test_enabled_counters_record_kernel_and_draw_stages(self):
+        perf.counters.enabled = True
+        self._run()
+        stages = perf.counters.stages
+        assert "kernel.dp.setup" in stages
+        assert "kernel.dp.timeline" in stages
+        assert "kernel.serve.interval" in stages
+        assert "draws.channel_refill" in stages
+        assert "fused.run" in stages
+        assert stages["kernel.dp.setup"].calls == 40
+        # Workspace mode: buffer allocations happen at bind, not per
+        # interval — the bind stage carries allocs but zero timed calls.
+        bind = stages["kernel.dp.bind_workspace"]
+        assert bind.allocs > 0 and bind.calls == 0
+
+    def test_enabled_run_is_bit_identical_to_disabled(self):
+        perf.counters.enabled = False
+        cold = self._run()
+        perf.counters.enabled = True
+        hot = self._run()
+        assert cold.points == hot.points
