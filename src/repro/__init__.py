@@ -25,8 +25,14 @@ Analysis
     bounds, metrics.
 Experiments
     :mod:`repro.experiments.figures` — ``fig3()`` ... ``fig10()``.
+Policy registry
+    :mod:`repro.core.registry` — one :class:`~repro.core.registry.\
+PolicyDescriptor` per policy family (name, config round-trip, batch
+    kernel, capability flags); every engine, the sweep cache, and the
+    CLI dispatch through it.  ``registry.available()`` lists the names.
 """
 
+from .core import registry
 from .core.dbdp import DBDPPolicy, GlauberDebtBias, PAPER_R
 from .core.debt import DebtLedger
 from .core.dcf import DCFPolicy
@@ -49,6 +55,7 @@ from .core.influence import (
     PowerInfluence,
 )
 from .core.policies import IntervalMac, IntervalOutcome
+from .core.registry import PolicyCapabilities, PolicyDescriptor
 from .core.requirements import NetworkSpec
 from .core.static_priority import StaticPriorityPolicy
 from .phy.channel import BernoulliChannel, GilbertElliottChannel
@@ -135,4 +142,8 @@ __all__ = [
     "SimulationSummary",
     "RngBundle",
     "BatchRngBundle",
+    # policy registry
+    "registry",
+    "PolicyDescriptor",
+    "PolicyCapabilities",
 ]

@@ -204,3 +204,34 @@ class DBDPPolicy(DPProtocol):
         )
         self.influence = influence
         self.glauber_r = glauber_r
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).  DB-DP shares the DP
+# family's config encoding and kernel; subclasses without their own
+# descriptor (EstimatedDBDPPolicy) resolve here via the MRO.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+from .dp_protocol import DP_FAMILY_CAPABILITIES, dp_family_config  # noqa: E402
+
+
+def _dbdp_from_config(config: dict) -> "DBDPPolicy":
+    bias = _registry.decode_config_value(config["bias"])
+    return DBDPPolicy(
+        influence=bias.influence,
+        glauber_r=bias.glauber_r,
+        num_pairs=int(config["num_pairs"]),
+        initial_priorities=_registry.decode_config_value(config["initial"]),
+    )
+
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="DB-DP",
+        policy_class=DBDPPolicy,
+        to_config=dp_family_config,
+        from_config=_dbdp_from_config,
+        batch_kernel="repro.sim.batch_kernels:BatchDPKernel",
+        capabilities=DP_FAMILY_CAPABILITIES,
+    )
+)

@@ -97,3 +97,23 @@ class DCFPolicy(IntervalMac):
             collisions=collisions,
             priorities=None,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).  Scalar-only, like FCSMA.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="DCF",
+        policy_class=DCFPolicy,
+        to_config=lambda policy: {
+            "cw_min": int(policy.cw_min),
+            "cw_max": int(policy.cw_max),
+        },
+        from_config=lambda config: DCFPolicy(
+            cw_min=int(config["cw_min"]), cw_max=int(config["cw_max"])
+        ),
+    )
+)

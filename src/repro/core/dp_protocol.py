@@ -489,3 +489,48 @@ class DPProtocol(IntervalMac):
                 "next_priorities": self._sigma,
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry): the generic DP protocol.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+
+
+def dp_family_config(policy: DPProtocol) -> dict:
+    """Behaviour config shared by the whole DP family (DB-DP included)."""
+    return {
+        "bias": _registry.encode_config_value(policy.bias),
+        "num_pairs": int(policy.num_pairs),
+        "initial": _registry.encode_config_value(policy._initial),
+    }
+
+
+#: One capability set for every DP-family descriptor: vectorized, grid
+#: fusable, sync-RNG capable, per-row swap-bias parameters
+#: (``stack_swap_biases``), one Numba-compilable timeline stage.
+DP_FAMILY_CAPABILITIES = _registry.PolicyCapabilities(
+    batchable=True,
+    fusable=True,
+    supports_sync_rng=True,
+    supports_per_row_params=True,
+    jit_stages=("dp_timeline_rows",),
+)
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="DP",
+        policy_class=DPProtocol,
+        to_config=dp_family_config,
+        from_config=lambda config: DPProtocol(
+            bias=_registry.decode_config_value(config["bias"]),
+            num_pairs=int(config["num_pairs"]),
+            initial_priorities=_registry.decode_config_value(
+                config["initial"]
+            ),
+        ),
+        factory=None,  # the generic protocol needs an explicit bias
+        batch_kernel="repro.sim.batch_kernels:BatchDPKernel",
+        capabilities=DP_FAMILY_CAPABILITIES,
+    )
+)

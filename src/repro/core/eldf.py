@@ -101,3 +101,50 @@ class LDFPolicy(ELDFPolicy):
 
     def __init__(self) -> None:
         super().__init__(influence=LinearInfluence())
+
+
+# ----------------------------------------------------------------------
+# Registry descriptors (repro.core.registry).  ELDF and LDF are distinct
+# registry names sharing one config encoding and one batch kernel.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+
+#: Ordered-service kernels (ELDF/LDF, round-robin, static priority) are
+#: vectorized and fusable but take no per-row policy parameters: fused
+#: rows must share one configuration (the kernel enforces it at bind).
+ORDERED_SERVICE_CAPABILITIES = _registry.PolicyCapabilities(
+    batchable=True,
+    fusable=True,
+    supports_sync_rng=True,
+    supports_per_row_params=False,
+    jit_stages=("serve_rows",),
+)
+
+
+def _eldf_config(policy: ELDFPolicy) -> dict:
+    return {"influence": _registry.encode_config_value(policy.influence)}
+
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="ELDF",
+        policy_class=ELDFPolicy,
+        to_config=_eldf_config,
+        from_config=lambda config: ELDFPolicy(
+            influence=_registry.decode_config_value(config["influence"])
+        ),
+        batch_kernel="repro.sim.batch_kernels:BatchELDFKernel",
+        capabilities=ORDERED_SERVICE_CAPABILITIES,
+    )
+)
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="LDF",
+        policy_class=LDFPolicy,
+        to_config=_eldf_config,
+        from_config=lambda config: LDFPolicy(),  # influence is fixed linear
+        batch_kernel="repro.sim.batch_kernels:BatchELDFKernel",
+        capabilities=ORDERED_SERVICE_CAPABILITIES,
+    )
+)

@@ -151,3 +151,25 @@ class FCSMAPolicy(IntervalMac):
             priorities=None,
             info={"windows": windows},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).  Scalar-only: FCSMA's
+# per-round contention has no vectorized kernel, so every engine falls
+# back to the scalar interval simulator — declared here instead of being
+# the implicit `else` branch of the engine dispatch switches.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="FCSMA",
+        policy_class=FCSMAPolicy,
+        to_config=lambda policy: {
+            "window_map": _registry.encode_config_value(policy.window_map)
+        },
+        from_config=lambda config: FCSMAPolicy(
+            window_map=_registry.decode_config_value(config["window_map"])
+        ),
+    )
+)

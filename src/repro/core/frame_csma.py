@@ -123,3 +123,24 @@ class FrameCSMAPolicy(IntervalMac):
             collisions=0,
             info={"blocks": blocks, "unused_slots": idle_slots},
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).  Scalar-only, like FCSMA.
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="FrameCSMA",
+        policy_class=FrameCSMAPolicy,
+        to_config=lambda policy: {
+            "control_slots": int(policy.control_slots),
+            "headroom": float(policy.headroom),
+        },
+        from_config=lambda config: FrameCSMAPolicy(
+            control_slots=int(config["control_slots"]),
+            headroom=float(config["headroom"]),
+        ),
+    )
+)

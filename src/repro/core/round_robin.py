@@ -72,3 +72,21 @@ class RoundRobinPolicy(IntervalMac):
             collisions=0,
             priorities=tuple(priorities),
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+from .eldf import ORDERED_SERVICE_CAPABILITIES  # noqa: E402
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="RoundRobin",
+        policy_class=RoundRobinPolicy,
+        to_config=lambda policy: {},
+        from_config=lambda config: RoundRobinPolicy(),
+        batch_kernel="repro.sim.batch_kernels:BatchRoundRobinKernel",
+        capabilities=ORDERED_SERVICE_CAPABILITIES,
+    )
+)

@@ -88,3 +88,25 @@ class StaticPriorityPolicy(IntervalMac):
             collisions=0,
             priorities=self._sigma,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry descriptor (repro.core.registry).
+# ----------------------------------------------------------------------
+from . import registry as _registry  # noqa: E402  (self-registration)
+from .eldf import ORDERED_SERVICE_CAPABILITIES  # noqa: E402
+
+_registry.register(
+    _registry.PolicyDescriptor(
+        name="StaticPriority",
+        policy_class=StaticPriorityPolicy,
+        to_config=lambda policy: {
+            "priorities": _registry.encode_config_value(policy._configured)
+        },
+        from_config=lambda config: StaticPriorityPolicy(
+            priorities=_registry.decode_config_value(config["priorities"])
+        ),
+        batch_kernel="repro.sim.batch_kernels:BatchStaticPriorityKernel",
+        capabilities=ORDERED_SERVICE_CAPABILITIES,
+    )
+)

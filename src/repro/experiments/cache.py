@@ -39,7 +39,6 @@ are bit-identical either way.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -47,6 +46,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
+from ..core import registry
 from .runner import SweepPoint
 
 __all__ = [
@@ -74,6 +74,7 @@ _ENGINE_SOURCES = (
     "core/dbdp.py",
     "core/eldf.py",
     "core/policies.py",
+    "core/registry.py",
     "sim/batch_kernels.py",
     "sim/batch_sim.py",
     "sim/interval_sim.py",
@@ -114,70 +115,26 @@ def fingerprint(obj: Any) -> Any:
     biases, influence functions) encode recursively as tagged dicts;
     primitives and containers pass through.  Raises ``TypeError`` for
     anything else so callers can treat the object as uncacheable.
+
+    This is :func:`repro.core.registry.encode_config_value` — the cache
+    and the registry's policy config round-trip share one encoding, so a
+    descriptor's ``to_config`` output is a cache fingerprint verbatim.
     """
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
-    if isinstance(obj, float):
-        return float(obj)
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        encoded: dict = {"__class__": type(obj).__qualname__}
-        for f in dataclasses.fields(obj):
-            encoded[f.name] = fingerprint(getattr(obj, f.name))
-        return encoded
-    if isinstance(obj, (list, tuple)):
-        return [fingerprint(v) for v in obj]
-    if isinstance(obj, dict):
-        return {str(k): fingerprint(v) for k, v in obj.items()}
-    if hasattr(obj, "item") and callable(obj.item) and getattr(obj, "ndim", None) == 0:
-        return fingerprint(obj.item())  # numpy scalar
-    raise TypeError(f"cannot fingerprint {type(obj).__name__}")
+    return registry.encode_config_value(obj)
 
 
 def policy_fingerprint(policy: Any) -> Optional[dict]:
     """The configuration that determines a policy's behaviour, or ``None``.
 
-    ``None`` means "unknown policy class": the cell runs uncached rather
-    than risking a collision between distinct configurations.
+    Delegates to the policy registry
+    (:func:`repro.core.registry.policy_config`): the registered
+    descriptor's ``to_config`` supplies the behaviour config, tagged
+    with the instance's concrete class and name.  ``None`` means
+    "unregistered policy" (or a config the encoder cannot serialize):
+    the cell runs uncached rather than risking a collision between
+    distinct configurations.
     """
-    from ..core.dcf import DCFPolicy
-    from ..core.dp_protocol import DPProtocol
-    from ..core.eldf import ELDFPolicy
-    from ..core.fcsma import FCSMAPolicy
-    from ..core.frame_csma import FrameCSMAPolicy
-    from ..core.round_robin import RoundRobinPolicy
-    from ..core.static_priority import StaticPriorityPolicy
-
-    try:
-        if isinstance(policy, DPProtocol):
-            config = {
-                "bias": fingerprint(policy.bias),
-                "num_pairs": int(policy.num_pairs),
-                "initial": fingerprint(policy._initial),
-            }
-        elif isinstance(policy, ELDFPolicy):
-            config = {"influence": fingerprint(policy.influence)}
-        elif isinstance(policy, FCSMAPolicy):
-            config = {"window_map": fingerprint(policy.window_map)}
-        elif isinstance(policy, StaticPriorityPolicy):
-            config = {"priorities": fingerprint(policy._configured)}
-        elif isinstance(policy, RoundRobinPolicy):
-            config = {}
-        elif isinstance(policy, DCFPolicy):
-            config = {"cw_min": int(policy.cw_min), "cw_max": int(policy.cw_max)}
-        elif isinstance(policy, FrameCSMAPolicy):
-            config = {
-                "control_slots": int(policy.control_slots),
-                "headroom": float(policy.headroom),
-            }
-        else:
-            return None
-    except TypeError:
-        return None
-    return {
-        "class": type(policy).__qualname__,
-        "name": policy.name,
-        **config,
-    }
+    return registry.policy_config(policy)
 
 
 # ----------------------------------------------------------------------

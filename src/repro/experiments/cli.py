@@ -18,6 +18,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..core import registry
 from .charts import ascii_chart
 from .convergence_study import convergence_vs_network_size
 from .extensions import (
@@ -69,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="random seeds to average over (sweep figures only)",
     )
     parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        choices=registry.available(),
+        help="compare these registered policies instead of the paper's "
+        f"default set (sweep figures only; available: "
+        f"{', '.join(registry.available())})",
+    )
+    parser.add_argument(
         "--csv",
         action="store_true",
         help="emit CSV instead of aligned tables",
@@ -103,6 +114,10 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             kwargs["seed"] = args.seeds[0]
         else:
             kwargs["seeds"] = tuple(args.seeds)
+            if args.policies is not None:
+                # Registered names; the sweep runner resolves them to
+                # default-config factories via the policy registry.
+                kwargs["policies"] = tuple(args.policies)
     result = func(**kwargs)
     if args.outdir is not None:
         os.makedirs(args.outdir, exist_ok=True)

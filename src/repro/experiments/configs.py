@@ -21,10 +21,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from ..core.dbdp import DBDPPolicy
-from ..core.dcf import DCFPolicy
-from ..core.eldf import LDFPolicy
-from ..core.fcsma import FCSMAPolicy
+from ..core import registry
 from ..core.policies import IntervalMac
 from ..core.requirements import NetworkSpec
 from ..phy.channel import BernoulliChannel
@@ -126,12 +123,12 @@ def paper_policies(include_dcf: bool = False) -> Dict[str, PolicyFactory]:
     ``f(x) = log(max(1, 100(x+1)))`` and ``R = 10``, the centralized LDF
     baseline, and the discretized FCSMA baseline.  ``include_dcf`` adds the
     DCF reference point used by the collision-loss discussion.
+
+    Factories come from the policy registry
+    (:func:`repro.core.registry.resolve_policies`), so each one is the
+    registered policy class — picklable for the parallel runner.
     """
-    policies: Dict[str, PolicyFactory] = {
-        "DB-DP": DBDPPolicy,
-        "LDF": LDFPolicy,
-        "FCSMA": FCSMAPolicy,
-    }
+    names = ["DB-DP", "LDF", "FCSMA"]
     if include_dcf:
-        policies["DCF"] = DCFPolicy
-    return policies
+        names.append("DCF")
+    return registry.resolve_policies(names)

@@ -20,19 +20,18 @@ Expected qualitative shapes (checked by the benchmark suite):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.dbdp import DBDPPolicy
-from ..core.eldf import LDFPolicy
-from ..core.static_priority import StaticPriorityPolicy
+from ..core import registry
 from ..sim.interval_sim import run_simulation
 from .configs import (
     ASYMMETRIC_GROUPS,
     LOW_LATENCY_INTERVALS,
     VIDEO_INTERVALS,
     VIDEO_NUM_LINKS,
+    PolicyFactory,
     low_latency_spec,
     paper_policies,
     scaled_intervals,
@@ -40,6 +39,12 @@ from .configs import (
     video_symmetric_spec,
 )
 from .runner import _ENGINES, SweepResult, run_sweep
+
+#: ``policies`` argument accepted by the sweep figures: a label -> factory
+#: mapping, a sequence of registered policy names
+#: (``repro.core.registry.available()``), or ``None`` for the paper's
+#: default comparison set.
+PolicySelection = Optional[Union[Dict[str, PolicyFactory], Sequence[str]]]
 
 
 def _check_engine(engine: str) -> None:
@@ -117,18 +122,21 @@ def fig3(
     seeds: Sequence[int] = (0,),
     alphas: Sequence[float] = FIG3_ALPHAS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
     20 links, ``p = 0.7``, 90% delivery ratio.  LDF's admissible boundary
     sits near ``alpha* ~ 0.62``; FCSMA supports only ~70% of that.
+    ``policies`` overrides the compared set (factories or registered
+    names); the default is the paper's comparison.
     """
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     sweep = run_sweep(
         parameter_name="alpha*",
         values=alphas,
         spec_builder=lambda a: video_symmetric_spec(a, delivery_ratio=0.9),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
@@ -146,6 +154,7 @@ def fig4(
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG4_RATIOS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -154,7 +163,7 @@ def fig4(
         parameter_name="delivery ratio",
         values=ratios,
         spec_builder=lambda r: video_symmetric_spec(0.55, delivery_ratio=r),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
@@ -189,7 +198,8 @@ def fig5(
     watched = VIDEO_NUM_LINKS - 1  # identity initial ordering: last = lowest
 
     series: Dict[str, List[float]] = {}
-    for label, policy in [("DB-DP", DBDPPolicy()), ("LDF", LDFPolicy())]:
+    for label in ("DB-DP", "LDF"):
+        policy = registry.create(label)
         result = run_simulation(spec, policy, intervals, seed=seed)
         running = result.running_timely_throughput(watched)
         series[label] = [float(v) for v in running[sample_every - 1 :: sample_every]]
@@ -226,7 +236,8 @@ def fig6(
     _check_engine(engine)
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     spec = video_symmetric_spec(0.60, delivery_ratio=0.9)
-    policy = StaticPriorityPolicy()  # identity: link n has priority n + 1
+    # identity ordering: link n has priority n + 1
+    policy = registry.create("StaticPriority")
     result = run_simulation(spec, policy, intervals, seed=seed)
     throughput = result.timely_throughput()
     out = FigureResult(
@@ -246,6 +257,7 @@ def fig7(
     seeds: Sequence[int] = (0,),
     alphas: Sequence[float] = FIG7_ALPHAS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -254,7 +266,7 @@ def fig7(
         parameter_name="alpha*",
         values=alphas,
         spec_builder=lambda a: video_asymmetric_spec(a, delivery_ratio=0.9),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
@@ -275,6 +287,7 @@ def fig8(
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG8_RATIOS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -283,7 +296,7 @@ def fig8(
         parameter_name="delivery ratio",
         values=ratios,
         spec_builder=lambda r: video_asymmetric_spec(0.7, delivery_ratio=r),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
@@ -304,6 +317,7 @@ def fig9(
     seeds: Sequence[int] = (0,),
     lambdas: Sequence[float] = FIG9_LAMBDAS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -312,7 +326,7 @@ def fig9(
         parameter_name="lambda*",
         values=lambdas,
         spec_builder=lambda lam: low_latency_spec(lam, delivery_ratio=0.99),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
@@ -330,6 +344,7 @@ def fig10(
     seeds: Sequence[int] = (0,),
     ratios: Sequence[float] = FIG10_RATIOS,
     engine: str = "scalar",
+    policies: PolicySelection = None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -338,7 +353,7 @@ def fig10(
         parameter_name="delivery ratio",
         values=ratios,
         spec_builder=lambda r: low_latency_spec(0.78, delivery_ratio=r),
-        policies=paper_policies(),
+        policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,

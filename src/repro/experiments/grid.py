@@ -33,11 +33,13 @@ Semantics:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core import registry
 from ..core.requirements import NetworkSpec
 from ..sim import perf
 from ..sim.batch_sim import (
@@ -73,8 +75,23 @@ class _Cell:
 
 
 def _group_signature(cell: _Cell) -> Tuple:
-    """Cells sharing this signature are candidates for one mega-batch."""
-    return (type(cell.policy), cell.spec.num_links, cell.spec.timing)
+    """Cells sharing this signature are candidates for one mega-batch.
+
+    Keyed on the registered policy family *and* the concrete class:
+    the registry's kernel-family token decides which kernel serves the
+    group, while the concrete class keeps distinct sweep curves (e.g.
+    ``DP`` vs ``DB-DP``) in separate stacks so their row order — and
+    hence the default-mode draw consumption — matches the per-cell
+    engines exactly.
+    """
+    descriptor = registry.descriptor_for(cell.policy)
+    family = None if descriptor is None else descriptor.kernel_family()
+    return (
+        family,
+        type(cell.policy),
+        cell.spec.num_links,
+        cell.spec.timing,
+    )
 
 
 def _scatter_points(
@@ -170,7 +187,7 @@ def run_sweep_fused(
     parameter_name: str,
     values: Sequence[float],
     spec_builder: Callable[[float], NetworkSpec],
-    policies: Dict[str, PolicyFactory],
+    policies: Union[Dict[str, PolicyFactory], Sequence[str]],
     num_intervals: int,
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
@@ -207,6 +224,7 @@ def run_sweep_fused(
         raise ValueError("need at least one seed")
     seeds = tuple(int(s) for s in seeds)
     store = resolve_cache(cache)
+    policies = registry.resolve_policies(policies)
 
     cells: List[_Cell] = []
     for value in values:
@@ -222,8 +240,11 @@ def run_sweep_fused(
                 )
             )
 
-    # Cache lookups first: hit cells never touch an engine.
+    # Cache lookups first: hit cells never touch an engine.  Cells whose
+    # policy (or spec) has no registered fingerprint simply run uncached
+    # — announced once per sweep, never a failure.
     if store is not None:
+        uncacheable: List[str] = []
         for cell in cells:
             cell.key = store.cell_key(
                 spec=cell.spec,
@@ -236,14 +257,34 @@ def run_sweep_fused(
             if cell.key is not None:
                 cell.point = store.get(cell.key)
                 cell.cached = cell.point is not None
+            elif cell.label not in uncacheable:
+                uncacheable.append(cell.label)
+        if uncacheable:
+            warnings.warn(
+                f"skipping the sweep cache for {uncacheable}: the policy "
+                "is not registered (or its spec/config cannot be "
+                "fingerprinted), so these cells run uncached every time; "
+                "register a PolicyDescriptor with repro.core.registry to "
+                "make them cacheable",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # Partition the misses into fusable groups and per-cell fallbacks.
+    # Fusability is a declared capability (the registry's ``fusable``
+    # flag, via supports_batch_engine) — scalar-only families (DCF,
+    # FCSMA, frame-CSMA) land in the fallback path declaratively rather
+    # than as the implicit ``else`` of a type switch.
     fused_groups: Dict[Tuple, List[_Cell]] = {}
     fallback: List[_Cell] = []
     for cell in cells:
         if cell.point is not None:
             continue
-        if supports_batch_engine(cell.spec, cell.policy, sync_rng=sync_rng):
+        descriptor = registry.descriptor_for(cell.policy)
+        fusable = descriptor is not None and descriptor.capabilities.fusable
+        if fusable and supports_batch_engine(
+            cell.spec, cell.policy, sync_rng=sync_rng
+        ):
             fused_groups.setdefault(_group_signature(cell), []).append(cell)
         else:
             fallback.append(cell)

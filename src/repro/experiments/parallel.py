@@ -13,10 +13,11 @@ from __future__ import annotations
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core import registry
 from ..core.requirements import NetworkSpec
 from .configs import PolicyFactory
 from .runner import SweepPoint, SweepResult, run_single
@@ -52,7 +53,7 @@ def run_sweep_parallel(
     parameter_name: str,
     values: Sequence[float],
     spec_builder: Callable[[float], NetworkSpec],
-    policies: Dict[str, PolicyFactory],
+    policies: Union[Dict[str, PolicyFactory], Sequence[str]],
     num_intervals: int,
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
@@ -63,7 +64,9 @@ def run_sweep_parallel(
 
     ``spec_builder`` and the policy factories must be picklable (module-level
     functions / classes — every builder in :mod:`repro.experiments.configs`
-    qualifies).  Results are ordered exactly like the sequential runner's.
+    qualifies).  A sequence of registered policy names also works: the
+    registry resolves each name to its (picklable) policy class.  Results
+    are ordered exactly like the sequential runner's.
     ``engine="batch"`` composes with process parallelism: each worker then
     runs its cell's whole seed stack vectorized.  ``engine="fused"`` is
     accepted but equivalent to ``"batch"`` here — each worker owns a
@@ -84,6 +87,7 @@ def run_sweep_parallel(
             UserWarning,
             stacklevel=2,
         )
+    policies = registry.resolve_policies(policies)
     cells = [
         _Cell(value=float(value), label=label)
         for value in values

@@ -9,10 +9,11 @@ the spec builder and grid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core import registry
 from ..core.requirements import NetworkSpec
 from ..sim.batch_sim import run_simulation_batch, supports_batch_engine
 from ..sim.interval_sim import run_simulation
@@ -120,7 +121,7 @@ def _run_single_batch(
         group_mean = tuple(float(x) for x in np.mean(per_seed, axis=0))
     return SweepPoint(
         parameter=float("nan"),  # filled by run_sweep
-        policy=policy.name,
+        policy=registry.policy_label(policy),
         total_deficiency=float(totals.mean()),
         deficiency_std=float(totals.std()),
         group_deficiency=group_mean,
@@ -165,7 +166,10 @@ def run_single(
     name = ""
     for seed in seeds:
         policy = factory()
-        name = policy.name
+        # Registry-backed label: the descriptor's (unique) registered name
+        # when the instance is exactly a registered class, the instance's
+        # own ``name`` for subclass variants (e.g. "DB-DP(est)").
+        name = registry.policy_label(policy)
         result = run_simulation(spec, policy, num_intervals, seed=seed)
         totals.append(result.total_deficiency())
         summary = result.summary()
@@ -199,7 +203,7 @@ def run_sweep(
     parameter_name: str,
     values: Sequence[float],
     spec_builder: Callable[[float], NetworkSpec],
-    policies: Dict[str, PolicyFactory],
+    policies: Union[Dict[str, PolicyFactory], Sequence[str]],
     num_intervals: int,
     seeds: Sequence[int] = (0,),
     groups: Optional[Sequence[int]] = None,
@@ -207,6 +211,10 @@ def run_sweep(
     backend: Optional[str] = None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
+
+    ``policies`` maps labels to zero-argument factories, or is a sequence
+    of registered policy names (``repro.core.registry.available()``) which
+    the registry resolves to default-config factories.
 
     See :func:`run_single` for ``engine`` semantics; ``engine="fused"``
     delegates the whole grid to
@@ -230,6 +238,7 @@ def run_sweep(
             groups,
             backend=backend,
         )
+    policies = registry.resolve_policies(policies)
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for value in values:
         spec = spec_builder(value)

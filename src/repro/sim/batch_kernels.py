@@ -63,6 +63,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import registry
 from ..core.dbdp import stack_swap_biases
 from ..core.dp_protocol import DPProtocol, max_swap_pairs
 from ..core.eldf import ELDFPolicy
@@ -538,7 +539,11 @@ class BatchPolicyKernel(ABC):
                     f"{len(row_policies)} row policies for {num_seeds} rows"
                 )
             for i, p in enumerate(row_policies):
-                if not isinstance(p, type(self.policy)):
+                # Registry-backed family check: rows may mix concrete
+                # classes served by the same kernel (DP and DB-DP, ELDF
+                # and LDF); per-row *parameters* are vetted by each
+                # kernel's _on_bind.
+                if not registry.same_kernel_family(p, self.policy):
                     raise TypeError(
                         f"row policy {i} is {type(p).__name__}, kernel "
                         f"serves {type(self.policy).__name__}"
@@ -1712,23 +1717,16 @@ class BatchDPKernel(BatchPolicyKernel):
 
 
 def make_batch_kernel(policy: IntervalMac) -> BatchPolicyKernel:
-    """Build the vectorized kernel for ``policy``; raises if unsupported."""
-    if isinstance(policy, DPProtocol):
-        return BatchDPKernel(policy)
-    if isinstance(policy, ELDFPolicy):
-        return BatchELDFKernel(policy)
-    if isinstance(policy, RoundRobinPolicy):
-        return BatchRoundRobinKernel(policy)
-    if isinstance(policy, StaticPriorityPolicy):
-        return BatchStaticPriorityKernel(policy)
-    raise TypeError(
-        f"no batch kernel for policy {type(policy).__name__!r}; supported "
-        "families: DPProtocol/DB-DP, ELDF/LDF, RoundRobin, StaticPriority"
-    )
+    """Build the vectorized kernel for ``policy``; raises if unsupported.
+
+    Dispatch is registry-driven: the policy's registered
+    :class:`~repro.core.registry.PolicyDescriptor` names its kernel
+    class, so new families plug in by registration instead of by
+    extending a type switch here.
+    """
+    return registry.make_kernel(policy)
 
 
 def has_batch_kernel(policy: IntervalMac) -> bool:
     """Whether :func:`make_batch_kernel` supports ``policy``."""
-    return isinstance(
-        policy, (DPProtocol, ELDFPolicy, RoundRobinPolicy, StaticPriorityPolicy)
-    )
+    return registry.has_kernel(policy)

@@ -46,6 +46,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core import registry
 from ..core.policies import IntervalMac
 from ..core.requirements import NetworkSpec
 from ..phy.channel import BernoulliChannel
@@ -53,7 +54,6 @@ from . import perf
 from .batch_kernels import (
     DRAW_CHUNK,
     BatchIntervalOutcome,
-    has_batch_kernel,
     make_batch_kernel,
 )
 from .results import SimulationResult
@@ -75,12 +75,17 @@ def supports_batch_engine(
 ) -> bool:
     """Whether ``(spec, policy)`` can run on the batch engine.
 
-    Requires a batch kernel for the policy family, a memoryless channel,
-    and (in the default vectorized-RNG mode) a batch-samplable arrival
-    process.  Callers that want graceful degradation (the experiment
-    runner) check this and fall back to the scalar engine.
+    Requires a policy family registered as ``batchable`` (consulting the
+    policy registry's capability flags rather than a type switch), a
+    memoryless channel, and (in the default vectorized-RNG mode) a
+    batch-samplable arrival process.  Callers that want graceful
+    degradation (the experiment runner) check this and fall back to the
+    scalar engine.
     """
-    if not has_batch_kernel(policy):
+    descriptor = registry.descriptor_for(policy)
+    if descriptor is None or not descriptor.capabilities.batchable:
+        return False
+    if sync_rng and not descriptor.capabilities.supports_sync_rng:
         return False
     if not isinstance(spec.channel, BernoulliChannel):
         return False

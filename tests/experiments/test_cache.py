@@ -176,3 +176,82 @@ class TestSweepIntegration:
         run_sweep_fused(**kw, seeds=(0,), cache=cache)
         run_sweep_fused(**kw, seeds=(1,), cache=cache)
         assert cache.stores == 2 and cache.hits == 0
+
+
+class TestGoldenKeys:
+    """Cache keys must not drift for already-registered policies.
+
+    Keys embed :func:`engine_version` (a hash of the engine sources), so
+    the durable contract is the key computed *with that hash pinned*:
+    these golden values were recorded on main before the registry
+    refactor with ``_engine_version_cache = "0" * 16``.  A mismatch
+    means the spec/policy fingerprint encoding changed — which silently
+    invalidates (or worse, aliases) every previously stored cell.
+    """
+
+    GOLDEN = {
+        "dbdp": "cf231f718dce4f3dc5742da1c98de4f6ee964d0551fd077ea58059faaffe8986",
+        "ldf": "44a78c5ce657f8a655642c1a34fd8eda549ae913a2210dd3e8a66964f2fe5937",
+        "eldf": "9a6a497f8695959faa1e220ca16cb9d288ce1658a296dd2b66c1df58ad3dd228",
+        "fcsma": "83bc7d967a5b8997d453603edd4bbd566928167786031e30d1800f35ffc82b87",
+        "dcf": "0755447a7d5b0544ce5965705a093c20c027bfc96c8cabff5907a1cb6124e038",
+        "frame": "d530907ec759518c887ce58e1b1d38e20a08183184753977113bb483ce53a20d",
+        "rr": "6752ad12605bd706b5cb6a69755227e1396d572419c8de2bc819fcb0978a49e1",
+        "sp": "8866bf8e298337e43b90eb35ba9130a3c6f944afb45c44ce5cd2b7c7fc8a01ce",
+        "sp-rev": "3f82b11b58eb0021fcbc02d427b4d1fb33c2f18c98fcb5398e1ae872b482fae6",
+        "dp-const": "a4c5c74a1929a1b0063c9b05ef5d52af31c99352b34965f077f50625baeedd6b",
+        "dbdp-r5-p2": "b6a10efe6bf4b949aa8a9e1c2925ec89af4c7897f69b89cdbbbd0c6034a0b6d6",
+        "est": "5544d1d7f7184d97fe238cfe2151e21f161ee16b444990460882bc9b7ecb39bc",
+    }
+
+    @staticmethod
+    def _policies():
+        from repro import (
+            DCFPolicy,
+            DPProtocol,
+            ConstantSwapBias,
+            ELDFPolicy,
+            EstimatedDBDPPolicy,
+            FrameCSMAPolicy,
+            RoundRobinPolicy,
+            StaticPriorityPolicy,
+        )
+        from repro.experiments.configs import low_latency_spec
+
+        video = video_symmetric_spec(0.55, delivery_ratio=0.9)
+        return {
+            "dbdp": (DBDPPolicy(), video),
+            "ldf": (LDFPolicy(), video),
+            "eldf": (ELDFPolicy(), video),
+            "fcsma": (FCSMAPolicy(), video),
+            "dcf": (DCFPolicy(), video),
+            "frame": (FrameCSMAPolicy(), video),
+            "rr": (RoundRobinPolicy(), video),
+            "sp": (StaticPriorityPolicy(), video),
+            "sp-rev": (StaticPriorityPolicy(list(range(1, 21))[::-1]), video),
+            "dp-const": (DPProtocol(bias=ConstantSwapBias(0.5)), video),
+            "dbdp-r5-p2": (
+                DBDPPolicy(glauber_r=5.0, num_pairs=2),
+                low_latency_spec(0.78),
+            ),
+            "est": (EstimatedDBDPPolicy(), video),
+        }
+
+    def test_keys_match_pre_registry_golden_values(self, tmp_path, monkeypatch):
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_engine_version_cache", "0" * 16)
+        cache = SweepCache(tmp_path)
+        mismatches = {}
+        for label, (policy, cell_spec) in self._policies().items():
+            key = cache.cell_key(
+                spec=cell_spec,
+                policy=policy,
+                seeds=(0, 1, 2),
+                num_intervals=250,
+                groups=None,
+                sync_rng=True,
+            )
+            if key != self.GOLDEN[label]:
+                mismatches[label] = key
+        assert not mismatches

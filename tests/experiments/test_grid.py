@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro import DBDPPolicy, FCSMAPolicy, LDFPolicy
+from repro.core.policies import IntervalMac as _IntervalMac
+from repro.core.policies import IntervalOutcome as _IntervalOutcome
 from repro.experiments import grid
 from repro.experiments.configs import video_symmetric_spec
 from repro.experiments.grid import run_sweep_fused
@@ -120,3 +123,82 @@ class TestValidationArgs:
         result = run_sweep(**kw, engine="fused")
         assert len(result.points) == 2
         assert result.series("LDF")
+
+
+class TestScalarOnlyDeclaredFallback:
+    """Scalar-only families run through the fused engine by declaration.
+
+    DCF, FCSMA, and Frame-CSMA carry ``fusable=False`` capabilities in
+    their registry descriptors; ``run_sweep(engine="fused")`` must route
+    each of their cells through the declared per-cell fallback and
+    reproduce the per-cell runner exactly.
+    """
+
+    @pytest.mark.parametrize("name", ["DCF", "FCSMA", "FrameCSMA"])
+    def test_scalar_only_policy_through_fused_engine(self, name):
+        kw = dict(BASE, policies=(name,), num_intervals=60, seeds=(0, 1))
+        fused = run_sweep(**kw, engine="fused")
+        per_cell = run_sweep(**kw, engine="batch")
+        assert fused.points == per_cell.points
+        assert fused.series(name)
+
+    def test_names_resolve_via_registry(self):
+        from repro.core import registry
+
+        kw = dict(BASE, policies=("LDF", "DB-DP"), num_intervals=60)
+        by_name = run_sweep_fused(**kw, sync_rng=True)
+        by_factory = run_sweep_fused(
+            **dict(kw, policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy}),
+            sync_rng=True,
+        )
+        assert by_name.points == by_factory.points
+        assert not registry.get("DCF").capabilities.fusable
+
+
+class TestUncacheableWarning:
+    class _Mystery(_IntervalMac):
+        """Unregistered policy: simulable but not fingerprintable.
+
+        Not an LDF subclass — an MRO walk must find no registered
+        ancestor, so its cells are uncacheable by construction.
+        """
+
+        name = "mystery"
+
+        def run_interval(self, k, arrivals, positive_debts, rng):
+            n = self.spec.num_links
+            return _IntervalOutcome(
+                deliveries=np.zeros(n, dtype=np.int64),
+                attempts=np.zeros(n, dtype=np.int64),
+                busy_time_us=0.0,
+                overhead_time_us=0.0,
+                collisions=0,
+                priorities=tuple(range(1, n + 1)),
+            )
+
+    def test_unregistered_policy_skips_cache_with_one_warning(self, tmp_path):
+        kw = dict(
+            BASE,
+            policies={"mystery": self._Mystery, "LDF": LDFPolicy},
+            num_intervals=40,
+            seeds=(0,),
+        )
+        with pytest.warns(UserWarning, match="mystery") as record:
+            result = run_sweep_fused(**kw, cache=str(tmp_path))
+        cache_warnings = [
+            w for w in record if "sweep cache" in str(w.message)
+        ]
+        # One warning for the whole sweep, not one per cell.
+        assert len(cache_warnings) == 1
+        # The sweep still completes: every cell present, LDF cells cached.
+        assert len(result.points) == 4
+        with pytest.warns(UserWarning, match="sweep cache"):
+            rerun = run_sweep_fused(**kw, cache=str(tmp_path))
+        assert [p for p in rerun.points if p.policy == "LDF"] == [
+            p for p in result.points if p.policy == "LDF"
+        ]
+
+    def test_registered_policies_warn_nothing(self, tmp_path, recwarn):
+        kw = dict(BASE, policies={"LDF": LDFPolicy}, num_intervals=40, seeds=(0,))
+        run_sweep_fused(**kw, cache=str(tmp_path))
+        assert not [w for w in recwarn if "sweep cache" in str(w.message)]
