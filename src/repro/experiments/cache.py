@@ -43,6 +43,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
@@ -56,6 +57,7 @@ __all__ = [
     "fingerprint",
     "policy_fingerprint",
     "resolve_cache",
+    "warn_uncacheable",
 ]
 
 #: Bump when the stored payload layout changes.
@@ -153,6 +155,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # -- keys ----------------------------------------------------------
     def cell_key(
@@ -194,27 +197,82 @@ class SweepCache:
     # -- reads / writes ------------------------------------------------
     def get(self, key: str) -> Optional[SweepPoint]:
         """The cached point for ``key`` (``parameter`` is NaN; the sweep
-        assembler fills it), or ``None`` on a miss."""
+        assembler fills it), or ``None`` on a miss.
+
+        A file that cannot decode into a valid payload — truncated or
+        hand-edited JSON, a missing or ill-typed field from an old
+        writer — is a *miss*, never an error: the entry is quarantined
+        (renamed to ``<key>.corrupt``) with a single ``UserWarning`` so
+        one bad byte on disk cannot kill a whole sweep, and the cell is
+        simply recomputed and re-stored.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
             return None
-        if data.get("schema") != _SCHEMA:
+        except json.JSONDecodeError as exc:
+            self.misses += 1
+            self._quarantine(path, f"not valid JSON ({exc})")
+            return None
+        try:
+            point = self._decode(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.misses += 1
+            self._quarantine(path, f"invalid payload ({type(exc).__name__}: {exc})")
+            return None
+        if point is None:  # schema mismatch: an old/new writer, not corruption
             self.misses += 1
             return None
         self.hits += 1
+        return point
+
+    @staticmethod
+    def _decode(data: Any) -> Optional[SweepPoint]:
+        """Validate a raw payload into a :class:`SweepPoint`.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` for anything
+        that is not a complete, well-typed schema-``_SCHEMA`` payload;
+        returns ``None`` for a clean schema mismatch.
+        """
+        if not isinstance(data, dict):
+            raise TypeError("payload is not a JSON object")
+        if data.get("schema") != _SCHEMA:
+            return None
+        policy = data["policy"]
+        if not isinstance(policy, str):
+            raise TypeError("'policy' must be a string")
         group = data["group_deficiency"]
+        if group is not None:
+            if isinstance(group, (str, bytes)) or not isinstance(group, list):
+                raise TypeError("'group_deficiency' must be a list or null")
+            group = tuple(float(g) for g in group)
         return SweepPoint(
             parameter=float("nan"),
-            policy=data["policy"],
-            total_deficiency=data["total_deficiency"],
-            deficiency_std=data["deficiency_std"],
-            group_deficiency=None if group is None else tuple(group),
-            collisions=data["collisions"],
-            mean_overhead_us=data["mean_overhead_us"],
+            policy=policy,
+            total_deficiency=float(data["total_deficiency"]),
+            deficiency_std=float(data["deficiency_std"]),
+            group_deficiency=group,
+            collisions=float(data["collisions"]),
+            mean_overhead_us=float(data["mean_overhead_us"]),
+        )
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it never poisons another read."""
+        quarantine = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            return  # a concurrent reader already moved or removed it
+        self.quarantined += 1
+        warnings.warn(
+            f"sweep cache entry {path.name} is corrupt — {reason}; "
+            f"quarantined to {quarantine.name} and treated as a miss "
+            "(the cell will be recomputed and re-stored)",
+            UserWarning,
+            stacklevel=3,
         )
 
     def put(self, key: str, point: SweepPoint) -> None:
@@ -270,3 +328,22 @@ def resolve_cache(
             return SweepCache(env)
         return SweepCache(DEFAULT_CACHE_DIR)
     return SweepCache(cache)
+
+
+def warn_uncacheable(labels: Sequence[str], stacklevel: int = 3) -> None:
+    """One ``UserWarning`` per sweep naming policies that skip the cache.
+
+    No-op for an empty ``labels``; shared by every sweep runner so the
+    message (and its single-warning discipline) stays identical.
+    """
+    if not labels:
+        return
+    warnings.warn(
+        f"skipping the sweep cache for {list(labels)}: the policy "
+        "is not registered (or its spec/config cannot be "
+        "fingerprinted), so these cells run uncached every time; "
+        "register a PolicyDescriptor with repro.core.registry to "
+        "make them cacheable",
+        UserWarning,
+        stacklevel=stacklevel,
+    )

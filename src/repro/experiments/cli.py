@@ -5,9 +5,16 @@ Usage::
     repro-experiments fig3 --seeds 0 1 2
     repro-experiments all --intervals 1000
     REPRO_SCALE=0.2 repro-experiments fig9
+    repro-experiments fig3 --resume --retries 3 --best-effort
 
 Prints each figure's series as a text table (see
 :mod:`repro.experiments.reporting`).
+
+Fault tolerance (sweep figures): ``--resume`` checkpoints finished cells
+in the on-disk sweep cache and serves them warm on the next invocation,
+so a killed run restarts from where it was; ``--retries`` /
+``--cell-timeout`` / ``--best-effort`` configure the
+:class:`~repro.experiments.faults.FaultPolicy` applied to failing cells.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import List, Optional
 
 from ..core import registry
 from .charts import ascii_chart
+from .faults import MODE_BEST_EFFORT, FaultPolicy
 from .convergence_study import convergence_vs_network_size
 from .extensions import (
     baseline_panorama,
@@ -94,7 +102,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each figure's CSV into this directory",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint finished sweep cells in the on-disk cache and "
+        "resume warm from a previous (possibly killed) run "
+        "(REPRO_SWEEP_CACHE overrides the cache location; sweep figures "
+        "only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failing sweep cell up to N extra times with "
+        "exponential backoff before declaring it permanently failed "
+        "(sweep figures only)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for one sweep cell; a cell running "
+        "longer counts as failed (enforced by the parallel "
+        "orchestrator; sweep figures only)",
+    )
+    parser.add_argument(
+        "--best-effort",
+        action="store_true",
+        help="fill permanently failed cells with NaN and report them in "
+        "a failure summary instead of aborting the sweep (sweep "
+        "figures only)",
+    )
     return parser
+
+
+#: Figures backed by a parameter sweep — the targets that accept the
+#: fault-tolerance and resume flags (fig5/fig6 are single-trace runs).
+SWEEP_FIGURES = ("fig3", "fig4", "fig7", "fig8", "fig9", "fig10")
+
+
+def faults_from_args(args: argparse.Namespace):
+    """The :class:`FaultPolicy` requested by the CLI flags, or ``None``.
+
+    ``None`` (no fault flag given) keeps the historical fail-fast sweep
+    behaviour; any of ``--retries``/``--cell-timeout``/``--best-effort``
+    opts into fault-tolerant orchestration.
+    """
+    if (
+        args.retries is None
+        and args.cell_timeout is None
+        and not args.best_effort
+    ):
+        return None
+    defaults = FaultPolicy()
+    return FaultPolicy(
+        retries=args.retries if args.retries is not None else defaults.retries,
+        cell_timeout=args.cell_timeout,
+        mode=MODE_BEST_EFFORT if args.best_effort else defaults.mode,
+    )
 
 
 def _run_one(name: str, args: argparse.Namespace) -> str:
@@ -118,6 +185,11 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 # Registered names; the sweep runner resolves them to
                 # default-config factories via the policy registry.
                 kwargs["policies"] = tuple(args.policies)
+            faults = faults_from_args(args)
+            if faults is not None:
+                kwargs["faults"] = faults
+            if args.resume:
+                kwargs["cache"] = True
     result = func(**kwargs)
     if args.outdir is not None:
         os.makedirs(args.outdir, exist_ok=True)
@@ -129,6 +201,11 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     text = format_figure(result)
     if args.chart and len(result.x_values) >= 2:
         text += "\n" + ascii_chart(result)
+    failures = getattr(result, "failures", None)
+    if failures:
+        # Best-effort sweeps report their NaN-filled cells right under
+        # the table instead of failing the whole figure.
+        text += "\n" + failures.summary() + "\n"
     return text
 
 

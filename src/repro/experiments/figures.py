@@ -38,6 +38,7 @@ from .configs import (
     video_asymmetric_spec,
     video_symmetric_spec,
 )
+from .faults import FaultPolicy, SweepFailureReport
 from .runner import _ENGINES, SweepResult, run_sweep
 
 #: ``policies`` argument accepted by the sweep figures: a label -> factory
@@ -85,6 +86,9 @@ class FigureResult:
     series: Dict[str, List[float]] = field(default_factory=dict)
     y_label: str = "total timely-throughput deficiency"
     notes: str = ""
+    #: Structured report of permanently failed cells (best-effort fault
+    #: mode); ``None`` for a fully successful sweep.
+    failures: Optional[SweepFailureReport] = None
 
     def row(self, x: float) -> Dict[str, float]:
         i = self.x_values.index(x)
@@ -105,6 +109,7 @@ def _sweep_to_figure(
         x_label=x_label,
         x_values=list(sweep.values),
         notes=notes,
+        failures=sweep.failures,
     )
     for policy in sweep.policies:
         if groups is None:
@@ -123,6 +128,8 @@ def fig3(
     alphas: Sequence[float] = FIG3_ALPHAS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -140,6 +147,8 @@ def fig3(
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,
@@ -155,6 +164,8 @@ def fig4(
     ratios: Sequence[float] = FIG4_RATIOS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -167,6 +178,8 @@ def fig4(
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,
@@ -258,6 +271,8 @@ def fig7(
     alphas: Sequence[float] = FIG7_ALPHAS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -271,6 +286,8 @@ def fig7(
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,
@@ -288,6 +305,8 @@ def fig8(
     ratios: Sequence[float] = FIG8_RATIOS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -301,6 +320,8 @@ def fig8(
         seeds=seeds,
         groups=ASYMMETRIC_GROUPS,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,
@@ -318,6 +339,8 @@ def fig9(
     lambdas: Sequence[float] = FIG9_LAMBDAS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -330,6 +353,8 @@ def fig9(
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,
@@ -345,6 +370,8 @@ def fig10(
     ratios: Sequence[float] = FIG10_RATIOS,
     engine: str = "scalar",
     policies: PolicySelection = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -357,6 +384,8 @@ def fig10(
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
+        cache=cache,
+        faults=faults,
     )
     return _sweep_to_figure(
         sweep,

@@ -33,7 +33,7 @@ Semantics:
 
 from __future__ import annotations
 
-import warnings
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,8 +48,17 @@ from ..sim.batch_sim import (
     share_batch_draws,
     supports_batch_engine,
 )
-from .cache import SweepCache, resolve_cache
+from .cache import SweepCache, resolve_cache, warn_uncacheable
 from .configs import PolicyFactory
+from .faults import (
+    CellFailure,
+    FaultPolicy,
+    SweepCellError,
+    SweepFailureReport,
+    call_with_retries,
+    fire_fault_hooks,
+    nan_point,
+)
 from .runner import SweepPoint, SweepResult, run_single
 
 __all__ = ["run_sweep_fused", "FUSED_STREAM_TAG"]
@@ -71,6 +80,7 @@ class _Cell:
     key: Optional[str] = None
     point: Optional[SweepPoint] = None
     cached: bool = False
+    failed: bool = False  # permanent best-effort failure: never cached
     rows: Optional[slice] = field(default=None, repr=False)
 
 
@@ -183,6 +193,69 @@ def _build_fused_sim(
         return None
 
 
+def _run_fused_group_with_faults(
+    cells: List[_Cell],
+    seeds: Tuple[int, ...],
+    sync_rng: bool,
+    validate: bool,
+    backend: Optional[str],
+    num_intervals: int,
+    groups: Optional[Sequence[int]],
+    faults: FaultPolicy,
+    failures: List[CellFailure],
+    fallback: List[_Cell],
+) -> None:
+    """Run one mega-batch group under a fault policy.
+
+    A fused group is all-or-nothing: its cells share one simulator, so a
+    mid-run failure retries the *whole group* (rebuilt from scratch) and
+    a permanent failure fails every cell of the group — each one
+    recorded individually in ``failures`` so the report still names
+    every lost (value, policy) cell.  Build-time rejections
+    (heterogeneous timings, unstackable parameters) are not faults and
+    fall back to the per-cell runner as always.
+    """
+    attempt = 0
+    while True:
+        try:
+            for cell in cells:
+                fire_fault_hooks(cell.value, cell.label, attempt)
+            sim = _build_fused_sim(cells, seeds, sync_rng, validate, backend)
+            if sim is None:
+                fallback.extend(cells)
+                return
+            for _ in range(num_intervals):
+                sim.step()
+            _scatter_points(cells, sim.stats, len(seeds), groups)
+            return
+        except Exception as exc:
+            attempt += 1
+            if attempt <= faults.retries:
+                delay = faults.backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if not faults.best_effort:
+                first = cells[0]
+                raise SweepCellError(
+                    first.value, first.label, seeds, attempt, exc
+                ) from exc
+            for cell in cells:
+                failures.append(
+                    CellFailure(
+                        value=cell.value,
+                        policy=cell.label,
+                        seeds=seeds,
+                        attempts=attempt,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+                cell.point = nan_point(cell.label, groups)
+                cell.failed = True
+            return
+
+
 def run_sweep_fused(
     parameter_name: str,
     values: Sequence[float],
@@ -196,6 +269,7 @@ def run_sweep_fused(
     cache: Union[None, bool, str, SweepCache] = None,
     validate: bool = True,
     backend: Optional[str] = None,
+    faults: Optional[FaultPolicy] = None,
 ) -> SweepResult:
     """Drop-in :func:`~repro.experiments.runner.run_sweep`, grid-fused.
 
@@ -217,6 +291,19 @@ def run_sweep_fused(
         Kernel backend for the mega-batches
         (:data:`~repro.sim.batch_kernels.KERNEL_BACKENDS`); all backends
         are bit-identical, so the cache key deliberately excludes it.
+    faults:
+        ``None`` (default) keeps fail-fast semantics.  A
+        :class:`~repro.experiments.faults.FaultPolicy` retries failures
+        with backoff; since a mega-batch shares one simulator, a group
+        fails (and retries) as a unit, while fallback cells retry
+        individually.  Permanent failures raise
+        :class:`~repro.experiments.faults.SweepCellError` (``strict``)
+        or yield NaN points plus a
+        :class:`~repro.experiments.faults.SweepFailureReport` on the
+        result (``best_effort``).  With faults enabled the groups run
+        sequentially instead of in draw-sharing lockstep — value-neutral
+        (sharing never changes draws), it only forgoes that perf
+        optimization.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
@@ -259,16 +346,7 @@ def run_sweep_fused(
                 cell.cached = cell.point is not None
             elif cell.label not in uncacheable:
                 uncacheable.append(cell.label)
-        if uncacheable:
-            warnings.warn(
-                f"skipping the sweep cache for {uncacheable}: the policy "
-                "is not registered (or its spec/config cannot be "
-                "fingerprinted), so these cells run uncached every time; "
-                "register a PolicyDescriptor with repro.core.registry to "
-                "make them cacheable",
-                UserWarning,
-                stacklevel=2,
-            )
+        warn_uncacheable(uncacheable, stacklevel=2)
 
     # Partition the misses into fusable groups and per-cell fallbacks.
     # Fusability is a declared capability (the registry's ``fusable``
@@ -289,39 +367,74 @@ def run_sweep_fused(
         else:
             fallback.append(cell)
 
-    built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
-    with perf.stage("fused.build"):
-        for group_cells in fused_groups.values():
-            sim = _build_fused_sim(
-                group_cells, seeds, sync_rng, validate, backend
-            )
-            if sim is None:
-                fallback.extend(group_cells)
-            else:
-                built.append((group_cells, sim))
+    failures: List[CellFailure] = []
+    if faults is None:
+        built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
+        with perf.stage("fused.build"):
+            for group_cells in fused_groups.values():
+                sim = _build_fused_sim(
+                    group_cells, seeds, sync_rng, validate, backend
+                )
+                if sim is None:
+                    fallback.extend(group_cells)
+                else:
+                    built.append((group_cells, sim))
 
-        # Policy-family groups of one grid stack the same cells with the
-        # same seeds, so their channel/arrival draws coincide; running
-        # them in lockstep lets one generation pass feed every family
-        # (exactly like the per-cell engines, where equal seeds reuse
-        # equal draws across policies).
-        share_batch_draws([sim for _, sim in built])
-    with perf.stage("fused.run"):
-        for _ in range(num_intervals):
-            for _, sim in built:
-                sim.step()
-    with perf.stage("fused.scatter"):
-        for group_cells, sim in built:
-            _scatter_points(group_cells, sim.stats, len(seeds), groups)
+            # Policy-family groups of one grid stack the same cells with the
+            # same seeds, so their channel/arrival draws coincide; running
+            # them in lockstep lets one generation pass feed every family
+            # (exactly like the per-cell engines, where equal seeds reuse
+            # equal draws across policies).
+            share_batch_draws([sim for _, sim in built])
+        with perf.stage("fused.run"):
+            for _ in range(num_intervals):
+                for _, sim in built:
+                    sim.step()
+        with perf.stage("fused.scatter"):
+            for group_cells, sim in built:
+                _scatter_points(group_cells, sim.stats, len(seeds), groups)
+    else:
+        # Faulty groups must be rebuildable in isolation, so each group
+        # runs its own build + interval loop (no cross-family lockstep;
+        # draw sharing is value-neutral, so results are unchanged).
+        with perf.stage("fused.run"):
+            for group_cells in fused_groups.values():
+                _run_fused_group_with_faults(
+                    group_cells, seeds, sync_rng, validate, backend,
+                    num_intervals, groups, faults, failures, fallback,
+                )
 
     for cell in fallback:
-        cell.point = run_single(
-            cell.spec, cell.factory, num_intervals, seeds, groups, engine="batch"
-        )
+        if faults is None:
+            cell.point = run_single(
+                cell.spec, cell.factory, num_intervals, seeds, groups,
+                engine="batch",
+            )
+        else:
+
+            def _attempt(attempt, cell=cell):
+                fire_fault_hooks(cell.value, cell.label, attempt)
+                return run_single(
+                    cell.spec, cell.factory, num_intervals, seeds, groups,
+                    engine="batch",
+                )
+
+            point = call_with_retries(
+                _attempt,
+                value=cell.value,
+                label=cell.label,
+                seeds=seeds,
+                faults=faults,
+                failures=failures,
+            )
+            if point is None:  # permanent best-effort failure
+                cell.failed = True
+                point = nan_point(cell.label, groups)
+            cell.point = point
 
     if store is not None:
         for cell in cells:
-            if cell.key is not None and not cell.cached:
+            if cell.key is not None and not cell.cached and not cell.failed:
                 store.put(cell.key, cell.point)
 
     result = SweepResult(parameter_name=parameter_name, values=list(values))
@@ -332,4 +445,6 @@ def run_sweep_fused(
         result.points.append(
             replace(cell.point, parameter=cell.value, policy=cell.label)
         )
+    if failures:
+        result.failures = SweepFailureReport(failures)
     return result

@@ -18,6 +18,14 @@ from ..core.requirements import NetworkSpec
 from ..sim.batch_sim import run_simulation_batch, supports_batch_engine
 from ..sim.interval_sim import run_simulation
 from .configs import PolicyFactory
+from .faults import (
+    CellFailure,
+    FaultPolicy,
+    SweepFailureReport,
+    call_with_retries,
+    fire_fault_hooks,
+    nan_point,
+)
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep", "run_single"]
 
@@ -40,11 +48,18 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All cells of one sweep, indexed for reporting."""
+    """All cells of one sweep, indexed for reporting.
+
+    ``failures`` is ``None`` for a fully successful sweep; a best-effort
+    run that permanently lost cells attaches the structured
+    :class:`~repro.experiments.faults.SweepFailureReport` naming them
+    (the corresponding points hold NaN measurements).
+    """
 
     parameter_name: str
     values: List[float] = field(default_factory=list)
     points: List[SweepPoint] = field(default_factory=list)
+    failures: Optional[SweepFailureReport] = None
 
     def _lookup(self, by_value: Dict[float, float], policy: str) -> List[float]:
         missing = [v for v in self.values if v not in by_value]
@@ -209,6 +224,8 @@ def run_sweep(
     groups: Optional[Sequence[int]] = None,
     engine: str = "scalar",
     backend: Optional[str] = None,
+    cache=None,
+    faults: Optional[FaultPolicy] = None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
@@ -220,11 +237,31 @@ def run_sweep(
     delegates the whole grid to
     :func:`~repro.experiments.grid.run_sweep_fused`, which batches every
     fusable (value, seed) cell of a policy family into one engine pass.
+
+    cache:
+        ``True`` / directory / :class:`~repro.experiments.cache.SweepCache`
+        checkpoints each finished cell on disk and serves warm cells
+        without simulating, so an interrupted sweep resumes from
+        everything already computed (scalar/batch cells are
+        deterministic per cell, making the resumed result bit-identical
+        to an uninterrupted run).
+    faults:
+        ``None`` (default) keeps the historical fail-fast behaviour: a
+        cell's exception propagates unwrapped.  A
+        :class:`~repro.experiments.faults.FaultPolicy` retries failing
+        cells with backoff; permanent failures raise
+        :class:`~repro.experiments.faults.SweepCellError` naming the
+        (value, policy) cell (``strict``) or yield NaN points plus a
+        :class:`~repro.experiments.faults.SweepFailureReport` on the
+        result (``best_effort``).  ``cell_timeout`` is only enforceable
+        by :func:`~repro.experiments.parallel.run_sweep_parallel`.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     if engine == "fused":
         from .grid import run_sweep_fused
 
@@ -237,18 +274,75 @@ def run_sweep(
             seeds,
             groups,
             backend=backend,
+            cache=cache,
+            faults=faults,
         )
+    # Local import: cache.py imports SweepPoint from this module.
+    from .cache import resolve_cache, warn_uncacheable
+
     policies = registry.resolve_policies(policies)
+    store = resolve_cache(cache)
+    seeds_t = tuple(int(s) for s in seeds)
+    groups_t = tuple(groups) if groups is not None else None
+    failures: List[CellFailure] = []
+    uncacheable: List[str] = []
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for value in values:
         spec = spec_builder(value)
         for label, factory in policies.items():
-            point = run_single(
-                spec, factory, num_intervals, seeds, groups, engine, backend
-            )
+            key = None
+            point = None
+            if store is not None:
+                key = store.cell_key(
+                    spec=spec,
+                    policy=factory(),
+                    seeds=seeds_t,
+                    num_intervals=num_intervals,
+                    groups=groups_t,
+                    sync_rng=False,
+                    engine=engine,
+                )
+                if key is None:
+                    if label not in uncacheable:
+                        uncacheable.append(label)
+                else:
+                    point = store.get(key)
+            if point is None:
+                if faults is None:
+                    point = run_single(
+                        spec, factory, num_intervals, seeds, groups, engine,
+                        backend,
+                    )
+                else:
+
+                    def _attempt(attempt, spec=spec, factory=factory,
+                                 value=value, label=label):
+                        fire_fault_hooks(float(value), label, attempt)
+                        return run_single(
+                            spec, factory, num_intervals, seeds, groups,
+                            engine, backend,
+                        )
+
+                    point = call_with_retries(
+                        _attempt,
+                        value=float(value),
+                        label=label,
+                        seeds=seeds_t,
+                        faults=faults,
+                        failures=failures,
+                    )
+                if point is None:  # permanent best-effort failure
+                    point = nan_point(label, groups_t)
+                elif store is not None and key is not None:
+                    # Checkpoint: a sweep killed after this cell resumes
+                    # warm from here.
+                    store.put(key, point)
             # Keep every other field of the worker's point intact
             # (rebuilding field-by-field drops fields added later).
             result.points.append(
                 replace(point, parameter=float(value), policy=label)
             )
+    warn_uncacheable(uncacheable)
+    if failures:
+        result.failures = SweepFailureReport(failures)
     return result

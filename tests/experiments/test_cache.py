@@ -114,7 +114,81 @@ class TestRoundTrip:
         cache.put(key, make_point())
         path = cache._path(key)
         path.write_text("{not json")
-        assert cache.get(key) is None
+        with pytest.warns(UserWarning, match="corrupt"):
+            assert cache.get(key) is None
+
+
+class TestCorruption:
+    """A bad byte on disk must never kill a sweep: corrupt entries are
+    quarantined with one warning and count as a miss (regression for the
+    crash on truncated/hand-edited cache files)."""
+
+    def entry(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key(
+            spec=spec(), policy=LDFPolicy(), seeds=(0,), num_intervals=10
+        )
+        cache.put(key, make_point())
+        return cache, key, cache._path(key)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda text: text[: len(text) // 2],  # truncated write
+            lambda text: "[]",  # not an object
+            lambda text: text.replace('"policy"', '"nope"'),  # missing field
+            lambda text: text.replace('"LDF"', "42"),  # ill-typed field
+            lambda text: text.replace(
+                '"total_deficiency":', '"total_deficiency":"NaN-ish",'
+                '"x":'
+            ),  # non-numeric measurement
+        ],
+    )
+    def test_bad_payload_is_quarantined_miss(self, tmp_path, mutate):
+        cache, key, path = self.entry(tmp_path)
+        path.write_text(mutate(path.read_text()))
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert cache.misses == 1 and cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_second_get_is_a_plain_miss(self, tmp_path):
+        """After quarantine the entry is gone: the next read misses
+        silently (no second warning for the same bad file)."""
+        cache, key, path = self.entry(tmp_path)
+        path.write_text("{truncated")
+        with pytest.warns(UserWarning):
+            cache.get(key)
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert cache.get(key) is None
+        assert cache.misses == 2 and cache.quarantined == 1
+
+    def test_recompute_and_restore_after_quarantine(self, tmp_path):
+        """The quarantined cell can be re-stored and then hits again."""
+        cache, key, path = self.entry(tmp_path)
+        path.write_text("junk")
+        with pytest.warns(UserWarning):
+            assert cache.get(key) is None
+        cache.put(key, make_point(value=2.5))
+        got = cache.get(key)
+        assert got is not None and got.total_deficiency == 2.5
+
+    def test_schema_mismatch_is_a_silent_miss(self, tmp_path):
+        """A different schema number is an old/new writer, not
+        corruption: miss without quarantine or warning."""
+        cache, key, path = self.entry(tmp_path)
+        path.write_text(path.read_text().replace('"schema":1', '"schema":99'))
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert cache.get(key) is None
+        assert cache.quarantined == 0
+        assert path.exists()  # left in place for the newer writer
 
 
 class TestResolve:

@@ -71,3 +71,75 @@ class TestMain:
         main(["ext-baselines", "--intervals", "60"])
         out = capsys.readouterr().out
         assert "ext-baselines" in out
+
+
+class TestFaultFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig3", "--resume", "--retries", "3",
+                "--cell-timeout", "45.5", "--best-effort",
+            ]
+        )
+        assert args.resume
+        assert args.retries == 3
+        assert args.cell_timeout == 45.5
+        assert args.best_effort
+
+    def test_no_flags_keep_fail_fast(self):
+        from repro.experiments.cli import faults_from_args
+
+        args = build_parser().parse_args(["fig3"])
+        assert faults_from_args(args) is None
+
+    def test_any_flag_opts_into_fault_policy(self):
+        from repro.experiments.cli import faults_from_args
+        from repro.experiments.faults import FaultPolicy
+
+        args = build_parser().parse_args(["fig3", "--retries", "5"])
+        policy = faults_from_args(args)
+        assert isinstance(policy, FaultPolicy)
+        assert policy.retries == 5
+        assert not policy.best_effort
+
+        args = build_parser().parse_args(
+            ["fig3", "--best-effort", "--cell-timeout", "10"]
+        )
+        policy = faults_from_args(args)
+        assert policy.best_effort
+        assert policy.cell_timeout == 10.0
+        assert policy.retries == FaultPolicy().retries  # default kept
+
+    def test_resume_checkpoints_and_serves_warm(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """End to end: --resume fills the sweep cache on the first run
+        and serves it on the second (REPRO_SWEEP_CACHE points the CLI
+        at a temp directory)."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweeps"))
+        argv = [
+            "fig3", "--intervals", "40", "--policies", "LDF", "--resume",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        entries = list((tmp_path / "sweeps").rglob("*.json"))
+        assert len(entries) == 7  # one checkpoint per alpha cell
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        # Identical table (timing footer differs), from cache this time.
+        assert cold.splitlines()[:-2] == warm.splitlines()[:-2]
+
+    def test_best_effort_reports_failed_cells(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "raise:LDF:0.4")
+        assert (
+            main(
+                [
+                    "fig3", "--intervals", "40", "--policies", "LDF",
+                    "--best-effort", "--retries", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 sweep cell(s) permanently failed" in out
+        assert "'LDF'" in out and "InjectedFault" in out

@@ -1,0 +1,274 @@
+"""Tests for the fault-tolerance primitives (repro.experiments.faults)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.faults import (
+    ENV_FAULT_INJECT,
+    MODE_BEST_EFFORT,
+    MODE_STRICT,
+    CellFailure,
+    FaultPolicy,
+    InjectedFault,
+    SweepCellError,
+    SweepFailureReport,
+    call_with_retries,
+    clear_fault_injector,
+    fire_fault_hooks,
+    install_fault_injector,
+    nan_point,
+    _parse_directives,
+)
+
+
+class TestFaultPolicy:
+    def test_defaults_are_strict_with_retries(self):
+        policy = FaultPolicy()
+        assert policy.retries == 2
+        assert policy.mode == MODE_STRICT
+        assert not policy.best_effort
+        assert policy.cell_timeout is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(retries=-1),
+            dict(cell_timeout=0.0),
+            dict(cell_timeout=-1.0),
+            dict(backoff_base=-0.1),
+            dict(backoff_factor=0.5),
+            dict(backoff_max=-1.0),
+            dict(mode="yolo"),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FaultPolicy(**bad)
+
+    def test_backoff_progression_is_capped_exponential(self):
+        policy = FaultPolicy(
+            backoff_base=1.0, backoff_factor=2.0, backoff_max=5.0
+        )
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+        assert policy.backoff(4) == 5.0  # capped
+        assert policy.backoff(10) == 5.0
+
+    def test_zero_base_disables_sleeping(self):
+        policy = FaultPolicy(backoff_base=0.0)
+        assert policy.backoff(1) == 0.0
+        assert policy.backoff(7) == 0.0
+
+    def test_best_effort_property(self):
+        assert FaultPolicy(mode=MODE_BEST_EFFORT).best_effort
+
+
+class TestNanPoint:
+    def test_all_measurements_are_nan(self):
+        point = nan_point("LDF")
+        assert point.policy == "LDF"
+        assert math.isnan(point.total_deficiency)
+        assert math.isnan(point.deficiency_std)
+        assert math.isnan(point.collisions)
+        assert math.isnan(point.mean_overhead_us)
+        assert point.group_deficiency is None
+
+    def test_groups_get_one_nan_per_group(self):
+        point = nan_point("LDF", groups=(0, 0, 1, 1, 2))
+        assert len(point.group_deficiency) == 3
+        assert all(math.isnan(g) for g in point.group_deficiency)
+
+
+class TestFailureReport:
+    def failure(self, value=0.5, policy="LDF"):
+        return CellFailure(
+            value=value,
+            policy=policy,
+            seeds=(0, 1),
+            attempts=3,
+            error_type="InjectedFault",
+            message="boom",
+        )
+
+    def test_truthiness_and_len(self):
+        assert not SweepFailureReport()
+        report = SweepFailureReport([self.failure()])
+        assert report and len(report) == 1
+
+    def test_cells_and_summary_name_each_cell(self):
+        report = SweepFailureReport(
+            [self.failure(0.4, "LDF"), self.failure(0.7, "DB-DP")]
+        )
+        assert report.cells == [(0.4, "LDF"), (0.7, "DB-DP")]
+        text = report.summary()
+        assert "2 sweep cell(s)" in text
+        assert "0.4" in text and "'LDF'" in text
+        assert "0.7" in text and "'DB-DP'" in text
+        assert "InjectedFault" in text
+
+    def test_payload_round_trips_through_json(self):
+        import json
+
+        report = SweepFailureReport([self.failure()])
+        payload = json.loads(json.dumps(report.to_payload()))
+        (cell,) = payload["failed_cells"]
+        assert cell["policy"] == "LDF"
+        assert cell["seeds"] == [0, 1]
+        assert cell["attempts"] == 3
+
+
+class TestSweepCellError:
+    def test_names_the_cell(self):
+        err = SweepCellError(0.45, "DB-DP", (0, 1, 2), 3, RuntimeError("x"))
+        assert err.value == 0.45
+        assert err.policy == "DB-DP"
+        assert err.seeds == (0, 1, 2)
+        assert err.attempts == 3
+        msg = str(err)
+        assert "0.45" in msg and "DB-DP" in msg and "3 attempt" in msg
+        assert "RuntimeError: x" in msg
+
+
+class TestCallWithRetries:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        result = call_with_retries(
+            lambda attempt: attempt,
+            value=0.5,
+            label="LDF",
+            seeds=(0,),
+            faults=FaultPolicy(),
+            failures=[],
+            sleep=slept.append,
+        )
+        assert result == 0 and slept == []
+
+    def test_transient_fault_heals_with_backoff(self):
+        slept = []
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise RuntimeError(f"attempt {attempt}")
+            return "ok"
+
+        result = call_with_retries(
+            flaky,
+            value=0.5,
+            label="LDF",
+            seeds=(0,),
+            faults=FaultPolicy(retries=2, backoff_base=1.0, backoff_factor=2.0),
+            failures=[],
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert slept == [1.0, 2.0]
+
+    def test_permanent_strict_raises_naming_cell(self):
+        def always(attempt):
+            raise RuntimeError("down")
+
+        with pytest.raises(SweepCellError) as err:
+            call_with_retries(
+                always,
+                value=0.7,
+                label="DB-DP",
+                seeds=(0, 1),
+                faults=FaultPolicy(retries=1, backoff_base=0.0),
+                failures=[],
+            )
+        e = err.value
+        assert (e.value, e.policy, e.seeds, e.attempts) == (
+            0.7, "DB-DP", (0, 1), 2,
+        )
+        assert isinstance(e.__cause__, RuntimeError)
+
+    def test_permanent_best_effort_records_and_returns_none(self):
+        failures = []
+
+        def always(attempt):
+            raise ValueError("bad cell")
+
+        result = call_with_retries(
+            always,
+            value=0.4,
+            label="LDF",
+            seeds=(0,),
+            faults=FaultPolicy(
+                retries=0, backoff_base=0.0, mode=MODE_BEST_EFFORT
+            ),
+            failures=failures,
+        )
+        assert result is None
+        (failure,) = failures
+        assert failure.value == 0.4
+        assert failure.policy == "LDF"
+        assert failure.attempts == 1
+        assert failure.error_type == "ValueError"
+        assert failure.message == "bad cell"
+
+
+class TestDirectiveParsing:
+    def test_full_grammar(self):
+        (d,) = _parse_directives("raise:LDF:0.4:2")
+        assert d.kind == "raise"
+        assert d.policy == "LDF"
+        assert d.value == 0.4
+        assert d.max_attempts == 2
+
+    def test_wildcards_and_omissions(self):
+        (d,) = _parse_directives("kill")
+        assert d.policy is None and d.value is None and d.max_attempts is None
+        (d,) = _parse_directives("hang:*:0.5")
+        assert d.policy is None and d.value == 0.5
+
+    def test_semicolons_separate_directives(self):
+        a, b = _parse_directives("raise:LDF:0.4; kill:DB-DP")
+        assert a.kind == "raise" and b.kind == "kill"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            _parse_directives("explode:LDF:0.4")
+
+
+class TestFireFaultHooks:
+    def test_noop_without_injector_or_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_INJECT, raising=False)
+        fire_fault_hooks(0.5, "LDF", 0)  # must not raise
+
+    def test_env_raise_matches_cell(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.4")
+        with pytest.raises(InjectedFault, match="LDF"):
+            fire_fault_hooks(0.4, "LDF", 0)
+        # different policy or value: no fire
+        fire_fault_hooks(0.4, "DB-DP", 0)
+        fire_fault_hooks(0.5, "LDF", 0)
+
+    def test_max_attempts_stops_transient_fault(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:*:*:2")
+        with pytest.raises(InjectedFault):
+            fire_fault_hooks(0.5, "LDF", 0)
+        with pytest.raises(InjectedFault):
+            fire_fault_hooks(0.5, "LDF", 1)
+        fire_fault_hooks(0.5, "LDF", 2)  # healed
+
+    def test_installed_injector_fires_and_clears(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_INJECT, raising=False)
+        calls = []
+
+        def injector(value, label, attempt):
+            calls.append((value, label, attempt))
+            raise InjectedFault("from injector")
+
+        previous = install_fault_injector(injector)
+        try:
+            assert previous is None
+            with pytest.raises(InjectedFault):
+                fire_fault_hooks(0.6, "DB-DP", 1)
+            assert calls == [(0.6, "DB-DP", 1)]
+        finally:
+            clear_fault_injector()
+        fire_fault_hooks(0.6, "DB-DP", 1)  # cleared: no-op

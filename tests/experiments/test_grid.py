@@ -202,3 +202,103 @@ class TestUncacheableWarning:
         kw = dict(BASE, policies={"LDF": LDFPolicy}, num_intervals=40, seeds=(0,))
         run_sweep_fused(**kw, cache=str(tmp_path))
         assert not [w for w in recwarn if "sweep cache" in str(w.message)]
+
+
+class TestFusedFaults:
+    """FaultPolicy on the fused engine: a fused group fails as a unit."""
+
+    def kwargs(self, **overrides):
+        return {
+            **BASE,
+            **dict(num_intervals=60, seeds=(0, 1)),
+            **overrides,
+        }
+
+    def test_faults_enabled_changes_no_values(self):
+        """With no fault firing, the faults path (sequential groups, no
+        lockstep sharing) must be bit-identical to the default path."""
+        from repro.experiments.faults import FaultPolicy
+
+        kw = self.kwargs(policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy})
+        plain = run_sweep_fused(**kw)
+        guarded = run_sweep_fused(
+            **kw, faults=FaultPolicy(backoff_base=0.0)
+        )
+        for label in ("LDF", "DB-DP"):
+            np.testing.assert_array_equal(
+                plain.series(label), guarded.series(label)
+            )
+
+    def test_transient_fault_heals(self, monkeypatch):
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        kw = self.kwargs(policies={"LDF": LDFPolicy})
+        clean = run_sweep_fused(**kw)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:*:1")
+        result = run_sweep_fused(
+            **kw, faults=FaultPolicy(retries=1, backoff_base=0.0)
+        )
+        np.testing.assert_array_equal(
+            result.series("LDF"), clean.series("LDF")
+        )
+        assert result.failures is None
+
+    def test_permanent_best_effort_nans_the_whole_group(self, monkeypatch):
+        """LDF's fused group shares one simulator, so a permanent fault
+        in it loses every LDF cell; DB-DP's group is untouched."""
+        import math
+
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        kw = self.kwargs(policies={"LDF": LDFPolicy, "DB-DP": DBDPPolicy})
+        clean = run_sweep_fused(**kw)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF")
+        result = run_sweep_fused(
+            **kw,
+            faults=FaultPolicy(
+                retries=0, backoff_base=0.0, mode="best_effort"
+            ),
+        )
+        assert all(math.isnan(x) for x in result.series("LDF"))
+        np.testing.assert_array_equal(
+            result.series("DB-DP"), clean.series("DB-DP")
+        )
+        assert sorted(result.failures.cells) == [
+            (0.45, "LDF"), (0.6, "LDF"),
+        ]
+
+    def test_permanent_strict_raises_naming_a_cell(self, monkeypatch):
+        from repro.experiments.faults import (
+            ENV_FAULT_INJECT,
+            FaultPolicy,
+            SweepCellError,
+        )
+
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF")
+        with pytest.raises(SweepCellError) as err:
+            run_sweep_fused(
+                **self.kwargs(policies={"LDF": LDFPolicy}),
+                faults=FaultPolicy(retries=0, backoff_base=0.0),
+            )
+        assert err.value.policy == "LDF"
+
+    def test_fallback_cells_fail_individually(self, monkeypatch):
+        """Scalar-only policies run per cell even under faults, so only
+        the targeted (value, policy) cell fails — not a whole group."""
+        import math
+
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        kw = self.kwargs(policies={"FCSMA": FCSMAPolicy})
+        clean = run_sweep_fused(**kw)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:FCSMA:0.45")
+        result = run_sweep_fused(
+            **kw,
+            faults=FaultPolicy(
+                retries=0, backoff_base=0.0, mode="best_effort"
+            ),
+        )
+        bad, good = result.series("FCSMA")
+        assert math.isnan(bad)
+        assert good == clean.series("FCSMA")[1]
+        assert result.failures.cells == [(0.45, "FCSMA")]

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
 from repro import DBDPPolicy, LDFPolicy
+from repro.experiments.cache import SweepCache
 from repro.experiments.configs import video_symmetric_spec
+from repro.experiments.faults import (
+    ENV_FAULT_INJECT,
+    FaultPolicy,
+    SweepCellError,
+)
 from repro.experiments.parallel import run_sweep_parallel
 from repro.experiments.runner import run_sweep
 
@@ -116,3 +124,194 @@ class TestParallelSweep:
             run_sweep_parallel(
                 "x", [1.0], small_builder, {"LDF": LDFPolicy}, 10, seeds=()
             )
+
+
+#: Fast retries for fault tests: no backoff sleeping.
+def fast_faults(**overrides):
+    return FaultPolicy(**{"backoff_base": 0.0, **overrides})
+
+
+def small_kwargs(**overrides):
+    return {
+        **dict(
+            parameter_name="alpha",
+            values=[0.4, 0.7],
+            spec_builder=small_builder,
+            policies={"LDF": LDFPolicy},
+            num_intervals=60,
+            seeds=(0, 1),
+        ),
+        **overrides,
+    }
+
+
+class TestFaultTolerance:
+    """Deterministic fault injection through REPRO_FAULT_INJECT.
+
+    Workers are forked after the env var is set, so the directives reach
+    them without extra plumbing; attempt indices are passed down by the
+    orchestrator, so 'heal after n attempts' is deterministic.
+    """
+
+    def test_transient_worker_exception_heals(self, monkeypatch):
+        """An exception on attempt 0 only: retries recover the cell and
+        the result is bit-identical to a clean run."""
+        kwargs = small_kwargs()
+        clean = run_sweep(**kwargs)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.4:1")
+        result = run_sweep_parallel(
+            max_workers=2, faults=fast_faults(retries=1), **kwargs
+        )
+        np.testing.assert_array_equal(
+            result.series("LDF"), clean.series("LDF")
+        )
+        assert result.failures is None
+
+    def test_permanent_exception_strict_names_cell(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.7")
+        with pytest.raises(SweepCellError) as err:
+            run_sweep_parallel(
+                max_workers=2,
+                faults=fast_faults(retries=1),
+                **small_kwargs(),
+            )
+        e = err.value
+        assert (e.value, e.policy, e.seeds, e.attempts) == (
+            0.7, "LDF", (0, 1), 2,
+        )
+        assert "InjectedFault" in str(e)
+
+    def test_permanent_exception_best_effort_yields_nan_and_report(
+        self, monkeypatch
+    ):
+        kwargs = small_kwargs()
+        clean = run_sweep(**kwargs)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.7")
+        result = run_sweep_parallel(
+            max_workers=2,
+            faults=fast_faults(retries=0, mode="best_effort"),
+            **kwargs,
+        )
+        good, bad = result.series("LDF")
+        assert good == clean.series("LDF")[0]
+        assert math.isnan(bad)
+        report = result.failures
+        assert report is not None and report.cells == [(0.7, "LDF")]
+        (failure,) = report.failures
+        assert failure.attempts == 1
+        assert failure.error_type == "InjectedFault"
+
+    def test_worker_kill_recovers_bit_identical(self, monkeypatch):
+        """os._exit in a worker breaks the whole pool; the orchestrator
+        must respawn it, resubmit, and still match the clean run."""
+        kwargs = small_kwargs()
+        clean = run_sweep(**kwargs)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "kill:LDF:0.4:1")
+        result = run_sweep_parallel(
+            max_workers=1, faults=fast_faults(retries=2), **kwargs
+        )
+        np.testing.assert_array_equal(
+            result.series("LDF"), clean.series("LDF")
+        )
+        assert result.failures is None
+
+    def test_worker_kill_permanent_best_effort(self, monkeypatch):
+        """A cell that always kills its worker exhausts its retries as
+        BrokenProcessPool; best-effort fills it with NaN and keeps the
+        healthy cell.  max_workers=1 serializes the cells so the healthy
+        one finishes before the killer ever runs."""
+        monkeypatch.setenv(ENV_FAULT_INJECT, "kill:LDF:0.7")
+        result = run_sweep_parallel(
+            max_workers=1,
+            faults=fast_faults(retries=1, mode="best_effort"),
+            **small_kwargs(),
+        )
+        good, bad = result.series("LDF")
+        assert not math.isnan(good)
+        assert math.isnan(bad)
+        (failure,) = result.failures.failures
+        assert (failure.value, failure.policy) == (0.7, "LDF")
+        assert failure.error_type == "BrokenProcessPool"
+
+    def test_cell_timeout_retry_recovers(self, monkeypatch):
+        """A hang on attempt 0 only: the timeout expires the cell, the
+        pool is respawned to reclaim the worker, and the retry heals."""
+        kwargs = small_kwargs(num_intervals=40)
+        clean = run_sweep(**kwargs)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "hang:LDF:0.7:1")
+        result = run_sweep_parallel(
+            max_workers=2,
+            faults=fast_faults(retries=1, cell_timeout=1.0),
+            **kwargs,
+        )
+        np.testing.assert_array_equal(
+            result.series("LDF"), clean.series("LDF")
+        )
+        assert result.failures is None
+
+    def test_cell_timeout_permanent_best_effort(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "hang:LDF:0.7")
+        result = run_sweep_parallel(
+            max_workers=1,
+            faults=fast_faults(
+                retries=0, cell_timeout=0.5, mode="best_effort"
+            ),
+            **small_kwargs(num_intervals=40),
+        )
+        good, bad = result.series("LDF")
+        assert not math.isnan(good)
+        assert math.isnan(bad)
+        (failure,) = result.failures.failures
+        assert failure.error_type == "TimeoutError"
+        assert "cell_timeout" in failure.message
+
+
+class TestCheckpointResume:
+    def test_warm_cells_are_never_submitted(self, tmp_path, monkeypatch):
+        """With every cell cached, the sweep must succeed even when any
+        submitted cell would kill its worker: warm hits skip the pool."""
+        kwargs = small_kwargs()
+        cache = SweepCache(tmp_path)
+        cold = run_sweep_parallel(max_workers=2, cache=cache, **kwargs)
+        assert cache.stores == 2
+        monkeypatch.setenv(ENV_FAULT_INJECT, "kill")  # kill *any* cell
+        warm = run_sweep_parallel(
+            max_workers=2,
+            cache=cache,
+            faults=fast_faults(retries=0),
+            **kwargs,
+        )
+        assert cache.hits == 2
+        np.testing.assert_array_equal(
+            warm.series("LDF"), cold.series("LDF")
+        )
+
+    def test_kill_at_half_then_resume_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: a sweep killed at ~50% must resume
+        from the checkpointed cells and finish bit-identical to an
+        uninterrupted (and uncached) run."""
+        kwargs = small_kwargs(values=[0.4, 0.5, 0.6, 0.7])
+        reference = run_sweep(**kwargs)  # sequential, uncached
+
+        cache = SweepCache(tmp_path)
+        # max_workers=1 serializes the cells in submission order, so the
+        # kill at 0.6 lands after 0.4 and 0.5 were checkpointed.
+        monkeypatch.setenv(ENV_FAULT_INJECT, "kill:LDF:0.6")
+        with pytest.raises(SweepCellError) as err:
+            run_sweep_parallel(
+                max_workers=1,
+                cache=cache,
+                faults=fast_faults(retries=0),
+                **kwargs,
+            )
+        assert err.value.policy == "LDF"
+        assert cache.stores == 2  # exactly the first half checkpointed
+
+        monkeypatch.delenv(ENV_FAULT_INJECT)
+        resumed = run_sweep_parallel(max_workers=1, cache=cache, **kwargs)
+        assert cache.hits == 2  # the checkpointed half came from disk
+        assert len(resumed.points) == len(reference.points)
+        for ref_pt, res_pt in zip(reference.points, resumed.points):
+            assert ref_pt == res_pt  # bit-identical, field by field

@@ -163,3 +163,97 @@ class TestSeriesErrors:
         sweep = self._sweep()  # no groups recorded
         with pytest.raises(KeyError, match="LDF"):
             sweep.group_series("LDF", 0)
+
+
+class TestRunSweepCacheAndFaults:
+    """Checkpoint/resume and the FaultPolicy path on the sequential runner."""
+
+    def kwargs(self, **overrides):
+        return {
+            **dict(
+                parameter_name="alpha",
+                values=[0.4, 0.6],
+                spec_builder=tiny_builder,
+                policies={"LDF": LDFPolicy},
+                num_intervals=40,
+                seeds=(0, 1),
+            ),
+            **overrides,
+        }
+
+    def test_cold_then_warm_is_bit_identical(self, tmp_path):
+        from repro.experiments.cache import SweepCache
+
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(cache=cache, **self.kwargs())
+        assert cache.stores == 2 and cache.hits == 0
+        warm = run_sweep(cache=cache, **self.kwargs())
+        assert cache.hits == 2
+        assert warm.points == cold.points
+
+    def test_transient_fault_heals(self, monkeypatch):
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        clean = run_sweep(**self.kwargs())
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.4:1")
+        result = run_sweep(
+            faults=FaultPolicy(retries=1, backoff_base=0.0), **self.kwargs()
+        )
+        np.testing.assert_array_equal(
+            result.series("LDF"), clean.series("LDF")
+        )
+        assert result.failures is None
+
+    def test_permanent_strict_raises_naming_cell(self, monkeypatch):
+        from repro.experiments.faults import (
+            ENV_FAULT_INJECT,
+            FaultPolicy,
+            SweepCellError,
+        )
+
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.6")
+        with pytest.raises(SweepCellError) as err:
+            run_sweep(
+                faults=FaultPolicy(retries=0, backoff_base=0.0),
+                **self.kwargs(),
+            )
+        assert (err.value.value, err.value.policy) == (0.6, "LDF")
+
+    def test_permanent_best_effort_yields_nan_and_report(self, monkeypatch):
+        import math
+
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.6")
+        result = run_sweep(
+            faults=FaultPolicy(
+                retries=0, backoff_base=0.0, mode="best_effort"
+            ),
+            **self.kwargs(),
+        )
+        good, bad = result.series("LDF")
+        assert not math.isnan(good) and math.isnan(bad)
+        assert result.failures.cells == [(0.6, "LDF")]
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path, monkeypatch):
+        """A NaN best-effort point must never be stored: once the fault
+        clears, the cell recomputes instead of hitting a poisoned entry."""
+        from repro.experiments.cache import SweepCache
+        from repro.experiments.faults import ENV_FAULT_INJECT, FaultPolicy
+
+        cache = SweepCache(tmp_path)
+        monkeypatch.setenv(ENV_FAULT_INJECT, "raise:LDF:0.6")
+        run_sweep(
+            cache=cache,
+            faults=FaultPolicy(
+                retries=0, backoff_base=0.0, mode="best_effort"
+            ),
+            **self.kwargs(),
+        )
+        assert cache.stores == 1  # only the healthy cell
+        monkeypatch.delenv(ENV_FAULT_INJECT)
+        healed = run_sweep(cache=cache, **self.kwargs())
+        assert healed.failures is None
+        assert cache.stores == 2 and cache.hits == 1
+        reference = run_sweep(**self.kwargs())
+        assert healed.points == reference.points
