@@ -514,6 +514,7 @@ DP_FAMILY_CAPABILITIES = _registry.PolicyCapabilities(
     fusable=True,
     supports_sync_rng=True,
     supports_per_row_params=True,
+    supports_free_rng=True,
     jit_stages=("dp_timeline_rows",),
 )
 

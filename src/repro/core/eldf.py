@@ -117,6 +117,7 @@ ORDERED_SERVICE_CAPABILITIES = _registry.PolicyCapabilities(
     fusable=True,
     supports_sync_rng=True,
     supports_per_row_params=False,
+    supports_free_rng=True,
     jit_stages=("serve_rows",),
 )
 

@@ -134,6 +134,12 @@ class PolicyCapabilities:
         Fused rows may carry per-row policy parameters (e.g. the DP
         kernel's per-row Glauber constants); families without it require
         every fused row to share one configuration.
+    supports_free_rng:
+        The kernel honors the ``rng="free"`` draw discipline (demand-sized
+        blocks from independent free substreams; statistical equivalence
+        instead of bit-identity — see :mod:`repro.sim.rng`).  Families
+        without it degrade to the lockstep batch discipline (the fused
+        runner warns once per sweep).
     jit_stages:
         Names of the kernel's Numba-compilable stages
         (:mod:`repro.sim.jit_kernels`); empty for pure-NumPy kernels.
@@ -143,6 +149,7 @@ class PolicyCapabilities:
     fusable: bool = False
     supports_sync_rng: bool = True
     supports_per_row_params: bool = False
+    supports_free_rng: bool = False
     jit_stages: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:

@@ -168,8 +168,20 @@ class SweepCache:
         groups: Optional[Sequence[int]] = None,
         sync_rng: bool = False,
         engine: str = "fused",
+        rng: Optional[str] = None,
     ) -> Optional[str]:
-        """Content key for one sweep cell, or ``None`` if uncacheable."""
+        """Content key for one sweep cell, or ``None`` if uncacheable.
+
+        ``rng`` names a non-default draw discipline (``"free"``); cells
+        run under it are cacheable but keyed distinctly from the default
+        lockstep-batch/sync cells.  ``None`` (the default discipline)
+        omits the field entirely so every pre-existing key is preserved
+        byte for byte.  Shard count is deliberately *not* part of the
+        key: a warm hit replays the stored point no matter how the stack
+        was split, and cold recomputation in a different stack is a fresh
+        sample of the same estimator (the sharded runner re-runs whole
+        shards to keep resume bit-identical at a fixed shard count).
+        """
         policy_fp = policy_fingerprint(policy)
         if policy_fp is None:
             return None
@@ -188,6 +200,8 @@ class SweepCache:
             "num_intervals": int(num_intervals),
             "groups": None if groups is None else [int(g) for g in groups],
         }
+        if rng is not None:
+            payload["rng"] = str(rng)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -88,6 +88,39 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(registry.available())})",
     )
     parser.add_argument(
+        "--engine",
+        choices=["scalar", "batch", "fused"],
+        default=None,
+        help="simulation engine for sweep figures (default: scalar; "
+        "'fused' mega-batches the whole grid and is the fastest)",
+    )
+    parser.add_argument(
+        "--rng",
+        choices=["sync", "batch", "free"],
+        default=None,
+        help="draw discipline for the batch/fused engines: 'sync' is "
+        "bit-identical to the scalar engine (slow), 'batch' is the "
+        "default lockstep-vectorized discipline, 'free' lets capable "
+        "kernels draw only what they consume (statistically "
+        "equivalent, fastest)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="split a fused sweep into K row-contiguous shards run in "
+        "parallel worker processes (requires --engine fused; sweep "
+        "figures only)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", "jit", "legacy"],
+        default=None,
+        help="batch kernel backend (default: jit when numba is "
+        "importable, else numpy; all backends are bit-identical)",
+    )
+    parser.add_argument(
         "--csv",
         action="store_true",
         help="emit CSV instead of aligned tables",
@@ -190,6 +223,20 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 kwargs["faults"] = faults
             if args.resume:
                 kwargs["cache"] = True
+            if args.engine is not None:
+                kwargs["engine"] = args.engine
+            elif (args.rng is not None or args.shards is not None
+                  or args.backend is not None):
+                # --rng/--shards/--backend are sweep-engine features;
+                # land them on the fused engine instead of erroring on
+                # the figures' scalar default.
+                kwargs["engine"] = "fused"
+            if args.rng is not None:
+                kwargs["rng"] = args.rng
+            if args.shards is not None:
+                kwargs["shards"] = args.shards
+            if args.backend is not None:
+                kwargs["backend"] = args.backend
     result = func(**kwargs)
     if args.outdir is not None:
         os.makedirs(args.outdir, exist_ok=True)

@@ -19,6 +19,7 @@ Expected qualitative shapes (checked by the benchmark suite):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -130,25 +131,35 @@ def fig3(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
     20 links, ``p = 0.7``, 90% delivery ratio.  LDF's admissible boundary
     sits near ``alpha* ~ 0.62``; FCSMA supports only ~70% of that.
     ``policies`` overrides the compared set (factories or registered
-    names); the default is the paper's comparison.
+    names); the default is the paper's comparison.  ``rng`` / ``shards``
+    / ``backend`` reach the sweep engines (batch/fused only) — see
+    :func:`~repro.experiments.runner.run_sweep`.
     """
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     sweep = run_sweep(
         parameter_name="alpha*",
         values=alphas,
-        spec_builder=lambda a: video_symmetric_spec(a, delivery_ratio=0.9),
+        # functools.partial, not a lambda: sharded fused sweeps pickle
+        # the builder into worker processes.
+        spec_builder=functools.partial(video_symmetric_spec, delivery_ratio=0.9),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,
@@ -166,6 +177,9 @@ def fig4(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -173,13 +187,17 @@ def fig4(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=lambda r: video_symmetric_spec(0.55, delivery_ratio=r),
+        # picklable: the swept value lands on delivery_ratio positionally
+        spec_builder=functools.partial(video_symmetric_spec, 0.55),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,
@@ -273,6 +291,9 @@ def fig7(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -280,7 +301,7 @@ def fig7(
     sweep = run_sweep(
         parameter_name="alpha*",
         values=alphas,
-        spec_builder=lambda a: video_asymmetric_spec(a, delivery_ratio=0.9),
+        spec_builder=functools.partial(video_asymmetric_spec, delivery_ratio=0.9),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -288,6 +309,9 @@ def fig7(
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,
@@ -307,6 +331,9 @@ def fig8(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -314,7 +341,7 @@ def fig8(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=lambda r: video_asymmetric_spec(0.7, delivery_ratio=r),
+        spec_builder=functools.partial(video_asymmetric_spec, 0.7),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -322,6 +349,9 @@ def fig8(
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,
@@ -341,6 +371,9 @@ def fig9(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -348,13 +381,16 @@ def fig9(
     sweep = run_sweep(
         parameter_name="lambda*",
         values=lambdas,
-        spec_builder=lambda lam: low_latency_spec(lam, delivery_ratio=0.99),
+        spec_builder=functools.partial(low_latency_spec, delivery_ratio=0.99),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,
@@ -372,6 +408,9 @@ def fig10(
     policies: PolicySelection = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -379,13 +418,16 @@ def fig10(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=lambda r: low_latency_spec(0.78, delivery_ratio=r),
+        spec_builder=functools.partial(low_latency_spec, 0.78),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
         engine=engine,
         cache=cache,
         faults=faults,
+        rng=rng,
+        shards=shards,
+        backend=backend,
     )
     return _sweep_to_figure(
         sweep,

@@ -29,11 +29,23 @@ Semantics:
   scalar), so ``run_sweep_fused`` accepts anything ``run_sweep`` does.
 * Pass ``cache=True`` (or a directory / :class:`SweepCache`) to memoize
   finished cells on disk; see :mod:`repro.experiments.cache`.
+* ``rng="free"`` switches capable policy families to independently
+  derived free-draw substreams (statistically equivalent, not
+  bit-identical, to the default lockstep-batch discipline); families
+  that do not declare :attr:`~repro.core.registry.PolicyCapabilities.
+  supports_free_rng` degrade to the batch discipline with one
+  ``UserWarning`` per sweep.
+* ``shards=K`` splits the grid into K row-contiguous shards dispatched
+  through the fault-tolerant process orchestrator of
+  :mod:`repro.experiments.parallel`, so a mega-batch sweep uses every
+  core and inherits retry/respawn/checkpoint-resume per shard.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,6 +60,7 @@ from ..sim.batch_sim import (
     share_batch_draws,
     supports_batch_engine,
 )
+from ..sim.rng import normalize_rng_mode
 from .cache import SweepCache, resolve_cache, warn_uncacheable
 from .configs import PolicyFactory
 from .faults import (
@@ -59,6 +72,7 @@ from .faults import (
     fire_fault_hooks,
     nan_point,
 )
+from .parallel import _CellState, _Orchestrator
 from .runner import SweepPoint, SweepResult, run_single
 
 __all__ = ["run_sweep_fused", "FUSED_STREAM_TAG"]
@@ -102,6 +116,56 @@ def _group_signature(cell: _Cell) -> Tuple:
         cell.spec.num_links,
         cell.spec.timing,
     )
+
+
+def _supports_free(policy: object) -> bool:
+    """Whether ``policy``'s registered family declares ``supports_free_rng``."""
+    descriptor = registry.descriptor_for(policy)
+    return (
+        descriptor is not None and descriptor.capabilities.supports_free_rng
+    )
+
+
+def _effective_rng(cell: _Cell, rng_mode: str) -> str:
+    """The draw discipline this cell actually runs under.
+
+    ``rng="free"`` is a per-family capability: cells of families that do
+    not declare it degrade to the default lockstep-batch discipline (the
+    caller warns once per sweep) rather than failing the whole grid.
+    """
+    if rng_mode == "free" and not _supports_free(cell.policy):
+        return "batch"
+    return rng_mode
+
+
+def _partition(
+    cells: List[_Cell], rng_mode: str
+) -> Tuple[Dict[Tuple, List[_Cell]], List[_Cell]]:
+    """Split unresolved cells into fusable mega-batch groups and fallbacks.
+
+    Fusability is a declared capability (the registry's ``fusable`` flag,
+    via supports_batch_engine) — scalar-only families (DCF, FCSMA,
+    frame-CSMA) land in the fallback path declaratively rather than as
+    the implicit ``else`` of a type switch.  The group key includes the
+    cell's *effective* draw discipline so free-draw groups never share a
+    stack (or lockstep draws) with degraded batch-discipline groups.
+    """
+    fused_groups: Dict[Tuple, List[_Cell]] = {}
+    fallback: List[_Cell] = []
+    for cell in cells:
+        if cell.point is not None:
+            continue
+        descriptor = registry.descriptor_for(cell.policy)
+        fusable = descriptor is not None and descriptor.capabilities.fusable
+        eff = _effective_rng(cell, rng_mode)
+        if fusable and supports_batch_engine(
+            cell.spec, cell.policy, sync_rng=rng_mode == "sync", rng=eff
+        ):
+            key = (_group_signature(cell), eff)
+            fused_groups.setdefault(key, []).append(cell)
+        else:
+            fallback.append(cell)
+    return fused_groups, fallback
 
 
 def _scatter_points(
@@ -155,9 +219,10 @@ def _scatter_points(
 def _build_fused_sim(
     cells: List[_Cell],
     seeds: Tuple[int, ...],
-    sync_rng: bool,
+    rng_mode: str,
     validate: bool,
     backend: Optional[str],
+    stream_tag: str = FUSED_STREAM_TAG,
 ) -> Optional[BatchIntervalSimulator]:
     """Stack one group's cells into a mega-batch simulator.
 
@@ -182,11 +247,11 @@ def _build_fused_sim(
             row_specs,
             cells[0].policy,
             row_seeds,
-            sync_rng=sync_rng,
+            rng=rng_mode,
             validate=validate,
             record_traces=False,
             row_policies=row_policies,
-            stream_tag=FUSED_STREAM_TAG,
+            stream_tag=stream_tag,
             backend=backend,
         )
     except (TypeError, ValueError):
@@ -196,7 +261,7 @@ def _build_fused_sim(
 def _run_fused_group_with_faults(
     cells: List[_Cell],
     seeds: Tuple[int, ...],
-    sync_rng: bool,
+    rng_mode: str,
     validate: bool,
     backend: Optional[str],
     num_intervals: int,
@@ -220,7 +285,7 @@ def _run_fused_group_with_faults(
         try:
             for cell in cells:
                 fire_fault_hooks(cell.value, cell.label, attempt)
-            sim = _build_fused_sim(cells, seeds, sync_rng, validate, backend)
+            sim = _build_fused_sim(cells, seeds, rng_mode, validate, backend)
             if sim is None:
                 fallback.extend(cells)
                 return
@@ -256,6 +321,311 @@ def _run_fused_group_with_faults(
             return
 
 
+def _simulate_cells(
+    cells: List[_Cell],
+    seeds: Tuple[int, ...],
+    rng_mode: str,
+    validate: bool,
+    backend: Optional[str],
+    num_intervals: int,
+    groups: Optional[Sequence[int]],
+    stream_tag: str,
+    fallback: List[_Cell],
+) -> None:
+    """Partition, build, lockstep-run, and scatter one batch of cells.
+
+    The fail-fast (``faults=None``) simulation body, shared by the
+    unsharded path and the per-shard workers; cells that cannot join a
+    mega-batch are appended to ``fallback`` for the per-cell runner.
+    """
+    fused_groups, unfusable = _partition(cells, rng_mode)
+    fallback.extend(unfusable)
+    built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
+    with perf.stage("fused.build"):
+        for (_, eff), group_cells in fused_groups.items():
+            sim = _build_fused_sim(
+                group_cells, seeds, eff, validate, backend, stream_tag
+            )
+            if sim is None:
+                fallback.extend(group_cells)
+            else:
+                built.append((group_cells, sim))
+
+        # Policy-family groups of one grid stack the same cells with the
+        # same seeds, so their channel/arrival draws coincide; running
+        # them in lockstep lets one generation pass feed every family
+        # (exactly like the per-cell engines, where equal seeds reuse
+        # equal draws across policies).
+        share_batch_draws([sim for _, sim in built])
+    with perf.stage("fused.run"):
+        for _ in range(num_intervals):
+            for _, sim in built:
+                sim.step()
+    with perf.stage("fused.scatter"):
+        for group_cells, sim in built:
+            _scatter_points(group_cells, sim.stats, len(seeds), groups)
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """One row-contiguous slice of the sweep grid — everything picklable.
+
+    ``members`` pins the (value, policy label) cells of the shard; the
+    worker rebuilds specs and policies from the sweep's builder, exactly
+    like :mod:`repro.experiments.parallel` cells.  ``index``/``count``
+    derive the shard's batch-RNG stream tag, making every draw a pure
+    function of (seeds, shard count, shard index) — reruns and resumes
+    at the same shard count are bit-identical.
+    """
+
+    index: int
+    count: int
+    label: str
+    members: Tuple[Tuple[float, str], ...]
+
+    @property
+    def value(self) -> float:
+        """Orchestrator-facing cell value (used in failure reports)."""
+        return float(self.index)
+
+
+def _shard_tag(index: int, count: int) -> str:
+    return f"{FUSED_STREAM_TAG}/shard{index + 1}of{count}"
+
+
+def _run_shard(
+    shard: _ShardSpec,
+    spec_builder: Callable[[float], NetworkSpec],
+    policies: Dict[str, PolicyFactory],
+    num_intervals: int,
+    seeds: Tuple[int, ...],
+    groups: Optional[Tuple[int, ...]],
+    rng_mode: str,
+    validate: bool,
+    backend: Optional[str],
+    attempt: int,
+) -> Tuple[_ShardSpec, List[Tuple[float, str, SweepPoint]]]:
+    """Worker-side execution of one shard (module-level, picklable)."""
+    for value, label in shard.members:
+        fire_fault_hooks(value, label, attempt)
+    specs: Dict[float, NetworkSpec] = {}
+    cells: List[_Cell] = []
+    for value, label in shard.members:
+        if value not in specs:
+            specs[value] = spec_builder(value)
+        factory = policies[label]
+        cells.append(
+            _Cell(
+                value=value,
+                label=label,
+                spec=specs[value],
+                factory=factory,
+                policy=factory(),
+            )
+        )
+    fallback: List[_Cell] = []
+    _simulate_cells(
+        cells, seeds, rng_mode, validate, backend, num_intervals, groups,
+        _shard_tag(shard.index, shard.count), fallback,
+    )
+    for cell in fallback:
+        cell.point = run_single(
+            cell.spec, cell.factory, num_intervals, seeds, groups,
+            engine="batch",
+        )
+    return shard, [(c.value, c.label, c.point) for c in cells]
+
+
+class _ShardOrchestrator(_Orchestrator):
+    """Drives whole shards through the parallel fault machinery.
+
+    Inherits retry/backoff, pool respawn on worker death, and
+    ``cell_timeout`` expiry unchanged; only the work unit and the
+    outcome fan-out differ — one shard success resolves (and
+    checkpoints) every member cell, one permanent shard failure fails
+    them all individually so the report still names each lost cell.
+    """
+
+    task_fn = staticmethod(_run_shard)
+
+    def __init__(self, states, *, cells_by_id, **kwargs):
+        super().__init__(states, **kwargs)
+        self._cells_by_id: Dict[Tuple[float, str], _Cell] = cells_by_id
+
+    def _record_success(self, state, outcome) -> None:
+        for value, label, point in outcome:
+            cell = self._cells_by_id[(value, label)]
+            cell.point = point
+            cell.failed = False
+            if self.store is not None and cell.key is not None:
+                # Checkpoint immediately: a sweep killed right now
+                # resumes from every shard recorded up to this moment.
+                self.store.put(cell.key, point)
+                cell.cached = True
+            self.outcomes[(value, label)] = point
+
+    def _record_permanent_failure(self, state, exc: BaseException) -> None:
+        shard: _ShardSpec = state.cell
+        if not self.faults.best_effort:
+            raise SweepCellError(
+                shard.value, shard.label, self.seeds, state.attempts, exc
+            ) from exc
+        for value, label in shard.members:
+            self.failures.append(
+                CellFailure(
+                    value=value,
+                    policy=label,
+                    seeds=self.seeds,
+                    attempts=state.attempts,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+            cell = self._cells_by_id[(value, label)]
+            cell.point = nan_point(label, self.groups)
+            cell.failed = True
+
+
+def _run_sweep_fused_sharded(
+    cells: List[_Cell],
+    spec_builder: Callable[[float], NetworkSpec],
+    policies: Dict[str, PolicyFactory],
+    num_intervals: int,
+    seeds: Tuple[int, ...],
+    groups: Optional[Sequence[int]],
+    rng_mode: str,
+    validate: bool,
+    backend: Optional[str],
+    faults: Optional[FaultPolicy],
+    store: Optional[SweepCache],
+    shards: int,
+    failures: List[CellFailure],
+) -> None:
+    """Split the grid into row-contiguous shards and dispatch them.
+
+    Shard membership is a pure function of the sweep definition and the
+    shard count — computed over the *full* cell list, before cache
+    state, so a resumed sweep splits identically to the original.  A
+    shard only skips when **every** member is warm: warm members of a
+    cold shard are recomputed (bit-identically — same stack, same
+    stream tag) so resume equals an uninterrupted run at the same shard
+    count.
+
+    Without a fault policy the shards still go through the orchestrator
+    (zero retries, strict), so a worker exception surfaces as a
+    :class:`~repro.experiments.faults.SweepCellError` naming the shard.
+    Unpicklable builders/policies fall back to sequential in-process
+    shard execution — identical results, since shard draw streams
+    depend only on the shard count, not on where they run.
+    """
+    count = max(1, min(int(shards), len(cells)))
+    base, extra = divmod(len(cells), count)
+    by_id: Dict[Tuple[float, str], _Cell] = {
+        (c.value, c.label): c for c in cells
+    }
+    shard_specs: List[_ShardSpec] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        members = cells[start:start + size]
+        start += size
+        shard_specs.append(
+            _ShardSpec(
+                index=index,
+                count=count,
+                label=f"shard {index + 1}/{count} ({len(members)} cells)",
+                members=tuple((c.value, c.label) for c in members),
+            )
+        )
+    cold = [
+        sh
+        for sh in shard_specs
+        if any(by_id[m].point is None for m in sh.members)
+    ]
+    if not cold:
+        return
+    for sh in cold:
+        for m in sh.members:
+            by_id[m].point = None
+            by_id[m].cached = False
+
+    submit_args = (
+        spec_builder, policies, num_intervals, seeds,
+        tuple(groups) if groups is not None else None,
+        rng_mode, validate, backend,
+    )
+    try:
+        pickle.dumps((spec_builder, policies))
+        picklable = True
+    except Exception:
+        picklable = False
+
+    if picklable:
+        _ShardOrchestrator(
+            [_CellState(cell=sh) for sh in cold],
+            cells_by_id=by_id,
+            faults=faults or FaultPolicy(retries=0, backoff_base=0.0),
+            store=store,
+            max_workers=None,
+            submit_args=submit_args,
+            seeds=seeds,
+            groups=tuple(groups) if groups is not None else None,
+            outcomes={},
+            failures=failures,
+        ).run()
+        return
+
+    warnings.warn(
+        "spec_builder/policies are not picklable; running shards "
+        "sequentially in-process (results are identical — shard draw "
+        "streams depend only on the shard count, not on where they run)",
+        UserWarning,
+        stacklevel=3,
+    )
+    for sh in cold:
+        attempt = 0
+        while True:
+            try:
+                _, points = _run_shard(sh, *submit_args, attempt)
+            except Exception as exc:
+                attempt += 1
+                if faults is not None and attempt <= faults.retries:
+                    delay = faults.backoff(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if faults is None:
+                    raise
+                if not faults.best_effort:
+                    raise SweepCellError(
+                        sh.value, sh.label, seeds, attempt, exc
+                    ) from exc
+                for value, label in sh.members:
+                    failures.append(
+                        CellFailure(
+                            value=value,
+                            policy=label,
+                            seeds=seeds,
+                            attempts=attempt,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+                    cell = by_id[(value, label)]
+                    cell.point = nan_point(label, groups)
+                    cell.failed = True
+                break
+            else:
+                for value, label, point in points:
+                    cell = by_id[(value, label)]
+                    cell.point = point
+                    cell.failed = False
+                    if store is not None and cell.key is not None:
+                        store.put(cell.key, point)
+                        cell.cached = True
+                break
+
+
 def run_sweep_fused(
     parameter_name: str,
     values: Sequence[float],
@@ -266,6 +636,8 @@ def run_sweep_fused(
     groups: Optional[Sequence[int]] = None,
     *,
     sync_rng: bool = False,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
     cache: Union[None, bool, str, SweepCache] = None,
     validate: bool = True,
     backend: Optional[str] = None,
@@ -280,6 +652,26 @@ def run_sweep_fused(
         Drive every row with scalar-identical streams (bit-exact against
         the scalar and per-cell batch engines, but slow) instead of the
         default vectorized batch streams.
+    rng:
+        Draw discipline (:data:`~repro.sim.rng.RNG_MODES`).  ``None``
+        keeps the default (lockstep batch, or sync when ``sync_rng``);
+        ``"free"`` lets capable kernels draw only what they consume from
+        independently derived substreams — statistically equivalent to
+        (but not bit-identical with) the batch discipline, and faster.
+        Families without
+        :attr:`~repro.core.registry.PolicyCapabilities.supports_free_rng`
+        degrade to the batch discipline with one ``UserWarning`` per
+        sweep.  Free-rng cells are cacheable but keyed distinctly.
+    shards:
+        Split the grid into this many row-contiguous shards and run them
+        as separate mega-batches through the fault-tolerant process
+        orchestrator of :mod:`repro.experiments.parallel` (pool respawn
+        on worker death, per-shard retries under ``faults``, per-cell
+        cache checkpoints the moment a shard resolves).  Results are a
+        pure function of (seeds, shard count): reruns and cache resumes
+        at the same shard count are identical, different shard counts
+        are statistically equivalent.  ``None``/``1`` keeps the
+        single-process path.
     cache:
         ``True`` / directory / :class:`~repro.experiments.cache.SweepCache`
         enables the on-disk cell cache; finished cells are stored and hit
@@ -309,6 +701,9 @@ def run_sweep_fused(
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
     if not seeds:
         raise ValueError("need at least one seed")
+    rng_mode = normalize_rng_mode(rng, sync_rng)
+    if shards is not None and int(shards) < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     seeds = tuple(int(s) for s in seeds)
     store = resolve_cache(cache)
     policies = registry.resolve_policies(policies)
@@ -327,19 +722,38 @@ def run_sweep_fused(
                 )
             )
 
+    if rng_mode == "free":
+        degraded: List[str] = []
+        for cell in cells:
+            if not _supports_free(cell.policy) and cell.label not in degraded:
+                degraded.append(cell.label)
+        if degraded:
+            warnings.warn(
+                "rng='free' is not declared (supports_free_rng) by policy "
+                f"families: {', '.join(degraded)}; those cells run under "
+                "the default batch draw discipline instead",
+                UserWarning,
+                stacklevel=2,
+            )
+
     # Cache lookups first: hit cells never touch an engine.  Cells whose
     # policy (or spec) has no registered fingerprint simply run uncached
     # — announced once per sweep, never a failure.
     if store is not None:
         uncacheable: List[str] = []
         for cell in cells:
+            # Only cells that actually run free draws get the distinct
+            # rng key; degraded cells produce default-discipline samples
+            # and share the default key.
+            eff = _effective_rng(cell, rng_mode)
             cell.key = store.cell_key(
                 spec=cell.spec,
                 policy=cell.policy,
                 seeds=seeds,
                 num_intervals=num_intervals,
                 groups=groups,
-                sync_rng=sync_rng,
+                sync_rng=rng_mode == "sync",
+                rng="free" if eff == "free" else None,
             )
             if cell.key is not None:
                 cell.point = store.get(cell.key)
@@ -348,59 +762,28 @@ def run_sweep_fused(
                 uncacheable.append(cell.label)
         warn_uncacheable(uncacheable, stacklevel=2)
 
-    # Partition the misses into fusable groups and per-cell fallbacks.
-    # Fusability is a declared capability (the registry's ``fusable``
-    # flag, via supports_batch_engine) — scalar-only families (DCF,
-    # FCSMA, frame-CSMA) land in the fallback path declaratively rather
-    # than as the implicit ``else`` of a type switch.
-    fused_groups: Dict[Tuple, List[_Cell]] = {}
-    fallback: List[_Cell] = []
-    for cell in cells:
-        if cell.point is not None:
-            continue
-        descriptor = registry.descriptor_for(cell.policy)
-        fusable = descriptor is not None and descriptor.capabilities.fusable
-        if fusable and supports_batch_engine(
-            cell.spec, cell.policy, sync_rng=sync_rng
-        ):
-            fused_groups.setdefault(_group_signature(cell), []).append(cell)
-        else:
-            fallback.append(cell)
-
     failures: List[CellFailure] = []
-    if faults is None:
-        built: List[Tuple[List[_Cell], BatchIntervalSimulator]] = []
-        with perf.stage("fused.build"):
-            for group_cells in fused_groups.values():
-                sim = _build_fused_sim(
-                    group_cells, seeds, sync_rng, validate, backend
-                )
-                if sim is None:
-                    fallback.extend(group_cells)
-                else:
-                    built.append((group_cells, sim))
-
-            # Policy-family groups of one grid stack the same cells with the
-            # same seeds, so their channel/arrival draws coincide; running
-            # them in lockstep lets one generation pass feed every family
-            # (exactly like the per-cell engines, where equal seeds reuse
-            # equal draws across policies).
-            share_batch_draws([sim for _, sim in built])
-        with perf.stage("fused.run"):
-            for _ in range(num_intervals):
-                for _, sim in built:
-                    sim.step()
-        with perf.stage("fused.scatter"):
-            for group_cells, sim in built:
-                _scatter_points(group_cells, sim.stats, len(seeds), groups)
+    fallback: List[_Cell] = []
+    if shards is not None and int(shards) > 1 and len(cells) > 1:
+        _run_sweep_fused_sharded(
+            cells, spec_builder, policies, num_intervals, seeds, groups,
+            rng_mode, validate, backend, faults, store, int(shards),
+            failures,
+        )
+    elif faults is None:
+        _simulate_cells(
+            cells, seeds, rng_mode, validate, backend, num_intervals,
+            groups, FUSED_STREAM_TAG, fallback,
+        )
     else:
         # Faulty groups must be rebuildable in isolation, so each group
         # runs its own build + interval loop (no cross-family lockstep;
         # draw sharing is value-neutral, so results are unchanged).
+        fused_groups, fallback = _partition(cells, rng_mode)
         with perf.stage("fused.run"):
-            for group_cells in fused_groups.values():
+            for (_, eff), group_cells in fused_groups.items():
                 _run_fused_group_with_faults(
-                    group_cells, seeds, sync_rng, validate, backend,
+                    group_cells, seeds, eff, validate, backend,
                     num_intervals, groups, faults, failures, fallback,
                 )
 

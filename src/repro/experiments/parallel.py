@@ -116,7 +116,18 @@ class _Orchestrator:
     them (success → outcome + cache checkpoint; failure → retry or
     permanent failure), and respawns the pool whenever it breaks or a
     running cell exceeds its timeout.
+
+    The work unit is pluggable: subclasses may override :attr:`task_fn`
+    (a picklable module-level callable invoked as
+    ``task_fn(state.cell, *submit_args, attempts)``) together with
+    :meth:`_record_success` / :meth:`_record_permanent_failure` to
+    orchestrate coarser units than one cell — the fused sweep runner
+    dispatches whole row-contiguous *shards* this way and inherits the
+    retry/backoff/respawn/checkpoint machinery unchanged.
     """
+
+    #: The picklable work function submitted to the pool.
+    task_fn = staticmethod(_run_cell)
 
     def __init__(
         self,
@@ -219,7 +230,7 @@ class _Orchestrator:
         now = time.monotonic()
         for state in [s for s in self.queue if s.not_before <= now]:
             future = pool.submit(
-                _run_cell, state.cell, *self.submit_args, state.attempts
+                self.task_fn, state.cell, *self.submit_args, state.attempts
             )
             self.queue.remove(state)
             state.attempts += 1
@@ -323,6 +334,11 @@ class _Orchestrator:
             )
             self.queue.append(state)
             return
+        self._record_permanent_failure(state, exc)
+
+    def _record_permanent_failure(
+        self, state: _CellState, exc: BaseException
+    ) -> None:
         cell = state.cell
         if not self.faults.best_effort:
             raise SweepCellError(

@@ -103,6 +103,14 @@ class SweepResult:
         return seen
 
 
+def _policy_supports_free(policy: object) -> bool:
+    """Whether ``policy``'s registered family declares ``supports_free_rng``."""
+    descriptor = registry.descriptor_for(policy)
+    return (
+        descriptor is not None and descriptor.capabilities.supports_free_rng
+    )
+
+
 def _run_single_batch(
     spec: NetworkSpec,
     policy,
@@ -110,10 +118,11 @@ def _run_single_batch(
     seeds: Sequence[int],
     groups: Optional[Sequence[int]],
     backend: Optional[str] = None,
+    rng: Optional[str] = None,
 ) -> SweepPoint:
     """One (spec, policy) cell on the batch engine: all seeds in one run."""
     batch = run_simulation_batch(
-        spec, policy, num_intervals, seeds, backend=backend
+        spec, policy, num_intervals, seeds, backend=backend, rng=rng
     )
     totals = batch.total_deficiency()  # (S,)
     collisions = batch.collisions.sum(axis=0).astype(float)  # (S,)
@@ -153,6 +162,7 @@ def run_single(
     groups: Optional[Sequence[int]] = None,
     engine: str = "scalar",
     backend: Optional[str] = None,
+    rng: Optional[str] = None,
 ) -> SweepPoint:
     """Average one policy's deficiency on one spec across seeds.
 
@@ -164,15 +174,26 @@ def run_single(
     :func:`run_sweep` but behaves as ``"batch"`` here: with a single cell
     there is no grid to fuse.  ``backend`` selects the batch kernel
     backend (ignored by the scalar engine); all backends are
-    bit-identical.
+    bit-identical.  ``rng`` selects the batch draw discipline
+    (:data:`~repro.sim.rng.RNG_MODES`); ``"free"`` degrades to the
+    default batch discipline for families without ``supports_free_rng``,
+    and is rejected on the scalar engine.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if rng is not None and engine == "scalar":
+        raise ValueError(
+            f"rng={rng!r} requires engine='batch' or 'fused'; the scalar "
+            "engine has a single per-seed draw discipline"
+        )
     if engine in ("batch", "fused"):
         policy = factory()
-        if supports_batch_engine(spec, policy):
+        eff = rng
+        if rng == "free" and not _policy_supports_free(policy):
+            eff = None  # degrade to the default batch discipline
+        if supports_batch_engine(spec, policy, rng=eff):
             return _run_single_batch(
-                spec, policy, num_intervals, seeds, groups, backend
+                spec, policy, num_intervals, seeds, groups, backend, eff
             )
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
@@ -226,6 +247,8 @@ def run_sweep(
     backend: Optional[str] = None,
     cache=None,
     faults: Optional[FaultPolicy] = None,
+    rng: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
@@ -237,6 +260,10 @@ def run_sweep(
     delegates the whole grid to
     :func:`~repro.experiments.grid.run_sweep_fused`, which batches every
     fusable (value, seed) cell of a policy family into one engine pass.
+    ``rng`` selects the batch draw discipline
+    (:data:`~repro.sim.rng.RNG_MODES`; batch/fused engines only) and
+    ``shards`` splits a fused sweep across worker processes — see
+    :func:`~repro.experiments.grid.run_sweep_fused` for both.
 
     cache:
         ``True`` / directory / :class:`~repro.experiments.cache.SweepCache`
@@ -262,6 +289,11 @@ def run_sweep(
         raise ValueError("need at least one seed")
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if shards is not None and engine != "fused":
+        raise ValueError(
+            f"shards={shards!r} requires engine='fused'; the per-cell "
+            "engines parallelize with run_sweep_parallel instead"
+        )
     if engine == "fused":
         from .grid import run_sweep_fused
 
@@ -276,6 +308,13 @@ def run_sweep(
             backend=backend,
             cache=cache,
             faults=faults,
+            rng=rng,
+            shards=shards,
+        )
+    if rng is not None and engine == "scalar":
+        raise ValueError(
+            f"rng={rng!r} requires engine='batch' or 'fused'; the scalar "
+            "engine has a single per-seed draw discipline"
         )
     # Local import: cache.py imports SweepPoint from this module.
     from .cache import resolve_cache, warn_uncacheable
@@ -293,14 +332,24 @@ def run_sweep(
             key = None
             point = None
             if store is not None:
+                # Free-draw cells are keyed distinctly — but only the
+                # cells that actually run free draws; degraded families
+                # produce default-discipline samples under the default
+                # key.
+                key_rng = (
+                    "free"
+                    if rng == "free" and _policy_supports_free(factory())
+                    else None
+                )
                 key = store.cell_key(
                     spec=spec,
                     policy=factory(),
                     seeds=seeds_t,
                     num_intervals=num_intervals,
                     groups=groups_t,
-                    sync_rng=False,
+                    sync_rng=rng == "sync",
                     engine=engine,
+                    rng=key_rng,
                 )
                 if key is None:
                     if label not in uncacheable:
@@ -311,7 +360,7 @@ def run_sweep(
                 if faults is None:
                     point = run_single(
                         spec, factory, num_intervals, seeds, groups, engine,
-                        backend,
+                        backend, rng,
                     )
                 else:
 
@@ -320,7 +369,7 @@ def run_sweep(
                         fire_fault_hooks(float(value), label, attempt)
                         return run_single(
                             spec, factory, num_intervals, seeds, groups,
-                            engine, backend,
+                            engine, backend, rng,
                         )
 
                     point = call_with_retries(

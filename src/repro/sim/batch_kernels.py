@@ -74,7 +74,7 @@ from ..core.round_robin import RoundRobinPolicy
 from ..core.static_priority import StaticPriorityPolicy
 from ..phy.channel import BernoulliChannel
 from . import jit_kernels, perf
-from .rng import BatchRngBundle, draw_chunk_depth
+from .rng import BatchRngBundle, draw_chunk_depth, normalize_rng_mode
 from .spec_stack import SpecStack
 
 __all__ = [
@@ -95,14 +95,23 @@ __all__ = [
 #: Intervals' worth of randomness drawn per Generator call in batch mode.
 DRAW_CHUNK = 64
 
+#: Default chunk depth under the ``rng="free"`` discipline.  Free mode has
+#: no lockstep-schedule constraint, so it amortizes Generator call
+#: overhead over deeper blocks (``REPRO_DRAW_CHUNK`` still overrides).
+FREE_DRAW_CHUNK = 256
+
 #: Interval-resolution backends a kernel can bind with.
 #:
-#: * ``"numpy"`` — the preallocated-workspace NumPy path (default): all
-#:   per-interval scratch lives in buffers allocated once at bind time and
-#:   every hot-loop step writes in place via ``out=`` ufuncs.
+#: * ``"numpy"`` — the preallocated-workspace NumPy path (the default on
+#:   hosts without numba): all per-interval scratch lives in buffers
+#:   allocated once at bind time and every hot-loop step writes in place
+#:   via ``out=`` ufuncs.
 #: * ``"jit"`` — the workspace path with the two irreducibly sequential
 #:   stages (ordered service, DP interval timeline) compiled by Numba
-#:   (:mod:`repro.sim.jit_kernels`); falls back to ``"numpy"`` with a
+#:   (:mod:`repro.sim.jit_kernels`); the default whenever numba imports,
+#:   warm-compiled at bind so first-interval timings exclude compilation,
+#:   with ``prange`` row-parallelism on large stacks.  An explicit
+#:   ``backend="jit"`` falls back to ``"numpy"`` with a
 #:   :class:`RuntimeWarning` when numba is not importable.
 #: * ``"legacy"`` — the pre-workspace implementation, preserved verbatim
 #:   as the benchmark baseline and the reference for bit-identity tests.
@@ -121,14 +130,24 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     """Normalize a backend request to one of :data:`KERNEL_BACKENDS`.
 
     ``None`` defers to the environment: ``REPRO_KERNEL_BACKEND`` if set,
-    else ``"jit"`` when ``REPRO_JIT=1``, else ``"numpy"``.  A ``"jit"``
-    request degrades to ``"numpy"`` with a :class:`RuntimeWarning` when
-    numba is unavailable (and not forced into pure-Python test mode).
+    else ``"jit"`` when ``REPRO_JIT=1``; with neither set the default is
+    ``"jit"`` whenever numba imported compiled (so the fast path is the
+    default on capable hosts) and ``"numpy"`` otherwise.  An *explicit*
+    ``"jit"`` request degrades to ``"numpy"`` with a
+    :class:`RuntimeWarning` when numba is unavailable (and not forced
+    into pure-Python test mode); the silent default never picks a jit
+    that would have to degrade.
     """
     if backend is None:
         backend = os.environ.get("REPRO_KERNEL_BACKEND", "") or (
-            "jit" if os.environ.get("REPRO_JIT", "") == "1" else "numpy"
+            "jit" if os.environ.get("REPRO_JIT", "") == "1" else ""
         )
+        if not backend:
+            backend = (
+                "jit"
+                if jit_kernels.HAS_NUMBA and not jit_kernels.force_python
+                else "numpy"
+            )
     backend = str(backend).lower()
     if backend not in KERNEL_BACKENDS:
         raise ValueError(
@@ -353,18 +372,21 @@ class _ChunkedChannelDraws:
         if self._pos >= self._depth:
             if perf.counters.enabled:
                 t0 = perf.clock()
+            allocs = 0
             if self._fast:
                 # Refill into one persistent buffer — the previous chunk
                 # is fully consumed by the time we get here, and the
                 # generated stream does not depend on the destination.
                 if self._gen_buf is None:
                     self._gen_buf = np.empty(self._shape, dtype=self._dtype)
+                    allocs = 1
                 draws = self._gen_buf
                 rng.standard_exponential(dtype=self._dtype, out=draws)
             else:
                 draws = rng.standard_exponential(
                     self._shape, dtype=self._dtype
                 )
+                allocs = 2  # the draw block plus the cumsum below
             np.multiply(draws, self._scale, out=draws)
             np.ceil(draws, out=draws)
             np.maximum(draws, 1.0, out=draws)
@@ -383,7 +405,7 @@ class _ChunkedChannelDraws:
             self._pos = 0
             if perf.counters.enabled:
                 perf.counters.add(
-                    "draws.channel_refill", perf.clock() - t0, 1
+                    "draws.channel_refill", perf.clock() - t0, allocs
                 )
         block = self._cache[self._pos]
         self._pos += 1
@@ -415,7 +437,10 @@ class _ChunkedUniforms:
 
     Each chunk is one ``Generator.random`` call, so the stream's values
     per interval are independent of ``depth`` (see
-    :func:`~repro.sim.rng.draw_chunk_depth`).
+    :func:`~repro.sim.rng.draw_chunk_depth`).  The chunk buffer is
+    allocated once and refilled in place (``Generator.random(out=...)``
+    produces the same values as a fresh allocation), so steady-state
+    refills are allocation-free.
     """
 
     def __init__(self, *per_interval_shape: int, depth: Optional[int] = None):
@@ -424,14 +449,25 @@ class _ChunkedUniforms:
         self._cache: Optional[np.ndarray] = None
         self._pos = self._depth
 
+    def _refill(self, rng: np.random.Generator) -> int:
+        """Fill the persistent chunk buffer; returns allocations made."""
+        allocs = 0
+        if self._cache is None:
+            self._cache = np.empty(self._shape)
+            allocs = 1
+        rng.random(out=self._cache)
+        return allocs
+
     def next(self, rng: np.random.Generator) -> np.ndarray:
         if self._pos >= self._depth:
             if perf.counters.enabled:
                 t0 = perf.clock()
-            self._cache = rng.random(self._shape)
+            allocs = self._refill(rng)
             self._pos = 0
             if perf.counters.enabled:
-                perf.counters.add("draws.uniform_refill", perf.clock() - t0, 1)
+                perf.counters.add(
+                    "draws.uniform_refill", perf.clock() - t0, allocs
+                )
         block = self._cache[self._pos]
         self._pos += 1
         return block
@@ -447,18 +483,71 @@ class _ChunkedArgmaxUniforms(_ChunkedUniforms):
     while amortizing the reduction's call overhead across the chunk.
     """
 
+    def __init__(self, *per_interval_shape: int, depth: Optional[int] = None):
+        super().__init__(*per_interval_shape, depth=depth)
+        self._argmax: Optional[np.ndarray] = None
+
     def next_argmax(self, rng: np.random.Generator) -> np.ndarray:
         if self._pos >= self._depth:
             if perf.counters.enabled:
                 t0 = perf.clock()
-            self._cache = rng.random(self._shape)
-            self._argmax = self._cache.argmax(axis=2)
+            allocs = self._refill(rng)
+            if self._argmax is None:
+                self._argmax = np.empty(self._shape[:2], dtype=np.intp)
+                allocs += 1
+            np.argmax(self._cache, axis=2, out=self._argmax)
             self._pos = 0
             if perf.counters.enabled:
-                perf.counters.add("draws.uniform_refill", perf.clock() - t0, 2)
+                perf.counters.add(
+                    "draws.uniform_refill", perf.clock() - t0, allocs
+                )
         row = self._argmax[self._pos]
         self._pos += 1
         return row
+
+
+class _ChunkedIntegers:
+    """Pre-drawn ``integers(low, high)`` blocks (free-rng discipline only).
+
+    The single-pair DP candidate index is uniform on ``{1, .., n-1}``; the
+    lockstep batch schedule derives it as ``1 + argmax`` of an ``(S, n-1)``
+    uniform slice so every backend consumes identical generator values.
+    The free discipline has no such constraint and draws the integers
+    directly — ``(n-1)x`` less generated randomness for the identical
+    distribution.
+    """
+
+    def __init__(
+        self,
+        low: int,
+        high: int,
+        *per_interval_shape: int,
+        depth: Optional[int] = None,
+    ):
+        self._low = int(low)
+        self._high = int(high)
+        self._depth = DRAW_CHUNK if depth is None else int(depth)
+        self._shape = (self._depth, *per_interval_shape)
+        self._cache: Optional[np.ndarray] = None
+        self._pos = self._depth
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= self._depth:
+            if perf.counters.enabled:
+                t0 = perf.clock()
+            # ``Generator.integers`` has no ``out=`` form; one block
+            # allocation per chunk is already O(1) per chunk.
+            self._cache = rng.integers(
+                self._low, self._high, size=self._shape, dtype=np.int64
+            )
+            self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add(
+                    "draws.uniform_refill", perf.clock() - t0, 1
+                )
+        block = self._cache[self._pos]
+        self._pos += 1
+        return block
 
 
 class BatchPolicyKernel(ABC):
@@ -493,6 +582,7 @@ class BatchPolicyKernel(ABC):
         *,
         backend: Optional[str] = None,
         lite: bool = False,
+        rng: Optional[str] = None,
     ) -> None:
         """Attach to a network and reset all per-replication state.
 
@@ -512,6 +602,13 @@ class BatchPolicyKernel(ABC):
         kernel skip materializing per-link attempts and priorities
         (``BatchIntervalOutcome`` carries ``None`` instead); only valid
         for stats-only consumers that never read them.
+
+        ``rng`` picks the draw discipline (:data:`~repro.sim.rng.RNG_MODES`;
+        ``None`` defers to ``sync_rng``).  Under ``rng="free"`` the kernel
+        draws demand-sized blocks from the bundle's independent free
+        substreams instead of the lockstep batch schedule — statistically
+        equivalent, not bit-identical, and unavailable on the ``legacy``
+        backend (which is frozen as the bit-exact baseline).
         """
         if isinstance(spec, SpecStack):
             stack: Optional[SpecStack] = spec
@@ -565,10 +662,22 @@ class BatchPolicyKernel(ABC):
             self._a_max = max(1, first.arrivals.max_per_link)
             self._reliabilities = first.reliabilities
         self._backend = resolve_backend(backend)
+        self._rng_mode = normalize_rng_mode(rng, sync_rng)
+        self._free = self._rng_mode == "free"
+        if self._free and self._backend == "legacy":
+            raise ValueError(
+                "rng='free' is not available on the legacy backend (it is "
+                "frozen as the bit-exact baseline); use backend='numpy' or "
+                "'jit'"
+            )
         self._use_ws = self._backend != "legacy" and not sync_rng
         self._use_jit = self._backend == "jit" and not sync_rng
         self._lite = bool(lite) and not sync_rng
-        self._depth = draw_chunk_depth() if self._use_ws else DRAW_CHUNK
+        self._depth = (
+            draw_chunk_depth(FREE_DRAW_CHUNK if self._free else DRAW_CHUNK)
+            if self._use_ws
+            else DRAW_CHUNK
+        )
         self._channel_draws = _ChunkedChannelDraws(
             self._reliabilities,
             self.num_seeds,
@@ -600,6 +709,12 @@ class BatchPolicyKernel(ABC):
 
     def _on_bind(self) -> None:
         """Hook for subclasses to (re)initialize batched state."""
+
+    def _kstream(self, rng: BatchRngBundle, name: str) -> np.random.Generator:
+        """The vectorized stream ``name`` under the bound rng discipline."""
+        if self._free:
+            return rng.free_stream(name)
+        return rng.batch_stream(name)
 
     def run_interval(
         self,
@@ -785,6 +900,13 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
             w.rank_plane = np.tile(self._rank_row, (S, 1))
             w.prios = np.empty((S, n), dtype=np.int64)
             self._ws = w
+            if self._use_jit:
+                secs = jit_kernels.warm_compile(
+                    "serve_rows",
+                    np.int64, np.int64, w.workf, np.int64, np.float64,
+                )
+                if secs and perf.counters.enabled:
+                    perf.counters.add("jit.warmup", secs)
 
     @abstractmethod
     def _service_orders(
@@ -804,7 +926,7 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
         if counters.enabled:
             t0 = perf.clock()
         order = self._service_orders(k, positive_debts)
-        needed = self._channel_draws.next(rng.batch_stream("channel"))
+        needed = self._channel_draws.next(self._kstream(rng, "channel"))
         lite = self._lite
         if not arrivals.any():
             # Fast path: nothing buffered anywhere in the stack — nobody
@@ -856,7 +978,7 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
         S, n = arrivals.shape
         rows = self._rows
         order = self._service_orders(k, positive_debts)
-        needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
+        needed_cum = self._channel_draws.next(self._kstream(rng, "channel"))
         deliveries, attempts, attempts_pos = solve_ordered_service(
             order, arrivals, needed_cum, self._caps,
             tot_link=self._channel_draws.totals(needed_cum, arrivals),
@@ -1043,6 +1165,13 @@ class BatchDPKernel(BatchPolicyKernel):
         self._coin_draws = _ChunkedUniforms(
             self.num_seeds, 2 * P, depth=self._depth
         )
+        self._cand_ints: Optional[_ChunkedIntegers] = None
+        if self._free and P == 1:
+            # Free discipline: draw the single-pair candidate index as a
+            # demand-sized integer block instead of (S, n-1) uniforms.
+            self._cand_ints = _ChunkedIntegers(
+                1, n, self.num_seeds, depth=self._depth
+            )
         self._cand_draws = _ChunkedArgmaxUniforms(
             self.num_seeds, max(0, (n - 1) - (P - 1)), depth=self._depth
         )
@@ -1152,6 +1281,14 @@ class BatchDPKernel(BatchPolicyKernel):
         if perf.counters.enabled:
             perf.counters.alloc("kernel.dp.bind_workspace", 50)
         self._ws = w
+        if self._use_jit:
+            secs = jit_kernels.warm_compile(
+                "dp_timeline_rows",
+                np.int64, np.int64, np.bool_, np.int64, w.workf,
+                np.int64, np.float64, np.bool_, tlf, np.int64,
+            )
+            if secs and perf.counters.enabled:
+                perf.counters.add("jit.warmup", secs)
 
     @property
     def priorities(self) -> np.ndarray:
@@ -1163,7 +1300,7 @@ class BatchDPKernel(BatchPolicyKernel):
     def _draw_candidates(self, rng: BatchRngBundle, S: int, n: int) -> np.ndarray:
         """``(S, P)`` sorted non-consecutive candidate indices per row."""
         P = self.num_pairs
-        shared = rng.batch_stream("shared")
+        shared = self._kstream(rng, "shared")
         if P == 1:
             draws = self._cand_draws.next(shared)  # (S, n-1) uniforms
             return 1 + np.argmax(draws, axis=1, keepdims=True).astype(np.int64)
@@ -1177,8 +1314,18 @@ class BatchDPKernel(BatchPolicyKernel):
 
     def _draw_candidates_ws(self, rng: BatchRngBundle) -> np.ndarray:
         """Workspace candidate draw: same stream consumption and values as
-        :meth:`_draw_candidates`, buffered for the single-pair case."""
+        :meth:`_draw_candidates`, buffered for the single-pair case.
+
+        Under ``rng="free"`` the single-pair candidate comes from a direct
+        integer block (:class:`_ChunkedIntegers`) instead of the argmax of
+        an ``(S, n-1)`` uniform slice — same uniform-on-``{1..n-1}``
+        distribution, a fraction of the generated randomness.
+        """
         if self.num_pairs == 1:
+            if self._free:
+                row = self._cand_ints.next(rng.free_stream("shared"))
+                np.copyto(self._ws.cands[:, 0], row)
+                return self._ws.cands
             am = self._cand_draws.next_argmax(rng.batch_stream("shared"))
             np.add(am, 1, out=self._ws.cands[:, 0])
             return self._ws.cands
@@ -1241,7 +1388,7 @@ class BatchDPKernel(BatchPolicyKernel):
                     "swap bias returned mu outside (0, 1); Algorithm 2 "
                     "requires a non-degenerate coin"
                 )
-            coins = self._coin_draws.next(rng.batch_stream("policy"))
+            coins = self._coin_draws.next(self._kstream(rng, "policy"))
             np.less(coins, mu, out=w.xib)
             np.multiply(w.xib, 2, out=w.xi)
             np.subtract(w.xi, 1, out=w.xi)
@@ -1317,7 +1464,7 @@ class BatchDPKernel(BatchPolicyKernel):
             w.backoff.ravel().take(w.oflat.ravel(), out=w.bpos.ravel())
             w.we.ravel().take(w.oflat.ravel(), out=w.iep.ravel())
         oflat = w.oflat.ravel()
-        needed = self._channel_draws.next(rng.batch_stream("channel"))
+        needed = self._channel_draws.next(self._kstream(rng, "channel"))
         if counters.enabled:
             counters.add("kernel.dp.setup", perf.clock() - t0)
             t0 = perf.clock()
@@ -1508,7 +1655,7 @@ class BatchDPKernel(BatchPolicyKernel):
                     "swap bias returned mu outside (0, 1); Algorithm 2 "
                     "requires a non-degenerate coin"
                 )
-            coins = self._coin_draws.next(rng.batch_stream("policy"))
+            coins = self._coin_draws.next(self._kstream(rng, "policy"))
             xi = np.where(coins < mu, 1, -1)
             xi_down, xi_up = xi[:, :P], xi[:, P:]
 
@@ -1552,7 +1699,7 @@ class BatchDPKernel(BatchPolicyKernel):
         # service-start computation below.
         dead_us = backoff_pos * slot + empties_before * empty_air
         caps = np.floor_divide(T - dead_us, air).astype(np.int64)
-        needed_cum = self._channel_draws.next(rng.batch_stream("channel"))
+        needed_cum = self._channel_draws.next(self._kstream(rng, "channel"))
         deliveries, attempts, attempts_pos = solve_ordered_service(
             order, arrivals, needed_cum, caps,
             tot_link=self._channel_draws.totals(needed_cum, arrivals),

@@ -57,7 +57,7 @@ from .batch_kernels import (
     make_batch_kernel,
 )
 from .results import SimulationResult
-from .rng import BatchRngBundle
+from .rng import BatchRngBundle, normalize_rng_mode
 from .spec_stack import SpecStack
 
 __all__ = [
@@ -71,25 +71,33 @@ __all__ = [
 
 
 def supports_batch_engine(
-    spec: NetworkSpec, policy: IntervalMac, *, sync_rng: bool = False
+    spec: NetworkSpec,
+    policy: IntervalMac,
+    *,
+    sync_rng: bool = False,
+    rng: Optional[str] = None,
 ) -> bool:
     """Whether ``(spec, policy)`` can run on the batch engine.
 
     Requires a policy family registered as ``batchable`` (consulting the
     policy registry's capability flags rather than a type switch), a
     memoryless channel, and (in the default vectorized-RNG mode) a
-    batch-samplable arrival process.  Callers that want graceful
-    degradation (the experiment runner) check this and fall back to the
-    scalar engine.
+    batch-samplable arrival process.  ``rng="free"`` additionally requires
+    the family to declare ``supports_free_rng``.  Callers that want
+    graceful degradation (the experiment runner) check this and fall back
+    to the scalar engine.
     """
     descriptor = registry.descriptor_for(policy)
     if descriptor is None or not descriptor.capabilities.batchable:
         return False
     if sync_rng and not descriptor.capabilities.supports_sync_rng:
         return False
+    mode = normalize_rng_mode(rng, sync_rng)
+    if mode == "free" and not descriptor.capabilities.supports_free_rng:
+        return False
     if not isinstance(spec.channel, BernoulliChannel):
         return False
-    if not sync_rng and not spec.arrivals.supports_batch_sampling:
+    if mode != "sync" and not spec.arrivals.supports_batch_sampling:
         return False
     return True
 
@@ -380,31 +388,38 @@ class _BatchArrivalDraws:
         stack: Optional[SpecStack],
         spec: NetworkSpec,
         num_seeds: int,
+        depth: Optional[int] = None,
     ):
+        # The depth stays fixed at DRAW_CHUNK in batch mode even when the
+        # kernels use a deeper REPRO_DRAW_CHUNK: arrival sampling may make
+        # several Generator calls per block (e.g. bursty uniforms then
+        # integers), so the block size changes how the stream's values
+        # interleave — unlike the single-call channel/uniform chunks, a
+        # different depth here would change the trajectory.  The free
+        # discipline has no trajectory-preservation constraint (statistical
+        # equivalence is the contract; arrivals stay i.i.d. per interval at
+        # any block size), so it passes the kernel's deeper chunk depth.
         self._stack = stack
         self._spec = spec
         self._num_seeds = num_seeds
+        self._depth = DRAW_CHUNK if depth is None else int(depth)
         self._cache: Optional[np.ndarray] = None
-        self._pos = DRAW_CHUNK
+        self._pos = self._depth
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
-        if self._pos >= DRAW_CHUNK:
-            # The depth stays fixed at DRAW_CHUNK even when the kernels
-            # use a deeper REPRO_DRAW_CHUNK: arrival sampling may make
-            # several Generator calls per block (e.g. bursty uniforms then
-            # integers), so the block size changes how the stream's values
-            # interleave — unlike the single-call channel/uniform chunks,
-            # a different depth here would change the trajectory.
+        if self._pos >= self._depth:
             if perf.counters.enabled:
                 t0 = perf.clock()
             if self._stack is not None:
-                self._cache = self._stack.sample_arrival_block(rng, DRAW_CHUNK)
+                self._cache = self._stack.sample_arrival_block(
+                    rng, self._depth
+                )
             else:
                 flat = self._spec.arrivals.sample_batch(
-                    rng, DRAW_CHUNK * self._num_seeds
+                    rng, self._depth * self._num_seeds
                 )
                 self._cache = flat.reshape(
-                    DRAW_CHUNK, self._num_seeds, self._spec.num_links
+                    self._depth, self._num_seeds, self._spec.num_links
                 )
             self._pos = 0
             if perf.counters.enabled:
@@ -484,9 +499,12 @@ def share_batch_draws(sims: Sequence["BatchIntervalSimulator"]) -> None:
         # reference, so lockstep clients must consume identically-shaped
         # chunks (depths can differ when only some kernels honor
         # REPRO_DRAW_CHUNK).
+        # The rng mode is part of the key too: batch and free simulators
+        # draw from disjoint stream namespaces, so their blocks differ.
         key = (
             sim.rng.seeds,
             sim.rng.stream_tag,
+            sim.rng_mode,
             specs,
             draws._depth,
         )
@@ -565,6 +583,7 @@ class BatchIntervalSimulator:
         row_policies: Optional[Sequence[IntervalMac]] = None,
         stream_tag: Optional[str] = None,
         backend: Optional[str] = None,
+        rng: Optional[str] = None,
     ):
         if isinstance(spec, SpecStack):
             stack: Optional[SpecStack] = spec
@@ -575,7 +594,8 @@ class BatchIntervalSimulator:
         self.stack = stack
         self.spec = stack.specs[0] if stack is not None else spec
         self.policy = policy
-        self.sync_rng = bool(sync_rng)
+        self.rng_mode = normalize_rng_mode(rng, sync_rng)
+        self.sync_rng = self.rng_mode == "sync"
         self.validate = bool(validate)
         self.record_traces = bool(record_traces)
         self.rng = BatchRngBundle(seeds, stream_tag=stream_tag)
@@ -596,6 +616,14 @@ class BatchIntervalSimulator:
                     "as an independent batch (stateful process); use "
                     "sync_rng=True or the scalar engine"
                 )
+        if self.rng_mode == "free":
+            descriptor = registry.descriptor_for(policy)
+            if descriptor is None or not descriptor.capabilities.supports_free_rng:
+                raise TypeError(
+                    f"{type(policy).__name__}'s family does not declare "
+                    "supports_free_rng; run it under the default batch "
+                    "discipline (rng=None) instead"
+                )
         self.kernel = make_batch_kernel(policy)
         self.kernel.bind(
             stack if stack is not None else self.spec,
@@ -606,6 +634,7 @@ class BatchIntervalSimulator:
             # Trace recording reads per-link attempts and priorities;
             # stats-only runs let the kernel skip materializing them.
             lite=not self.record_traces,
+            rng=self.rng_mode,
         )
         self.backend = self.kernel._backend
         self._q_rows = (
@@ -620,7 +649,23 @@ class BatchIntervalSimulator:
         self._arrival_draws = (
             None
             if self.sync_rng
-            else _BatchArrivalDraws(stack, self.spec, self.rng.num_seeds)
+            else _BatchArrivalDraws(
+                stack,
+                self.spec,
+                self.rng.num_seeds,
+                depth=(
+                    self.kernel._depth if self.rng_mode == "free" else None
+                ),
+            )
+        )
+        self._arrival_stream = (
+            None
+            if self.sync_rng
+            else (
+                self.rng.free_stream("arrivals")
+                if self.rng_mode == "free"
+                else self.rng.arrivals
+            )
         )
         self.stats = BatchSweepStats(self._q_rows, self.rng.seeds)
         self.result: Optional[BatchSimulationResult] = None
@@ -677,7 +722,7 @@ class BatchIntervalSimulator:
                     for bundle in self.rng.bundles
                 ]
             )
-        return self._arrival_draws.next(self.rng.arrivals)
+        return self._arrival_draws.next(self._arrival_stream)
 
     def step(self) -> None:
         """Simulate one interval for every replication."""
@@ -745,6 +790,7 @@ def run_simulation_batch(
     validate: bool = True,
     record_priorities: bool = False,
     backend: Optional[str] = None,
+    rng: Optional[str] = None,
 ) -> BatchSimulationResult:
     """One-shot convenience wrapper around :class:`BatchIntervalSimulator`."""
     sim = BatchIntervalSimulator(
@@ -755,5 +801,6 @@ def run_simulation_batch(
         validate=validate,
         record_priorities=record_priorities,
         backend=backend,
+        rng=rng,
     )
     return sim.run(num_intervals)

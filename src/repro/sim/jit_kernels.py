@@ -30,6 +30,9 @@ Numba is an *optional* dependency:
 from __future__ import annotations
 
 import os
+from time import perf_counter
+
+import numpy as np
 
 __all__ = [
     "HAS_NUMBA",
@@ -37,15 +40,43 @@ __all__ = [
     "force_python",
     "serve_rows",
     "dp_timeline_rows",
+    "warm_compile",
 ]
 
 try:  # pragma: no cover - exercised only where numba is installed
-    from numba import njit
+    from numba import njit, prange
 
     HAS_NUMBA = True
 except ImportError:  # pragma: no cover
     njit = None
+    prange = range
     HAS_NUMBA = False
+
+
+def _parallel_min_rows() -> int:
+    """Batch-row threshold above which the ``prange`` variants are used.
+
+    ``REPRO_JIT_PARALLEL=0`` disables the parallel variants entirely;
+    any other integer overrides the default threshold.  Rows are fully
+    independent (each writes a disjoint slice), so serial and parallel
+    variants are bit-identical — the threshold only avoids paying thread
+    fork/join overhead on small stacks.
+    """
+    raw = os.environ.get("REPRO_JIT_PARALLEL", "")
+    if not raw:
+        return 128
+    try:
+        thresh = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_JIT_PARALLEL must be an integer, got {raw!r}"
+        ) from exc
+    if thresh == 0:
+        return 1 << 62  # effectively never
+    return max(1, thresh)
+
+
+_PARALLEL_MIN_ROWS = _parallel_min_rows()
 
 #: Route ``backend="jit"`` through the pure-Python loop bodies even when
 #: numba is missing (or present).  Test hook; also settable via the
@@ -70,7 +101,7 @@ def _serve_rows_py(order, backlog, needed_cum, cap, delivered, att_pos):
     :func:`repro.sim.batch_kernels.solve_ordered_service`.
     """
     S, N = order.shape
-    for s in range(S):
+    for s in prange(S):
         used = 0
         for j in range(N):
             link = order[s, j]
@@ -124,7 +155,7 @@ def _dp_timeline_rows_py(
     closed-form path.
     """
     S, N = order.shape
-    for s in range(S):
+    for s in prange(S):
         att_total = 0
         empties_fit = 0
         for j in range(N):
@@ -166,16 +197,32 @@ def _dp_timeline_rows_py(
 
 
 if HAS_NUMBA:  # pragma: no cover - exercised in the numba CI leg
+    # Two compilations of the same loop body: with ``parallel=False``
+    # numba treats ``prange`` as ``range`` (sequential); with
+    # ``parallel=True`` the independent rows fan out over threads.
     _serve_rows_jit = njit(cache=False)(_serve_rows_py)
     _dp_timeline_rows_jit = njit(cache=False)(_dp_timeline_rows_py)
+    _serve_rows_par = njit(cache=False, parallel=True)(_serve_rows_py)
+    _dp_timeline_rows_par = njit(cache=False, parallel=True)(
+        _dp_timeline_rows_py
+    )
 else:
     _serve_rows_jit = None
     _dp_timeline_rows_jit = None
+    _serve_rows_par = None
+    _dp_timeline_rows_par = None
+
+
+def _pick(serial, par, num_rows):
+    if num_rows >= _PARALLEL_MIN_ROWS:
+        return par
+    return serial
 
 
 def serve_rows(order, backlog, needed, cap, delivered, att_pos):
     if HAS_NUMBA and not force_python:
-        _serve_rows_jit(order, backlog, needed, cap, delivered, att_pos)
+        impl = _pick(_serve_rows_jit, _serve_rows_par, order.shape[0])
+        impl(order, backlog, needed, cap, delivered, att_pos)
     else:
         _serve_rows_py(order, backlog, needed, cap, delivered, att_pos)
 
@@ -196,11 +243,12 @@ def dp_timeline_rows(
     start_pos,
     att_totals,
 ):
-    impl = (
-        _dp_timeline_rows_jit
-        if HAS_NUMBA and not force_python
-        else _dp_timeline_rows_py
-    )
+    if HAS_NUMBA and not force_python:
+        impl = _pick(
+            _dp_timeline_rows_jit, _dp_timeline_rows_par, order.shape[0]
+        )
+    else:
+        impl = _dp_timeline_rows_py
     impl(
         order,
         backoff_pos,
@@ -217,3 +265,73 @@ def dp_timeline_rows(
         start_pos,
         att_totals,
     )
+
+
+#: Signatures already compiled this process, keyed by
+#: ``(stage, dtype strings)``; warm-compiling an already-warm signature
+#: is free, so kernels can call :func:`warm_compile` at every bind.
+_warmed: set = set()
+
+
+def warm_compile(stage: str, *dtypes) -> float:
+    """Force compilation of one jit stage for the given array dtypes.
+
+    Numba compiles lazily on first call, which would otherwise land the
+    multi-second compile cost inside the first measured interval.  The
+    kernels call this at bind time with the exact dtypes their workspace
+    arrays use, so steady-state timings never include compilation; the
+    seconds spent compiling are returned for separate reporting (0.0 when
+    numba is absent, forced-python is active, or the signature is warm).
+
+    ``stage`` is ``"serve_rows"`` (dtypes: order, backlog, needed,
+    delivered, att_pos) or ``"dp_timeline_rows"`` (dtypes: order,
+    backoff, is_empty, backlog, needed, delivered, att_pos, fits, start,
+    att_totals).  Both the serial and parallel variants are compiled.
+    """
+    if not HAS_NUMBA or force_python:
+        return 0.0
+    key = (stage,) + tuple(np.dtype(d).str for d in dtypes)
+    if key in _warmed:
+        return 0.0
+    t0 = perf_counter()
+    S, N, A = 2, 2, 1
+    z = lambda dt, *shape: np.zeros(shape, dtype=dt)  # noqa: E731
+    if stage == "serve_rows":
+        order_dt, backlog_dt, needed_dt, delivered_dt, att_dt = dtypes
+        args = (
+            z(order_dt, S, N),
+            z(backlog_dt, S, N),
+            z(needed_dt, S, N, A),
+            4,
+            z(delivered_dt, S, N),
+            z(att_dt, S, N),
+        )
+        _serve_rows_jit(*args)
+        _serve_rows_par(*args)
+    elif stage == "dp_timeline_rows":
+        (
+            order_dt, backoff_dt, empty_dt, backlog_dt, needed_dt,
+            delivered_dt, att_dt, fits_dt, start_dt, tot_dt,
+        ) = dtypes
+        args = (
+            z(order_dt, S, N),
+            z(backoff_dt, S, N),
+            z(empty_dt, S, N),
+            z(backlog_dt, S, N),
+            z(needed_dt, S, N, A),
+            4000.0,
+            400.0,
+            60.0,
+            100.0,
+            z(delivered_dt, S, N),
+            z(att_dt, S, N),
+            z(fits_dt, S, N),
+            z(start_dt, S, N),
+            z(tot_dt, S),
+        )
+        _dp_timeline_rows_jit(*args)
+        _dp_timeline_rows_par(*args)
+    else:
+        raise ValueError(f"unknown jit stage {stage!r}")
+    _warmed.add(key)
+    return perf_counter() - t0

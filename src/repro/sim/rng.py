@@ -16,7 +16,49 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["RngBundle", "BatchRngBundle", "draw_chunk_depth"]
+__all__ = [
+    "RngBundle",
+    "BatchRngBundle",
+    "draw_chunk_depth",
+    "RNG_MODES",
+    "normalize_rng_mode",
+]
+
+#: The three RNG disciplines a batch simulation can run under:
+#:
+#: * ``"sync"``  — per-seed scalar clone streams; bit-identical to the
+#:   scalar engine (debug / cross-validation mode).
+#: * ``"batch"`` — one vectorized stream per name over the whole stack;
+#:   reproducible from the seed tuple, draws in lockstep with the shared
+#:   scalar draw schedule (every kernel consumes the same block shapes,
+#:   which keeps all backends bit-identical to each other).
+#: * ``"free"``  — independently-derived per-(seed-tuple, stream)
+#:   substreams where each kernel draws only what it actually consumes.
+#:   Statistical equivalence with the other modes is the contract, not
+#:   bit-identity (production throughput mode).
+RNG_MODES = ("sync", "batch", "free")
+
+
+def normalize_rng_mode(rng: Optional[str] = None, sync_rng: bool = False) -> str:
+    """Resolve an ``rng=`` argument plus legacy ``sync_rng`` flag to a mode.
+
+    ``rng=None`` defers to ``sync_rng`` (``True`` → ``"sync"``, else
+    ``"batch"`` — today's defaults).  An explicit ``rng="sync"`` is the
+    same as ``sync_rng=True``; combining ``sync_rng=True`` with
+    ``rng="batch"``/``rng="free"`` is contradictory and raises.
+    """
+    if rng is None:
+        return "sync" if sync_rng else "batch"
+    mode = str(rng).lower()
+    if mode not in RNG_MODES:
+        raise ValueError(
+            f"unknown rng mode {rng!r}; expected one of {RNG_MODES}"
+        )
+    if sync_rng and mode != "sync":
+        raise ValueError(
+            f"rng={mode!r} contradicts sync_rng=True; pass one or the other"
+        )
+    return mode
 
 
 def draw_chunk_depth(default: int = 64) -> int:
@@ -139,6 +181,7 @@ class BatchRngBundle:
         self._stream_tag = stream_tag
         self._bundles = tuple(RngBundle(s) for s in seeds)
         self._batch_streams: Dict[str, np.random.Generator] = {}
+        self._free_streams: Dict[str, np.random.Generator] = {}
 
     @property
     def seeds(self) -> Tuple[int, ...]:
@@ -173,6 +216,31 @@ class BatchRngBundle:
             )
             self._batch_streams[name] = np.random.Generator(np.random.PCG64(seq))
         return self._batch_streams[name]
+
+    def free_stream(self, name: str) -> np.random.Generator:
+        """One generator per stream name for the ``rng="free"`` discipline.
+
+        Free streams use the same spawn-key derivation as
+        :meth:`batch_stream` but live in a disjoint ``"free:"`` namespace,
+        so a free-mode run never replays (or partially replays) the draws
+        of a batch-mode run over the same seeds.  Kernels running free
+        draw *only what they consume* from these substreams — block
+        shapes, chunk depths, and per-interval consumption may all differ
+        from the lockstep batch schedule, which is why free mode promises
+        statistical equivalence rather than bit-identity.  Determinism is
+        still exact: the stream is a pure function of (seed tuple,
+        stream tag, name).
+        """
+        if name not in self._free_streams:
+            namespace = "free:"
+            if self._stream_tag is not None:
+                namespace = f"free[{self._stream_tag}]:"
+            name_key = [ord(c) for c in namespace + name]
+            seq = np.random.SeedSequence(
+                entropy=list(self._seeds), spawn_key=name_key
+            )
+            self._free_streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._free_streams[name]
 
     # Convenience accessors mirroring :class:`RngBundle`. ------------------
     @property

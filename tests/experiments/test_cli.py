@@ -73,6 +73,31 @@ class TestMain:
         assert "ext-baselines" in out
 
 
+class TestEngineFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig3", "--engine", "fused", "--rng", "free",
+                "--shards", "2", "--backend", "numpy",
+            ]
+        )
+        assert args.engine == "fused"
+        assert args.rng == "free"
+        assert args.shards == 2
+        assert args.backend == "numpy"
+
+    def test_sweep_flags_without_engine_default_to_fused(self, capsys):
+        # --rng/--shards/--backend are sweep-engine features; without an
+        # explicit --engine they must land on the fused engine instead
+        # of erroring on the figures' scalar default.
+        argv = [
+            "fig3", "--intervals", "40", "--policies", "LDF",
+            "--rng", "free", "--shards", "2",
+        ]
+        assert main(argv) == 0
+        assert "fig3" in capsys.readouterr().out
+
+
 class TestFaultFlags:
     def test_flags_parse(self):
         args = build_parser().parse_args(

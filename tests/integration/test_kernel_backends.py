@@ -109,9 +109,19 @@ class TestBackendResolution:
         assert resolve_backend("legacy") == "legacy"
         assert resolve_backend("numpy") == "numpy"
 
-    def test_default_prefers_numpy(self, monkeypatch):
+    def test_default_prefers_jit_when_compiled_else_numpy(self, monkeypatch):
         monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
         monkeypatch.delenv("REPRO_JIT", raising=False)
+        monkeypatch.setattr(jit_kernels, "force_python", False)
+        expected = "jit" if jit_kernels.HAS_NUMBA else "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the silent default never warns
+            assert resolve_backend(None) == expected
+
+    def test_default_ignores_jit_when_forced_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        monkeypatch.setattr(jit_kernels, "force_python", True)
         assert resolve_backend(None) == "numpy"
 
     def test_repro_jit_env_requests_jit(self, monkeypatch):

@@ -136,3 +136,59 @@ class TestHotPathOverhead:
         perf.counters.enabled = True
         hot = self._run()
         assert cold.points == hot.points
+
+
+class TestDrawBufferAllocRegression:
+    """Steady-state refills must reuse persistent buffers, not allocate.
+
+    Refill buffers are allocated once per chunked-draw stream on its
+    first chunk; every later refill writes into the cached buffer with
+    ``Generator.random(out=...)``.  A regression to per-refill
+    allocation shows up as allocs growing with the interval count.
+    """
+
+    def _allocs(self, num_intervals, stage):
+        from repro import run_simulation_batch
+
+        perf.counters.reset()
+        perf.counters.enabled = True
+        run_simulation_batch(
+            video_symmetric_spec(0.6, num_links=6),
+            DBDPPolicy(),
+            num_intervals,
+            (0, 1, 2),
+            backend="numpy",
+        )
+        stat = perf.counters.stages[stage]
+        return stat.allocs, stat.calls
+
+    @pytest.mark.parametrize(
+        "stage", ["draws.uniform_refill", "draws.channel_refill"]
+    )
+    def test_refill_allocs_do_not_grow_with_intervals(self, stage):
+        # 80 intervals -> a couple of 64-deep chunks; 400 -> several
+        # more.  Calls must grow with the chunk count, allocations must
+        # not (first-chunk buffer allocation only).
+        short_allocs, short_calls = self._allocs(80, stage)
+        long_allocs, long_calls = self._allocs(400, stage)
+        assert long_calls > short_calls
+        assert long_allocs == short_allocs
+
+    def test_free_mode_refills_are_alloc_steady_too(self):
+        from repro import run_simulation_batch
+
+        perf.counters.reset()
+        perf.counters.enabled = True
+        run_simulation_batch(
+            video_symmetric_spec(0.6, num_links=6),
+            DBDPPolicy(),
+            600,
+            (0, 1, 2),
+            backend="numpy",
+            rng="free",
+        )
+        stat = perf.counters.stages["draws.uniform_refill"]
+        # Free mode draws the single-pair DP candidate as one integer
+        # block per chunk: one allocation per refill call at most, plus
+        # the persistent buffers' first-chunk allocations.
+        assert stat.allocs <= stat.calls + 4

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI gate: the compiled jit backend must actually beat numpy.
+
+Reads the report written by ``benchmarks/bench_kernel_hotloop.py`` and
+fails loudly when the jit leg was silently degraded or did not win:
+
+* ``numba_available`` must be true and ``jit_skipped`` false — a numpy
+  fallback masquerading as a jit measurement is exactly the failure mode
+  this gate exists to catch;
+* the jit leg must beat the numpy workspace leg on at least one kernel
+  stage (``jit_stage_seconds`` vs ``numpy_stage_seconds`` on the two
+  compiled hot loops), or failing a stage decomposition, end to end.
+
+Only meaningful on the numba-installed CI leg; the numba-absent leg
+never runs this script.
+
+Usage::
+
+    python tools/check_jit_wins.py [path/to/BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: The stages whose inner loops backend="jit" actually compiles; every
+#: other stage is shared verbatim between the numpy and jit legs.
+COMPILED_STAGES = ("kernel.dp.timeline", "kernel.serve.interval")
+
+
+def main(argv: list) -> int:
+    path = argv[1] if len(argv) > 1 else os.environ.get(
+        "REPRO_BENCH_KERNELS_JSON", "BENCH_kernels.json"
+    )
+    try:
+        report = json.loads(open(path).read())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read benchmark report {path!r}: {exc}")
+        return 1
+
+    if not report.get("numba_available"):
+        print(f"FAIL: {path} has numba_available=false — the jit leg ran "
+              "without a compiler; install numba on this CI leg")
+        return 1
+    if report.get("jit_skipped"):
+        print(f"FAIL: {path} has jit_skipped=true — the benchmark degraded "
+              "to numpy; this leg must measure compiled kernels")
+        return 1
+
+    numpy_stages = report.get("numpy_stage_seconds", {})
+    jit_stages = report.get("jit_stage_seconds", {})
+    wins = []
+    for stage in COMPILED_STAGES:
+        n, j = numpy_stages.get(stage), jit_stages.get(stage)
+        if n is None or j is None:
+            continue
+        verdict = "beats" if j < n else "loses to"
+        print(f"{stage}: jit {j:.4f}s {verdict} numpy {n:.4f}s")
+        if j < n:
+            wins.append(stage)
+
+    if wins:
+        print(f"OK: jit beats numpy on {len(wins)} stage(s): "
+              + ", ".join(wins))
+        return 0
+
+    # Stage decomposition missing (older report): fall back to the
+    # end-to-end comparison.
+    best = report.get("best_seconds", {})
+    if not jit_stages and "jit" in best and "numpy" in best:
+        if best["jit"] < best["numpy"]:
+            print(f"OK: jit {best['jit']:.3f}s beats numpy "
+                  f"{best['numpy']:.3f}s end to end (no stage breakdown)")
+            return 0
+        print(f"FAIL: jit {best['jit']:.3f}s did not beat numpy "
+              f"{best['numpy']:.3f}s end to end")
+        return 1
+
+    print("FAIL: jit did not beat numpy on any compiled kernel stage")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
