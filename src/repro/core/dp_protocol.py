@@ -40,7 +40,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..sim.rng import RngBundle
-from .permutations import validate_priority_vector
+from .permutations import (
+    apply_swap_to_order,
+    priority_to_link_order,
+    validate_priority_vector,
+)
 from .policies import IntervalMac, IntervalOutcome, serve_link_attempts
 
 __all__ = [
@@ -313,6 +317,10 @@ class DPProtocol(IntervalMac):
             else None
         )
         self._sigma: Tuple[int, ...] = ()
+        # Priority -> link view of sigma, maintained incrementally: each
+        # committed adjacent swap touches two entries, so candidate-link
+        # lookup is O(1) per pair instead of sigma.index's O(N) scan.
+        self._order: List[int] = []
 
     # ------------------------------------------------------------------
     def _on_bind(self) -> None:
@@ -326,6 +334,7 @@ class DPProtocol(IntervalMac):
             self._sigma = self._initial
         else:
             self._sigma = tuple(range(1, n + 1))
+        self._order = list(priority_to_link_order(self._sigma))
         if n >= 2 and self.num_pairs > max_swap_pairs(n):
             raise ValueError(
                 f"{self.num_pairs} pairs would make the priority chain "
@@ -344,6 +353,7 @@ class DPProtocol(IntervalMac):
         if self._spec is not None and len(sig) != self.spec.num_links:
             raise ValueError("priority vector length mismatch")
         self._sigma = sig
+        self._order = list(priority_to_link_order(sig))
 
     # ------------------------------------------------------------------
     def run_interval(
@@ -368,9 +378,10 @@ class DPProtocol(IntervalMac):
         candidate_links: Dict[int, Tuple[int, int]] = {}  # c -> (down, up)
         xi: Dict[int, int] = {}
         reliabilities = spec.reliabilities
+        order = self._order
         for c in candidates:
-            down = sigma.index(c)
-            up = sigma.index(c + 1)
+            down = order[c - 1]
+            up = order[c]
             candidate_links[c] = (down, up)
             for link in (down, up):
                 mu = self.bias.mu(link, float(positive_debts[link]), float(reliabilities[link]))
@@ -472,6 +483,9 @@ class DPProtocol(IntervalMac):
             )
             if committed:
                 new_sigma[down], new_sigma[up] = new_sigma[up], new_sigma[down]
+                # Candidate indices are non-consecutive (Remark 6), so the
+                # order-view swaps are disjoint and commute.
+                apply_swap_to_order(order, c)
         self._sigma = tuple(new_sigma)
 
         overhead = idle_slots_used * timing.backoff_slot_us + empty_us
@@ -508,14 +522,16 @@ def dp_family_config(policy: DPProtocol) -> dict:
 
 #: One capability set for every DP-family descriptor: vectorized, grid
 #: fusable, sync-RNG capable, per-row swap-bias parameters
-#: (``stack_swap_biases``), one Numba-compilable timeline stage.
+#: (``stack_swap_biases``), incremental priority-state maintenance
+#: (``dp_state="incremental"``), Numba-compilable timeline stages.
 DP_FAMILY_CAPABILITIES = _registry.PolicyCapabilities(
     batchable=True,
     fusable=True,
     supports_sync_rng=True,
     supports_per_row_params=True,
     supports_free_rng=True,
-    jit_stages=("dp_timeline_rows",),
+    supports_incremental_dp=True,
+    jit_stages=("dp_timeline_rows", "dp_incremental_rows"),
 )
 
 _registry.register(

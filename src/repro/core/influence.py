@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -60,19 +60,28 @@ class DebtInfluenceFunction(ABC):
             )
         return result
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Vectorized ``f`` over an array of nonnegative debts.
 
         The generic implementation loops; the influence functions used in
         hot paths (linear, power, log families) override it with true array
         arithmetic so the batch simulation engine can evaluate ``f`` for
-        all seeds and links in one call.
+        all seeds and links in one call.  ``out``, when given, receives
+        the result (the hot-path overrides compute directly into it, so a
+        workspace kernel evaluates ``f`` every interval without
+        allocating); the return value is ``out`` itself.
         """
         x = np.asarray(x, dtype=float)
         if np.any(x < 0):
             raise ValueError("debt influence functions are defined on x >= 0")
         flat = np.array([self.value(float(v)) for v in x.ravel()], dtype=float)
-        return flat.reshape(x.shape)
+        result = flat.reshape(x.shape)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
 
     def describe(self) -> str:
         """Human-readable formula, used in experiment reports."""
@@ -96,8 +105,10 @@ class LinearInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return self.scale * x
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
-        return self.scale * np.asarray(x, dtype=float)
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return np.multiply(np.asarray(x, dtype=float), self.scale, out=out)
 
     def describe(self) -> str:
         return f"f(x) = {self.scale:g} * x"
@@ -116,8 +127,10 @@ class PowerInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return x**self.exponent
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=float) ** self.exponent
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return np.power(np.asarray(x, dtype=float), self.exponent, out=out)
 
     def describe(self) -> str:
         return f"f(x) = x**{self.exponent:g}"
@@ -145,8 +158,12 @@ class LogInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return math.log1p(self.scale * x) / math.log(self.base)
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
-        return np.log1p(self.scale * np.asarray(x, dtype=float)) / math.log(self.base)
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        res = np.multiply(np.asarray(x, dtype=float), self.scale, out=out)
+        np.log1p(res, out=res)
+        return np.divide(res, math.log(self.base), out=res)
 
     def describe(self) -> str:
         return f"f(x) = log_{self.base:g}(1 + {self.scale:g} x)"
@@ -169,9 +186,13 @@ class PaperLogInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return math.log(max(1.0, self.coefficient * (x + 1.0)))
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
-        arg = self.coefficient * (np.asarray(x, dtype=float) + 1.0)
-        return np.log(np.maximum(1.0, arg))
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        res = np.add(np.asarray(x, dtype=float), 1.0, out=out)
+        np.multiply(res, self.coefficient, out=res)
+        np.maximum(res, 1.0, out=res)
+        return np.log(res, out=res)
 
     def describe(self) -> str:
         return f"f(x) = log(max(1, {self.coefficient:g}(x+1)))"
@@ -191,8 +212,11 @@ class ScaledInfluence(DebtInfluenceFunction):
     def value(self, x: float) -> float:
         return self.scale * self.inner.value(x)
 
-    def value_array(self, x: np.ndarray) -> np.ndarray:
-        return self.scale * self.inner.value_array(x)
+    def value_array(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        res = self.inner.value_array(x, out=out)
+        return np.multiply(res, self.scale, out=res)
 
     def describe(self) -> str:
         return f"{self.scale:g} * [{self.inner.describe()}]"

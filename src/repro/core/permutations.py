@@ -30,6 +30,7 @@ __all__ = [
     "symmetric_difference",
     "apply_adjacent_swap",
     "adjacent_swap_partners",
+    "apply_swap_to_order",
     "is_adjacent_transposition",
     "enumerate_priority_vectors",
     "random_priority_vector",
@@ -139,6 +140,32 @@ def apply_adjacent_swap(sigma: Sequence[int], c: int) -> Tuple[int, ...]:
     out = list(validate_priority_vector(sigma))
     out[link_down], out[link_up] = out[link_up], out[link_down]
     return tuple(out)
+
+
+def apply_swap_to_order(order: List[int], c: int) -> Tuple[int, int]:
+    """Apply the adjacent swap at candidate ``c`` to a mutable link order.
+
+    ``order`` is the priority->link view (``order[j]`` holds priority
+    ``j + 1``, as produced by :func:`priority_to_link_order`, but as a
+    mutable list).  Exchanges the links at priorities ``c`` and ``c + 1``
+    in place and returns ``(link_down, link_up)`` — the links that held
+    priorities ``c`` and ``c + 1`` *before* the swap.
+
+    This is the O(1) incremental counterpart of
+    :func:`apply_adjacent_swap`: engines that maintain the order view
+    across intervals (scalar :class:`~repro.core.dp_protocol.DPProtocol`,
+    the batch kernel's ``dp_state="incremental"`` path) apply each
+    accepted swap here instead of re-deriving the order from ``sigma``.
+    """
+    if not 1 <= c <= len(order) - 1:
+        raise ValueError(
+            f"candidate index must be in [1, {len(order) - 1}], got {c}"
+        )
+    link_down = order[c - 1]
+    link_up = order[c]
+    order[c - 1] = link_up
+    order[c] = link_down
+    return link_down, link_up
 
 
 def enumerate_priority_vectors(n: int) -> Iterator[Tuple[int, ...]]:

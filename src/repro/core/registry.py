@@ -140,6 +140,14 @@ class PolicyCapabilities:
         instead of bit-identity — see :mod:`repro.sim.rng`).  Families
         without it degrade to the lockstep batch discipline (the fused
         runner warns once per sweep).
+    supports_incremental_dp:
+        The batch kernel maintains its priority state incrementally
+        (``dp_state="incremental"``): the permutation, its inverse and
+        the serve-order tables persist in the workspace across intervals
+        and only accepted adjacent swaps are applied, so the per-interval
+        cost tracks the protocol's O(num_pairs) moves instead of N.
+        Bit-identical to the dense recompute; families without it always
+        run dense.
     jit_stages:
         Names of the kernel's Numba-compilable stages
         (:mod:`repro.sim.jit_kernels`); empty for pure-NumPy kernels.
@@ -150,6 +158,7 @@ class PolicyCapabilities:
     supports_sync_rng: bool = True
     supports_per_row_params: bool = False
     supports_free_rng: bool = False
+    supports_incremental_dp: bool = False
     jit_stages: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:

@@ -121,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
         "importable, else numpy; all backends are bit-identical)",
     )
     parser.add_argument(
+        "--dp-state",
+        choices=["dense", "incremental"],
+        default=None,
+        dest="dp_state",
+        help="DP-family priority-state maintenance for the batch/fused "
+        "engines: 'dense' rebuilds the service order every interval, "
+        "'incremental' maintains it across intervals with O(swaps) "
+        "updates and a serve-set timeline solve (bit-identical, much "
+        "faster at large link counts; default: capability-resolved)",
+    )
+    parser.add_argument(
         "--csv",
         action="store_true",
         help="emit CSV instead of aligned tables",
@@ -226,10 +237,11 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             if args.engine is not None:
                 kwargs["engine"] = args.engine
             elif (args.rng is not None or args.shards is not None
-                  or args.backend is not None):
-                # --rng/--shards/--backend are sweep-engine features;
-                # land them on the fused engine instead of erroring on
-                # the figures' scalar default.
+                  or args.backend is not None
+                  or args.dp_state is not None):
+                # --rng/--shards/--backend/--dp-state are sweep-engine
+                # features; land them on the fused engine instead of
+                # erroring on the figures' scalar default.
                 kwargs["engine"] = "fused"
             if args.rng is not None:
                 kwargs["rng"] = args.rng
@@ -237,6 +249,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 kwargs["shards"] = args.shards
             if args.backend is not None:
                 kwargs["backend"] = args.backend
+            if args.dp_state is not None:
+                kwargs["dp_state"] = args.dp_state
     result = func(**kwargs)
     if args.outdir is not None:
         os.makedirs(args.outdir, exist_ok=True)

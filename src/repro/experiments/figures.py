@@ -134,6 +134,7 @@ def fig3(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -160,6 +161,7 @@ def fig3(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,
@@ -180,6 +182,7 @@ def fig4(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -198,6 +201,7 @@ def fig4(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,
@@ -294,6 +298,7 @@ def fig7(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -312,6 +317,7 @@ def fig7(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,
@@ -334,6 +340,7 @@ def fig8(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -352,6 +359,7 @@ def fig8(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,
@@ -374,6 +382,7 @@ def fig9(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -391,6 +400,7 @@ def fig9(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,
@@ -411,6 +421,7 @@ def fig10(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -428,6 +439,7 @@ def fig10(
         rng=rng,
         shards=shards,
         backend=backend,
+        dp_state=dp_state,
     )
     return _sweep_to_figure(
         sweep,

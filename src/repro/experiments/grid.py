@@ -73,7 +73,7 @@ from .faults import (
     nan_point,
 )
 from .parallel import _CellState, _Orchestrator
-from .runner import SweepPoint, SweepResult, run_single
+from .runner import SweepPoint, SweepResult, _check_dp_state, run_single
 
 __all__ = ["run_sweep_fused", "FUSED_STREAM_TAG"]
 
@@ -223,6 +223,7 @@ def _build_fused_sim(
     validate: bool,
     backend: Optional[str],
     stream_tag: str = FUSED_STREAM_TAG,
+    dp_state: Optional[str] = None,
 ) -> Optional[BatchIntervalSimulator]:
     """Stack one group's cells into a mega-batch simulator.
 
@@ -232,6 +233,19 @@ def _build_fused_sim(
     turn into a per-cell fallback (``None``).  Errors raised
     mid-simulation are real failures and propagate from the run loop.
     """
+    if dp_state is not None:
+        descriptor = registry.descriptor_for(cells[0].policy)
+        if (
+            descriptor is None
+            or not descriptor.capabilities.supports_incremental_dp
+        ):
+            # A sweep-level dp_state request addresses the DP-family
+            # groups; a family without the capability runs exactly as
+            # it would with dp_state=None instead of letting the
+            # kernel's strict ValueError demote the whole group to the
+            # per-cell fallback (whose different stream tags would
+            # silently change the group's draws).
+            dp_state = None
     num_seeds = len(seeds)
     row_specs: List[NetworkSpec] = []
     row_seeds: List[int] = []
@@ -253,6 +267,7 @@ def _build_fused_sim(
             row_policies=row_policies,
             stream_tag=stream_tag,
             backend=backend,
+            dp_state=dp_state,
         )
     except (TypeError, ValueError):
         return None
@@ -269,6 +284,7 @@ def _run_fused_group_with_faults(
     faults: FaultPolicy,
     failures: List[CellFailure],
     fallback: List[_Cell],
+    dp_state: Optional[str] = None,
 ) -> None:
     """Run one mega-batch group under a fault policy.
 
@@ -285,7 +301,9 @@ def _run_fused_group_with_faults(
         try:
             for cell in cells:
                 fire_fault_hooks(cell.value, cell.label, attempt)
-            sim = _build_fused_sim(cells, seeds, rng_mode, validate, backend)
+            sim = _build_fused_sim(
+                cells, seeds, rng_mode, validate, backend, dp_state=dp_state
+            )
             if sim is None:
                 fallback.extend(cells)
                 return
@@ -331,6 +349,7 @@ def _simulate_cells(
     groups: Optional[Sequence[int]],
     stream_tag: str,
     fallback: List[_Cell],
+    dp_state: Optional[str] = None,
 ) -> None:
     """Partition, build, lockstep-run, and scatter one batch of cells.
 
@@ -344,7 +363,8 @@ def _simulate_cells(
     with perf.stage("fused.build"):
         for (_, eff), group_cells in fused_groups.items():
             sim = _build_fused_sim(
-                group_cells, seeds, eff, validate, backend, stream_tag
+                group_cells, seeds, eff, validate, backend, stream_tag,
+                dp_state=dp_state,
             )
             if sim is None:
                 fallback.extend(group_cells)
@@ -403,6 +423,7 @@ def _run_shard(
     rng_mode: str,
     validate: bool,
     backend: Optional[str],
+    dp_state: Optional[str],
     attempt: int,
 ) -> Tuple[_ShardSpec, List[Tuple[float, str, SweepPoint]]]:
     """Worker-side execution of one shard (module-level, picklable)."""
@@ -426,7 +447,7 @@ def _run_shard(
     fallback: List[_Cell] = []
     _simulate_cells(
         cells, seeds, rng_mode, validate, backend, num_intervals, groups,
-        _shard_tag(shard.index, shard.count), fallback,
+        _shard_tag(shard.index, shard.count), fallback, dp_state=dp_state,
     )
     for cell in fallback:
         cell.point = run_single(
@@ -500,6 +521,7 @@ def _run_sweep_fused_sharded(
     store: Optional[SweepCache],
     shards: int,
     failures: List[CellFailure],
+    dp_state: Optional[str] = None,
 ) -> None:
     """Split the grid into row-contiguous shards and dispatch them.
 
@@ -552,7 +574,7 @@ def _run_sweep_fused_sharded(
     submit_args = (
         spec_builder, policies, num_intervals, seeds,
         tuple(groups) if groups is not None else None,
-        rng_mode, validate, backend,
+        rng_mode, validate, backend, dp_state,
     )
     try:
         pickle.dumps((spec_builder, policies))
@@ -641,6 +663,7 @@ def run_sweep_fused(
     cache: Union[None, bool, str, SweepCache] = None,
     validate: bool = True,
     backend: Optional[str] = None,
+    dp_state: Optional[str] = None,
     faults: Optional[FaultPolicy] = None,
 ) -> SweepResult:
     """Drop-in :func:`~repro.experiments.runner.run_sweep`, grid-fused.
@@ -683,6 +706,12 @@ def run_sweep_fused(
         Kernel backend for the mega-batches
         (:data:`~repro.sim.batch_kernels.KERNEL_BACKENDS`); all backends
         are bit-identical, so the cache key deliberately excludes it.
+    dp_state:
+        DP-family priority-state maintenance mode
+        (:data:`~repro.sim.batch_kernels.DP_STATE_MODES`): ``"dense"``,
+        ``"incremental"``, or ``None`` (resolve from the environment and
+        the family capability).  Both modes are bit-identical, so —
+        like ``backend`` — the cache key deliberately excludes it.
     faults:
         ``None`` (default) keeps fail-fast semantics.  A
         :class:`~repro.experiments.faults.FaultPolicy` retries failures
@@ -702,6 +731,7 @@ def run_sweep_fused(
     if not seeds:
         raise ValueError("need at least one seed")
     rng_mode = normalize_rng_mode(rng, sync_rng)
+    _check_dp_state(dp_state)
     if shards is not None and int(shards) < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     seeds = tuple(int(s) for s in seeds)
@@ -768,12 +798,12 @@ def run_sweep_fused(
         _run_sweep_fused_sharded(
             cells, spec_builder, policies, num_intervals, seeds, groups,
             rng_mode, validate, backend, faults, store, int(shards),
-            failures,
+            failures, dp_state=dp_state,
         )
     elif faults is None:
         _simulate_cells(
             cells, seeds, rng_mode, validate, backend, num_intervals,
-            groups, FUSED_STREAM_TAG, fallback,
+            groups, FUSED_STREAM_TAG, fallback, dp_state=dp_state,
         )
     else:
         # Faulty groups must be rebuildable in isolation, so each group
@@ -785,6 +815,7 @@ def run_sweep_fused(
                 _run_fused_group_with_faults(
                     group_cells, seeds, eff, validate, backend,
                     num_intervals, groups, faults, failures, fallback,
+                    dp_state=dp_state,
                 )
 
     for cell in fallback:

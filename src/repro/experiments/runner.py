@@ -111,6 +111,30 @@ def _policy_supports_free(policy: object) -> bool:
     )
 
 
+def _policy_supports_incremental(policy: object) -> bool:
+    """Whether the family declares ``supports_incremental_dp``."""
+    descriptor = registry.descriptor_for(policy)
+    return (
+        descriptor is not None
+        and descriptor.capabilities.supports_incremental_dp
+    )
+
+
+def _check_dp_state(dp_state: Optional[str]) -> None:
+    """Reject unknown ``dp_state`` strings before any per-family degrade.
+
+    Non-DP families run with the request nulled out, which would
+    otherwise let a typo pass silently.
+    """
+    from ..sim.batch_kernels import DP_STATE_MODES
+
+    if dp_state is not None and dp_state not in DP_STATE_MODES:
+        raise ValueError(
+            f"unknown dp_state {dp_state!r}; expected one of "
+            f"{DP_STATE_MODES} or None"
+        )
+
+
 def _run_single_batch(
     spec: NetworkSpec,
     policy,
@@ -119,10 +143,12 @@ def _run_single_batch(
     groups: Optional[Sequence[int]],
     backend: Optional[str] = None,
     rng: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> SweepPoint:
     """One (spec, policy) cell on the batch engine: all seeds in one run."""
     batch = run_simulation_batch(
-        spec, policy, num_intervals, seeds, backend=backend, rng=rng
+        spec, policy, num_intervals, seeds, backend=backend, rng=rng,
+        dp_state=dp_state,
     )
     totals = batch.total_deficiency()  # (S,)
     collisions = batch.collisions.sum(axis=0).astype(float)  # (S,)
@@ -163,6 +189,7 @@ def run_single(
     engine: str = "scalar",
     backend: Optional[str] = None,
     rng: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> SweepPoint:
     """Average one policy's deficiency on one spec across seeds.
 
@@ -177,10 +204,14 @@ def run_single(
     bit-identical.  ``rng`` selects the batch draw discipline
     (:data:`~repro.sim.rng.RNG_MODES`); ``"free"`` degrades to the
     default batch discipline for families without ``supports_free_rng``,
-    and is rejected on the scalar engine.
+    and is rejected on the scalar engine.  ``dp_state`` selects the
+    DP-family priority-state maintenance mode
+    (:data:`~repro.sim.batch_kernels.DP_STATE_MODES`; batch/fused
+    engines only, bit-identical either way).
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    _check_dp_state(dp_state)
     if rng is not None and engine == "scalar":
         raise ValueError(
             f"rng={rng!r} requires engine='batch' or 'fused'; the scalar "
@@ -191,9 +222,16 @@ def run_single(
         eff = rng
         if rng == "free" and not _policy_supports_free(policy):
             eff = None  # degrade to the default batch discipline
+        eff_dp = dp_state
+        if dp_state is not None and not _policy_supports_incremental(policy):
+            # A sweep-level dp_state request addresses the DP family;
+            # other families run exactly as with dp_state=None (direct
+            # run_simulation_batch calls stay strict).
+            eff_dp = None
         if supports_batch_engine(spec, policy, rng=eff):
             return _run_single_batch(
-                spec, policy, num_intervals, seeds, groups, backend, eff
+                spec, policy, num_intervals, seeds, groups, backend, eff,
+                eff_dp,
             )
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
@@ -249,6 +287,7 @@ def run_sweep(
     faults: Optional[FaultPolicy] = None,
     rng: Optional[str] = None,
     shards: Optional[int] = None,
+    dp_state: Optional[str] = None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
@@ -306,6 +345,7 @@ def run_sweep(
             seeds,
             groups,
             backend=backend,
+            dp_state=dp_state,
             cache=cache,
             faults=faults,
             rng=rng,
@@ -360,7 +400,7 @@ def run_sweep(
                 if faults is None:
                     point = run_single(
                         spec, factory, num_intervals, seeds, groups, engine,
-                        backend, rng,
+                        backend, rng, dp_state,
                     )
                 else:
 
@@ -369,7 +409,7 @@ def run_sweep(
                         fire_fault_hooks(float(value), label, attempt)
                         return run_single(
                             spec, factory, num_intervals, seeds, groups,
-                            engine, backend, rng,
+                            engine, backend, rng, dp_state,
                         )
 
                     point = call_with_retries(

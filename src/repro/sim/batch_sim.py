@@ -568,6 +568,14 @@ class BatchIntervalSimulator:
         inner loops, falls back to ``"numpy"`` without numba), or
         ``"legacy"``.  All backends are bit-identical; ``None`` resolves
         from ``REPRO_KERNEL_BACKEND`` / ``REPRO_JIT``.
+    dp_state:
+        Priority-state maintenance mode for DP-family kernels
+        (:data:`~repro.sim.batch_kernels.DP_STATE_MODES`): ``"dense"``
+        re-derives the service order from sigma every interval,
+        ``"incremental"`` maintains it sparsely across intervals
+        (bit-identical, O(swaps) updates, serve-set timeline solve).
+        ``None`` resolves from ``REPRO_DP_STATE`` or the policy family's
+        capabilities; non-DP kernels accept only ``None``/``"dense"``.
     """
 
     def __init__(
@@ -584,6 +592,7 @@ class BatchIntervalSimulator:
         stream_tag: Optional[str] = None,
         backend: Optional[str] = None,
         rng: Optional[str] = None,
+        dp_state: Optional[str] = None,
     ):
         if isinstance(spec, SpecStack):
             stack: Optional[SpecStack] = spec
@@ -635,8 +644,10 @@ class BatchIntervalSimulator:
             # stats-only runs let the kernel skip materializing them.
             lite=not self.record_traces,
             rng=self.rng_mode,
+            dp_state=dp_state,
         )
         self.backend = self.kernel._backend
+        self.dp_state = self.kernel.dp_state
         self._q_rows = (
             stack.requirement_matrix
             if stack is not None
@@ -791,6 +802,7 @@ def run_simulation_batch(
     record_priorities: bool = False,
     backend: Optional[str] = None,
     rng: Optional[str] = None,
+    dp_state: Optional[str] = None,
 ) -> BatchSimulationResult:
     """One-shot convenience wrapper around :class:`BatchIntervalSimulator`."""
     sim = BatchIntervalSimulator(
@@ -802,5 +814,6 @@ def run_simulation_batch(
         record_priorities=record_priorities,
         backend=backend,
         rng=rng,
+        dp_state=dp_state,
     )
     return sim.run(num_intervals)

@@ -40,6 +40,7 @@ __all__ = [
     "force_python",
     "serve_rows",
     "dp_timeline_rows",
+    "dp_incremental_rows",
     "warm_compile",
 ]
 
@@ -196,21 +197,164 @@ def _dp_timeline_rows_py(
         att_totals[s] = att_total
 
 
+def _dp_incremental_rows_py(
+    inv,
+    cand,
+    swap,
+    wants_a,
+    wants_b,
+    bmin,
+    bmax,
+    backlog,
+    needed_cum,
+    interval_us,
+    data_air,
+    slot,
+    empty_air,
+    delivered,
+    attempts,
+    track_attempts,
+    prev_links,
+    att_totals,
+    num_empties,
+    idle_slots,
+    tx_a,
+    start_a,
+):
+    """The DP interval timeline on the *incremental* sparse state.
+
+    The single-pair (``dp_state="incremental"``) analogue of
+    :func:`_dp_timeline_rows_py`: instead of a materialized service
+    order/backoff/empty triple, each row walks the persistent inverse
+    permutation ``inv`` directly, deriving the position's link and backoff
+    from the candidate index ``cand[s]`` and the commit-coin flag
+    ``swap[s]`` (the only data-dependent positions are ``c - 1`` and
+    ``c``, which hold the candidate pair with backoffs ``bmin``/``bmax``
+    and may claim with empty packets per ``wants_a``/``wants_b``).
+
+    Outcome planes are maintained sparsely: entries touched last interval
+    (``prev_links[s, :]`` — padded with link 0, whose double-zeroing is
+    harmless) are zeroed on entry, links that receive attempts this
+    interval are written and recorded back into ``prev_links``.  At most
+    ``cap_max < prev_links.shape[1]`` links can receive attempts, so the
+    record never overflows.  The walk stops at the first position past
+    the pair whose attempt ceiling (every later backoff is at least
+    ``j + 3``) is exhausted — no later link can transmit and no claims
+    remain.  Per-row outputs: total attempts, fitting empties, the idle
+    backoff bound, and the position-``c - 1`` transmitted flag and start
+    time the swap commit needs.
+    """
+    S, N = inv.shape
+    K = prev_links.shape[1]
+    for s in prange(S):
+        for t in range(K):
+            link = prev_links[s, t]
+            delivered[s, link] = 0
+            if track_attempts:
+                attempts[s, link] = 0
+        c = cand[s]
+        sw = swap[s]
+        att_total = 0
+        empties_fit = 0
+        idle = 0
+        ne = 0
+        txa = False
+        sta = 0.0
+        tc = 0
+        for j in range(N):
+            if j == c - 1:
+                link = inv[s, c] if sw else inv[s, c - 1]
+                b = bmin[s]
+            elif j == c:
+                link = inv[s, c - 1] if sw else inv[s, c]
+                b = bmax[s]
+            elif j > c:
+                link = inv[s, j]
+                b = j + 2
+            else:
+                link = inv[s, j]
+                b = j
+            bl = backlog[s, link]
+            dead = b * slot + empties_fit * empty_air
+            start = att_total * data_air + dead
+            if j == c - 1:
+                sta = start
+            if bl > 0:
+                cap = int((interval_us - dead) // data_air)
+                budget = cap - att_total
+                if budget > 0:
+                    tot = needed_cum[s, link, bl - 1]
+                    if tot <= budget:
+                        used = int(tot)
+                        served = bl
+                    else:
+                        used = budget
+                        served = 0
+                        for a in range(bl):
+                            if needed_cum[s, link, a] <= budget:
+                                served += 1
+                            else:
+                                break
+                    att_total += used
+                    delivered[s, link] = served
+                    if track_attempts:
+                        attempts[s, link] = used
+                    prev_links[s, tc] = link
+                    tc += 1
+                    if b > idle:
+                        idle = b
+                    if j == c - 1:
+                        txa = True
+            elif (j == c - 1 and wants_a[s]) or (j == c and wants_b[s]):
+                if empty_air > 0:
+                    fits = start + empty_air <= interval_us
+                else:
+                    fits = start < interval_us
+                if fits:
+                    empties_fit += 1
+                    ne += 1
+                    if b > idle:
+                        idle = b
+                    if j == c - 1:
+                        txa = True
+            if j >= c and (
+                int(
+                    (interval_us - (j + 3) * slot - empties_fit * empty_air)
+                    // data_air
+                )
+                <= att_total
+            ):
+                break
+        for t in range(tc, K):
+            prev_links[s, t] = 0
+        att_totals[s] = att_total
+        num_empties[s] = ne
+        idle_slots[s] = idle
+        tx_a[s] = txa
+        start_a[s] = sta
+
+
 if HAS_NUMBA:  # pragma: no cover - exercised in the numba CI leg
     # Two compilations of the same loop body: with ``parallel=False``
     # numba treats ``prange`` as ``range`` (sequential); with
     # ``parallel=True`` the independent rows fan out over threads.
     _serve_rows_jit = njit(cache=False)(_serve_rows_py)
     _dp_timeline_rows_jit = njit(cache=False)(_dp_timeline_rows_py)
+    _dp_incremental_rows_jit = njit(cache=False)(_dp_incremental_rows_py)
     _serve_rows_par = njit(cache=False, parallel=True)(_serve_rows_py)
     _dp_timeline_rows_par = njit(cache=False, parallel=True)(
         _dp_timeline_rows_py
     )
+    _dp_incremental_rows_par = njit(cache=False, parallel=True)(
+        _dp_incremental_rows_py
+    )
 else:
     _serve_rows_jit = None
     _dp_timeline_rows_jit = None
+    _dp_incremental_rows_jit = None
     _serve_rows_par = None
     _dp_timeline_rows_par = None
+    _dp_incremental_rows_par = None
 
 
 def _pick(serial, par, num_rows):
@@ -267,6 +411,64 @@ def dp_timeline_rows(
     )
 
 
+def dp_incremental_rows(
+    inv,
+    cand,
+    swap,
+    wants_a,
+    wants_b,
+    bmin,
+    bmax,
+    backlog,
+    needed,
+    interval_us,
+    data_air,
+    slot,
+    empty_air,
+    delivered,
+    attempts,
+    track_attempts,
+    prev_links,
+    att_totals,
+    num_empties,
+    idle_slots,
+    tx_a,
+    start_a,
+):
+    if HAS_NUMBA and not force_python:
+        impl = _pick(
+            _dp_incremental_rows_jit,
+            _dp_incremental_rows_par,
+            inv.shape[0],
+        )
+    else:
+        impl = _dp_incremental_rows_py
+    impl(
+        inv,
+        cand,
+        swap,
+        wants_a,
+        wants_b,
+        bmin,
+        bmax,
+        backlog,
+        needed,
+        interval_us,
+        data_air,
+        slot,
+        empty_air,
+        delivered,
+        attempts,
+        track_attempts,
+        prev_links,
+        att_totals,
+        num_empties,
+        idle_slots,
+        tx_a,
+        start_a,
+    )
+
+
 #: Signatures already compiled this process, keyed by
 #: ``(stage, dtype strings)``; warm-compiling an already-warm signature
 #: is free, so kernels can call :func:`warm_compile` at every bind.
@@ -284,9 +486,12 @@ def warm_compile(stage: str, *dtypes) -> float:
     numba is absent, forced-python is active, or the signature is warm).
 
     ``stage`` is ``"serve_rows"`` (dtypes: order, backlog, needed,
-    delivered, att_pos) or ``"dp_timeline_rows"`` (dtypes: order,
-    backoff, is_empty, backlog, needed, delivered, att_pos, fits, start,
-    att_totals).  Both the serial and parallel variants are compiled.
+    delivered, att_pos), ``"dp_timeline_rows"`` (dtypes: order, backoff,
+    is_empty, backlog, needed, delivered, att_pos, fits, start,
+    att_totals) or ``"dp_incremental_rows"`` (dtypes: inv, cand, swap,
+    wants_a, wants_b, bmin, bmax, backlog, needed, delivered, attempts,
+    prev_links, att_totals, num_empties, idle_slots, tx_a, start_a).
+    Both the serial and parallel variants are compiled.
     """
     if not HAS_NUMBA or force_python:
         return 0.0
@@ -331,6 +536,39 @@ def warm_compile(stage: str, *dtypes) -> float:
         )
         _dp_timeline_rows_jit(*args)
         _dp_timeline_rows_par(*args)
+    elif stage == "dp_incremental_rows":
+        (
+            inv_dt, cand_dt, swap_dt, wa_dt, wb_dt,
+            bmin_dt, bmax_dt, backlog_dt, needed_dt,
+            delivered_dt, att_dt, prev_dt, tot_dt, ne_dt,
+            idle_dt, tx_dt, start_dt,
+        ) = dtypes
+        args = (
+            z(inv_dt, S, N),
+            z(cand_dt, S),
+            z(swap_dt, S),
+            z(wa_dt, S),
+            z(wb_dt, S),
+            z(bmin_dt, S),
+            z(bmax_dt, S),
+            z(backlog_dt, S, N),
+            z(needed_dt, S, N, A),
+            4000.0,
+            400.0,
+            60.0,
+            100.0,
+            z(delivered_dt, S, N),
+            z(att_dt, S, N),
+            True,
+            z(prev_dt, S, N),
+            z(tot_dt, S),
+            z(ne_dt, S),
+            z(idle_dt, S),
+            z(tx_dt, S),
+            z(start_dt, S),
+        )
+        _dp_incremental_rows_jit(*args)
+        _dp_incremental_rows_par(*args)
     else:
         raise ValueError(f"unknown jit stage {stage!r}")
     _warmed.add(key)

@@ -37,6 +37,7 @@ from typing import Dict, Optional
 __all__ = [
     "PerfCounters",
     "StageStat",
+    "KNOWN_STAGES",
     "counters",
     "clock",
     "enable",
@@ -44,6 +45,28 @@ __all__ = [
     "reset",
     "stage",
 ]
+
+#: Stage labels the built-in kernels report, for dashboards and bench
+#: tooling (labels are open-ended — this tuple documents, it does not
+#: gate).  The DP kernel reports ``kernel.dp.setup`` (candidate draw,
+#: coins, backoff construction), ``kernel.dp.timeline`` (interval
+#: timeline / ordered-service solve), ``kernel.dp.commit`` (swap commit
+#: and outcome scatters) on both priority-state paths, and additionally
+#: ``kernel.dp.incremental`` — the sparse-state maintenance work unique
+#: to ``dp_state="incremental"`` (persistent-inverse upkeep, backlogged
+#: serve-set selection, touched-entry zeroing).  Comparing the dense and
+#: incremental paths therefore means comparing the *sum* of their
+#: ``kernel.dp.*`` stages, not label by label.
+KNOWN_STAGES = (
+    "kernel.dp.setup",
+    "kernel.dp.incremental",
+    "kernel.dp.timeline",
+    "kernel.dp.commit",
+    "kernel.serve.interval",
+    "draws.channel_refill",
+    "draws.uniform_refill",
+    "jit.warmup",
+)
 
 #: Re-exported so call sites read ``perf.clock()`` instead of importing
 #: :mod:`time` separately; also the single place to swap the clock source.

@@ -192,3 +192,75 @@ class TestDrawBufferAllocRegression:
         # block per chunk: one allocation per refill call at most, plus
         # the persistent buffers' first-chunk allocations.
         assert stat.allocs <= stat.calls + 4
+
+
+class TestEldfWeightBufferReuse:
+    """ELDF's ``f(d+) * p`` weight plane must live in the workspace.
+
+    The serve-order stage evaluates the influence function into a
+    persistent ``(S, N)`` buffer allocated at bind (influence functions
+    accept ``out=``), so steady-state intervals allocate nothing for the
+    weight plane.  A regression to per-interval allocation shows up here
+    as ``value_array`` ignoring ``out=`` or ``_service_orders`` no
+    longer routing through the workspace buffer.
+    """
+
+    def _sim(self, influence=None):
+        from repro import ELDFPolicy
+        from repro.sim.batch_sim import BatchIntervalSimulator
+
+        kwargs = {} if influence is None else {"influence": influence}
+        return BatchIntervalSimulator(
+            video_symmetric_spec(0.6, num_links=8),
+            ELDFPolicy(**kwargs),
+            seeds=(0, 1, 2),
+            validate=False,
+            backend="numpy",
+        )
+
+    def test_workspace_owns_a_persistent_weight_plane(self):
+        sim = self._sim()
+        w = sim.kernel._ws
+        assert w.eldf_w.shape == (3, 8)
+        assert w.eldf_w.dtype == np.float64
+
+    def test_influence_out_param_writes_in_place(self):
+        from repro.core.influence import (
+            LinearInfluence,
+            LogInfluence,
+            PaperLogInfluence,
+            PowerInfluence,
+            ScaledInfluence,
+        )
+
+        debts = np.abs(np.random.default_rng(7).normal(size=(3, 8)))
+        buf = np.empty_like(debts)
+        for inf in (
+            LinearInfluence(2.0),
+            PowerInfluence(1.5),
+            LogInfluence(10.0, 2.0),
+            PaperLogInfluence(),
+            ScaledInfluence(PaperLogInfluence(), 3.0),
+        ):
+            expected = inf.value_array(debts)
+            got = inf.value_array(debts, out=buf)
+            assert got is buf, inf
+            np.testing.assert_array_equal(got, expected)
+
+    def test_service_orders_route_through_the_workspace_buffer(self):
+        sim = self._sim()
+        kern = sim.kernel
+        w = kern._ws
+        debts = np.abs(np.random.default_rng(3).normal(size=(3, 8)))
+        order = kern._service_orders(0, debts)
+        expected_w = kern.influence.value_array(debts) * kern._reliabilities
+        # The radix-sort trick negates the persistent buffer's int64 view
+        # in place, so after the call the workspace plane holds exactly
+        # the negated bit patterns of the expected weights — proof the
+        # evaluation landed in the buffer and not a fresh temporary.
+        after = w.eldf_w.view(np.int64).copy()
+        np.negative(after, out=after)
+        np.testing.assert_array_equal(after.view(np.float64), expected_w)
+        np.testing.assert_array_equal(
+            order, np.argsort(-expected_w, axis=1, kind="stable")
+        )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI gate: the incremental DP priority-state path must beat dense at scale.
+
+Reads the report written by ``benchmarks/bench_large_n.py`` and fails
+loudly when the incremental path stopped winning where it is supposed to
+win.  Small N is deliberately NOT gated: at N=20 the serve set is the
+whole network and the incremental path's extra selection pass is pure
+overhead — the committed artifact records that honestly.  The contract
+is about scale:
+
+* every entry with ``num_links >= 500`` that carries a dense measurement
+  must show ``dp_stage_speedup > MIN_RATIO`` (the combined
+  ``kernel.dp.*`` stage sum — the incremental path reports its state
+  upkeep under ``kernel.dp.incremental``, so stage-by-stage label
+  comparison would be meaningless; see ``repro.sim.perf.KNOWN_STAGES``);
+* at least one gated entry must exist (an artifact with the large rows
+  missing is a broken benchmark, not a pass).
+
+Usage::
+
+    python tools/check_incremental_wins.py [path/to/BENCH_LARGE_N.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: Entries at or above this link count are gated.
+GATE_N = 500
+#: Required combined kernel.dp.* stage ratio (dense / incremental) for
+#: gated entries.  The committed full-scale artifact shows ~3.3x at
+#: N=500 and ~7.5x at N=2000; 1.2 is a deliberately loose floor so CI
+#: smoke scales and noisy boxes don't flake, while still catching a
+#: regression that makes incremental pointless at scale.
+MIN_RATIO = 1.2
+
+
+def main(argv: list) -> int:
+    path = argv[1] if len(argv) > 1 else os.environ.get(
+        "REPRO_BENCH_LARGE_N_JSON", "BENCH_LARGE_N.json"
+    )
+    try:
+        report = json.loads(open(path).read())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read benchmark report {path!r}: {exc}")
+        return 1
+
+    entries = report.get("entries", [])
+    gated = [
+        e
+        for e in entries
+        if e.get("num_links", 0) >= GATE_N
+        and e.get("dense_seconds") is not None
+    ]
+    if not gated:
+        print(
+            f"FAIL: {path} has no dense-measured entries with "
+            f"num_links >= {GATE_N}; the benchmark did not run its "
+            "large-N rows"
+        )
+        return 1
+
+    failures = []
+    for entry in gated:
+        n = entry["num_links"]
+        ratio = entry.get("dp_stage_speedup")
+        if ratio is None:
+            failures.append(f"N={n}: no dp_stage_speedup recorded")
+            continue
+        verdict = "OK  " if ratio > MIN_RATIO else "FAIL"
+        print(
+            f"{verdict} N={n}: incremental dp stages "
+            f"{entry.get('incremental_dp_stage_seconds')}s vs dense "
+            f"{entry.get('dense_dp_stage_seconds')}s -> x{ratio}"
+        )
+        if ratio <= MIN_RATIO:
+            failures.append(
+                f"N={n}: dp_stage_speedup {ratio} <= {MIN_RATIO}"
+            )
+
+    if failures:
+        print("FAIL: incremental DP state stopped winning at scale:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(
+        f"OK: incremental beats dense (> {MIN_RATIO}x combined "
+        f"kernel.dp.* stages) on all {len(gated)} gated entries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
