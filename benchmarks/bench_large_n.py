@@ -192,6 +192,9 @@ def test_large_n_scaling():
             )
         else:
             entry["dense_seconds"] = None
+            # Explicit nulls (not absent keys): consumers iterate the
+            # entries list and read the speedup field unconditionally.
+            entry["dp_stage_speedup"] = None
             entry["dense_skipped_reason"] = (
                 f"dense path needs O(N^2) buffers (~{8 * n * n / 1e9:.1f} "
                 "GB of int64 exclusion matrix alone at this N)"

@@ -531,6 +531,7 @@ DP_FAMILY_CAPABILITIES = _registry.PolicyCapabilities(
     supports_per_row_params=True,
     supports_free_rng=True,
     supports_incremental_dp=True,
+    supports_topology=True,
     jit_stages=("dp_timeline_rows", "dp_incremental_rows"),
 )
 

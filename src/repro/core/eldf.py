@@ -118,6 +118,7 @@ ORDERED_SERVICE_CAPABILITIES = _registry.PolicyCapabilities(
     supports_sync_rng=True,
     supports_per_row_params=False,
     supports_free_rng=True,
+    supports_topology=True,
     jit_stages=("serve_rows",),
 )
 

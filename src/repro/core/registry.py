@@ -148,6 +148,13 @@ class PolicyCapabilities:
         cost tracks the protocol's O(num_pairs) moves instead of N.
         Bit-identical to the dense recompute; families without it always
         run dense.
+    supports_topology:
+        The family can run under the multi-cell interference-graph layer
+        (:mod:`repro.topology`): its batch kernel draws every random
+        input through the swappable chunked draw objects, so the
+        topology engine can key each cell's randomness to the cell's own
+        streams.  Families without it degrade to single-domain runs (the
+        runner warns once per sweep).  Requires ``batchable``.
     jit_stages:
         Names of the kernel's Numba-compilable stages
         (:mod:`repro.sim.jit_kernels`); empty for pure-NumPy kernels.
@@ -159,11 +166,16 @@ class PolicyCapabilities:
     supports_per_row_params: bool = False
     supports_free_rng: bool = False
     supports_incremental_dp: bool = False
+    supports_topology: bool = False
     jit_stages: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.fusable and not self.batchable:
             raise ValueError("a fusable policy family must be batchable")
+        if self.supports_topology and not self.batchable:
+            raise ValueError(
+                "a topology-capable policy family must be batchable"
+            )
 
 
 #: Scalar-only capability set (the default): every engine falls back to

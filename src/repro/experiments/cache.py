@@ -169,6 +169,7 @@ class SweepCache:
         sync_rng: bool = False,
         engine: str = "fused",
         rng: Optional[str] = None,
+        topology=None,
     ) -> Optional[str]:
         """Content key for one sweep cell, or ``None`` if uncacheable.
 
@@ -181,6 +182,11 @@ class SweepCache:
         was split, and cold recomputation in a different stack is a fresh
         sample of the same estimator (the sharded runner re-runs whole
         shards to keep resume bit-identical at a fixed shard count).
+        ``topology`` — a :class:`~repro.topology.graph.CellTopology` the
+        cell actually runs under (``None``, the single-domain default,
+        omits the field so pre-existing keys are preserved) — keys
+        multi-cell points distinctly via the topology's canonical
+        fingerprint.
         """
         policy_fp = policy_fingerprint(policy)
         if policy_fp is None:
@@ -202,6 +208,8 @@ class SweepCache:
         }
         if rng is not None:
             payload["rng"] = str(rng)
+        if topology is not None:
+            payload["topology"] = topology.fingerprint()
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -20,6 +20,7 @@ so a killed run restarts from where it was; ``--retries`` /
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 import time
@@ -121,6 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
         "importable, else numpy; all backends are bit-identical)",
     )
     parser.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        metavar="C",
+        help="simulate each sweep point as a multi-cell interference "
+        "topology of C cells (grid_cells over the spec's links) instead "
+        "of one collision domain; capable policy families run on the "
+        "topology engine, others degrade with a warning (sweep figures "
+        "only; implies --engine fused unless --engine is given)",
+    )
+    parser.add_argument(
+        "--cross-cell-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        dest="cross_cell_fraction",
+        help="fraction of links promoted to cross-cell boundary links "
+        "(contending in two cells, resolved per interval); requires "
+        "--cells (default 0: disconnected cells)",
+    )
+    parser.add_argument(
         "--dp-state",
         choices=["dense", "incremental"],
         default=None,
@@ -208,6 +230,14 @@ def faults_from_args(args: argparse.Namespace):
     )
 
 
+def _grid_topology(spec, num_cells: int, cross_cell_fraction: float):
+    """Picklable per-spec topology builder for ``--cells`` (sharded
+    fused sweeps send the builder to worker processes)."""
+    from ..topology import grid_cells
+
+    return grid_cells(spec.num_links, num_cells, cross_cell_fraction)
+
+
 def _run_one(name: str, args: argparse.Namespace) -> str:
     kwargs = {}
     if args.intervals is not None:
@@ -238,11 +268,20 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 kwargs["engine"] = args.engine
             elif (args.rng is not None or args.shards is not None
                   or args.backend is not None
-                  or args.dp_state is not None):
-                # --rng/--shards/--backend/--dp-state are sweep-engine
-                # features; land them on the fused engine instead of
-                # erroring on the figures' scalar default.
+                  or args.dp_state is not None
+                  or args.cells is not None):
+                # --rng/--shards/--backend/--dp-state/--cells are
+                # sweep-engine features; land them on the fused engine
+                # instead of erroring on the figures' scalar default.
                 kwargs["engine"] = "fused"
+            if args.cells is not None:
+                # functools.partial, not a lambda: sharded fused sweeps
+                # pickle the builder into worker processes.
+                kwargs["topology"] = functools.partial(
+                    _grid_topology,
+                    num_cells=args.cells,
+                    cross_cell_fraction=args.cross_cell_fraction or 0.0,
+                )
             if args.rng is not None:
                 kwargs["rng"] = args.rng
             if args.shards is not None:
@@ -271,7 +310,10 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cross_cell_fraction is not None and args.cells is None:
+        parser.error("--cross-cell-fraction requires --cells")
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         started = time.time()

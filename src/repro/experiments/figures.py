@@ -135,6 +135,7 @@ def fig3(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -162,6 +163,7 @@ def fig3(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,
@@ -183,6 +185,7 @@ def fig4(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -202,6 +205,7 @@ def fig4(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,
@@ -299,6 +303,7 @@ def fig7(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -318,6 +323,7 @@ def fig7(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,
@@ -341,6 +347,7 @@ def fig8(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -360,6 +367,7 @@ def fig8(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,
@@ -383,6 +391,7 @@ def fig9(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -401,6 +410,7 @@ def fig9(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,
@@ -422,6 +432,7 @@ def fig10(
     shards: Optional[int] = None,
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -440,6 +451,7 @@ def fig10(
         shards=shards,
         backend=backend,
         dp_state=dp_state,
+        topology=topology,
     )
     return _sweep_to_figure(
         sweep,

@@ -73,7 +73,17 @@ from .faults import (
     nan_point,
 )
 from .parallel import _CellState, _Orchestrator
-from .runner import SweepPoint, SweepResult, _check_dp_state, run_single
+from .runner import (
+    SweepPoint,
+    SweepResult,
+    _check_dp_state,
+    _policy_supports_incremental,
+    _policy_supports_topology,
+    _resolve_topology,
+    _run_single_topology,
+    _warn_topology_degrade,
+    run_single,
+)
 
 __all__ = ["run_sweep_fused", "FUSED_STREAM_TAG"]
 
@@ -648,6 +658,136 @@ def _run_sweep_fused_sharded(
                 break
 
 
+def _run_sweep_topology(
+    parameter_name: str,
+    values: Sequence[float],
+    spec_builder: Callable[[float], NetworkSpec],
+    policies: Dict[str, PolicyFactory],
+    num_intervals: int,
+    seeds: Tuple[int, ...],
+    groups: Optional[Sequence[int]],
+    rng_mode: str,
+    validate: bool,
+    backend: Optional[str],
+    dp_state: Optional[str],
+    store: Optional[SweepCache],
+    faults: Optional[FaultPolicy],
+    topology,
+    shards: Optional[int],
+) -> SweepResult:
+    """Multi-cell sweep: capable cells run on the topology engine.
+
+    Each capable (value, policy) cell is already a mega-batch — every
+    (seed, cell-of-topology) pair is one engine row, and ``shards``
+    splits the *cells of the topology* across worker processes
+    (:func:`~repro.topology.engine.run_topology_batch`) instead of
+    splitting the sweep grid.  Families without ``supports_topology``
+    degrade to the per-cell batch runner with one ``UserWarning`` and
+    are cached under the same key a topology-free sweep would use (they
+    compute the identical point).
+    """
+    groups_t = tuple(groups) if groups is not None else None
+    degraded = [
+        label
+        for label, factory in policies.items()
+        if not _policy_supports_topology(factory())
+    ]
+    if degraded:
+        _warn_topology_degrade(degraded, stacklevel=4)
+    free_degraded: List[str] = []
+    if rng_mode == "free":
+        free_degraded = [
+            label
+            for label, factory in policies.items()
+            if not _supports_free(factory())
+        ]
+        if free_degraded:
+            warnings.warn(
+                "rng='free' is not declared (supports_free_rng) by policy "
+                f"families: {', '.join(free_degraded)}; those cells run "
+                "under the default batch draw discipline instead",
+                UserWarning,
+                stacklevel=4,
+            )
+    failures: List[CellFailure] = []
+    uncacheable: List[str] = []
+    result = SweepResult(parameter_name=parameter_name, values=list(values))
+    for value in values:
+        spec = spec_builder(value)
+        topo = _resolve_topology(topology, spec)
+        for label, factory in policies.items():
+            policy = factory()
+            capable = label not in degraded
+            eff_rng = "batch" if label in free_degraded else rng_mode
+            eff_dp = (
+                dp_state if _policy_supports_incremental(policy) else None
+            )
+            key = None
+            point = None
+            if store is not None:
+                key = store.cell_key(
+                    spec=spec,
+                    policy=policy,
+                    seeds=seeds,
+                    num_intervals=num_intervals,
+                    groups=groups_t,
+                    sync_rng=rng_mode == "sync",
+                    rng="free" if eff_rng == "free" else None,
+                    topology=topo if capable else None,
+                )
+                if key is None:
+                    if label not in uncacheable:
+                        uncacheable.append(label)
+                else:
+                    point = store.get(key)
+            if point is None:
+
+                def _compute(spec=spec, policy=policy, factory=factory,
+                             topo=topo, capable=capable, eff_rng=eff_rng,
+                             eff_dp=eff_dp):
+                    if capable:
+                        return _run_single_topology(
+                            spec, policy, num_intervals, seeds, groups,
+                            topo, backend=backend, rng=eff_rng,
+                            dp_state=eff_dp, validate=validate,
+                            shards=shards,
+                        )
+                    return run_single(
+                        spec, factory, num_intervals, seeds, groups,
+                        engine="batch", backend=backend, rng=eff_rng,
+                        dp_state=dp_state,
+                    )
+
+                if faults is None:
+                    point = _compute()
+                else:
+
+                    def _attempt(attempt, value=value, label=label,
+                                 _compute=_compute):
+                        fire_fault_hooks(float(value), label, attempt)
+                        return _compute()
+
+                    point = call_with_retries(
+                        _attempt,
+                        value=float(value),
+                        label=label,
+                        seeds=seeds,
+                        faults=faults,
+                        failures=failures,
+                    )
+                if point is None:  # permanent best-effort failure
+                    point = nan_point(label, groups_t)
+                elif store is not None and key is not None:
+                    store.put(key, point)
+            result.points.append(
+                replace(point, parameter=float(value), policy=label)
+            )
+    warn_uncacheable(uncacheable, stacklevel=3)
+    if failures:
+        result.failures = SweepFailureReport(failures)
+    return result
+
+
 def run_sweep_fused(
     parameter_name: str,
     values: Sequence[float],
@@ -665,6 +805,7 @@ def run_sweep_fused(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     faults: Optional[FaultPolicy] = None,
+    topology=None,
 ) -> SweepResult:
     """Drop-in :func:`~repro.experiments.runner.run_sweep`, grid-fused.
 
@@ -725,6 +866,15 @@ def run_sweep_fused(
         sequentially instead of in draw-sharing lockstep — value-neutral
         (sharing never changes draws), it only forgoes that perf
         optimization.
+    topology:
+        A :class:`~repro.topology.graph.CellTopology` — or a builder
+        called with each value's spec — switches capable policy families
+        (``supports_topology``) onto the multi-cell engine: every
+        (seed, cell) pair of the topology becomes one engine row, and
+        ``shards`` splits the topology's cells across worker processes
+        instead of splitting the sweep grid.  Families without the
+        capability degrade to the per-cell batch runner with one
+        ``UserWarning`` per sweep.
     """
     if num_intervals <= 0:
         raise ValueError(f"num_intervals must be positive, got {num_intervals}")
@@ -737,6 +887,13 @@ def run_sweep_fused(
     seeds = tuple(int(s) for s in seeds)
     store = resolve_cache(cache)
     policies = registry.resolve_policies(policies)
+
+    if topology is not None:
+        return _run_sweep_topology(
+            parameter_name, values, spec_builder, policies, num_intervals,
+            seeds, groups, rng_mode, validate, backend, dp_state, store,
+            faults, topology, shards,
+        )
 
     cells: List[_Cell] = []
     for value in values:

@@ -8,6 +8,7 @@ the spec builder and grid.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -120,6 +121,101 @@ def _policy_supports_incremental(policy: object) -> bool:
     )
 
 
+def _policy_supports_topology(policy: object) -> bool:
+    """Whether the family declares ``supports_topology``."""
+    descriptor = registry.descriptor_for(policy)
+    return (
+        descriptor is not None and descriptor.capabilities.supports_topology
+    )
+
+
+def _resolve_topology(topology, spec: NetworkSpec):
+    """A concrete :class:`~repro.topology.graph.CellTopology` for ``spec``.
+
+    ``topology`` may be a ready topology or a builder called with the
+    spec (sweeps change the spec per value; a builder like
+    ``lambda spec: grid_cells(spec.num_links, 4)`` adapts to each one).
+    """
+    from ..topology import CellTopology
+
+    if topology is None:
+        return None
+    if not isinstance(topology, CellTopology):
+        topology = topology(spec)
+    if topology.num_links != spec.num_links:
+        raise ValueError(
+            f"topology covers {topology.num_links} links but the spec has "
+            f"{spec.num_links}"
+        )
+    return topology
+
+
+def _warn_topology_degrade(labels: Sequence[str], stacklevel: int = 3) -> None:
+    warnings.warn(
+        "topology= is ignored for policy families without the "
+        f"supports_topology capability: {', '.join(labels)}; those cells "
+        "run single-domain exactly as they would without a topology",
+        UserWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _run_single_topology(
+    spec: NetworkSpec,
+    policy,
+    num_intervals: int,
+    seeds: Sequence[int],
+    groups: Optional[Sequence[int]],
+    topology,
+    backend: Optional[str] = None,
+    rng: Optional[str] = None,
+    dp_state: Optional[str] = None,
+    validate: bool = True,
+    shards: Optional[int] = None,
+) -> SweepPoint:
+    """One (spec, policy) cell on the multi-cell topology engine."""
+    from ..topology import run_topology_batch
+
+    result = run_topology_batch(
+        spec,
+        policy,
+        seeds,
+        topology,
+        num_intervals,
+        rng=rng,
+        backend=backend,
+        dp_state=dp_state,
+        validate=validate,
+        shards=shards,
+    )
+    totals = result.total_deficiency()  # (S,)
+    group_mean = None
+    if groups is not None:
+        gid = np.asarray(groups, dtype=int)
+        short = np.maximum(
+            np.asarray(spec.requirement_vector)[None, :]
+            - result.mean_deliveries(),
+            0.0,
+        )  # (S, N)
+        per_group = np.stack(
+            [
+                short[:, gid == g].sum(axis=1)
+                for g in range(int(gid.max()) + 1)
+            ],
+            axis=1,
+        )
+        group_mean = tuple(float(x) for x in per_group.mean(axis=0))
+    return SweepPoint(
+        parameter=float("nan"),  # filled by run_sweep
+        policy=registry.policy_label(policy),
+        total_deficiency=float(totals.mean()),
+        deficiency_std=float(totals.std()),
+        group_deficiency=group_mean,
+        collisions=float(result.collision_sums.astype(float).mean()),
+        mean_overhead_us=float(result.mean_overhead_us().mean()),
+    )
+
+
 def _check_dp_state(dp_state: Optional[str]) -> None:
     """Reject unknown ``dp_state`` strings before any per-family degrade.
 
@@ -190,6 +286,7 @@ def run_single(
     backend: Optional[str] = None,
     rng: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> SweepPoint:
     """Average one policy's deficiency on one spec across seeds.
 
@@ -207,7 +304,12 @@ def run_single(
     and is rejected on the scalar engine.  ``dp_state`` selects the
     DP-family priority-state maintenance mode
     (:data:`~repro.sim.batch_kernels.DP_STATE_MODES`; batch/fused
-    engines only, bit-identical either way).
+    engines only, bit-identical either way).  ``topology`` — a
+    :class:`~repro.topology.graph.CellTopology` or a builder called with
+    the spec — runs capable families (``supports_topology``) through the
+    multi-cell engine (:func:`~repro.topology.engine.run_topology_batch`);
+    non-capable families degrade to the single-domain path with one
+    ``UserWarning``.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
@@ -216,6 +318,11 @@ def run_single(
         raise ValueError(
             f"rng={rng!r} requires engine='batch' or 'fused'; the scalar "
             "engine has a single per-seed draw discipline"
+        )
+    if topology is not None and engine == "scalar":
+        raise ValueError(
+            "topology= requires engine='batch' or 'fused'; the scalar "
+            "engine is single-domain only"
         )
     if engine in ("batch", "fused"):
         policy = factory()
@@ -228,6 +335,14 @@ def run_single(
             # other families run exactly as with dp_state=None (direct
             # run_simulation_batch calls stay strict).
             eff_dp = None
+        if topology is not None:
+            if _policy_supports_topology(policy):
+                return _run_single_topology(
+                    spec, policy, num_intervals, seeds, groups,
+                    _resolve_topology(topology, spec),
+                    backend=backend, rng=eff, dp_state=eff_dp,
+                )
+            _warn_topology_degrade([registry.policy_label(policy)])
         if supports_batch_engine(spec, policy, rng=eff):
             return _run_single_batch(
                 spec, policy, num_intervals, seeds, groups, backend, eff,
@@ -288,6 +403,7 @@ def run_sweep(
     rng: Optional[str] = None,
     shards: Optional[int] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> SweepResult:
     """Run every (value, policy) cell and aggregate across seeds.
 
@@ -303,6 +419,12 @@ def run_sweep(
     (:data:`~repro.sim.rng.RNG_MODES`; batch/fused engines only) and
     ``shards`` splits a fused sweep across worker processes — see
     :func:`~repro.experiments.grid.run_sweep_fused` for both.
+    ``topology`` — a :class:`~repro.topology.graph.CellTopology` or a
+    builder called with each value's spec — runs capable policy families
+    (``supports_topology``) through the multi-cell engine; families
+    without the capability degrade to their single-domain path with one
+    ``UserWarning`` per sweep, and their cells are cached under the same
+    key as a topology-free sweep (they compute the identical point).
 
     cache:
         ``True`` / directory / :class:`~repro.experiments.cache.SweepCache`
@@ -350,11 +472,17 @@ def run_sweep(
             faults=faults,
             rng=rng,
             shards=shards,
+            topology=topology,
         )
     if rng is not None and engine == "scalar":
         raise ValueError(
             f"rng={rng!r} requires engine='batch' or 'fused'; the scalar "
             "engine has a single per-seed draw discipline"
+        )
+    if topology is not None and engine == "scalar":
+        raise ValueError(
+            "topology= requires engine='batch' or 'fused'; the scalar "
+            "engine is single-domain only"
         )
     # Local import: cache.py imports SweepPoint from this module.
     from .cache import resolve_cache, warn_uncacheable
@@ -363,12 +491,23 @@ def run_sweep(
     store = resolve_cache(cache)
     seeds_t = tuple(int(s) for s in seeds)
     groups_t = tuple(groups) if groups is not None else None
+    degraded_topo: List[str] = []
+    if topology is not None:
+        degraded_topo = [
+            label
+            for label, factory in policies.items()
+            if not _policy_supports_topology(factory())
+        ]
+        if degraded_topo:
+            _warn_topology_degrade(degraded_topo, stacklevel=2)
     failures: List[CellFailure] = []
     uncacheable: List[str] = []
     result = SweepResult(parameter_name=parameter_name, values=list(values))
     for value in values:
         spec = spec_builder(value)
+        topo = _resolve_topology(topology, spec)
         for label, factory in policies.items():
+            cell_topo = topo if label not in degraded_topo else None
             key = None
             point = None
             if store is not None:
@@ -390,6 +529,7 @@ def run_sweep(
                     sync_rng=rng == "sync",
                     engine=engine,
                     rng=key_rng,
+                    topology=cell_topo,
                 )
                 if key is None:
                     if label not in uncacheable:
@@ -400,16 +540,18 @@ def run_sweep(
                 if faults is None:
                     point = run_single(
                         spec, factory, num_intervals, seeds, groups, engine,
-                        backend, rng, dp_state,
+                        backend, rng, dp_state, topology=cell_topo,
                     )
                 else:
 
                     def _attempt(attempt, spec=spec, factory=factory,
-                                 value=value, label=label):
+                                 value=value, label=label,
+                                 cell_topo=cell_topo):
                         fire_fault_hooks(float(value), label, attempt)
                         return run_single(
                             spec, factory, num_intervals, seeds, groups,
                             engine, backend, rng, dp_state,
+                            topology=cell_topo,
                         )
 
                     point = call_with_retries(

@@ -439,11 +439,43 @@ class _ChunkedChannelDraws:
         self._tot_mask = np.empty((num_seeds, num_links), dtype=bool)
         self._tot2 = np.empty((num_seeds, num_links), dtype=dtype)
         self._gen_buf: Optional[np.ndarray] = None
+        self._lazy = False
 
     @property
     def dtype(self) -> np.dtype:
         """The draw dtype (float32 unless sums could exceed 2**24)."""
         return np.dtype(self._dtype)
+
+    @property
+    def lazy(self) -> bool:
+        """True when :meth:`next` yields *raw* exponential draws."""
+        return self._lazy
+
+    def set_lazy(self) -> None:
+        """Switch to raw-draw mode: refills only generate exponentials.
+
+        The scale/ceil/cumsum transform — four full passes over the
+        ``(depth, S, N, A)`` block, the dominant ``kernel.dp.setup``
+        cost at large N — is skipped; the caller applies it to whatever
+        rows it actually gathers (the incremental path's K-sized serve
+        set) via :meth:`scale_rows`.  Element order and arithmetic are
+        unchanged, so transformed values are bit-identical to eager
+        mode's.  Must be selected before the first draw.
+        """
+        if self._lazy:
+            return
+        if not self._fast:
+            raise RuntimeError("lazy channel draws require the fast engine")
+        if self._cache is not None:
+            raise RuntimeError(
+                "cannot switch channel-draw transform mode mid-stream"
+            )
+        self._lazy = True
+
+    def scale_rows(self, num_seeds: int) -> np.ndarray:
+        """``(S, N)`` per-(row, link) geometric scales, in draw dtype."""
+        s2 = self._scale.reshape(self._scale.shape[1], self._scale.shape[2])
+        return np.ascontiguousarray(np.broadcast_to(s2, (num_seeds, s2.shape[1])))
 
     def next(self, rng: np.random.Generator) -> np.ndarray:
         if self._pos >= self._depth:
@@ -464,21 +496,26 @@ class _ChunkedChannelDraws:
                     self._shape, dtype=self._dtype
                 )
                 allocs = 2  # the draw block plus the cumsum below
-            np.multiply(draws, self._scale, out=draws)
-            np.ceil(draws, out=draws)
-            np.maximum(draws, 1.0, out=draws)
-            if self._fast:
-                # Running cumsum along the arrival axis, in place.  The
-                # axis is tiny (A slots), so A-1 whole-cube slice adds
-                # beat ``np.cumsum``'s short-segment scan by ~5x at this
-                # shape — identical values, every partial sum an exact
-                # small integer.
-                flat = draws.reshape(-1, self._shape[-1])
-                for a in range(1, self._shape[-1]):
-                    np.add(flat[:, a], flat[:, a - 1], out=flat[:, a])
+            if self._lazy:
+                # Raw mode: generation is the whole refill; consumers
+                # transform the rows they gather.
                 self._cache = draws
             else:
-                self._cache = np.cumsum(draws, axis=3)
+                np.multiply(draws, self._scale, out=draws)
+                np.ceil(draws, out=draws)
+                np.maximum(draws, 1.0, out=draws)
+                if self._fast:
+                    # Running cumsum along the arrival axis, in place.
+                    # The axis is tiny (A slots), so A-1 whole-cube
+                    # slice adds beat ``np.cumsum``'s short-segment scan
+                    # by ~5x at this shape — identical values, every
+                    # partial sum an exact small integer.
+                    flat = draws.reshape(-1, self._shape[-1])
+                    for a in range(1, self._shape[-1]):
+                        np.add(flat[:, a], flat[:, a - 1], out=flat[:, a])
+                    self._cache = draws
+                else:
+                    self._cache = np.cumsum(draws, axis=3)
             self._pos = 0
             if perf.counters.enabled:
                 perf.counters.add(
@@ -498,6 +535,11 @@ class _ChunkedChannelDraws:
         this with a per-serve-cycle cache (the plane depends only on
         draws and arrivals, both shared).
         """
+        if self._lazy:
+            raise RuntimeError(
+                "totals() needs eager (transformed) draws; this instance "
+                "is in lazy raw-draw mode"
+            )
         if not self._fast:
             return drain_totals(needed_cum, backlog)
         np.subtract(backlog, 1, out=self._tot_idx)
@@ -1537,6 +1579,15 @@ class BatchDPKernel(BatchPolicyKernel):
         w.cmpk3 = w.cmpk2.reshape(S, K, A)
         w.ones_k = np.ones(K, dtype=workf)
         w.ones_af = np.ones(A, dtype=workf)
+        if not self._use_jit:
+            # Lazy channel draws: refills stop transforming the whole
+            # (depth, S, N, A) block; this path transforms only the
+            # (S, K, A) serve-set rows it gathers each interval.
+            self._channel_draws.set_lazy()
+            w.chan_scale = self._channel_draws.scale_rows(S)
+            w.scalek = np.empty((S * K, 1), dtype=workf)
+            w.skoff = (np.arange(S * K, dtype=np.int64) * A).reshape(S, K)
+            w.cum_row = None  # (n, A) scratch, built on first misfit row
         # Pair scratch — same shapes as the dense path (P == 1 here).
         w.cands = np.empty((S, 1), dtype=np.int64)
         w.candm1 = np.empty((S, 1), dtype=np.int64)
@@ -1755,14 +1806,36 @@ class BatchDPKernel(BatchPolicyKernel):
             np.multiply(w.att_tot_i, air, out=w.busy)
         else:
             active = bool(arrivals.any())
+            lazy = self._channel_draws.lazy
             if active:
                 arrivals.ravel().take(w.sel_flat.ravel(), out=w.blk.ravel())
                 # Per-link drain totals, gathered only for the serve set.
                 np.subtract(w.blk, 1, out=w.tmpk_i)
                 np.maximum(w.tmpk_i, 0, out=w.tmpk_i)
-                np.multiply(w.sel_flat, self._a_max, out=w.idx3)
-                np.add(w.idx3, w.tmpk_i, out=w.idx3)
-                needed.ravel().take(w.idx3.ravel(), out=w.totk.ravel())
+                if lazy:
+                    # Raw draws: gather the serve-set rows first, then
+                    # apply the scale/ceil/cumsum transform to just the
+                    # (S, K, A) block — same element order and
+                    # arithmetic as the eager whole-block transform, so
+                    # the values are bit-identical.
+                    needed.reshape(S * n, -1).take(
+                        w.sel_flat.ravel(), axis=0, out=w.needk2
+                    )
+                    w.chan_scale.ravel().take(
+                        w.sel_flat.ravel(), out=w.scalek.ravel()
+                    )
+                    np.multiply(w.needk2, w.scalek, out=w.needk2)
+                    np.ceil(w.needk2, out=w.needk2)
+                    np.maximum(w.needk2, 1.0, out=w.needk2)
+                    np.cumsum(w.needk2, axis=1, out=w.needk2)
+                    np.add(w.skoff, w.tmpk_i, out=w.idx3)
+                    w.needk2.ravel().take(
+                        w.idx3.ravel(), out=w.totk.ravel()
+                    )
+                else:
+                    np.multiply(w.sel_flat, self._a_max, out=w.idx3)
+                    np.add(w.idx3, w.tmpk_i, out=w.idx3)
+                    needed.ravel().take(w.idx3.ravel(), out=w.totk.ravel())
                 np.greater(w.blk, 0, out=w.boolk)
                 np.multiply(w.totk, w.boolk, out=w.totk)
                 # Backoff staircase by position: j below the pair, j + 2
@@ -1798,10 +1871,12 @@ class BatchDPKernel(BatchPolicyKernel):
                 np.subtract(w.capk, w.cumk, out=w.budk)
                 np.minimum(w.budk, w.totk, out=w.uk)
                 np.maximum(w.uk, 0, out=w.uk)
-                # Delivered counts off the serve set's draw rows only.
-                needed.reshape(S * n, -1).take(
-                    w.sel_flat.ravel(), axis=0, out=w.needk2
-                )
+                # Delivered counts off the serve set's draw rows only
+                # (already gathered and transformed above in lazy mode).
+                if not lazy:
+                    needed.reshape(S * n, -1).take(
+                        w.sel_flat.ravel(), axis=0, out=w.needk2
+                    )
                 np.less_equal(
                     w.needk3, w.budk[:, :, None], out=w.cmpk3,
                     casting="unsafe",
@@ -1993,7 +2068,24 @@ class BatchDPKernel(BatchPolicyKernel):
             w.attempts_i.ravel()[sel[i0:]] = 0
         inv_row = w.inv[s]
         arr_row = arrivals[s]
-        cum_rows = needed[s]
+        if self._channel_draws.lazy:
+            # Raw draws: transform this row's whole (n, A) plane into a
+            # reused scratch.  Only misfitting-claim rows come through
+            # here, so the O(n*A) pass stays off the steady-state path.
+            scratch = w.cum_row
+            if scratch is None:
+                scratch = w.cum_row = np.empty(
+                    needed.shape[1:], dtype=needed.dtype
+                )
+            np.multiply(
+                needed[s], w.chan_scale[s][:, None], out=scratch
+            )
+            np.ceil(scratch, out=scratch)
+            np.maximum(scratch, 1.0, out=scratch)
+            np.cumsum(scratch, axis=1, out=scratch)
+            cum_rows = scratch
+        else:
+            cum_rows = needed[s]
         delivered = w.delivered
         attempts = w.attempts_i
         for j in range(j0, n):

@@ -143,19 +143,22 @@ class BatchSimulationResult:
                 f"{self.policy_name} ran on a lite-bound kernel (no attempt "
                 "traces); trace recording requires lite=False"
             )
-        self._arrivals.append(np.asarray(arrivals, dtype=np.int64))
-        self._deliveries.append(np.asarray(outcome.deliveries, dtype=np.int64))
-        self._attempts.append(np.asarray(outcome.attempts, dtype=np.int64))
-        self._busy.append(np.asarray(outcome.busy_time_us, dtype=float))
-        self._overhead.append(np.asarray(outcome.overhead_time_us, dtype=float))
-        self._collisions.append(np.asarray(outcome.collisions, dtype=np.int64))
+        # Copy: several draw/kernel paths hand back reused buffers (e.g.
+        # the topology engine's cell-wise blocks), so stored traces must
+        # own their data or every interval would alias the last one.
+        self._arrivals.append(np.array(arrivals, dtype=np.int64))
+        self._deliveries.append(np.array(outcome.deliveries, dtype=np.int64))
+        self._attempts.append(np.array(outcome.attempts, dtype=np.int64))
+        self._busy.append(np.array(outcome.busy_time_us, dtype=float))
+        self._overhead.append(np.array(outcome.overhead_time_us, dtype=float))
+        self._collisions.append(np.array(outcome.collisions, dtype=np.int64))
         if self.record_priorities:
             if outcome.priorities is None:
                 raise RuntimeError(
                     f"{self.policy_name} produced no priorities but the run "
                     "was configured to record them"
                 )
-            self._priorities.append(np.asarray(outcome.priorities, dtype=np.int64))
+            self._priorities.append(np.array(outcome.priorities, dtype=np.int64))
 
     # ------------------------------------------------------------------
     @property
@@ -451,6 +454,11 @@ class _FanoutDraws:
         self._block: Optional[np.ndarray] = None
         self._totals: Optional[np.ndarray] = None
 
+    @property
+    def lazy(self) -> bool:
+        """Whether the shared source serves raw (untransformed) draws."""
+        return bool(getattr(self._inner, "lazy", False))
+
     def next(self, rng: np.random.Generator) -> np.ndarray:
         if self._remaining == 0:
             self._block = self._inner.next(rng)
@@ -501,12 +509,17 @@ def share_batch_draws(sims: Sequence["BatchIntervalSimulator"]) -> None:
         # REPRO_DRAW_CHUNK).
         # The rng mode is part of the key too: batch and free simulators
         # draw from disjoint stream namespaces, so their blocks differ.
+        # Lazy (raw-draw) kernels transform gathered rows themselves;
+        # eager kernels expect the block pre-transformed.  Both generate
+        # identical raw streams, but a shared *block* must mean the same
+        # thing to every client, so lazy-ness splits the class.
         key = (
             sim.rng.seeds,
             sim.rng.stream_tag,
             sim.rng_mode,
             specs,
             draws._depth,
+            bool(getattr(draws, "lazy", False)),
         )
         for existing_key, members in classes:
             if existing_key == key:  # spec equality, not identity
@@ -803,8 +816,38 @@ def run_simulation_batch(
     backend: Optional[str] = None,
     rng: Optional[str] = None,
     dp_state: Optional[str] = None,
+    topology=None,
 ) -> BatchSimulationResult:
-    """One-shot convenience wrapper around :class:`BatchIntervalSimulator`."""
+    """One-shot convenience wrapper around :class:`BatchIntervalSimulator`.
+
+    ``topology`` — a :class:`~repro.topology.graph.CellTopology` — runs
+    the multi-cell lowering instead and returns its aggregated
+    :class:`~repro.topology.engine.TopologyResult` (per-interval traces
+    are a single-domain feature; the topology engine reports per-link
+    sums).  Like ``dp_state``, the direct call is strict: a policy
+    family without ``supports_topology`` raises ``TypeError`` (the
+    experiment runner degrades gracefully instead).
+    """
+    if topology is not None:
+        if record_priorities:
+            raise ValueError(
+                "record_priorities is a single-domain trace feature; it "
+                "is not supported with topology="
+            )
+        from ..topology import run_topology_batch
+
+        return run_topology_batch(
+            spec,
+            policy,
+            seeds,
+            topology,
+            num_intervals,
+            sync_rng=sync_rng,
+            rng=rng,
+            backend=backend,
+            dp_state=dp_state,
+            validate=validate,
+        )
     sim = BatchIntervalSimulator(
         spec,
         policy,

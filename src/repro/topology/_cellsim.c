@@ -1,0 +1,601 @@
+/* Compiled multi-cell DB-DP kernel.
+ *
+ * One call simulates every (cell, seed) row of a packed topology for a
+ * whole run: rows are independent given the precomputed boundary owner
+ * draws, so each row's full interval loop runs with its state (delivery
+ * sums, priority permutation, RNG) resident in L1.  The interval
+ * semantics mirror the batch engine's dense DP path (see
+ * repro/sim/batch_kernels.py:_run_interval_ws, single-pair branch):
+ *
+ *   1. per-link arrivals (bursty-video / Bernoulli), boundary-masked;
+ *   2. one candidate position c ~ U{1..n-1}; Glauber coins for the two
+ *      candidate links with mu = 1 / (1 + R exp(-f(d+) p)),
+ *      f(x) = log(max(1, coeff (x + 1))), clipped inside (0, 1);
+ *   3. service in priority order with the candidates possibly swapped
+ *      (both coins pointing "swap"), the backoff staircase, empty-claim
+ *      slots for idle candidates, and the shared transmission budget
+ *      floor((T - dead_j) / air) walked sequentially;
+ *   4. commit of the priority swap iff the first-served candidate
+ *      transmitted and its slot finished inside the interval;
+ *   5. debts evolve as d_i(k) = q_i k - deliveries_so_far(i) — derived
+ *      on demand for the two candidate links, never stored.
+ *
+ * Randomness: eight interleaved xoshiro256++ lanes per row, drained
+ * into a uint32 buffer in bulk (the lane loops auto-vectorize; with the
+ * buffer, the serve loop's critical path is a load + compare instead of
+ * the generator's sequential dependency chain).  Lane states come from
+ * numpy SeedSequence material keyed by (seed value, global cell index),
+ * so results are a pure function of (topology, seeds): invariant under
+ * packing order, sharding and the presence of other cells.
+ * Statistically equivalent to the numpy engine's rng="free" discipline,
+ * not bit-identical (different generator, same distributions).
+ *
+ * Integer-microsecond timing is required (the Python wrapper checks);
+ * all timeline arithmetic below is exact int64.
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define LANES 8
+
+typedef struct {
+    uint64_t s0[LANES];
+    uint64_t s1[LANES];
+    uint64_t s2[LANES];
+    uint64_t s3[LANES];
+    uint32_t *buf;
+    int64_t cap;   /* buffer length, multiple of 2 * LANES */
+    int64_t pos;   /* next unread uint32 */
+} rng8_t;
+
+static inline uint64_t rotl64(const uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/* Discard the unread tail and refill the whole buffer.  The discard is
+ * deterministic: identical inputs walk an identical consumption path.
+ * Each round emits one 64-bit result per lane, stored as two
+ * consecutive uint32 values (low word first — the buffer layout is
+ * little-endian u64 stores, identical between the two variants below).
+ * The refill dominated the whole kernel as scalar code (the per-lane
+ * loops refused to auto-vectorize), hence the explicit AVX-512 path:
+ * eight lanes are exactly one zmm register per xoshiro state word. */
+#if defined(__AVX512F__)
+#include <immintrin.h>
+static void rng8_refill(rng8_t *g)
+{
+    __m512i s0 = _mm512_loadu_si512((const void *)g->s0);
+    __m512i s1 = _mm512_loadu_si512((const void *)g->s1);
+    __m512i s2 = _mm512_loadu_si512((const void *)g->s2);
+    __m512i s3 = _mm512_loadu_si512((const void *)g->s3);
+    uint32_t *out = g->buf;
+    for (int64_t b = 0; b < g->cap; b += 2 * LANES) {
+        const __m512i res = _mm512_add_epi64(
+            _mm512_rol_epi64(_mm512_add_epi64(s0, s3), 23), s0);
+        const __m512i t = _mm512_slli_epi64(s1, 17);
+        s2 = _mm512_xor_si512(s2, s0);
+        s3 = _mm512_xor_si512(s3, s1);
+        s1 = _mm512_xor_si512(s1, s2);
+        s0 = _mm512_xor_si512(s0, s3);
+        s2 = _mm512_xor_si512(s2, t);
+        s3 = _mm512_rol_epi64(s3, 45);
+        _mm512_storeu_si512((void *)(out + b), res);
+    }
+    _mm512_storeu_si512((void *)g->s0, s0);
+    _mm512_storeu_si512((void *)g->s1, s1);
+    _mm512_storeu_si512((void *)g->s2, s2);
+    _mm512_storeu_si512((void *)g->s3, s3);
+    g->pos = 0;
+}
+#else
+static void rng8_refill(rng8_t *g)
+{
+    for (int64_t b = 0; b < g->cap; b += 2 * LANES) {
+        uint64_t *out64 = (uint64_t *)(g->buf + b);
+        for (int l = 0; l < LANES; l++) {
+            const uint64_t r0 = g->s0[l];
+            const uint64_t r1 = g->s1[l];
+            const uint64_t r2 = g->s2[l];
+            const uint64_t r3 = g->s3[l];
+            out64[l] = rotl64(r0 + r3, 23) + r0;
+            const uint64_t t = r1 << 17;
+            const uint64_t n2 = r2 ^ r0;
+            const uint64_t n3 = r3 ^ r1;
+            g->s1[l] = r1 ^ n2;
+            g->s0[l] = r0 ^ n3;
+            g->s2[l] = n2 ^ t;
+            g->s3[l] = rotl64(n3, 45);
+        }
+    }
+    g->pos = 0;
+}
+#endif
+
+static inline double u32s_to_double(uint32_t hi, uint32_t lo)
+{
+    const uint64_t v = ((uint64_t)hi << 32) | lo;
+    return (double)(v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+static inline double glauber_mu(double debt, double p, double glauber_r,
+                                double coeff)
+{
+    double dp = debt > 0.0 ? debt : 0.0;
+    double f = log(fmax(1.0, coeff * (dp + 1.0)));
+    double energy = f * p;
+    if (energy > 700.0)
+        energy = 700.0;
+    double mu = 1.0 / (1.0 + glauber_r * exp(-energy));
+    if (mu < 1e-12)
+        mu = 1e-12;
+    if (mu > 1.0 - 1e-12)
+        mu = 1.0 - 1e-12;
+    return mu;
+}
+
+/* Compare the next 64 channel draws against one shared threshold and
+ * pack the outcomes into a bitmask (bit i = draw i succeeded).  With
+ * the whole interval's attempt budget <= 64, every link's service then
+ * reduces to branch-free bit arithmetic on this mask — the per-attempt
+ * compare loop's data-dependent branches were the kernel's largest
+ * remaining cost. */
+static inline uint64_t channel_mask64(const uint32_t *rp, uint64_t thr)
+{
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    const __m512i t = _mm512_set1_epi32((int32_t)(uint32_t)(thr > 0xFFFFFFFFULL
+                                                            ? 0xFFFFFFFFULL
+                                                            : thr));
+    /* For thr == 2^32 (p == 1.0) every draw succeeds; cmplt against
+     * 0xFFFFFFFF misses only draws equal to 0xFFFFFFFF, so patch that
+     * case with cmple. */
+    uint64_t m = 0;
+    if (thr > 0xFFFFFFFFULL) {
+        for (int q = 0; q < 4; q++) {
+            const __m512i v =
+                _mm512_loadu_si512((const void *)(rp + 16 * q));
+            m |= (uint64_t)_mm512_cmple_epu32_mask(v, t) << (16 * q);
+        }
+    } else {
+        for (int q = 0; q < 4; q++) {
+            const __m512i v =
+                _mm512_loadu_si512((const void *)(rp + 16 * q));
+            m |= (uint64_t)_mm512_cmplt_epu32_mask(v, t) << (16 * q);
+        }
+    }
+    return m;
+#else
+    uint64_t m = 0;
+    for (int i = 0; i < 64; i++)
+        m |= (uint64_t)((uint64_t)rp[i] < thr) << i;
+    return m;
+#endif
+}
+
+#if defined(__BMI2__) && defined(__POPCNT__)
+#include <immintrin.h>
+#define CELLSIM_HAVE_MASK_SERVE 1
+#else
+#define CELLSIM_HAVE_MASK_SERVE 0
+#endif
+
+#if CELLSIM_HAVE_MASK_SERVE
+/* Bit j set iff the link at service position j has arrivals (n <= 64).
+ * Off the walk's critical path: it decides which positions the walk
+ * visits at all — idle positions contribute nothing to the interval
+ * (no attempts, no empties, no idle time), so skipping them halves the
+ * sequential budget chain at typical loads. */
+static inline uint64_t active_positions(const int32_t *inv,
+                                        const int32_t *arr, int64_t n)
+{
+    uint64_t amask = 0;
+#if defined(__AVX512F__)
+    for (int64_t j0 = 0; j0 < n; j0 += 16) {
+        const int64_t rem = n - j0;
+        const __mmask16 lane =
+            rem >= 16 ? (__mmask16)0xFFFF : (__mmask16)((1u << rem) - 1);
+        const __m512i vidx = _mm512_maskz_loadu_epi32(lane, inv + j0);
+        const __m512i vals = _mm512_mask_i32gather_epi32(
+            _mm512_setzero_si512(), lane, vidx, arr, 4);
+        amask |= (uint64_t)_mm512_mask_cmpgt_epi32_mask(
+                     lane, vals, _mm512_setzero_si512())
+                 << j0;
+    }
+#else
+    for (int64_t j = 0; j < n; j++)
+        amask |= (uint64_t)(arr[inv[j]] > 0) << j;
+#endif
+    return amask;
+}
+#endif
+
+void cellsim_run(
+    int64_t num_rows,            /* C_packed * S, cell-major             */
+    int64_t num_seeds,           /* S                                    */
+    int64_t width,               /* padded links per cell                */
+    int64_t num_intervals,       /* K                                    */
+    int64_t burst_max,           /* >= 1; 1 == Bernoulli arrivals        */
+    const uint64_t *athr,        /* (C*W) arrival thresholds (alpha<<32) */
+    const uint64_t *pthr,        /* (C*W) channel thresholds (p<<32)     */
+    const double *probs,         /* (C*W) reliabilities (for mu)         */
+    const double *reqs,          /* (C*W) per-membership requirements    */
+    int64_t T, int64_t air, int64_t empty, int64_t slot,
+    double glauber_r, double coeff,
+    int64_t num_boundary,        /* B over the whole topology            */
+    const int64_t *bnd_offsets,  /* (C+1) slice bounds into bnd_*        */
+    const int64_t *bnd_local,    /* per entry: local slot in the cell    */
+    const int64_t *bnd_index,    /* per entry: boundary link index b     */
+    const int64_t *bnd_member,   /* per entry: membership ordinal        */
+    const uint8_t *owners,       /* (K*S*B) owner ordinals               */
+    const int64_t *row_cells,    /* (num_rows) global cell id per row    */
+    const uint64_t *row_states,  /* (num_rows * 4 * LANES) seed material */
+    int64_t *delivery_sums,      /* out (num_rows*W)                     */
+    double *overhead_sums,       /* out (num_rows)                       */
+    int32_t *inv_out)            /* out (num_rows*W) final service order */
+{
+    const int64_t n = width;
+    const int64_t att_cap = T / air;  /* shared budget bounds attempts  */
+    /* Worst-case uint32 consumption of one interval: 2n arrival draws,
+     * 1 candidate draw, 4 for the two coin doubles, and the channel
+     * block (a fixed 64 draws on the mask-serve path, att_cap on the
+     * scalar path) — rounded up so one refill check per interval
+     * suffices and every draw inside the interval is a raw buffer
+     * read. */
+    const int64_t chan_need = att_cap > 64 ? att_cap : 64;
+    const int64_t need = 2 * n + 5 + chan_need;
+    int64_t cap = 2 * need;
+    cap += (2 * LANES) - (cap % (2 * LANES));
+    int32_t *inv = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    int32_t *arr = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    uint32_t *buf = (uint32_t *)malloc((size_t)cap * sizeof(uint32_t));
+    /* captab[bp * 3 + e] = floor((T - bp*slot - e*empty) / air), i.e.
+     * the attempt capacity of a timeline whose current link backed off
+     * bp slots behind e claimed empties — all the integer divisions of
+     * the interval, hoisted to one table per call (bp <= n + 1, and at
+     * most two empties can ever be claimed). */
+    int64_t *captab = (int64_t *)malloc((size_t)(n + 2) * 3 * sizeof(int64_t));
+    if (!inv || !arr || !buf || !captab) {
+        free(inv); free(arr); free(buf); free(captab);
+        return;
+    }
+    for (int64_t bp = 0; bp <= n + 1; bp++)
+        for (int64_t e = 0; e < 3; e++) {
+            const int64_t rem = T - bp * slot - e * empty;
+            captab[bp * 3 + e] = rem > 0 ? rem / air : 0;
+        }
+
+    for (int64_t r = 0; r < num_rows; r++) {
+        const int64_t cell = row_cells[r / num_seeds];
+        const int64_t s = r % num_seeds;
+        const uint64_t *ath = athr + cell * n;
+        const uint64_t *pth = pthr + cell * n;
+        const double *p_row = probs + cell * n;
+        const double *q_row = reqs + cell * n;
+        const int64_t b_lo = bnd_offsets ? bnd_offsets[cell] : 0;
+        const int64_t b_hi = bnd_offsets ? bnd_offsets[cell + 1] : 0;
+        int64_t *dsum = delivery_sums + r * n;
+        rng8_t g;
+        g.buf = buf;
+        g.cap = cap;
+        g.pos = cap;  /* force a fill on first use */
+        for (int l = 0; l < LANES; l++) {
+            const uint64_t *st = row_states + (r * LANES + l) * 4;
+            g.s0[l] = st[0];
+            g.s1[l] = st[1];
+            g.s2[l] = st[2];
+            g.s3[l] = st[3];
+            if (!(st[0] | st[1] | st[2] | st[3]))
+                g.s0[l] = 0x9E3779B97F4A7C15ULL + (uint64_t)l;
+        }
+        double ovh_sum = 0.0;
+        for (int64_t i = 0; i < n; i++)
+            inv[i] = (int32_t)i;
+
+        /* Mask-serve fast path: valid when the interval's attempt
+         * budget and the cell width both fit in one 64-bit mask and
+         * every link that can ever have traffic (arrival threshold > 0
+         * — pads and dead links never transmit) shares one channel
+         * threshold.  The scalar per-attempt loop remains the general
+         * path. */
+        int row_fast = 0;
+        uint64_t thr_cell = 0;
+#if CELLSIM_HAVE_MASK_SERVE
+        if (att_cap <= 64 && n >= 2 && n <= 64) {
+            row_fast = 1;
+            int seen = 0;
+            for (int64_t i = 0; i < n; i++) {
+                if (ath[i] == 0)
+                    continue;
+                if (!seen) {
+                    thr_cell = pth[i];
+                    seen = 1;
+                } else if (pth[i] != thr_cell) {
+                    row_fast = 0;
+                    break;
+                }
+            }
+        }
+#endif
+
+        for (int64_t k = 0; k < num_intervals; k++) {
+            if (g.pos > cap - need)
+                rng8_refill(&g);
+            const uint32_t *rp = buf + g.pos;  /* check-free reads */
+            const double dk = (double)k;
+
+            /* 1. arrivals.  One activation draw and one burst draw per
+             * link regardless of the outcome: constant stream shape, no
+             * data-dependent branch (the ~50/50 activation branch would
+             * be the most mispredicted compare in the loop), and the
+             * whole scan vectorizes over the draw buffer. */
+            if (burst_max == 1) {
+                for (int64_t i = 0; i < n; i++)
+                    arr[i] = (uint64_t)rp[2 * i] < ath[i];
+            } else {
+                for (int64_t i = 0; i < n; i++) {
+                    const int32_t act =
+                        -(int32_t)((uint64_t)rp[2 * i] < ath[i]);
+                    const int32_t burst = 1 + (int32_t)(
+                        ((uint64_t)rp[2 * i + 1] * (uint64_t)burst_max)
+                        >> 32);
+                    arr[i] = burst & act;
+                }
+            }
+            rp += 2 * n;
+            /* boundary mask: non-owner memberships see no arrivals */
+            for (int64_t e = b_lo; e < b_hi; e++) {
+                const int64_t b = bnd_index[e];
+                if (owners[(k * num_seeds + s) * num_boundary + b]
+                    != (uint8_t)bnd_member[e])
+                    arr[bnd_local[e]] = 0;
+            }
+
+            /* 2. candidate pair + Glauber coins */
+            if (n >= 2) {
+                const int64_t c = 1 + (int64_t)(
+                    ((uint64_t)rp[0] * (uint64_t)(n - 1)) >> 32);
+                const double u_d = u32s_to_double(rp[1], rp[2]);
+                const double u_u = u32s_to_double(rp[3], rp[4]);
+                rp += 5;
+                const int32_t down = inv[c - 1];
+                const int32_t up = inv[c];
+                const double debt_d = q_row[down] * dk - (double)dsum[down];
+                const double debt_u = q_row[up] * dk - (double)dsum[up];
+                const int xib_d = u_d <
+                    glauber_mu(debt_d, p_row[down], glauber_r, coeff);
+                const int xib_u = u_u <
+                    glauber_mu(debt_u, p_row[up], glauber_r, coeff);
+                const int xi_d = 2 * xib_d - 1;
+                const int xi_u = 2 * xib_u - 1;
+                const int cc = (!xib_d) && xib_u;
+                /* candidate backoffs: c - xi_down and c + 1 - xi_up,
+                 * min at service position c-1, max at position c */
+                const int64_t v1 = c - xi_d;
+                const int64_t v2 = c + 1 - xi_u;
+                const int64_t bmin = v1 < v2 ? v1 : v2;
+                const int64_t bmax = v1 < v2 ? v2 : v1;
+
+                /* 3. sequential timeline walk in service order. */
+                int64_t empties = 0, idle = 0, ne = 0;
+                int64_t start_cdm1 = 0;
+                int tx_cdm1 = 0;
+#if CELLSIM_HAVE_MASK_SERVE
+                if (row_fast) {
+                    /* Branch-free serve: one 64-draw success mask for
+                     * the whole interval; each link's delivered/used
+                     * attempts are bit arithmetic on it.  Semantics
+                     * match the scalar loop exactly — link at position
+                     * j consumes the next `used` mask bits, where
+                     * used = min(index of a-th success, budget) and
+                     * budget = captab[bp][empties] - attempts so far.
+                     *
+                     * The walk visits only *active* positions (links
+                     * with arrivals, from the gathered bitmask) plus
+                     * the two candidate positions; idle non-candidates
+                     * contribute nothing to the timeline.  Splitting
+                     * the iteration into below/candidates/above
+                     * segments removes the position-classify branches
+                     * from the hot body entirely. */
+                    uint64_t chmask = channel_mask64(rp, thr_cell);
+                    rp += 64;
+                    int64_t att_used = 0;
+                    const uint64_t am = active_positions(inv, arr, n);
+                    /* bits 0..c-2 and bits c+1..n-1 (c <= 63 so the
+                     * unsigned 2<<c wrap at c == 63 yields 0 above) */
+                    uint64_t below = am & ((1ULL << (c - 1)) - 1);
+                    uint64_t above = am & ~((2ULL << c) - 1);
+                    while (below) {
+                        const int64_t j =
+                            (int64_t)__builtin_ctzll(below);
+                        below &= below - 1;
+                        const int32_t link = inv[j];
+                        const int64_t bp = j;
+                        const int64_t dcap = captab[bp * 3 + empties];
+                        const int64_t m0 = dcap - att_used;
+                        const int64_t m = m0 > 0 ? m0 : 0;
+                        const int32_t a = arr[link];
+                        const uint64_t abit =
+                            1ULL << ((uint32_t)(a - 1) & 63);
+                        const uint64_t x = _pdep_u64(abit, chmask);
+                        const int64_t na =
+                            x ? (int64_t)__builtin_ctzll(x) + 1 : 65;
+                        const int comp = na <= m;
+                        const int64_t used = comp ? na : m;
+                        const uint64_t mm = used < 64
+                            ? ((1ULL << used) - 1) : ~0ULL;
+                        const int64_t del = comp
+                            ? a
+                            : (int64_t)__builtin_popcountll(chmask & mm);
+                        dsum[link] += del;
+                        chmask = used < 64 ? chmask >> used : 0;
+                        att_used += used;
+                        idle = (used > 0 && bp > idle) ? bp : idle;
+                    }
+                    for (int which = 0; which < 2; which++) {
+                        const int32_t link = (which ^ cc) ? up : down;
+                        const int64_t bp = which ? bmax : bmin;
+                        const int64_t dead =
+                            bp * slot + empties * empty;
+                        const int64_t dcap = captab[bp * 3 + empties];
+                        const int64_t m0 = dcap - att_used;
+                        const int64_t m = m0 > 0 ? m0 : 0;
+                        const int32_t a = arr[link];
+                        const int64_t start = att_used * air + dead;
+                        const uint64_t abit = ((uint64_t)(a > 0))
+                            << ((uint32_t)(a - 1) & 63);
+                        const uint64_t x = _pdep_u64(abit, chmask);
+                        const int64_t na =
+                            x ? (int64_t)__builtin_ctzll(x) + 1 : 65;
+                        const int comp = na <= m;
+                        const int64_t used =
+                            a > 0 ? (comp ? na : m) : 0;
+                        const uint64_t mm = used < 64
+                            ? ((1ULL << used) - 1) : ~0ULL;
+                        const int64_t del = comp
+                            ? a
+                            : (int64_t)__builtin_popcountll(chmask & mm);
+                        dsum[link] += del;
+                        chmask = used < 64 ? chmask >> used : 0;
+                        att_used += used;
+                        int tx = used > 0;
+                        if (a == 0 && start + empty <= T) {
+                            /* idle candidates claim one empty packet */
+                            empties++;
+                            ne++;
+                            tx = 1;
+                        }
+                        idle = (tx && bp > idle) ? bp : idle;
+                        if (!which) {
+                            start_cdm1 = start;
+                            tx_cdm1 = tx;
+                        }
+                    }
+                    while (above) {
+                        const int64_t j =
+                            (int64_t)__builtin_ctzll(above);
+                        above &= above - 1;
+                        const int32_t link = inv[j];
+                        const int64_t bp = j + 2;
+                        const int64_t dcap = captab[bp * 3 + empties];
+                        if (dcap <= att_used)
+                            /* dead_j is nondecreasing in j and both
+                             * candidates are behind us: nothing later
+                             * can transmit or claim an empty. */
+                            break;
+                        const int64_t m = dcap - att_used;
+                        const int32_t a = arr[link];
+                        const uint64_t abit =
+                            1ULL << ((uint32_t)(a - 1) & 63);
+                        const uint64_t x = _pdep_u64(abit, chmask);
+                        const int64_t na =
+                            x ? (int64_t)__builtin_ctzll(x) + 1 : 65;
+                        const int comp = na <= m;
+                        const int64_t used = comp ? na : m;
+                        const uint64_t mm = used < 64
+                            ? ((1ULL << used) - 1) : ~0ULL;
+                        const int64_t del = comp
+                            ? a
+                            : (int64_t)__builtin_popcountll(chmask & mm);
+                        dsum[link] += del;
+                        chmask = used < 64 ? chmask >> used : 0;
+                        att_used += used;
+                        idle = (used > 0 && bp > idle) ? bp : idle;
+                    }
+                } else
+#endif
+                {
+                    /* Scalar serve: the transmission budget
+                     * floor((T - dead_j)/air) is walked as accumulated
+                     * data airtime ("busy"): attempt allowed iff
+                     * busy + dead + air <= T — exactly the floor
+                     * budget, no integer division. */
+                    int64_t busy = 0;
+                    for (int64_t j = 0; j < n; j++) {
+                        int32_t link;
+                        int64_t bp;
+                        int is_cand = 0;
+                        if (j == c - 1) {
+                            link = cc ? up : down;
+                            bp = bmin;
+                            is_cand = 1;
+                        } else if (j == c) {
+                            link = cc ? down : up;
+                            bp = bmax;
+                            is_cand = 1;
+                        } else {
+                            link = inv[j];
+                            bp = (j < c - 1) ? j : j + 2;
+                        }
+                        const int64_t dead = bp * slot + empties * empty;
+                        const int64_t start = busy + dead;
+                        const int32_t a = arr[link];
+                        int tx = 0;
+                        if (a > 0) {
+                            int32_t delivered = 0;
+                            const uint64_t thr = pth[link];
+                            const int64_t fit = T - dead - air;
+                            while (busy <= fit) {
+                                busy += air;
+                                tx = 1;
+                                delivered +=
+                                    (int32_t)((uint64_t)*rp++ < thr);
+                                if (delivered >= a)
+                                    break;
+                            }
+                            dsum[link] += delivered;
+                        } else if (is_cand && start + empty <= T) {
+                            /* idle candidates claim one empty packet */
+                            empties++;
+                            ne++;
+                            tx = 1;
+                        }
+                        if (tx && bp > idle)
+                            idle = bp;
+                        if (j == c - 1) {
+                            start_cdm1 = start;
+                            tx_cdm1 = tx;
+                        } else if (j > c && busy + dead + air > T) {
+                            /* dead_j is nondecreasing in j and both
+                             * candidates are behind us: no later
+                             * position can transmit data or claim an
+                             * empty — the outcome is final. */
+                            break;
+                        }
+                    }
+                }
+                ovh_sum += (double)(idle * slot + ne * empty);
+
+                /* 4. commit: swap iff both coins said swap and the
+                 * first-served candidate's slot completed in time */
+                if (cc && tx_cdm1 && start_cdm1 + air <= T) {
+                    inv[c - 1] = up;
+                    inv[c] = down;
+                }
+            } else {
+                /* single-link cell: serve, no candidates, no swaps */
+                const int32_t a = arr[0];
+                if (a > 0) {
+                    int32_t delivered = 0;
+                    int64_t busy = 0;
+                    const uint64_t thr = pth[0];
+                    while (busy + air <= T) {
+                        busy += air;
+                        delivered += (int32_t)((uint64_t)*rp++ < thr);
+                        if (delivered >= a)
+                            break;
+                    }
+                    dsum[0] += delivered;
+                }
+            }
+            g.pos = rp - buf;
+        }
+        overhead_sums[r] = ovh_sum;
+        for (int64_t i = 0; i < n; i++)
+            inv_out[r * n + i] = inv[i];
+    }
+    free(inv);
+    free(arr);
+    free(buf);
+    free(captab);
+}

@@ -1,0 +1,173 @@
+"""Lower a :class:`~repro.topology.graph.CellTopology` onto batch rows.
+
+The multi-cell lowering turns one ``N``-link topology into ``C`` small
+specs — one per cell — so every (seed, cell) pair becomes an independent
+row of the existing batch engine.  :class:`CellPacking` owns that
+translation:
+
+* **slicing** — each cell's spec reuses the global spec's per-link
+  parameters (arrival rates, reliabilities, requirements) at the cell's
+  member links, rebuilt as the same process/channel classes so the cell
+  spec is a first-class :class:`~repro.core.requirements.NetworkSpec`;
+* **padding** — cells are padded to the topology's widest cell with
+  zero-rate, zero-requirement links (reliability 1) so all rows share one
+  width and stack into a single kernel invocation.  The protocol treats a
+  pad exactly like a real link that never has traffic, which the paper's
+  model already allows;
+* **requirement splitting** — a boundary link's requirement is divided
+  evenly across its memberships, so each cell's debt dynamics chase the
+  share of the requirement that cell can actually serve (ownership
+  rotates; see :mod:`repro.topology.boundary`).  Global deficiency is
+  still measured against the full requirement via the summed deliveries.
+
+Only cross-link-independent arrival processes can be sliced per cell;
+correlated or stateful processes raise ``TypeError`` (their joint
+distribution cannot be factored across cells).
+"""
+from __future__ import annotations
+
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.requirements import NetworkSpec
+from ..phy.channel import BernoulliChannel
+from ..traffic.arrivals import (
+    ArrivalProcess,
+    BernoulliArrivals,
+    BurstyVideoArrivals,
+    ConstantArrivals,
+    TruncatedPoissonArrivals,
+)
+from .graph import CellTopology
+
+__all__ = ["CellPacking", "slice_arrivals"]
+
+
+def slice_arrivals(
+    process: ArrivalProcess, links: Tuple[int, ...], pad: int
+) -> ArrivalProcess:
+    """Rebuild ``process`` restricted to ``links`` plus ``pad`` dead links.
+
+    Works for processes whose links are mutually independent (the joint
+    law factorizes, so the restriction is exact).  Pads get the process's
+    natural "never arrives" parameter.
+    """
+    if isinstance(process, BurstyVideoArrivals):
+        alphas = tuple(process.alphas[l] for l in links) + (0.0,) * pad
+        return BurstyVideoArrivals(alphas=alphas, burst_max=process.burst_max)
+    if isinstance(process, BernoulliArrivals):
+        rates = tuple(process.rates[l] for l in links) + (0.0,) * pad
+        return BernoulliArrivals(rates=rates)
+    if isinstance(process, ConstantArrivals):
+        counts = tuple(process.counts[l] for l in links) + (0,) * pad
+        return ConstantArrivals(counts=counts)
+    if isinstance(process, TruncatedPoissonArrivals):
+        rates = tuple(process.poisson_rates[l] for l in links) + (0.0,) * pad
+        return TruncatedPoissonArrivals(poisson_rates=rates, cap=process.cap)
+    raise TypeError(
+        f"{type(process).__name__} cannot be sliced per cell: the "
+        "topology layer needs cross-link-independent arrivals (the joint "
+        "law must factor across cells)"
+    )
+
+
+class CellPacking:
+    """Per-cell specs plus the index maps between rows and global links."""
+
+    def __init__(self, spec: NetworkSpec, topology: CellTopology):
+        if topology.num_links != spec.num_links:
+            raise ValueError(
+                f"topology covers {topology.num_links} links but the spec "
+                f"has {spec.num_links}"
+            )
+        self.spec = spec
+        self.topology = topology
+        self.width = topology.max_cell_size
+        mships = topology.memberships
+        reliab = spec.reliabilities
+        qs = spec.requirement_vector
+        boundary = topology.boundary_links
+        b_index = {l: b for b, l in enumerate(boundary)}
+
+        specs: List[NetworkSpec] = []
+        member = np.full((topology.num_cells, self.width), -1, dtype=np.int64)
+        b_idx = np.full((topology.num_cells, self.width), -1, dtype=np.int32)
+        b_member = np.full((topology.num_cells, self.width), -1, dtype=np.int8)
+        for c, cell in enumerate(topology.cells):
+            pad = self.width - len(cell)
+            arrivals = slice_arrivals(spec.arrivals, cell, pad)
+            probs = tuple(float(reliab[l]) for l in cell) + (1.0,) * pad
+            reqs = []
+            for i, l in enumerate(cell):
+                member[c, i] = l
+                m = len(mships[l])
+                reqs.append(float(qs[l]) / m)
+                if m > 1:
+                    b_idx[c, i] = b_index[l]
+                    b_member[c, i] = mships[l].index((c, i))
+            specs.append(
+                NetworkSpec(
+                    arrivals=arrivals,
+                    channel=BernoulliChannel(success_probs=probs),
+                    timing=spec.timing,
+                    requirements=tuple(reqs) + (0.0,) * pad,
+                )
+            )
+        self.cell_specs: Tuple[NetworkSpec, ...] = tuple(specs)
+        #: ``(C, width)`` global link id per (cell, local), -1 for pads.
+        self.member_matrix = member
+        #: ``(C, width)`` boundary-link index per (cell, local), -1 if the
+        #: slot is interior or a pad.
+        self.boundary_index_matrix = b_idx
+        #: ``(C, width)`` this membership's ordinal among the boundary
+        #: link's memberships (matches the owner draw's range), -1 n/a.
+        self.boundary_member_matrix = b_member
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return self.topology.num_cells
+
+    @cached_property
+    def scatter_index(self) -> np.ndarray:
+        """Flat ``(C * width,)`` global target per slot; pads -> num_links.
+
+        Pads scatter into a sacrificial extra column so aggregation can
+        run as one ``np.add.at`` without masking.
+        """
+        idx = self.member_matrix.ravel().copy()
+        idx[idx < 0] = self.topology.num_links
+        return idx
+
+    def aggregate_rows(
+        self, rows: np.ndarray, num_seeds: int, cells=None
+    ) -> np.ndarray:
+        """Sum per-row per-local values onto global links -> ``(S, N)``.
+
+        ``rows`` is ``(C_packed * S, width)`` in cell-major row order for
+        the packed ``cells`` (all cells when ``None``).  Each global link
+        receives the sum over its packed memberships; the boundary layer
+        guarantees at most one membership is nonzero per interval, so
+        sums never double-count.  Pads scatter into a sacrificial extra
+        column (see :attr:`scatter_index`).
+        """
+        cell_list = (
+            list(range(self.num_cells)) if cells is None else list(cells)
+        )
+        C, W = len(cell_list), self.width
+        S = int(num_seeds)
+        if rows.shape != (C * S, W):
+            raise ValueError(
+                f"expected rows of shape {(C * S, W)}, got {rows.shape}"
+            )
+        if cells is None:
+            idx = self.scatter_index
+        else:
+            idx = self.member_matrix[cell_list].ravel().copy()
+            idx[idx < 0] = self.topology.num_links
+        out = np.zeros((S, self.topology.num_links + 1), dtype=rows.dtype)
+        per_seed = rows.reshape(C, S, W).transpose(1, 0, 2).reshape(S, C * W)
+        np.add.at(out, (slice(None), idx), per_seed)
+        return out[:, : self.topology.num_links]

@@ -1,0 +1,84 @@
+"""Compiled cell kernel: determinism, domain checks, statistical sanity.
+
+The C kernel is *statistically equivalent* to the numpy lowering's
+``rng="free"`` discipline — same per-interval distributions, different
+generator — so cross-engine checks compare seed-averaged means, never
+per-seed values.  All tests skip cleanly when no system compiler is
+available (the numpy engine is the portable fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DBDPPolicy
+from repro.core import registry
+from repro.experiments.configs import video_symmetric_spec
+from repro.topology import grid_cells, run_topology_batch
+from repro.topology import cellsim
+
+SEEDS = tuple(range(6))
+INTERVALS = 200
+NUM_LINKS = 20
+NUM_CELLS = 4
+
+needs_compiler = pytest.mark.skipif(
+    not cellsim.compiled_available(),
+    reason=f"no compiled cell kernel: {cellsim.compile_error()}",
+)
+
+
+@needs_compiler
+@pytest.mark.parametrize("fraction", [0.0, 0.25])
+def test_compiled_runs_are_deterministic(fraction):
+    spec = video_symmetric_spec(0.55, num_links=NUM_LINKS)
+    topo = grid_cells(NUM_LINKS, NUM_CELLS, cross_cell_fraction=fraction)
+    a = cellsim.run_topology_compiled(
+        spec, DBDPPolicy(), SEEDS, topo, INTERVALS
+    )
+    b = cellsim.run_topology_compiled(
+        spec, DBDPPolicy(), SEEDS, topo, INTERVALS
+    )
+    np.testing.assert_array_equal(a.delivery_sums, b.delivery_sums)
+    np.testing.assert_array_equal(
+        a.overhead_cell_rows, b.overhead_cell_rows
+    )
+
+
+@needs_compiler
+def test_compiled_statistically_matches_numpy_engine():
+    spec = video_symmetric_spec(0.55, num_links=NUM_LINKS)
+    topo = grid_cells(NUM_LINKS, NUM_CELLS, cross_cell_fraction=0.25)
+    compiled = cellsim.run_topology_compiled(
+        spec, DBDPPolicy(), SEEDS, topo, INTERVALS
+    )
+    numpy_res = run_topology_batch(
+        spec, DBDPPolicy(), SEEDS, topo, INTERVALS, rng="free"
+    )
+    # Different generators: compare seed-averaged network means.  With
+    # S*N*K ~ 24k samples per engine the network-mean delivery rate has
+    # a std of a few 1e-3; 0.05 is a >10-sigma envelope that still
+    # catches any systematic divergence.
+    a = compiled.mean_deliveries().mean()
+    b = numpy_res.mean_deliveries().mean()
+    assert abs(a - b) < 0.05, f"compiled {a} vs numpy {b}"
+    oa = compiled.mean_overhead_us().mean()
+    ob = numpy_res.mean_overhead_us().mean()
+    assert oa > 0 and ob > 0
+    assert abs(oa - ob) / ob < 0.2
+
+
+@needs_compiler
+def test_compiled_rejects_non_dbdp_families():
+    spec = video_symmetric_spec(0.55, num_links=NUM_LINKS)
+    topo = grid_cells(NUM_LINKS, NUM_CELLS)
+    factory = registry.resolve_policies(["LDF"])["LDF"]
+    with pytest.raises(TypeError):
+        cellsim.run_topology_compiled(
+            spec, factory(), SEEDS, topo, INTERVALS
+        )
+
+
+def test_compile_error_is_none_iff_available():
+    available = cellsim.compiled_available()
+    error = cellsim.compile_error()
+    assert (error is None) == available
