@@ -22,11 +22,15 @@ def test_ext_burst_loss_robustness(benchmark, report, engine):
         benchmark, burst_loss_robustness, num_intervals=intervals, engine=engine
     )
     report(result)
-    for label, (iid, bursty) in result.series.items():
-        # Graceful degradation: bounded extra deficiency, no collapse.
-        assert bursty < iid + 2.0, label
+    for label, series in result.series.items():
+        # Graceful degradation across the whole burstiness grid: bounded
+        # extra deficiency over the x = 0 i.i.d. reference, no collapse.
+        iid = series[0]
+        for bursty in series[1:]:
+            assert bursty < iid + 2.0, label
     # DB-DP stays in LDF's neighborhood on the unmodeled channel.
-    assert result.series["DB-DP"][1] <= result.series["LDF"][1] + 1.0
+    for dbdp, ldf in zip(result.series["DB-DP"][1:], result.series["LDF"][1:]):
+        assert dbdp <= ldf + 1.0
 
 
 def test_ext_correlated_traffic(benchmark, report, engine):

@@ -58,7 +58,12 @@ from .core.policies import IntervalMac, IntervalOutcome
 from .core.registry import PolicyCapabilities, PolicyDescriptor
 from .core.requirements import NetworkSpec
 from .core.static_priority import StaticPriorityPolicy
-from .phy.channel import BernoulliChannel, GilbertElliottChannel
+from .phy.channel import (
+    BernoulliChannel,
+    GilbertElliottChannel,
+    TimeVaryingReliability,
+    channel_from_spec,
+)
 from .phy.timing import (
     Dot11aPhy,
     IntervalTiming,
@@ -118,6 +123,8 @@ __all__ = [
     "DebtLedger",
     "BernoulliChannel",
     "GilbertElliottChannel",
+    "TimeVaryingReliability",
+    "channel_from_spec",
     "Dot11aPhy",
     "IntervalTiming",
     "video_timing",

@@ -532,6 +532,7 @@ DP_FAMILY_CAPABILITIES = _registry.PolicyCapabilities(
     supports_free_rng=True,
     supports_incremental_dp=True,
     supports_topology=True,
+    supports_markov_channel=True,
     jit_stages=("dp_timeline_rows", "dp_incremental_rows"),
 )
 

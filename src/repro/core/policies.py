@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..phy.channel import BernoulliChannel, ChannelModel
+from ..phy.channel import ChannelModel
 from ..sim.rng import RngBundle
 from .requirements import NetworkSpec
 
@@ -131,15 +131,18 @@ def serve_link_attempts(
     Each attempt transmits the head-of-line packet and succeeds per the
     channel model.  Returns ``(delivered, attempts_used)``.
 
-    For a :class:`BernoulliChannel` the attempt count per delivery is
-    geometric, so the whole run is sampled in one vectorized draw; stateful
-    channels fall back to per-attempt sampling.
+    For channels whose attempts are i.i.d. within one interval (the
+    ``iid_within_interval`` capability: Bernoulli, and the per-interval
+    state models at their current state's probability) the attempt count
+    per delivery is geometric, so the whole run is sampled in one
+    vectorized draw; channels with per-attempt memory fall back to
+    attempt-by-attempt sampling.
     """
     if num_packets <= 0 or max_attempts <= 0:
         return 0, 0
 
-    if isinstance(channel, BernoulliChannel):
-        p = channel.success_probs[link]
+    if channel.iid_within_interval:
+        p = channel.success_prob(link)
         if p >= 1.0:
             delivered = min(num_packets, max_attempts)
             return delivered, delivered

@@ -95,6 +95,7 @@ _BUILTIN_COMPONENT_MODULES = (
     "repro.core.dp_protocol",
     "repro.core.dbdp",
     "repro.core.fcsma",
+    "repro.phy.channel",
 )
 
 #: Policy modules that self-register at import time.  Lookups import them
@@ -155,6 +156,14 @@ class PolicyCapabilities:
         topology engine can key each cell's randomness to the cell's own
         streams.  Families without it degrade to single-domain runs (the
         runner warns once per sweep).  Requires ``batchable``.
+    supports_markov_channel:
+        The family's batch kernel consumes channel randomness exclusively
+        through the chunked channel-draw object, so a stateful channel's
+        per-interval state (Gilbert-Elliott Markov evolution, time-varying
+        schedules) can be threaded in as dynamic per-chunk probability
+        planes.  Families without it degrade to the scalar engine for
+        stateful channels (the runner warns once per sweep).  Requires
+        ``batchable``.
     jit_stages:
         Names of the kernel's Numba-compilable stages
         (:mod:`repro.sim.jit_kernels`); empty for pure-NumPy kernels.
@@ -167,6 +176,7 @@ class PolicyCapabilities:
     supports_free_rng: bool = False
     supports_incremental_dp: bool = False
     supports_topology: bool = False
+    supports_markov_channel: bool = False
     jit_stages: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -175,6 +185,10 @@ class PolicyCapabilities:
         if self.supports_topology and not self.batchable:
             raise ValueError(
                 "a topology-capable policy family must be batchable"
+            )
+        if self.supports_markov_channel and not self.batchable:
+            raise ValueError(
+                "a markov-channel-capable policy family must be batchable"
             )
 
 

@@ -77,6 +77,7 @@ _ENGINE_SOURCES = (
     "core/eldf.py",
     "core/policies.py",
     "core/registry.py",
+    "phy/channel.py",
     "sim/batch_kernels.py",
     "sim/batch_sim.py",
     "sim/interval_sim.py",

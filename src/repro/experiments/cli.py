@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import inspect
 import os
 import sys
 import time
@@ -143,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cells (default 0: disconnected cells)",
     )
     parser.add_argument(
+        "--channel",
+        default=None,
+        metavar="SPEC",
+        help="replace the figures' default i.i.d. Bernoulli channel with "
+        "another channel model: 'bernoulli:p', "
+        "'ge:p_gb:p_bg[:p_good:p_bad]' (Gilbert-Elliott burst losses), or "
+        "'tv:profile:period:amplitude[:base]' with profile one of "
+        "drift/ramp/duty (deterministic time-varying reliability); "
+        "Gilbert-Elliott state needs --rng free to stay vectorized "
+        "(sweep figures only; implies --engine fused unless --engine is "
+        "given)",
+    )
+    parser.add_argument(
         "--dp-state",
         choices=["dense", "incremental"],
         default=None,
@@ -247,7 +261,20 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return format_verdicts(verdicts)
     if name in EXTENSIONS:
         func = EXTENSIONS[name]
-        kwargs["seed"] = args.seeds[0]
+        # Extensions have heterogeneous signatures (the burst-loss study
+        # is a fused sweep, the others are scalar single-trace studies);
+        # thread each flag only where the study accepts it.
+        accepted = inspect.signature(func).parameters
+        if "seeds" in accepted:
+            kwargs["seeds"] = tuple(args.seeds)
+        else:
+            kwargs["seed"] = args.seeds[0]
+        for flag in ("engine", "rng", "backend", "shards"):
+            value = getattr(args, flag)
+            if value is not None and flag in accepted:
+                kwargs[flag] = value
+        if args.resume and "cache" in accepted:
+            kwargs["cache"] = True
     else:
         func = ALL_FIGURES[name]
         # fig5/fig6 are single-run figures and take a scalar seed.
@@ -269,10 +296,12 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             elif (args.rng is not None or args.shards is not None
                   or args.backend is not None
                   or args.dp_state is not None
-                  or args.cells is not None):
-                # --rng/--shards/--backend/--dp-state/--cells are
-                # sweep-engine features; land them on the fused engine
-                # instead of erroring on the figures' scalar default.
+                  or args.cells is not None
+                  or args.channel is not None):
+                # --rng/--shards/--backend/--dp-state/--cells/--channel
+                # are sweep-engine features; land them on the fused
+                # engine instead of erroring on the figures' scalar
+                # default.
                 kwargs["engine"] = "fused"
             if args.cells is not None:
                 # functools.partial, not a lambda: sharded fused sweeps
@@ -282,6 +311,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                     num_cells=args.cells,
                     cross_cell_fraction=args.cross_cell_fraction or 0.0,
                 )
+            if args.channel is not None:
+                kwargs["channel"] = args.channel
             if args.rng is not None:
                 kwargs["rng"] = args.rng
             if args.shards is not None:

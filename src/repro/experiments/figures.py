@@ -19,6 +19,7 @@ Expected qualitative shapes (checked by the benchmark suite):
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -26,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core import registry
+from ..phy.channel import channel_from_spec
 from ..sim.interval_sim import run_simulation
 from .configs import (
     ASYMMETRIC_GROUPS,
@@ -47,6 +49,31 @@ from .runner import _ENGINES, SweepResult, run_sweep
 #: (``repro.core.registry.available()``), or ``None`` for the paper's
 #: default comparison set.
 PolicySelection = Optional[Union[Dict[str, PolicyFactory], Sequence[str]]]
+
+
+def _with_channel(spec_builder, channel, value):
+    """Picklable spec-builder wrapper swapping in a non-default channel.
+
+    ``channel`` is a CLI-style spec string (see
+    :func:`~repro.phy.channel.channel_from_spec` — ``"ge:0.1:0.3"``,
+    ``"tv:drift:100:0.2"``, ``"bernoulli:0.7"``), a
+    :class:`~repro.phy.channel.ChannelModel`, or a callable
+    ``spec -> channel``.  Module-level (not a closure) so sharded fused
+    sweeps can pickle the wrapped builder into worker processes.
+    """
+    spec = spec_builder(value)
+    if isinstance(channel, str):
+        channel = channel_from_spec(channel, spec.num_links)
+    elif callable(channel):
+        channel = channel(spec)
+    return dataclasses.replace(spec, channel=channel)
+
+
+def _maybe_with_channel(builder, channel):
+    """The figure's default builder, or its channel-swapped wrap."""
+    if channel is None:
+        return builder
+    return functools.partial(_with_channel, builder, channel)
 
 
 def _check_engine(engine: str) -> None:
@@ -136,6 +163,7 @@ def fig3(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -144,7 +172,11 @@ def fig3(
     ``policies`` overrides the compared set (factories or registered
     names); the default is the paper's comparison.  ``rng`` / ``shards``
     / ``backend`` reach the sweep engines (batch/fused only) — see
-    :func:`~repro.experiments.runner.run_sweep`.
+    :func:`~repro.experiments.runner.run_sweep`.  ``channel`` replaces
+    the spec's default Bernoulli channel: a spec string such as
+    ``"ge:0.1:0.3"`` (see :func:`~repro.phy.channel.channel_from_spec`),
+    a :class:`~repro.phy.channel.ChannelModel`, or a ``spec -> channel``
+    callable; all sweep figures accept the same keyword.
     """
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     sweep = run_sweep(
@@ -152,7 +184,9 @@ def fig3(
         values=alphas,
         # functools.partial, not a lambda: sharded fused sweeps pickle
         # the builder into worker processes.
-        spec_builder=functools.partial(video_symmetric_spec, delivery_ratio=0.9),
+        spec_builder=_maybe_with_channel(
+            functools.partial(video_symmetric_spec, delivery_ratio=0.9), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -186,6 +220,7 @@ def fig4(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -194,7 +229,9 @@ def fig4(
         parameter_name="delivery ratio",
         values=ratios,
         # picklable: the swept value lands on delivery_ratio positionally
-        spec_builder=functools.partial(video_symmetric_spec, 0.55),
+        spec_builder=_maybe_with_channel(
+            functools.partial(video_symmetric_spec, 0.55), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -304,6 +341,7 @@ def fig7(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -311,7 +349,9 @@ def fig7(
     sweep = run_sweep(
         parameter_name="alpha*",
         values=alphas,
-        spec_builder=functools.partial(video_asymmetric_spec, delivery_ratio=0.9),
+        spec_builder=_maybe_with_channel(
+            functools.partial(video_asymmetric_spec, delivery_ratio=0.9), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -348,6 +388,7 @@ def fig8(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -355,7 +396,9 @@ def fig8(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=functools.partial(video_asymmetric_spec, 0.7),
+        spec_builder=_maybe_with_channel(
+            functools.partial(video_asymmetric_spec, 0.7), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -392,6 +435,7 @@ def fig9(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -399,7 +443,9 @@ def fig9(
     sweep = run_sweep(
         parameter_name="lambda*",
         values=lambdas,
-        spec_builder=functools.partial(low_latency_spec, delivery_ratio=0.99),
+        spec_builder=_maybe_with_channel(
+            functools.partial(low_latency_spec, delivery_ratio=0.99), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,
@@ -433,6 +479,7 @@ def fig10(
     backend: Optional[str] = None,
     dp_state: Optional[str] = None,
     topology=None,
+    channel=None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -440,7 +487,9 @@ def fig10(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=functools.partial(low_latency_spec, 0.78),
+        spec_builder=_maybe_with_channel(
+            functools.partial(low_latency_spec, 0.78), channel
+        ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
         seeds=seeds,

@@ -125,6 +125,10 @@ def _group_signature(cell: _Cell) -> Tuple:
         type(cell.policy),
         cell.spec.num_links,
         cell.spec.timing,
+        # Spec stacks require one channel model class per stack (the
+        # kernel binds one draw pipeline); same-class rows fuse freely,
+        # including per-row channel parameter sweeps.
+        type(cell.spec.channel),
     )
 
 
@@ -923,6 +927,41 @@ def run_sweep_fused(
                 stacklevel=2,
             )
 
+    if rng_mode != "sync":
+        chan_degraded: List[str] = []
+        chan_names: List[str] = []
+        for cell in cells:
+            ch = cell.spec.channel
+            descriptor = registry.descriptor_for(cell.policy)
+            fusable = (
+                descriptor is not None and descriptor.capabilities.fusable
+            )
+            if (
+                ch.has_state
+                and ch.state_uses_rng
+                and _effective_rng(cell, rng_mode) != "free"
+                # Only warn where free draws would actually fuse the
+                # cell; families that fall back for other reasons (no
+                # batch kernel, capability gaps) get the generic
+                # degradation messages instead.
+                and fusable
+                and supports_batch_engine(cell.spec, cell.policy, rng="free")
+            ):
+                if cell.label not in chan_degraded:
+                    chan_degraded.append(cell.label)
+                if type(ch).__name__ not in chan_names:
+                    chan_names.append(type(ch).__name__)
+        if chan_degraded:
+            warnings.warn(
+                f"{'/'.join(chan_names)} state cannot evolve under a "
+                "lockstep batch draw discipline; these cells fall back to "
+                f"the scalar engine: {', '.join(chan_degraded)}.  Pass "
+                "rng='free' to keep them vectorized (statistically "
+                "equivalent)",
+                UserWarning,
+                stacklevel=2,
+            )
+
     # Cache lookups first: hit cells never touch an engine.  Cells whose
     # policy (or spec) has no registered fingerprint simply run uncached
     # — announced once per sweep, never a failure.
@@ -975,33 +1014,41 @@ def run_sweep_fused(
                     dp_state=dp_state,
                 )
 
-    for cell in fallback:
-        if faults is None:
-            cell.point = run_single(
-                cell.spec, cell.factory, num_intervals, seeds, groups,
-                engine="batch",
-            )
-        else:
-
-            def _attempt(attempt, cell=cell):
-                fire_fault_hooks(cell.value, cell.label, attempt)
-                return run_single(
+    with warnings.catch_warnings():
+        # The channel-degradation advisory was already aggregated once
+        # above; run_single would repeat it per fallback cell.
+        warnings.filterwarnings(
+            "ignore",
+            message=".*state cannot evolve under a lockstep.*",
+            category=UserWarning,
+        )
+        for cell in fallback:
+            if faults is None:
+                cell.point = run_single(
                     cell.spec, cell.factory, num_intervals, seeds, groups,
                     engine="batch",
                 )
+            else:
 
-            point = call_with_retries(
-                _attempt,
-                value=cell.value,
-                label=cell.label,
-                seeds=seeds,
-                faults=faults,
-                failures=failures,
-            )
-            if point is None:  # permanent best-effort failure
-                cell.failed = True
-                point = nan_point(cell.label, groups)
-            cell.point = point
+                def _attempt(attempt, cell=cell):
+                    fire_fault_hooks(cell.value, cell.label, attempt)
+                    return run_single(
+                        cell.spec, cell.factory, num_intervals, seeds,
+                        groups, engine="batch",
+                    )
+
+                point = call_with_retries(
+                    _attempt,
+                    value=cell.value,
+                    label=cell.label,
+                    seeds=seeds,
+                    faults=faults,
+                    failures=failures,
+                )
+                if point is None:  # permanent best-effort failure
+                    cell.failed = True
+                    point = nan_point(cell.label, groups)
+                cell.point = point
 
     if store is not None:
         for cell in cells:

@@ -160,6 +160,19 @@ def _warn_topology_degrade(labels: Sequence[str], stacklevel: int = 3) -> None:
     )
 
 
+def _warn_channel_degrade(
+    spec: NetworkSpec, labels: Sequence[str], stacklevel: int = 3
+) -> None:
+    warnings.warn(
+        f"{type(spec.channel).__name__} state cannot evolve under a "
+        "lockstep batch draw discipline; these cells fall back to the "
+        f"scalar engine: {', '.join(labels)}.  Pass rng='free' to keep "
+        "them vectorized (statistically equivalent)",
+        UserWarning,
+        stacklevel=stacklevel,
+    )
+
+
 def _run_single_topology(
     spec: NetworkSpec,
     policy,
@@ -348,6 +361,15 @@ def run_single(
                 spec, policy, num_intervals, seeds, groups, backend, eff,
                 eff_dp,
             )
+        if (
+            spec.channel.has_state
+            and spec.channel.state_uses_rng
+            and eff != "free"
+            and supports_batch_engine(spec, policy, rng="free")
+        ):
+            # The only blocker was the lockstep discipline: say so once
+            # instead of silently crawling through the scalar engine.
+            _warn_channel_degrade(spec, [registry.policy_label(policy)])
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
     collisions: List[float] = []

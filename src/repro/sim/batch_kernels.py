@@ -53,6 +53,7 @@ bookkeeping.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import os
 import warnings
 from abc import ABC, abstractmethod
@@ -72,7 +73,7 @@ from ..core.policies import IntervalMac
 from ..core.requirements import NetworkSpec
 from ..core.round_robin import RoundRobinPolicy
 from ..core.static_priority import StaticPriorityPolicy
-from ..phy.channel import BernoulliChannel
+from ..phy.channel import ChannelStateRows
 from . import jit_kernels, perf
 from .rng import BatchRngBundle, draw_chunk_depth, normalize_rng_mode
 from .spec_stack import SpecStack
@@ -386,6 +387,15 @@ class _ChunkedChannelDraws:
     in float32), halving the memory traffic of this hot path; pathological
     reliabilities fall back to float64, where the sums stay exact below
     ``2**53``.
+
+    With ``state`` (a :class:`~repro.phy.channel.ChannelStateRows`) the
+    probabilities are no longer a fixed plane: each refill evolves the
+    channel state once per buffered interval and scales that interval's
+    draws by its own ``(S, N)`` reliability plane.  Inverse-transform
+    sampling makes this nearly free — the exponential stream is
+    probability-independent, so dynamic channels reuse the same bulk
+    generation and only swap the per-interval scale.  The static path is
+    byte-for-byte unchanged when ``state`` is ``None``.
     """
 
     def __init__(
@@ -396,6 +406,7 @@ class _ChunkedChannelDraws:
         *,
         depth: Optional[int] = None,
         fast: bool = True,
+        state: Optional[ChannelStateRows] = None,
     ):
         probs = np.asarray(success_probs, dtype=float)
         num_links = probs.shape[-1]
@@ -413,9 +424,22 @@ class _ChunkedChannelDraws:
         with np.errstate(divide="ignore"):
             # p == 1 -> lambda = inf -> scale 0 -> g = max(ceil(0), 1) = 1.
             scale = -1.0 / np.log1p(-probs)
+        if state is not None:
+            # Dynamic planes: the dtype gate must cover the *worst* state
+            # any (row, link) can visit, not the stationary plane.
+            min_p = float(state.min_success_prob)
+            if not 0.0 < min_p <= 1.0:
+                raise ValueError(
+                    f"channel-state rows report min success prob {min_p}; "
+                    "geometric retry draws need 0 < p <= 1 in every state"
+                )
+            with np.errstate(divide="ignore"):
+                worst_scale = float(-1.0 / np.log1p(-min_p))
+        else:
+            worst_scale = float(scale.max())
         # A float32 standard exponential never exceeds ~89 (= -log of the
         # smallest positive float32 the ziggurat can emit); 128 leaves slack.
-        worst_cum = a_max * np.ceil(128.0 * scale.max() + 1.0)
+        worst_cum = a_max * np.ceil(128.0 * worst_scale + 1.0)
         dtype = np.float32 if worst_cum < 2**24 else np.float64
         self._scale = scale.astype(dtype)
         self._depth = DRAW_CHUNK if depth is None else int(depth)
@@ -440,6 +464,14 @@ class _ChunkedChannelDraws:
         self._tot2 = np.empty((num_seeds, num_links), dtype=dtype)
         self._gen_buf: Optional[np.ndarray] = None
         self._lazy = False
+        self._state = state
+        # Per-interval probability planes of one refill block, evolved at
+        # refill time and turned into geometric scales in place.
+        self._probs_buf = (
+            np.empty((self._depth, num_seeds, num_links), dtype=np.float64)
+            if state is not None
+            else None
+        )
 
     @property
     def dtype(self) -> np.dtype:
@@ -450,6 +482,11 @@ class _ChunkedChannelDraws:
     def lazy(self) -> bool:
         """True when :meth:`next` yields *raw* exponential draws."""
         return self._lazy
+
+    @property
+    def dynamic(self) -> bool:
+        """True when a channel-state process evolves the planes."""
+        return self._state is not None
 
     def set_lazy(self) -> None:
         """Switch to raw-draw mode: refills only generate exponentials.
@@ -466,6 +503,14 @@ class _ChunkedChannelDraws:
             return
         if not self._fast:
             raise RuntimeError("lazy channel draws require the fast engine")
+        if self._state is not None:
+            # Lazy consumers scale gathered rows by a *static* (S, N)
+            # plane (scale_rows); a state process makes that plane
+            # per-interval, so the incremental path must stay eager.
+            raise RuntimeError(
+                "lazy channel draws are static-plane only; dynamic "
+                "channel state requires eager (dense) draws"
+            )
         if self._cache is not None:
             raise RuntimeError(
                 "cannot switch channel-draw transform mode mid-stream"
@@ -477,7 +522,11 @@ class _ChunkedChannelDraws:
         s2 = self._scale.reshape(self._scale.shape[1], self._scale.shape[2])
         return np.ascontiguousarray(np.broadcast_to(s2, (num_seeds, s2.shape[1])))
 
-    def next(self, rng: np.random.Generator) -> np.ndarray:
+    def next(
+        self,
+        rng: np.random.Generator,
+        state_rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         if self._pos >= self._depth:
             if perf.counters.enabled:
                 t0 = perf.clock()
@@ -501,7 +550,25 @@ class _ChunkedChannelDraws:
                 # transform the rows they gather.
                 self._cache = draws
             else:
-                np.multiply(draws, self._scale, out=draws)
+                if self._state is not None:
+                    # Evolve the state one step per buffered interval and
+                    # turn each interval's (S, N) probability plane into
+                    # geometric scales, all in place in the plane buffer:
+                    # p -> -1 / log1p(-p), with p == 1 -> scale 0 as in
+                    # the static precompute above.
+                    p = self._probs_buf
+                    self._state.evolve_block(self._depth, state_rng, out=p)
+                    np.negative(p, out=p)
+                    np.log1p(p, out=p)
+                    with np.errstate(divide="ignore"):
+                        np.divide(-1.0, p, out=p)
+                    np.multiply(
+                        draws,
+                        p.reshape(self._depth, *self._shape[1:3], 1),
+                        out=draws,
+                    )
+                else:
+                    np.multiply(draws, self._scale, out=draws)
                 np.ceil(draws, out=draws)
                 np.maximum(draws, 1.0, out=draws)
                 if self._fast:
@@ -762,13 +829,6 @@ class BatchPolicyKernel(ABC):
                 f"{num_seeds} seeds; a fused stack needs one seed per row"
             )
         first = stack.specs[0] if stack is not None else spec
-        for row_spec in stack.specs if stack is not None else (first,):
-            if not isinstance(row_spec.channel, BernoulliChannel):
-                raise TypeError(
-                    "the batch engine requires a BernoulliChannel (stateful "
-                    "channels are not batchable), got "
-                    f"{type(row_spec.channel).__name__}"
-                )
         if row_policies is not None:
             row_policies = list(row_policies)
             if len(row_policies) != int(num_seeds):
@@ -810,6 +870,34 @@ class BatchPolicyKernel(ABC):
                 "frozen as the bit-exact baseline); use backend='numpy' or "
                 "'jit'"
             )
+        chan0 = first.channel
+        if not sync_rng:
+            # Batched draw pipelines need i.i.d.-within-interval attempts
+            # (the geometric pre-draw) plus, for stateful channels, a
+            # vectorized per-row state process.  Sync mode drives the
+            # scalar clones and supports any channel.
+            if not chan0.has_state and not chan0.iid_within_interval:
+                raise TypeError(
+                    f"{type(chan0).__name__} attempts are not i.i.d. within "
+                    "an interval, so the batch engine cannot pre-draw its "
+                    "retry counts; use engine='scalar' or sync_rng=True"
+                )
+            if chan0.has_state:
+                if not chan0.supports_batch_state:
+                    raise TypeError(
+                        f"this {type(chan0).__name__} declines batched "
+                        "channel state (a state with zero success "
+                        "probability breaks geometric retry draws), so the "
+                        "batch engine cannot run it; use engine='scalar' "
+                        "or sync_rng=True"
+                    )
+                if chan0.state_uses_rng and not self._free:
+                    raise TypeError(
+                        f"{type(chan0).__name__} state cannot evolve under "
+                        f"the lockstep '{self._rng_mode}' draw discipline "
+                        "of the batch engine; pass rng='free' "
+                        "(statistically equivalent) or use engine='scalar'"
+                    )
         self._use_ws = self._backend != "legacy" and not sync_rng
         self._use_jit = self._backend == "jit" and not sync_rng
         descriptor = registry.descriptor_for(self.policy)
@@ -828,12 +916,22 @@ class BatchPolicyKernel(ABC):
             if self._use_ws
             else DRAW_CHUNK
         )
+        if sync_rng or not chan0.has_state:
+            chan_state = None
+        else:
+            chan_state = type(chan0).stack_rows(
+                stack.channels if stack is not None else (chan0,) * self.num_seeds
+            )
+        self._chan_state_uses_rng = (
+            chan_state is not None and chan_state.uses_rng
+        )
         self._channel_draws = _ChunkedChannelDraws(
             self._reliabilities,
             self.num_seeds,
             self._a_max,
             depth=self._depth,
             fast=self._use_ws,
+            state=chan_state,
         )
         self._rows = np.arange(self.num_seeds)[:, None]
         if sync_rng:
@@ -850,10 +948,26 @@ class BatchPolicyKernel(ABC):
             row_specs = (
                 stack.specs if stack is not None else (first,) * self.num_seeds
             )
+            if chan0.has_state:
+                # Rows may share one channel object (broadcast stacks);
+                # each clone needs its own mutable state, reset exactly
+                # like the scalar engine resets at construction.
+                row_specs = tuple(
+                    dataclasses.replace(rs, channel=copy.deepcopy(rs.channel))
+                    for rs in row_specs
+                )
+                for rs in row_specs:
+                    rs.channel.reset_state()
+                self._sync_channels: Optional[list] = [
+                    rs.channel for rs in row_specs
+                ]
+            else:
+                self._sync_channels = None
             self._clones = [copy.deepcopy(p) for p in sources]
             for clone, row_spec in zip(self._clones, row_specs):
                 clone.bind(row_spec)
         else:
+            self._sync_channels = None
             self._clones = []
         self._on_bind()
 
@@ -865,6 +979,19 @@ class BatchPolicyKernel(ABC):
         if self._free:
             return rng.free_stream(name)
         return rng.batch_stream(name)
+
+    def _chan_rng(
+        self, rng: BatchRngBundle
+    ) -> Optional[np.random.Generator]:
+        """The channel-state evolution stream, or ``None`` if stateless.
+
+        A dedicated stream keeps the retry-draw stream untouched, so the
+        Bernoulli draw schedule is bit-identical with or without this
+        feature compiled in.
+        """
+        if getattr(self, "_chan_state_uses_rng", False):
+            return self._kstream(rng, "channel-state")
+        return None
 
     def run_interval(
         self,
@@ -1011,6 +1138,12 @@ class BatchPolicyKernel(ABC):
         overhead = np.zeros(S)
         collisions = np.zeros(S, dtype=np.int64)
         priorities = np.zeros((S, n), dtype=np.int64)
+        if self._sync_channels is not None:
+            # Mirror IntervalSimulator.step(): evolve each row's channel
+            # once per interval from that seed's own "channel-state"
+            # stream, so sync rows stay bit-identical to scalar runs.
+            for ch, bundle in zip(self._sync_channels, rng.bundles):
+                ch.begin_interval(bundle.stream("channel-state"))
         for s, (clone, bundle) in enumerate(zip(self._clones, rng.bundles)):
             outcome = clone.run_interval(
                 k, arrivals[s], positive_debts[s], bundle
@@ -1076,7 +1209,9 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
         if counters.enabled:
             t0 = perf.clock()
         order = self._service_orders(k, positive_debts)
-        needed = self._channel_draws.next(self._kstream(rng, "channel"))
+        needed = self._channel_draws.next(
+            self._kstream(rng, "channel"), self._chan_rng(rng)
+        )
         lite = self._lite
         if not arrivals.any():
             # Fast path: nothing buffered anywhere in the stack — nobody
@@ -1128,7 +1263,9 @@ class _BatchOrderedServeKernel(BatchPolicyKernel):
         S, n = arrivals.shape
         rows = self._rows
         order = self._service_orders(k, positive_debts)
-        needed_cum = self._channel_draws.next(self._kstream(rng, "channel"))
+        needed_cum = self._channel_draws.next(
+            self._kstream(rng, "channel"), self._chan_rng(rng)
+        )
         deliveries, attempts, attempts_pos = solve_ordered_service(
             order, arrivals, needed_cum, self._caps,
             tot_link=self._channel_draws.totals(needed_cum, arrivals),
@@ -1385,6 +1522,21 @@ class BatchDPKernel(BatchPolicyKernel):
             and not os.environ.get("REPRO_DP_STATE", "")
             and n <= self._budget + 1
         ):
+            self._dp_state = "dense"
+        if self._dp_state == "incremental" and self._channel_draws.dynamic:
+            # The incremental path consumes lazy raw draws scaled by a
+            # static (S, N) plane; a channel-state process makes that
+            # plane per-interval, so dynamic channels keep the dense
+            # recompute (the draws cannot be deferred).
+            if self._dp_state_req == "incremental":
+                warnings.warn(
+                    "dp_state='incremental' requires a static channel "
+                    f"plane; {type(self.spec.channel).__name__} evolves "
+                    "per interval, so this bind falls back to the dense "
+                    "recompute",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._dp_state = "dense"
         self._use_inc = (
             self._dp_state == "incremental"
@@ -1738,7 +1890,9 @@ class BatchDPKernel(BatchPolicyKernel):
         if rc.size:
             w.wa[rc] = w.acb[rc, 1]
             w.wb[rc] = w.acb[rc, 0]
-        needed = self._channel_draws.next(self._kstream(rng, "channel"))
+        needed = self._channel_draws.next(
+            self._kstream(rng, "channel"), self._chan_rng(rng)
+        )
         if counters.enabled:
             counters.add("kernel.dp.setup", perf.clock() - t0)
             t0 = perf.clock()
@@ -2329,7 +2483,9 @@ class BatchDPKernel(BatchPolicyKernel):
             w.backoff.ravel().take(w.oflat.ravel(), out=w.bpos.ravel())
             w.we.ravel().take(w.oflat.ravel(), out=w.iep.ravel())
         oflat = w.oflat.ravel()
-        needed = self._channel_draws.next(self._kstream(rng, "channel"))
+        needed = self._channel_draws.next(
+            self._kstream(rng, "channel"), self._chan_rng(rng)
+        )
         if counters.enabled:
             counters.add("kernel.dp.setup", perf.clock() - t0)
             t0 = perf.clock()
@@ -2564,7 +2720,9 @@ class BatchDPKernel(BatchPolicyKernel):
         # service-start computation below.
         dead_us = backoff_pos * slot + empties_before * empty_air
         caps = np.floor_divide(T - dead_us, air).astype(np.int64)
-        needed_cum = self._channel_draws.next(self._kstream(rng, "channel"))
+        needed_cum = self._channel_draws.next(
+            self._kstream(rng, "channel"), self._chan_rng(rng)
+        )
         deliveries, attempts, attempts_pos = solve_ordered_service(
             order, arrivals, needed_cum, caps,
             tot_link=self._channel_draws.totals(needed_cum, arrivals),

@@ -26,9 +26,15 @@ Two RNG disciplines are supported:
     bit-identical to ``IntervalSimulator(spec, policy, seed=s)``.  This is
     how the test-suite proves the batch bookkeeping correct.
 
-Stateful spec components that cannot be replicated independently per seed
-(the Gilbert-Elliott channel, Markov-modulated arrivals) are rejected at
-construction with a ``TypeError``; use the scalar engine for those.
+Stateful spec components are batchable when they expose a vectorized
+per-row state process: the Gilbert-Elliott channel and the deterministic
+time-varying reliability profiles evolve as ``(S, N)`` planes inside the
+kernels' channel-draw pipeline (stochastic state additionally requires the
+``rng="free"`` discipline, since lockstep batch streams cannot host the
+extra evolution draws).  Components without that — Markov-modulated
+arrivals, channels whose attempts are not i.i.d. within an interval — are
+rejected at construction with a ``TypeError`` naming the working fallback
+(``sync_rng=True`` or the scalar engine).
 
 Beyond one shared spec, the simulator accepts a **per-row spec stack**
 (:class:`~repro.sim.spec_stack.SpecStack`, or any sequence of specs, one
@@ -49,7 +55,6 @@ import numpy as np
 from ..core import registry
 from ..core.policies import IntervalMac
 from ..core.requirements import NetworkSpec
-from ..phy.channel import BernoulliChannel
 from . import perf
 from .batch_kernels import (
     DRAW_CHUNK,
@@ -81,11 +86,14 @@ def supports_batch_engine(
 
     Requires a policy family registered as ``batchable`` (consulting the
     policy registry's capability flags rather than a type switch), a
-    memoryless channel, and (in the default vectorized-RNG mode) a
-    batch-samplable arrival process.  ``rng="free"`` additionally requires
-    the family to declare ``supports_free_rng``.  Callers that want
-    graceful degradation (the experiment runner) check this and fall back
-    to the scalar engine.
+    channel the kernels can pre-draw (i.i.d.-within-interval attempts;
+    stateful channels additionally need vectorized batch state, the
+    family's ``supports_markov_channel`` capability, and — when the state
+    evolution is stochastic — the ``rng="free"`` discipline), and (in the
+    default vectorized-RNG mode) a batch-samplable arrival process.
+    ``rng="free"`` additionally requires the family to declare
+    ``supports_free_rng``.  Callers that want graceful degradation (the
+    experiment runner) check this and fall back to the scalar engine.
     """
     descriptor = registry.descriptor_for(policy)
     if descriptor is None or not descriptor.capabilities.batchable:
@@ -95,7 +103,16 @@ def supports_batch_engine(
     mode = normalize_rng_mode(rng, sync_rng)
     if mode == "free" and not descriptor.capabilities.supports_free_rng:
         return False
-    if not isinstance(spec.channel, BernoulliChannel):
+    channel = spec.channel
+    if channel.has_state:
+        if mode != "sync":
+            if not channel.supports_batch_state:
+                return False
+            if not descriptor.capabilities.supports_markov_channel:
+                return False
+            if channel.state_uses_rng and mode != "free":
+                return False
+    elif not channel.iid_within_interval:
         return False
     if mode != "sync" and not spec.arrivals.supports_batch_sampling:
         return False
@@ -459,9 +476,19 @@ class _FanoutDraws:
         """Whether the shared source serves raw (untransformed) draws."""
         return bool(getattr(self._inner, "lazy", False))
 
-    def next(self, rng: np.random.Generator) -> np.ndarray:
+    def next(
+        self,
+        rng: np.random.Generator,
+        state_rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         if self._remaining == 0:
-            self._block = self._inner.next(rng)
+            if state_rng is None:
+                self._block = self._inner.next(rng)
+            else:
+                # Channel-state fan-out: the state evolves once per cycle
+                # from the first client's stream (the classes guarantee
+                # every client's stream would be identical).
+                self._block = self._inner.next(rng, state_rng)
             self._remaining = self._consumers
             self._totals = None
         self._remaining -= 1
@@ -545,10 +572,15 @@ class BatchIntervalSimulator:
     Parameters
     ----------
     spec:
-        The network under test (must use a Bernoulli channel).  May also
-        be a :class:`~repro.sim.spec_stack.SpecStack` (or any sequence of
+        The network under test.  The channel must be batchable under the
+        chosen rng discipline (see :func:`supports_batch_engine`):
+        memoryless channels need i.i.d.-within-interval attempts, and
+        stateful ones (Gilbert-Elliott, time-varying profiles) need
+        vectorized batch state — with ``rng="free"`` when the state
+        evolution is stochastic.  May also be a
+        :class:`~repro.sim.spec_stack.SpecStack` (or any sequence of
         specs, one per seed) to give every replication row its own
-        reliabilities, requirements and arrival parameters.
+        channel parameters, requirements and arrival parameters.
     policy:
         A policy with a batch kernel (DP/DB-DP, ELDF/LDF, round-robin,
         static priority); :func:`~repro.sim.batch_kernels.make_batch_kernel`
@@ -635,8 +667,9 @@ class BatchIntervalSimulator:
             if not batch_ok:
                 raise TypeError(
                     f"{type(self.spec.arrivals).__name__} cannot be sampled "
-                    "as an independent batch (stateful process); use "
-                    "sync_rng=True or the scalar engine"
+                    "as an independent batch (stateful process), so the "
+                    "batch engine cannot run it; use sync_rng=True or "
+                    "engine='scalar'"
                 )
         if self.rng_mode == "free":
             descriptor = registry.descriptor_for(policy)

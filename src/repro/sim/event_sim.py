@@ -144,6 +144,12 @@ class EventDrivenDPSimulator:
             raise ValueError(f"num_pairs must be >= 1, got {num_pairs}")
         self.num_pairs = num_pairs
         self.rng = RngBundle(seed)
+        # Stateful channels evolve once per interval (same per-interval
+        # semantics as the interval engines), from the same named stream.
+        self._channel_rng = (
+            self.rng.stream("channel-state") if spec.channel.has_state else None
+        )
+        spec.channel.reset_state()
         self.ledger = DebtLedger(spec.requirements)
         self.result = SimulationResult(
             policy_name="DB-DP(event)",
@@ -180,6 +186,8 @@ class EventDrivenDPSimulator:
     def _start_interval(self) -> None:
         spec = self.spec
         n = spec.num_links
+        if self._channel_rng is not None:
+            spec.channel.begin_interval(self._channel_rng)
         arrivals = spec.arrivals.sample(self.rng.arrivals)
         self._arrivals = arrivals
         debts = self.ledger.positive_debts

@@ -40,6 +40,14 @@ class IntervalSimulator:
         self.policy = policy
         self.validate = bool(validate)
         self.rng = RngBundle(seed)
+        # Stateful channels (Gilbert-Elliott, time-varying schedules)
+        # evolve once per interval from a dedicated stream; memoryless
+        # channels skip the hook entirely, so their draw streams are
+        # untouched and runs stay bit-identical to the pre-state engine.
+        self._channel_rng = (
+            self.rng.stream("channel-state") if spec.channel.has_state else None
+        )
+        spec.channel.reset_state()
         self.ledger = DebtLedger(spec.requirements)
         self.result = SimulationResult(
             policy_name=policy.name,
@@ -54,6 +62,8 @@ class IntervalSimulator:
 
     def step(self) -> None:
         """Simulate one interval."""
+        if self._channel_rng is not None:
+            self.spec.channel.begin_interval(self._channel_rng)
         arrivals = self.spec.arrivals.sample(self.rng.arrivals)
         outcome = self.policy.run_interval(
             self.ledger.interval,

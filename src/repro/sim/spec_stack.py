@@ -12,8 +12,11 @@ invocation, as long as the specs agree on what the kernels hard-code:
 * the link count ``N`` (array width),
 * the interval timing (attempt budgets and airtimes are scalars inside the
   kernels),
-* a memoryless :class:`~repro.phy.channel.BernoulliChannel` (per-row
-  success probabilities become a ``(R, N)`` matrix).
+* one channel family (per-row channel parameters stack the way arrival
+  parameters do: stationary reliabilities become an ``(R, N)`` matrix,
+  and stateful families expose vectorized per-row state through
+  :meth:`~repro.phy.channel.ChannelModel.stack_rows` — a fused grid can
+  sweep Gilbert-Elliott burst lengths the way it sweeps arrival rates).
 
 Everything per-link that used to be an ``(N,)`` vector — reliabilities,
 requirements — is exposed here as an ``(R, N)`` matrix; arrival draws come
@@ -28,7 +31,6 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..core.requirements import NetworkSpec
-from ..phy.channel import BernoulliChannel
 from ..phy.timing import IntervalTiming
 
 __all__ = ["SpecStack"]
@@ -41,9 +43,9 @@ class SpecStack:
     ----------
     specs:
         One :class:`NetworkSpec` per row.  All rows must share the link
-        count and the interval timing, and every channel must be a
-        :class:`BernoulliChannel`; a ``ValueError``/``TypeError`` names the
-        offending row otherwise.
+        count, the interval timing, and the channel model class (kernels
+        bind one draw pipeline per stack); a ``ValueError``/``TypeError``
+        names the offending row otherwise.
     """
 
     def __init__(self, specs: Sequence[NetworkSpec]):
@@ -69,11 +71,12 @@ class SpecStack:
                     "kernels hold timing as scalars, so fused rows must "
                     "share it"
                 )
-            if not isinstance(spec.channel, BernoulliChannel):
+            if type(spec.channel) is not type(first.channel):
                 raise TypeError(
-                    "fused stacks require BernoulliChannel rows (stateful "
-                    f"channels are not batchable); row {i} has "
-                    f"{type(spec.channel).__name__}"
+                    f"row {i} has {type(spec.channel).__name__} but row 0 "
+                    f"has {type(first.channel).__name__}; a fused stack "
+                    "requires one channel model class (kernels bind one "
+                    "draw pipeline per stack)"
                 )
         self._specs = specs
         self._n = n
@@ -111,8 +114,18 @@ class SpecStack:
         return all(spec == first for spec in self._specs[1:])
 
     @property
+    def channels(self) -> Tuple:
+        """The per-row channel models, in row order."""
+        return tuple(spec.channel for spec in self._specs)
+
+    @property
     def reliability_matrix(self) -> np.ndarray:
-        """Per-row channel success probabilities — shape ``(R, N)``."""
+        """Per-row *stationary* channel reliabilities — shape ``(R, N)``.
+
+        For stateful channel families these are the long-run values the
+        policies configure from; the instantaneous per-interval planes
+        come from the channel-state rows the kernels evolve.
+        """
         return np.stack([spec.reliabilities for spec in self._specs])
 
     @property

@@ -72,7 +72,7 @@ class _CellwiseBlocks:
         self._out = out
         self._S = int(num_seeds)
 
-    def next(self, _rng) -> np.ndarray:
+    def next(self, _rng, _state_rng=None) -> np.ndarray:
         S = self._S
         for c, (inner, gen) in enumerate(zip(self._inners, self._gens)):
             self._out[c * S : (c + 1) * S] = inner.next(gen)
@@ -92,9 +92,24 @@ class _CellwiseArgmax(_CellwiseBlocks):
 
 
 class _CellwiseChannelDraws(_CellwiseBlocks):
-    """Cell-wise channel retry blocks with the fast drain-totals gather."""
+    """Cell-wise channel retry blocks with the fast drain-totals gather.
 
-    def __init__(self, inners, gens, num_seeds: int, width: int, a_max: int, fast: bool):
+    ``state_gens`` supplies one channel-state evolution stream per cell
+    when the cells carry stochastic channel state; each cell's state then
+    evolves from its own stream, preserving the per-cell draw isolation
+    that makes sharded topology runs exact.
+    """
+
+    def __init__(
+        self,
+        inners,
+        gens,
+        num_seeds: int,
+        width: int,
+        a_max: int,
+        fast: bool,
+        state_gens=None,
+    ):
         dtypes = {inner.dtype for inner in inners}
         if len(dtypes) != 1:
             raise TypeError(
@@ -104,6 +119,7 @@ class _CellwiseChannelDraws(_CellwiseBlocks):
         rows = num_seeds * len(list(inners))
         out = np.empty((rows, width, a_max), dtype=dtypes.pop())
         super().__init__(inners, gens, out, num_seeds)
+        self._state_gens = list(state_gens) if state_gens is not None else None
         self._fast = bool(fast)
         self._tot_base = (
             np.arange(rows * width, dtype=np.int64) * a_max
@@ -111,6 +127,13 @@ class _CellwiseChannelDraws(_CellwiseBlocks):
         self._tot_idx = np.empty((rows, width), dtype=np.int64)
         self._tot_mask = np.empty((rows, width), dtype=bool)
         self._tot2 = np.empty((rows, width), dtype=out.dtype)
+
+    def next(self, _rng, _state_rng=None) -> np.ndarray:
+        S = self._S
+        for c, (inner, gen) in enumerate(zip(self._inners, self._gens)):
+            sg = self._state_gens[c] if self._state_gens is not None else None
+            self._out[c * S : (c + 1) * S] = inner.next(gen, sg)
+        return self._out
 
     @property
     def dtype(self) -> np.dtype:
@@ -314,6 +337,14 @@ class TopologySimulator:
                     a_max,
                     depth=depth,
                     fast=kernel._use_ws,
+                    # Per-cell channel state: S rows of this cell's own
+                    # (take_links-sliced) channel, evolved from the
+                    # cell's dedicated stream below.
+                    state=(
+                        spec_c.channel.init_state_batch(S)
+                        if spec_c.channel.has_state
+                        else None
+                    ),
                 )
                 for spec_c in cell_specs
             ],
@@ -322,6 +353,11 @@ class TopologySimulator:
             width,
             a_max,
             fast=kernel._use_ws,
+            state_gens=(
+                streams("channel-state")
+                if getattr(kernel, "_chan_state_uses_rng", False)
+                else None
+            ),
         )
         coin = getattr(kernel, "_coin_draws", None)
         if coin is not None:

@@ -32,7 +32,6 @@ from typing import List, Tuple
 import numpy as np
 
 from ..core.requirements import NetworkSpec
-from ..phy.channel import BernoulliChannel
 from ..traffic.arrivals import (
     ArrivalProcess,
     BernoulliArrivals,
@@ -86,7 +85,6 @@ class CellPacking:
         self.topology = topology
         self.width = topology.max_cell_size
         mships = topology.memberships
-        reliab = spec.reliabilities
         qs = spec.requirement_vector
         boundary = topology.boundary_links
         b_index = {l: b for b, l in enumerate(boundary)}
@@ -98,7 +96,11 @@ class CellPacking:
         for c, cell in enumerate(topology.cells):
             pad = self.width - len(cell)
             arrivals = slice_arrivals(spec.arrivals, cell, pad)
-            probs = tuple(float(reliab[l]) for l in cell) + (1.0,) * pad
+            # Per-cell channel slice: pads become always-deliver links, so
+            # they never consume airtime.  Channel families that cannot be
+            # sliced per link raise a TypeError here (see
+            # ChannelModel.take_links).
+            channel = spec.channel.take_links(cell, pad)
             reqs = []
             for i, l in enumerate(cell):
                 member[c, i] = l
@@ -110,7 +112,7 @@ class CellPacking:
             specs.append(
                 NetworkSpec(
                     arrivals=arrivals,
-                    channel=BernoulliChannel(success_probs=probs),
+                    channel=channel,
                     timing=spec.timing,
                     requirements=tuple(reqs) + (0.0,) * pad,
                 )

@@ -276,6 +276,11 @@ class TestGoldenKeys:
         "dp-const": "a4c5c74a1929a1b0063c9b05ef5d52af31c99352b34965f077f50625baeedd6b",
         "dbdp-r5-p2": "b6a10efe6bf4b949aa8a9e1c2925ec89af4c7897f69b89cdbbbd0c6034a0b6d6",
         "est": "5544d1d7f7184d97fe238cfe2151e21f161ee16b444990460882bc9b7ecb39bc",
+        # Channel fingerprints ride in the spec encoding: recorded when
+        # the batchable channel layer landed, so key drift here means the
+        # channel codec changed shape.
+        "dbdp-ge": "5097b706a54f1b184d494f6259ec3baa0a4dd19729a226311ece348731f88551",
+        "ldf-tv": "14faee2ebcd736480c717a2b6c6a032a4d01a57dae273ccc0b9a1e401655beb4",
     }
 
     @staticmethod
@@ -290,9 +295,22 @@ class TestGoldenKeys:
             RoundRobinPolicy,
             StaticPriorityPolicy,
         )
+        import dataclasses
+
+        from repro import GilbertElliottChannel
         from repro.experiments.configs import low_latency_spec
+        from repro.phy.channel import TimeVaryingReliability
 
         video = video_symmetric_spec(0.55, delivery_ratio=0.9)
+        ge_video = dataclasses.replace(
+            video, channel=GilbertElliottChannel(video.num_links)
+        )
+        tv_video = dataclasses.replace(
+            video,
+            channel=TimeVaryingReliability.symmetric(
+                video.num_links, 0.8, profile="ramp", period=50, amplitude=0.1
+            ),
+        )
         return {
             "dbdp": (DBDPPolicy(), video),
             "ldf": (LDFPolicy(), video),
@@ -309,6 +327,8 @@ class TestGoldenKeys:
                 low_latency_spec(0.78),
             ),
             "est": (EstimatedDBDPPolicy(), video),
+            "dbdp-ge": (DBDPPolicy(), ge_video),
+            "ldf-tv": (LDFPolicy(), tv_video),
         }
 
     def test_keys_match_pre_registry_golden_values(self, tmp_path, monkeypatch):

@@ -98,6 +98,39 @@ class TestEngineFlags:
         assert "fig3" in capsys.readouterr().out
 
 
+class TestChannelFlag:
+    def test_flag_parses(self):
+        args = build_parser().parse_args(["fig3", "--channel", "ge:0.1:0.3"])
+        assert args.channel == "ge:0.1:0.3"
+        assert build_parser().parse_args(["fig3"]).channel is None
+
+    def test_ge_sweep_runs_fused_free(self, capsys):
+        argv = [
+            "fig3", "--intervals", "40", "--policies", "LDF",
+            "--channel", "ge:0.1:0.3", "--rng", "free",
+        ]
+        assert main(argv) == 0
+        assert "fig3" in capsys.readouterr().out
+
+    def test_bad_spec_names_the_kind(self):
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            main([
+                "fig3", "--intervals", "40", "--policies", "LDF",
+                "--channel", "rayleigh:0.5",
+            ])
+
+    def test_burst_extension_accepts_engine_flags(self, capsys):
+        # The inspect-driven kwarg threading: ext-burst-loss is a fused
+        # sweep and takes seeds/engine/rng directly from the flags.
+        argv = [
+            "ext-burst-loss", "--intervals", "60", "--seeds", "0", "1",
+            "--rng", "free",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "burstiness" in out
+
+
 class TestFaultFlags:
     def test_flags_parse(self):
         args = build_parser().parse_args(

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.extensions import (
+    BURST_GRID,
     baseline_panorama,
     burst_loss_robustness,
     correlated_traffic_robustness,
@@ -45,17 +46,44 @@ class TestBaselinePanorama:
 
 class TestBurstLossRobustness:
     def test_structure_and_degradation_direction(self):
-        result = burst_loss_robustness(num_intervals=1500, seed=1)
+        result = burst_loss_robustness(num_intervals=1500, seeds=(1, 2))
         assert set(result.series) == {"DB-DP", "LDF"}
-        for label, (iid, bursty) in result.series.items():
-            # Bursty losses (violating the analyzed model) cannot make
-            # things better; some degradation is expected and tolerated.
-            assert bursty >= iid - 0.05, label
+        assert result.x_values == list(BURST_GRID)
+        for label, series in result.series.items():
+            iid = series[0]
+            for bursty in series[1:]:
+                # Bursty losses (violating the analyzed model) cannot make
+                # things better; some degradation is expected and tolerated.
+                assert bursty >= iid - 0.05, label
         # The debt mechanism keeps DB-DP in LDF's neighborhood even under
         # the unmodeled channel.
-        assert (
-            result.series["DB-DP"][1]
-            <= result.series["LDF"][1] + 1.0
+        for dbdp, ldf in zip(
+            result.series["DB-DP"][1:], result.series["LDF"][1:]
+        ):
+            assert dbdp <= ldf + 1.0
+
+    def test_scalar_engine_matches_structure(self):
+        """The legacy scalar path still runs the same grid (and keeps the
+        legacy scalar ``seed`` kwarg working)."""
+        result = burst_loss_robustness(
+            num_intervals=300, seed=1, engine="scalar", burstiness=(0.0, 0.7)
+        )
+        assert result.x_values == [0.0, 0.7]
+        assert set(result.series) == {"DB-DP", "LDF"}
+
+    def test_reference_point_is_iid_bernoulli(self):
+        """x = 0 must be the stationary-reliability Bernoulli reduction,
+        produced by the channel codec, not a Gilbert-Elliott chain."""
+        from repro import BernoulliChannel
+        from repro.experiments.extensions import _burst_spec
+
+        spec0 = _burst_spec(0.6, 0.0)
+        assert type(spec0.channel) is BernoulliChannel
+        np.testing.assert_allclose(spec0.channel.reliabilities, 0.70)
+        spec_bursty = _burst_spec(0.6, 0.7)
+        # Equal stationary reliability across the grid.
+        np.testing.assert_allclose(
+            spec_bursty.channel.reliabilities, spec0.channel.reliabilities
         )
 
 

@@ -49,6 +49,41 @@ class TestSweepFigures:
         assert result.x_label == "lambda*"
         assert result.x_values == [0.6, 0.9]
 
+    def test_channel_kwarg_swaps_the_channel(self):
+        from repro import GilbertElliottChannel
+        from repro.experiments.figures import _with_channel
+
+        result = fig3(
+            num_intervals=40,
+            alphas=(0.5,),
+            policies=("LDF",),
+            engine="fused",
+            rng="free",
+            channel="ge:0.1:0.3",
+        )
+        assert result.x_values == [0.5]
+        # The picklable builder wrap resolves spec strings, channel
+        # instances, and spec -> channel callables alike.
+        import functools
+
+        from repro.experiments.configs import video_symmetric_spec
+
+        builder = functools.partial(video_symmetric_spec, delivery_ratio=0.9)
+        spec = _with_channel(builder, "ge:0.1:0.3", 0.5)
+        assert type(spec.channel) is GilbertElliottChannel
+        ch = GilbertElliottChannel(spec.num_links)
+        assert _with_channel(builder, ch, 0.5).channel is ch
+        assert (
+            type(
+                _with_channel(
+                    builder,
+                    lambda s: GilbertElliottChannel(s.num_links),
+                    0.5,
+                ).channel
+            )
+            is GilbertElliottChannel
+        )
+
 
 class TestSingleRunFigures:
     def test_fig5_running_throughput(self):

@@ -1,7 +1,7 @@
 """End-to-end runs over the Gilbert-Elliott burst-loss channel.
 
-The stateful channel exercises the per-attempt (non-geometric) service
-path in every policy; these tests pin that path's invariants and the
+The stateful channel evolves once per interval and is i.i.d. within it;
+these tests pin the scalar engine's invariants on that path and the
 qualitative robustness story from the extension experiments.
 """
 
@@ -52,15 +52,18 @@ class TestStatefulChannelPath:
         result = run_simulation(spec, LDFPolicy(), 3000, seed=1)
         assert result.total_deficiency() < 0.05
 
-    def test_attempt_cost_reflects_stationary_reliability(self):
+    def test_attempt_cost_reflects_burst_losses(self):
         spec = ge_spec()
         result = run_simulation(spec, LDFPolicy(), 2000, seed=2)
         attempts = result.attempts.sum()
         deliveries = result.deliveries.sum()
         empirical_p = deliveries / attempts
+        channel = spec.channel
         stationary = float(spec.reliabilities[0])
-        # Deliveries per attempt track the stationary success probability.
-        assert empirical_p == pytest.approx(stationary, abs=0.06)
+        # The state is frozen within an interval, so retries pile up in
+        # BAD intervals: deliveries per attempt land strictly between
+        # p_bad and the stationary mean (attempts oversample bad states).
+        assert float(np.max(channel.p_bad)) < empirical_p < stationary
 
     def test_dbdp_tracks_ldf_on_bursty_channel(self):
         spec = ge_spec(rho=0.8)

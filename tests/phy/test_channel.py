@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro import BernoulliChannel, GilbertElliottChannel
+from repro.core import registry
+from repro.phy.channel import TimeVaryingReliability, channel_from_spec
 
 
 class TestBernoulliChannel:
@@ -42,6 +44,18 @@ class TestBernoulliChannel:
         channel = BernoulliChannel.symmetric(1, 1.0)
         assert all(channel.attempt(0, rng) for _ in range(100))
 
+    def test_capabilities_are_memoryless(self):
+        channel = BernoulliChannel.symmetric(2, 0.5)
+        assert not channel.has_state
+        assert not channel.state_uses_rng
+        assert channel.iid_within_interval
+        assert channel.with_stationary_reliability() is channel
+
+    def test_take_links_slices_and_pads(self):
+        channel = BernoulliChannel(success_probs=(0.3, 0.6, 0.9))
+        cell = channel.take_links((2, 0), pad=2)
+        assert cell.success_probs == (0.9, 0.3, 1.0, 1.0)
+
 
 class TestGilbertElliottChannel:
     def test_stationary_reliability(self):
@@ -56,27 +70,56 @@ class TestGilbertElliottChannel:
             1, p_good=0.9, p_bad=0.1, p_stay_good=0.8, p_stay_bad=0.6
         )
         expected = channel.reliabilities[0]
-        wins = sum(channel.attempt(0, rng) for _ in range(20000))
+        wins = 0
+        for _ in range(20000):
+            channel.begin_interval(rng)
+            wins += channel.attempt(0, rng)
         assert wins / 20000 == pytest.approx(expected, abs=0.02)
 
     def test_burstiness(self, rng):
-        """Consecutive outcomes must be positively correlated (the point of
-        the model)."""
+        """Per-interval outcomes must be positively correlated (the point
+        of the model)."""
         channel = GilbertElliottChannel(
             1, p_good=0.95, p_bad=0.05, p_stay_good=0.95, p_stay_bad=0.95
         )
-        outcomes = np.array(
-            [channel.attempt(0, rng) for _ in range(20000)], dtype=float
-        )
+        outcomes = []
+        for _ in range(20000):
+            channel.begin_interval(rng)
+            outcomes.append(channel.attempt(0, rng))
+        outcomes = np.asarray(outcomes, dtype=float)
         correlation = np.corrcoef(outcomes[:-1], outcomes[1:])[0, 1]
         assert correlation > 0.3
+
+    def test_attempts_iid_within_interval(self, rng):
+        """Between begin_interval calls the state is frozen: every attempt
+        sees the same success probability (what lets the batch engine
+        pre-draw geometric retry counts)."""
+        channel = GilbertElliottChannel(
+            1, p_good=1.0, p_bad=0.0, p_stay_good=0.5, p_stay_bad=0.5
+        )
+        assert channel.iid_within_interval
+        for _ in range(50):
+            channel.begin_interval(rng)
+            p = channel.success_prob(0)
+            outcomes = {channel.attempt(0, rng) for _ in range(20)}
+            assert outcomes == {p == 1.0}
 
     def test_per_link_state_is_independent(self, rng):
         channel = GilbertElliottChannel(
             2, p_good=1.0, p_bad=0.0, p_stay_good=1.0, p_stay_bad=1.0
         )
         # Both start GOOD and never leave: always succeed, both links.
+        channel.begin_interval(rng)
         assert channel.attempt(0, rng) and channel.attempt(1, rng)
+
+    def test_reset_state_restores_all_good(self, rng):
+        channel = GilbertElliottChannel(
+            3, p_good=1.0, p_bad=0.0, p_stay_good=0.0, p_stay_bad=1.0
+        )
+        channel.begin_interval(rng)  # leaves GOOD with certainty
+        assert channel.current_probs().max() == 0.0
+        channel.reset_state()
+        np.testing.assert_allclose(channel.current_probs(), 1.0)
 
     def test_link_index_validated(self, rng):
         channel = GilbertElliottChannel(2)
@@ -86,3 +129,149 @@ class TestGilbertElliottChannel:
     def test_rejects_all_zero_success(self):
         with pytest.raises(ValueError):
             GilbertElliottChannel(1, p_good=0.0, p_bad=0.0)
+
+    def test_per_link_parameter_tuples(self):
+        channel = GilbertElliottChannel(
+            2, p_good=(0.9, 0.8), p_bad=0.1, p_stay_good=(0.9, 0.5)
+        )
+        assert channel.p_good == (0.9, 0.8)
+        r = channel.reliabilities
+        assert r[0] != r[1]
+
+    def test_supports_batch_state_needs_positive_probs(self):
+        ok = GilbertElliottChannel(1, p_good=0.9, p_bad=0.2)
+        assert ok.supports_batch_state
+        degenerate = GilbertElliottChannel(1, p_good=0.9, p_bad=0.0)
+        assert degenerate.has_state and not degenerate.supports_batch_state
+
+    def test_take_links_pads_frozen_good(self, rng):
+        channel = GilbertElliottChannel(
+            3, p_good=(0.9, 0.8, 0.7), p_bad=0.2, p_stay_bad=(0.6, 0.7, 0.8)
+        )
+        cell = channel.take_links((1,), pad=1)
+        assert cell.p_good == (0.8, 1.0)
+        assert cell.p_stay_bad == (0.7, 0.0)
+        for _ in range(30):
+            cell.begin_interval(rng)
+            assert cell.attempt(1, rng)  # the pad always delivers
+
+    def test_batch_state_matches_scalar_distribution(self):
+        """One batch row evolved with the same uniforms as the scalar
+        channel visits the same states."""
+        channel = GilbertElliottChannel(
+            2, p_good=0.9, p_bad=0.2, p_stay_good=0.8, p_stay_bad=0.6
+        )
+        state = channel.init_state_batch(1)
+        scalar = GilbertElliottChannel(
+            2, p_good=0.9, p_bad=0.2, p_stay_good=0.8, p_stay_bad=0.6
+        )
+        for k in range(200):
+            plane = channel.evolve_batch(state, np.random.default_rng(k))
+            scalar.begin_interval(np.random.default_rng(k))
+            np.testing.assert_allclose(plane[0], scalar.current_probs())
+
+
+class TestTimeVaryingReliability:
+    def test_profiles_stay_in_bounds(self):
+        for profile in ("ramp", "duty", "drift"):
+            ch = TimeVaryingReliability.symmetric(
+                3, 0.9, profile=profile, period=40, amplitude=0.5, floor=0.1
+            )
+            for k in range(100):
+                probs = ch.probs_at(k)
+                assert np.all(probs >= 0.1) and np.all(probs <= 1.0)
+
+    def test_schedule_is_periodic_and_deterministic(self):
+        ch = TimeVaryingReliability.symmetric(2, 0.8, period=25)
+        np.testing.assert_array_equal(ch.probs_at(3), ch.probs_at(28))
+        assert not ch.state_uses_rng and ch.has_state
+
+    def test_begin_interval_walks_the_schedule(self):
+        ch = TimeVaryingReliability.symmetric(
+            1, 0.9, profile="ramp", period=10, amplitude=0.5
+        )
+        seen = []
+        for _ in range(10):
+            ch.begin_interval(None)
+            seen.append(ch.success_prob(0))
+        ch.reset_state()
+        ch.begin_interval(None)
+        assert ch.success_prob(0) == seen[0]
+        assert len(set(seen)) > 1
+
+    def test_reliabilities_are_schedule_mean(self):
+        ch = TimeVaryingReliability.symmetric(
+            1, 0.9, profile="duty", period=10, amplitude=0.4
+        )
+        mean = np.mean([ch.probs_at(k)[0] for k in range(10)])
+        assert ch.reliabilities[0] == pytest.approx(mean)
+
+    def test_with_stationary_reliability(self):
+        ch = TimeVaryingReliability.symmetric(2, 0.9, amplitude=0.2)
+        flat = ch.with_stationary_reliability()
+        assert isinstance(flat, BernoulliChannel)
+        np.testing.assert_allclose(flat.success_probs, ch.reliabilities)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeVaryingReliability.symmetric(1, 0.9, profile="sawtooth")
+        with pytest.raises(ValueError):
+            TimeVaryingReliability.symmetric(1, 0.9, period=0)
+        with pytest.raises(ValueError):
+            TimeVaryingReliability.symmetric(1, 0.9, amplitude=1.5)
+
+
+class TestChannelCodec:
+    """Channel configs ride the registry codec, like policy configs."""
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            BernoulliChannel(success_probs=(0.5, 0.9)),
+            GilbertElliottChannel(
+                2, p_good=(0.9, 0.8), p_bad=0.2, p_stay_good=0.9,
+                p_stay_bad=0.7,
+            ),
+            TimeVaryingReliability.symmetric(
+                2, 0.9, profile="duty", period=30, amplitude=0.3
+            ),
+        ],
+    )
+    def test_round_trip(self, channel):
+        encoded = registry.encode_config_value(channel)
+        decoded = registry.decode_config_value(encoded)
+        assert decoded == channel
+
+    def test_mutable_state_is_not_part_of_identity(self, rng):
+        a = GilbertElliottChannel(2, p_stay_good=0.5, p_stay_bad=0.5)
+        b = GilbertElliottChannel(2, p_stay_good=0.5, p_stay_bad=0.5)
+        for _ in range(20):
+            a.begin_interval(rng)
+        assert a == b
+        assert registry.encode_config_value(a) == registry.encode_config_value(b)
+
+
+class TestChannelFromSpec:
+    def test_bernoulli(self):
+        ch = channel_from_spec("bernoulli:0.8", 3)
+        assert ch == BernoulliChannel.symmetric(3, 0.8)
+
+    def test_gilbert_elliott(self):
+        ch = channel_from_spec("ge:0.1:0.3", 2)
+        assert ch == GilbertElliottChannel(
+            2, p_good=0.95, p_bad=0.2, p_stay_good=0.9, p_stay_bad=0.7
+        )
+
+    def test_gilbert_elliott_with_probs(self):
+        ch = channel_from_spec("ge:0.05:0.5:0.99:0.1", 1)
+        assert ch.p_stay_good == 0.95 and ch.p_stay_bad == 0.5
+        assert ch.p_good == 0.99 and ch.p_bad == 0.1
+
+    def test_time_varying(self):
+        ch = channel_from_spec("tv:drift:50:0.2", 2)
+        assert isinstance(ch, TimeVaryingReliability)
+        assert ch.profile == "drift" and ch.period == 50
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            channel_from_spec("rayleigh:0.5", 1)

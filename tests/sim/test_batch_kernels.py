@@ -234,7 +234,9 @@ class TestKernelDispatch:
         with pytest.raises(TypeError, match="no batch kernel"):
             make_batch_kernel(FCSMAPolicy())
 
-    def test_stateful_channel_rejected_at_bind(self):
+    def test_stochastic_state_rejected_under_lockstep(self):
+        """GE under the lockstep disciplines raises a TypeError naming the
+        channel, the discipline, and both working fallbacks."""
         spec = NetworkSpec.from_delivery_ratios(
             arrivals=BernoulliArrivals.symmetric(3, 0.5),
             channel=GilbertElliottChannel(3),
@@ -242,8 +244,32 @@ class TestKernelDispatch:
             delivery_ratios=0.8,
         )
         kernel = make_batch_kernel(LDFPolicy())
-        with pytest.raises(TypeError, match="BernoulliChannel"):
+        with pytest.raises(
+            TypeError,
+            match=(
+                r"GilbertElliottChannel state cannot evolve under the "
+                r"lockstep 'batch' draw discipline of the batch engine; "
+                r"pass rng='free' \(statistically equivalent\) or use "
+                r"engine='scalar'"
+            ),
+        ):
             kernel.bind(spec, 4, False)
+        # The named fallbacks really do bind.
+        kernel.bind(spec, 4, False, rng="free")
+        make_batch_kernel(LDFPolicy()).bind(spec, 4, True)
+
+    def test_degenerate_state_rejected_with_fallback(self):
+        """A GE link whose BAD state never succeeds cannot be pre-drawn
+        geometrically; the rejection names the scalar fallback."""
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=BernoulliArrivals.symmetric(2, 0.5),
+            channel=GilbertElliottChannel(2, p_bad=0.0),
+            timing=idealized_timing(6),
+            delivery_ratios=0.4,
+        )
+        kernel = make_batch_kernel(LDFPolicy())
+        with pytest.raises(TypeError, match="engine='scalar'"):
+            kernel.bind(spec, 4, False, rng="free")
 
 
 class TestDPSequentialFallbackEquivalence:

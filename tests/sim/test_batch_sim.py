@@ -35,15 +35,18 @@ class TestConstruction:
         with pytest.raises(TypeError, match="no batch kernel"):
             BatchIntervalSimulator(spec, FCSMAPolicy(), SEEDS)
 
-    def test_stateful_channel_rejected(self):
+    def test_stochastic_channel_state_needs_free_rng(self):
         spec = NetworkSpec.from_delivery_ratios(
             arrivals=BernoulliArrivals.symmetric(3, 0.5),
             channel=GilbertElliottChannel(3),
             timing=idealized_timing(6),
             delivery_ratios=0.8,
         )
-        with pytest.raises(TypeError, match="BernoulliChannel"):
+        with pytest.raises(TypeError, match="rng='free'"):
             BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
+        # The named fallbacks construct fine.
+        BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, rng="free")
+        BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, sync_rng=True)
 
     def test_stateful_arrivals_need_sync_mode(self):
         spec = NetworkSpec.from_delivery_ratios(
