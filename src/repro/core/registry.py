@@ -96,6 +96,7 @@ _BUILTIN_COMPONENT_MODULES = (
     "repro.core.dbdp",
     "repro.core.fcsma",
     "repro.phy.channel",
+    "repro.traffic.arrivals",
 )
 
 #: Policy modules that self-register at import time.  Lookups import them
@@ -510,6 +511,20 @@ _component_classes: Dict[str, type] = {}
 _components_loaded = False
 
 
+def _codec_capable(obj: Any) -> bool:
+    """A class the codec can round-trip: a dataclass, or a plain class
+    carrying its own ``to_config``/``from_config`` pair (e.g. stateful
+    arrival processes whose abstract properties preclude dataclass
+    fields)."""
+    if not isinstance(obj, type):
+        return False
+    if dataclasses.is_dataclass(obj):
+        return True
+    return callable(getattr(obj, "to_config", None)) and callable(
+        getattr(obj, "from_config", None)
+    )
+
+
 def _component_table() -> Dict[str, type]:
     """Qualname -> class for every decodable config component."""
     global _components_loaded
@@ -520,8 +535,7 @@ def _component_table() -> Dict[str, type]:
                     module = importlib.import_module(module_name)
                     for obj in vars(module).values():
                         if (
-                            isinstance(obj, type)
-                            and dataclasses.is_dataclass(obj)
+                            _codec_capable(obj)
                             and obj.__qualname__ not in _component_classes
                         ):
                             _component_classes[obj.__qualname__] = obj
@@ -530,14 +544,18 @@ def _component_table() -> Dict[str, type]:
 
 
 def register_config_component(cls: type) -> type:
-    """Make a frozen-dataclass component decodable by the config codec.
+    """Make a component class decodable by the config codec.
 
     Built-in biases, influence functions and window maps are picked up
     automatically; third-party policies whose configs embed their own
-    dataclass components register them here (usable as a decorator).
+    dataclass (or ``to_config``/``from_config``-bearing) components
+    register them here (usable as a decorator).
     """
-    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
-        raise TypeError(f"{cls!r} is not a dataclass type")
+    if not _codec_capable(cls):
+        raise TypeError(
+            f"{cls!r} is not a dataclass type and does not define a "
+            "to_config/from_config pair"
+        )
     with _lock:
         _component_table()[cls.__qualname__] = cls
     return cls
@@ -559,6 +577,13 @@ def encode_config_value(obj: Any) -> Any:
         encoded: dict = {"__class__": type(obj).__qualname__}
         for f in dataclasses.fields(obj):
             encoded[f.name] = encode_config_value(getattr(obj, f.name))
+        return encoded
+    if not isinstance(obj, type) and callable(getattr(obj, "to_config", None)):
+        # Non-dataclass components (e.g. MarkovModulatedArrivals) supply
+        # their own parameter dict; mutable per-interval state stays out.
+        encoded = {"__class__": type(obj).__qualname__}
+        for key, val in obj.to_config().items():
+            encoded[str(key)] = encode_config_value(val)
         return encoded
     if isinstance(obj, (list, tuple)):
         return [encode_config_value(v) for v in obj]
@@ -592,6 +617,9 @@ def decode_config_value(value: Any) -> Any:
                 for k, v in value.items()
                 if k != "__class__"
             }
+            from_config = getattr(cls, "from_config", None)
+            if not dataclasses.is_dataclass(cls) and callable(from_config):
+                return from_config(kwargs)
             return cls(**kwargs)
         return {str(k): decode_config_value(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):

@@ -78,6 +78,7 @@ _ENGINE_SOURCES = (
     "core/policies.py",
     "core/registry.py",
     "phy/channel.py",
+    "traffic/arrivals.py",
     "sim/batch_kernels.py",
     "sim/batch_sim.py",
     "sim/interval_sim.py",

@@ -157,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
         "given)",
     )
     parser.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help="replace the figures' default arrival process with another "
+        "model: 'bernoulli:rate', 'bursty:alpha[:burst_max]', "
+        "'constant:count', 'mmpp:on[:off[:p_on[:p_off[:initial]]]]' "
+        "(Markov-modulated ON/OFF), or 'pareto:start[:tail[:dur_max"
+        "[:peak]]]' (heavy-tailed bursts); requirements are rebuilt from "
+        "the figures' delivery ratios, and MMPP/Pareto state needs "
+        "--rng free to stay vectorized (sweep figures only; implies "
+        "--engine fused unless --engine is given)",
+    )
+    parser.add_argument(
         "--dp-state",
         choices=["dense", "incremental"],
         default=None,
@@ -297,10 +310,11 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                   or args.backend is not None
                   or args.dp_state is not None
                   or args.cells is not None
-                  or args.channel is not None):
-                # --rng/--shards/--backend/--dp-state/--cells/--channel
-                # are sweep-engine features; land them on the fused
-                # engine instead of erroring on the figures' scalar
+                  or args.channel is not None
+                  or args.arrivals is not None):
+                # --rng/--shards/--backend/--dp-state/--cells/--channel/
+                # --arrivals are sweep-engine features; land them on the
+                # fused engine instead of erroring on the figures' scalar
                 # default.
                 kwargs["engine"] = "fused"
             if args.cells is not None:
@@ -313,6 +327,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 )
             if args.channel is not None:
                 kwargs["channel"] = args.channel
+            if args.arrivals is not None:
+                kwargs["arrivals"] = args.arrivals
             if args.rng is not None:
                 kwargs["rng"] = args.rng
             if args.shards is not None:

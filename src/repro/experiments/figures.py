@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core import registry
+from ..core.requirements import NetworkSpec
 from ..phy.channel import channel_from_spec
 from ..sim.interval_sim import run_simulation
 from .configs import (
@@ -74,6 +75,42 @@ def _maybe_with_channel(builder, channel):
     if channel is None:
         return builder
     return functools.partial(_with_channel, builder, channel)
+
+
+def _with_arrivals(spec_builder, arrivals, value):
+    """Picklable spec-builder wrapper swapping in a non-default arrival
+    process.
+
+    ``arrivals`` is a CLI-style spec string (see
+    :func:`~repro.traffic.arrivals.arrivals_from_spec` —
+    ``"mmpp:0.7:0.1:0.9:0.9"``, ``"pareto:0.2:1.5"``,
+    ``"bernoulli:0.6"``), an
+    :class:`~repro.traffic.arrivals.ArrivalProcess`, or a callable
+    ``spec -> process``.  Requirements are rebuilt from the original
+    spec's delivery ratios so ``q_n = rho_n * lambda_n`` stays feasible
+    under the new mean rates.  Module-level (not a closure) so sharded
+    fused sweeps can pickle the wrapped builder into worker processes.
+    """
+    from ..traffic.arrivals import arrivals_from_spec
+
+    spec = spec_builder(value)
+    if isinstance(arrivals, str):
+        arrivals = arrivals_from_spec(arrivals, spec.num_links)
+    elif callable(arrivals):
+        arrivals = arrivals(spec)
+    return NetworkSpec.from_delivery_ratios(
+        arrivals=arrivals,
+        channel=spec.channel,
+        timing=spec.timing,
+        delivery_ratios=spec.delivery_ratios,
+    )
+
+
+def _maybe_with_arrivals(builder, arrivals):
+    """The builder as-is, or its arrivals-swapped wrap."""
+    if arrivals is None:
+        return builder
+    return functools.partial(_with_arrivals, builder, arrivals)
 
 
 def _check_engine(engine: str) -> None:
@@ -164,6 +201,7 @@ def fig3(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 3: symmetric video network, deficiency vs arrival parameter.
 
@@ -176,7 +214,11 @@ def fig3(
     the spec's default Bernoulli channel: a spec string such as
     ``"ge:0.1:0.3"`` (see :func:`~repro.phy.channel.channel_from_spec`),
     a :class:`~repro.phy.channel.ChannelModel`, or a ``spec -> channel``
-    callable; all sweep figures accept the same keyword.
+    callable; ``arrivals`` likewise replaces the arrival process (e.g.
+    ``"mmpp:0.7:0.1"`` — see
+    :func:`~repro.traffic.arrivals.arrivals_from_spec`; requirements are
+    rebuilt from the spec's delivery ratios).  All sweep figures accept
+    the same keywords.
     """
     intervals = num_intervals or scaled_intervals(VIDEO_INTERVALS)
     sweep = run_sweep(
@@ -184,8 +226,12 @@ def fig3(
         values=alphas,
         # functools.partial, not a lambda: sharded fused sweeps pickle
         # the builder into worker processes.
-        spec_builder=_maybe_with_channel(
-            functools.partial(video_symmetric_spec, delivery_ratio=0.9), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(video_symmetric_spec, delivery_ratio=0.9),
+                channel,
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
@@ -221,6 +267,7 @@ def fig4(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 4: symmetric video network at ``alpha* = 0.55``, deficiency vs
     required delivery ratio."""
@@ -229,8 +276,11 @@ def fig4(
         parameter_name="delivery ratio",
         values=ratios,
         # picklable: the swept value lands on delivery_ratio positionally
-        spec_builder=_maybe_with_channel(
-            functools.partial(video_symmetric_spec, 0.55), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(video_symmetric_spec, 0.55), channel
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
@@ -342,6 +392,7 @@ def fig7(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 7: asymmetric network, per-group deficiency vs ``alpha*`` at 90%
     delivery ratio."""
@@ -349,8 +400,12 @@ def fig7(
     sweep = run_sweep(
         parameter_name="alpha*",
         values=alphas,
-        spec_builder=_maybe_with_channel(
-            functools.partial(video_asymmetric_spec, delivery_ratio=0.9), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(video_asymmetric_spec, delivery_ratio=0.9),
+                channel,
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
@@ -389,6 +444,7 @@ def fig8(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 8: asymmetric network, per-group deficiency vs delivery ratio at
     ``alpha* = 0.7``."""
@@ -396,8 +452,11 @@ def fig8(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=_maybe_with_channel(
-            functools.partial(video_asymmetric_spec, 0.7), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(video_asymmetric_spec, 0.7), channel
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
@@ -436,6 +495,7 @@ def fig9(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 9: ultra-low-latency network, deficiency vs arrival rate at 99%
     delivery ratio (10 links, 2 ms deadline)."""
@@ -443,8 +503,12 @@ def fig9(
     sweep = run_sweep(
         parameter_name="lambda*",
         values=lambdas,
-        spec_builder=_maybe_with_channel(
-            functools.partial(low_latency_spec, delivery_ratio=0.99), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(low_latency_spec, delivery_ratio=0.99),
+                channel,
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,
@@ -480,6 +544,7 @@ def fig10(
     dp_state: Optional[str] = None,
     topology=None,
     channel=None,
+    arrivals=None,
 ) -> FigureResult:
     """Fig. 10: ultra-low-latency network, deficiency vs delivery ratio at
     ``lambda* = 0.78``."""
@@ -487,8 +552,11 @@ def fig10(
     sweep = run_sweep(
         parameter_name="delivery ratio",
         values=ratios,
-        spec_builder=_maybe_with_channel(
-            functools.partial(low_latency_spec, 0.78), channel
+        spec_builder=_maybe_with_arrivals(
+            _maybe_with_channel(
+                functools.partial(low_latency_spec, 0.78), channel
+            ),
+            arrivals,
         ),
         policies=paper_policies() if policies is None else policies,
         num_intervals=intervals,

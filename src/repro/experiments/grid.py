@@ -961,6 +961,37 @@ def run_sweep_fused(
                 UserWarning,
                 stacklevel=2,
             )
+        arr_degraded: List[str] = []
+        arr_names: List[str] = []
+        for cell in cells:
+            arr = cell.spec.arrivals
+            descriptor = registry.descriptor_for(cell.policy)
+            fusable = (
+                descriptor is not None and descriptor.capabilities.fusable
+            )
+            if (
+                arr.has_state
+                and arr.state_uses_rng
+                and _effective_rng(cell, rng_mode) != "free"
+                # Same scoping as the channel warning: only where free
+                # draws would actually fuse the cell.
+                and fusable
+                and supports_batch_engine(cell.spec, cell.policy, rng="free")
+            ):
+                if cell.label not in arr_degraded:
+                    arr_degraded.append(cell.label)
+                if type(arr).__name__ not in arr_names:
+                    arr_names.append(type(arr).__name__)
+        if arr_degraded:
+            warnings.warn(
+                f"{'/'.join(arr_names)} state cannot evolve under a "
+                "lockstep batch draw discipline; these cells fall back to "
+                f"the scalar engine: {', '.join(arr_degraded)}.  Pass "
+                "rng='free' to keep them vectorized (statistically "
+                "equivalent)",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # Cache lookups first: hit cells never touch an engine.  Cells whose
     # policy (or spec) has no registered fingerprint simply run uncached

@@ -173,6 +173,19 @@ def _warn_channel_degrade(
     )
 
 
+def _warn_arrival_degrade(
+    spec: NetworkSpec, labels: Sequence[str], stacklevel: int = 3
+) -> None:
+    warnings.warn(
+        f"{type(spec.arrivals).__name__} state cannot evolve under a "
+        "lockstep batch draw discipline; these cells fall back to the "
+        f"scalar engine: {', '.join(labels)}.  Pass rng='free' to keep "
+        "them vectorized (statistically equivalent)",
+        UserWarning,
+        stacklevel=stacklevel,
+    )
+
+
 def _run_single_topology(
     spec: NetworkSpec,
     policy,
@@ -361,15 +374,13 @@ def run_single(
                 spec, policy, num_intervals, seeds, groups, backend, eff,
                 eff_dp,
             )
-        if (
-            spec.channel.has_state
-            and spec.channel.state_uses_rng
-            and eff != "free"
-            and supports_batch_engine(spec, policy, rng="free")
-        ):
+        if eff != "free" and supports_batch_engine(spec, policy, rng="free"):
             # The only blocker was the lockstep discipline: say so once
             # instead of silently crawling through the scalar engine.
-            _warn_channel_degrade(spec, [registry.policy_label(policy)])
+            if spec.channel.has_state and spec.channel.state_uses_rng:
+                _warn_channel_degrade(spec, [registry.policy_label(policy)])
+            elif spec.arrivals.has_state and spec.arrivals.state_uses_rng:
+                _warn_arrival_degrade(spec, [registry.policy_label(policy)])
     totals: List[float] = []
     group_totals: List[np.ndarray] = []
     collisions: List[float] = []

@@ -29,12 +29,16 @@ Two RNG disciplines are supported:
 Stateful spec components are batchable when they expose a vectorized
 per-row state process: the Gilbert-Elliott channel and the deterministic
 time-varying reliability profiles evolve as ``(S, N)`` planes inside the
-kernels' channel-draw pipeline (stochastic state additionally requires the
+kernels' channel-draw pipeline, and Markov-modulated / Pareto-burst
+arrivals evolve as ``(S, N)`` planes inside the arrival-draw pipeline,
+fed by a dedicated ``"arrival-state"`` substream so stateless processes'
+draw schedules never shift (stochastic state additionally requires the
 ``rng="free"`` discipline, since lockstep batch streams cannot host the
-extra evolution draws).  Components without that — Markov-modulated
-arrivals, channels whose attempts are not i.i.d. within an interval — are
-rejected at construction with a ``TypeError`` naming the working fallback
-(``sync_rng=True`` or the scalar engine).
+extra evolution draws).  Components without a vectorized state process —
+channels whose attempts are not i.i.d. within an interval, arrival
+processes without ``stack_rows`` — are rejected at construction with a
+``TypeError`` naming the working fallback (``sync_rng=True`` or the
+scalar engine).
 
 Beyond one shared spec, the simulator accepts a **per-row spec stack**
 (:class:`~repro.sim.spec_stack.SpecStack`, or any sequence of specs, one
@@ -48,6 +52,7 @@ per-interval trace lists and keeps only the streaming
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -90,7 +95,9 @@ def supports_batch_engine(
     stateful channels additionally need vectorized batch state, the
     family's ``supports_markov_channel`` capability, and — when the state
     evolution is stochastic — the ``rng="free"`` discipline), and (in the
-    default vectorized-RNG mode) a batch-samplable arrival process.
+    non-sync modes) an arrival process that is either batch-samplable or
+    supplies vectorized batch state (stochastic arrival state likewise
+    needs ``rng="free"``).
     ``rng="free"`` additionally requires the family to declare
     ``supports_free_rng``.  Callers that want graceful degradation (the
     experiment runner) check this and fall back to the scalar engine.
@@ -114,8 +121,15 @@ def supports_batch_engine(
                 return False
     elif not channel.iid_within_interval:
         return False
-    if mode != "sync" and not spec.arrivals.supports_batch_sampling:
-        return False
+    arrivals = spec.arrivals
+    if mode != "sync":
+        if arrivals.has_state:
+            if not arrivals.supports_batch_state:
+                return False
+            if arrivals.state_uses_rng and mode != "free":
+                return False
+        elif not arrivals.supports_batch_sampling:
+            return False
     return True
 
 
@@ -451,6 +465,90 @@ class _BatchArrivalDraws:
         return block
 
 
+class _StatefulArrivalDraws:
+    """Chunked arrival blocks when some rows carry evolving state.
+
+    Stateless rows draw exactly as :class:`_BatchArrivalDraws` would —
+    grouped ``sample_batch`` calls from the arrivals stream, in row
+    order — so adding stateful neighbors to a stack never shifts a
+    stateless process's draw schedule.  Stateful rows are stacked by
+    class into :class:`~repro.traffic.arrivals.ArrivalStateRows` planes
+    that evolve one interval per block slot, consuming the dedicated
+    ``"arrival-state"`` substream held internally (fan-out sharing passes
+    only the arrivals stream through ``next``).
+    """
+
+    def __init__(
+        self,
+        stack: Optional[SpecStack],
+        spec: NetworkSpec,
+        num_seeds: int,
+        depth: Optional[int] = None,
+        state_rng: Optional[np.random.Generator] = None,
+    ):
+        specs = stack.specs if stack is not None else (spec,) * num_seeds
+        self._num_seeds = num_seeds
+        self._n = specs[0].num_links
+        self._depth = DRAW_CHUNK if depth is None else int(depth)
+        self._state_rng = state_rng
+        # Stateless rows grouped by process equality (one sample_batch per
+        # distinct process); stateful rows grouped by class (one stacked
+        # state plane per family).
+        stateless: List[Tuple] = []
+        by_class: List[Tuple[type, List, List[int]]] = []
+        for i, sp in enumerate(specs):
+            proc = sp.arrivals
+            if proc.has_state:
+                for cls, procs, rows in by_class:
+                    if type(proc) is cls:
+                        procs.append(proc)
+                        rows.append(i)
+                        break
+                else:
+                    by_class.append((type(proc), [proc], [i]))
+            else:
+                for rep, rows in stateless:
+                    if proc == rep:
+                        rows.append(i)
+                        break
+                else:
+                    stateless.append((proc, [i]))
+        self._stateless = [(proc, rows) for proc, rows in stateless]
+        self._state_groups = [
+            (
+                cls.stack_rows(procs),
+                rows,
+                np.empty((self._depth, len(rows), self._n), dtype=np.int64),
+            )
+            for cls, procs, rows in by_class
+        ]
+        self._cache = np.empty(
+            (self._depth, num_seeds, self._n), dtype=np.int64
+        )
+        self._pos = self._depth
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._pos >= self._depth:
+            if perf.counters.enabled:
+                t0 = perf.clock()
+            for proc, rows in self._stateless:
+                flat = proc.sample_batch(rng, self._depth * len(rows))
+                self._cache[:, rows] = flat.reshape(
+                    self._depth, len(rows), self._n
+                )
+            for state_rows, rows, buf in self._state_groups:
+                state_rows.evolve_block(self._depth, self._state_rng, buf)
+                self._cache[:, rows] = buf
+            self._pos = 0
+            if perf.counters.enabled:
+                perf.counters.add(
+                    "draws.arrival_refill", perf.clock() - t0, 1
+                )
+        block = self._cache[self._pos]
+        self._pos += 1
+        return block
+
+
 class _FanoutDraws:
     """Serve each drawn block to ``consumers`` lockstep clients.
 
@@ -658,13 +756,36 @@ class BatchIntervalSimulator:
                 f"spec stack has {stack.num_rows} rows but "
                 f"{self.rng.num_seeds} seeds were given"
             )
+        if stack is not None:
+            arrivals_have_state = stack.has_state_arrivals
+            arrival_state_rng = stack.arrival_state_uses_rng
+            arrival_state_ok = stack.supports_batch_state_arrivals
+            batch_ok = stack.supports_batch_arrivals
+        else:
+            arr = self.spec.arrivals
+            arrivals_have_state = arr.has_state
+            arrival_state_rng = arr.has_state and arr.state_uses_rng
+            arrival_state_ok = arr.supports_batch_state
+            batch_ok = arr.supports_batch_sampling
         if not self.sync_rng:
-            batch_ok = (
-                stack.supports_batch_arrivals
-                if stack is not None
-                else self.spec.arrivals.supports_batch_sampling
-            )
-            if not batch_ok:
+            if arrivals_have_state:
+                if not arrival_state_ok:
+                    raise TypeError(
+                        f"{type(self.spec.arrivals).__name__} carries "
+                        "per-interval state without a vectorized batch "
+                        "state process, so the batch engine cannot run "
+                        "it; use sync_rng=True or engine='scalar'"
+                    )
+                if arrival_state_rng and self.rng_mode != "free":
+                    raise TypeError(
+                        f"{type(self.spec.arrivals).__name__} evolves "
+                        "stochastic per-interval state, which the lockstep "
+                        "batch draw discipline cannot host; pass "
+                        "rng='free' (statistically equivalent), "
+                        "sync_rng=True (bit-identical, scalar-speed), or "
+                        "engine='scalar'"
+                    )
+            elif not batch_ok:
                 raise TypeError(
                     f"{type(self.spec.arrivals).__name__} cannot be sampled "
                     "as an independent batch (stateful process), so the "
@@ -703,18 +824,46 @@ class BatchIntervalSimulator:
         self._pos_debts = np.empty_like(self._debts)
         self._debt_step = np.empty_like(self._debts)
         self._interval = 0
-        self._arrival_draws = (
-            None
-            if self.sync_rng
-            else _BatchArrivalDraws(
-                stack,
-                self.spec,
-                self.rng.num_seeds,
-                depth=(
-                    self.kernel._depth if self.rng_mode == "free" else None
-                ),
+        if self.sync_rng:
+            # Per-row process clones, each reset to its initial state:
+            # rows are then bit-identical to the scalar engine and never
+            # advance a shared modulating chain through each other.
+            src = (
+                stack.specs
+                if stack is not None
+                else (self.spec,) * self.rng.num_seeds
             )
-        )
+            sync_procs = []
+            for sp in src:
+                proc = sp.arrivals
+                if proc.has_state:
+                    proc = copy.deepcopy(proc)
+                    proc.reset_state()
+                sync_procs.append(proc)
+            self._sync_arrivals = tuple(sync_procs)
+            self._sync_arrival_state = tuple(
+                bundle.stream("arrival-state") if proc.has_state else None
+                for proc, bundle in zip(sync_procs, self.rng.bundles)
+            )
+            self._arrival_draws = None
+        else:
+            depth = self.kernel._depth if self.rng_mode == "free" else None
+            if arrivals_have_state:
+                self._arrival_draws = _StatefulArrivalDraws(
+                    stack,
+                    self.spec,
+                    self.rng.num_seeds,
+                    depth=depth,
+                    state_rng=(
+                        self.rng.free_stream("arrival-state")
+                        if arrival_state_rng
+                        else None
+                    ),
+                )
+            else:
+                self._arrival_draws = _BatchArrivalDraws(
+                    stack, self.spec, self.rng.num_seeds, depth=depth
+                )
         self._arrival_stream = (
             None
             if self.sync_rng
@@ -765,20 +914,19 @@ class BatchIntervalSimulator:
     # ------------------------------------------------------------------
     def _sample_arrivals(self) -> np.ndarray:
         if self.sync_rng:
-            # Scalar draw order per seed: identical to IntervalSimulator.
-            if self.stack is not None:
-                return np.stack(
-                    [
-                        sp.arrivals.sample(bundle.arrivals)
-                        for sp, bundle in zip(self.stack.specs, self.rng.bundles)
-                    ]
-                )
-            return np.stack(
-                [
-                    self.spec.arrivals.sample(bundle.arrivals)
-                    for bundle in self.rng.bundles
-                ]
-            )
+            # Scalar draw order per seed: identical to IntervalSimulator
+            # (including its per-interval begin_interval hook for stateful
+            # processes, driven by each row's own "arrival-state" stream).
+            rows = []
+            for proc, state_rng, bundle in zip(
+                self._sync_arrivals,
+                self._sync_arrival_state,
+                self.rng.bundles,
+            ):
+                if state_rng is not None:
+                    proc.begin_interval(state_rng)
+                rows.append(proc.sample(bundle.arrivals))
+            return np.stack(rows)
         return self._arrival_draws.next(self._arrival_stream)
 
     def step(self) -> None:

@@ -150,6 +150,12 @@ class EventDrivenDPSimulator:
             self.rng.stream("channel-state") if spec.channel.has_state else None
         )
         spec.channel.reset_state()
+        # Stateful arrival processes reset too: replications sharing one
+        # process instance must not continue each other's modulating chain.
+        self._arrival_state_rng = (
+            self.rng.stream("arrival-state") if spec.arrivals.has_state else None
+        )
+        spec.arrivals.reset_state()
         self.ledger = DebtLedger(spec.requirements)
         self.result = SimulationResult(
             policy_name="DB-DP(event)",
@@ -188,6 +194,8 @@ class EventDrivenDPSimulator:
         n = spec.num_links
         if self._channel_rng is not None:
             spec.channel.begin_interval(self._channel_rng)
+        if self._arrival_state_rng is not None:
+            spec.arrivals.begin_interval(self._arrival_state_rng)
         arrivals = spec.arrivals.sample(self.rng.arrivals)
         self._arrivals = arrivals
         debts = self.ledger.positive_debts

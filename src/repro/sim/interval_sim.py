@@ -48,6 +48,14 @@ class IntervalSimulator:
             self.rng.stream("channel-state") if spec.channel.has_state else None
         )
         spec.channel.reset_state()
+        # Stateful arrival processes (Markov-modulated, Pareto bursts)
+        # likewise: reset so replications sharing one process instance stay
+        # independent of run order, and evolve any out-of-band state from a
+        # dedicated stream so the arrivals stream is untouched.
+        self._arrival_state_rng = (
+            self.rng.stream("arrival-state") if spec.arrivals.has_state else None
+        )
+        spec.arrivals.reset_state()
         self.ledger = DebtLedger(spec.requirements)
         self.result = SimulationResult(
             policy_name=policy.name,
@@ -64,6 +72,8 @@ class IntervalSimulator:
         """Simulate one interval."""
         if self._channel_rng is not None:
             self.spec.channel.begin_interval(self._channel_rng)
+        if self._arrival_state_rng is not None:
+            self.spec.arrivals.begin_interval(self._arrival_state_rng)
         arrivals = self.spec.arrivals.sample(self.rng.arrivals)
         outcome = self.policy.run_interval(
             self.ledger.interval,

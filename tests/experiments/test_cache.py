@@ -281,6 +281,11 @@ class TestGoldenKeys:
         # channel codec changed shape.
         "dbdp-ge": "5097b706a54f1b184d494f6259ec3baa0a4dd19729a226311ece348731f88551",
         "ldf-tv": "14faee2ebcd736480c717a2b6c6a032a4d01a57dae273ccc0b9a1e401655beb4",
+        # Arrival fingerprints ride in the spec encoding the same way:
+        # recorded when the batchable arrival-state layer landed, so key
+        # drift here means the arrivals codec changed shape.
+        "dbdp-mmpp": "07531ae8c9c8338fd73a9befe5279126366e08c18c636235854f79a4420e2601",
+        "ldf-pareto": "36a426a9ebf0a3625687559ddc060d1634e9e953041b6df92c15d1bb7b363829",
     }
 
     @staticmethod
@@ -297,9 +302,13 @@ class TestGoldenKeys:
         )
         import dataclasses
 
-        from repro import GilbertElliottChannel
+        from repro import GilbertElliottChannel, NetworkSpec
         from repro.experiments.configs import low_latency_spec
         from repro.phy.channel import TimeVaryingReliability
+        from repro.traffic.arrivals import (
+            MarkovModulatedArrivals,
+            ParetoBurstArrivals,
+        )
 
         video = video_symmetric_spec(0.55, delivery_ratio=0.9)
         ge_video = dataclasses.replace(
@@ -310,6 +319,22 @@ class TestGoldenKeys:
             channel=TimeVaryingReliability.symmetric(
                 video.num_links, 0.8, profile="ramp", period=50, amplitude=0.1
             ),
+        )
+        mmpp_video = NetworkSpec.from_delivery_ratios(
+            arrivals=MarkovModulatedArrivals(
+                video.num_links, 0.7, 0.1, 0.8, 0.85, "stationary"
+            ),
+            channel=video.channel,
+            timing=video.timing,
+            delivery_ratios=0.9,
+        )
+        pareto_video = NetworkSpec.from_delivery_ratios(
+            arrivals=ParetoBurstArrivals(
+                video.num_links, start_prob=0.2, tail=1.5, dur_max=32
+            ),
+            channel=video.channel,
+            timing=video.timing,
+            delivery_ratios=0.9,
         )
         return {
             "dbdp": (DBDPPolicy(), video),
@@ -329,6 +354,8 @@ class TestGoldenKeys:
             "est": (EstimatedDBDPPolicy(), video),
             "dbdp-ge": (DBDPPolicy(), ge_video),
             "ldf-tv": (LDFPolicy(), tv_video),
+            "dbdp-mmpp": (DBDPPolicy(), mmpp_video),
+            "ldf-pareto": (LDFPolicy(), pareto_video),
         }
 
     def test_keys_match_pre_registry_golden_values(self, tmp_path, monkeypatch):

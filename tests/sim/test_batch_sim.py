@@ -61,6 +61,28 @@ class TestConstruction:
         sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, sync_rng=True)
         sim.run(10)
         assert sim.result.num_intervals == 10
+        # Free-draw mode hosts the vectorized batch-state plane.
+        free = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, rng="free")
+        free.run(10)
+        assert free.result.num_intervals == 10
+
+    def test_stateful_arrival_runs_are_independent(self):
+        """Two back-to-back runs sharing a process instance must agree:
+        the simulator resets arrival state per run (state-leak guard)."""
+        process = MarkovModulatedArrivals(3, 0.6, 0.1, 0.8, 0.9)
+        spec = NetworkSpec.from_delivery_ratios(
+            arrivals=process,
+            channel=BernoulliChannel.symmetric(3, 0.8),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        first = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, rng="free")
+        first.run(30)
+        second = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS, rng="free")
+        second.run(30)
+        np.testing.assert_array_equal(
+            first.result.deliveries, second.result.deliveries
+        )
 
     def test_supports_batch_engine(self, spec):
         assert supports_batch_engine(spec, DBDPPolicy())
@@ -74,6 +96,19 @@ class TestConstruction:
         )
         assert not supports_batch_engine(stateful, LDFPolicy())
         assert supports_batch_engine(stateful, LDFPolicy(), sync_rng=True)
+        # Free-draw mode hosts stochastic arrival state vectorized.
+        assert supports_batch_engine(stateful, LDFPolicy(), rng="free")
+        from repro.traffic.arrivals import ParetoBurstArrivals
+
+        pareto = NetworkSpec.from_delivery_ratios(
+            arrivals=ParetoBurstArrivals(3, start_prob=0.3),
+            channel=BernoulliChannel.symmetric(3, 0.8),
+            timing=idealized_timing(6),
+            delivery_ratios=0.8,
+        )
+        assert not supports_batch_engine(pareto, LDFPolicy())
+        assert supports_batch_engine(pareto, LDFPolicy(), rng="free")
+        assert supports_batch_engine(pareto, LDFPolicy(), sync_rng=True)
 
     def test_negative_interval_count_rejected(self, spec):
         sim = BatchIntervalSimulator(spec, LDFPolicy(), SEEDS)
